@@ -1,0 +1,313 @@
+//! The per-variable time-stepping model.
+
+use crate::field::{box_blur, correlated_noise};
+use crate::grid::Grid;
+use crate::variables::ClimateVar;
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+/// A deterministic synthetic climate variable generator.
+///
+/// `value_t(x) = base(x) · season(t, x) · exp(s_t(x))` with a spatially
+/// correlated AR(1) anomaly `s` and optional episodic spikes (see
+/// [`ClimateVar::params`]). Iteration 0 is available immediately via
+/// [`ClimateModel::current`]; [`ClimateModel::step`] advances a day (or
+/// month for `mc`).
+#[derive(Debug, Clone)]
+pub struct ClimateModel {
+    var: ClimateVar,
+    grid: Grid,
+    base: Vec<f64>,
+    anomaly: Vec<f64>,
+    current: Vec<f64>,
+    rng: Xoshiro256PlusPlus,
+    t: u64,
+}
+
+impl ClimateModel {
+    /// Model on the paper's 144×90 CMIP5 grid.
+    pub fn new(var: ClimateVar, seed: u64) -> Self {
+        Self::with_grid(var, Grid::cmip5(), seed)
+    }
+
+    /// Model on an explicit grid (tests and scaled-down benches).
+    pub fn with_grid(var: ClimateVar, grid: Grid, seed: u64) -> Self {
+        let p = var.params();
+        // Distinct stream per variable so multi-variable experiments
+        // don't share noise.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ fnv(var.name()));
+        // Base field: positive texture around base_scale with a smooth
+        // latitudinal profile (radiation peaks at the equator).
+        let texture = correlated_noise(grid, &mut rng, 3, 3);
+        let mut base = Vec::with_capacity(grid.len());
+        for idx in 0..grid.len() {
+            let (_, ilat) = grid.coords(idx);
+            let lat = grid.latitude(ilat);
+            let latitudinal = 1.0 + 0.3 * lat.cos();
+            let tex = 1.0 + p.texture_amp * texture[idx].tanh();
+            base.push(p.base_scale * latitudinal * tex.max(0.05));
+        }
+        // Initial anomaly at its stationary distribution.
+        let init = correlated_noise(grid, &mut rng, 2, 2);
+        let anomaly: Vec<f64> = init.iter().map(|&e| p.sigma * e).collect();
+        let mut model =
+            Self { var, grid, base, anomaly, current: vec![0.0; grid.len()], rng, t: 0 };
+        model.recompute_current();
+        model
+    }
+
+    /// The variable being generated.
+    pub fn var(&self) -> ClimateVar {
+        self.var
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Iteration counter.
+    pub fn iteration(&self) -> u64 {
+        self.t
+    }
+
+    /// The current field (iteration `t`).
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Advance one iteration and return the new field.
+    pub fn step(&mut self) -> &[f64] {
+        let p = self.var.params();
+        // AR(1) anomaly update with fresh correlated innovation.
+        let innovation = correlated_noise(self.grid, &mut self.rng, 2, 2);
+        let drive = p.sigma * (1.0 - p.phi * p.phi).sqrt();
+        for (s, &eta) in self.anomaly.iter_mut().zip(&innovation) {
+            *s = p.phi * *s + drive * eta;
+        }
+        // Episodic spikes: a few smoothed bumps per step.
+        if p.spike_prob > 0.0 {
+            let expected = p.spike_prob * self.grid.len() as f64;
+            let count = poisson_like(&mut self.rng, expected);
+            if count > 0 {
+                let mut bump = vec![0.0; self.grid.len()];
+                for _ in 0..count {
+                    let idx = self.rng.below(self.grid.len());
+                    bump[idx] = p.spike_scale * (1.0 + self.rng.next_f64());
+                }
+                // Smooth the impulses into weather-system-sized blobs.
+                let mut smooth = box_blur(self.grid, &bump, 2);
+                // Blur shrinks the peak; rescale to keep the intended
+                // magnitude.
+                let peak = smooth.iter().cloned().fold(0.0f64, f64::max);
+                if peak > 0.0 {
+                    let gain = p.spike_scale / peak;
+                    for v in &mut smooth {
+                        *v *= gain;
+                    }
+                }
+                for (s, b) in self.anomaly.iter_mut().zip(&smooth) {
+                    *s += b;
+                }
+            }
+        }
+        self.t += 1;
+        self.recompute_current();
+        &self.current
+    }
+
+    /// Produce iterations `t+1 ..= t+n` (the current field is *not*
+    /// included).
+    pub fn take_iterations(&mut self, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.step().to_vec()).collect()
+    }
+
+    fn recompute_current(&mut self) {
+        let p = self.var.params();
+        let phase_scale = std::f64::consts::TAU / p.season_period;
+        for idx in 0..self.grid.len() {
+            let (_, ilat) = self.grid.coords(idx);
+            let lat = self.grid.latitude(ilat);
+            // Opposite hemispheres are half a period out of phase.
+            let phase = if lat >= 0.0 { 0.0 } else { std::f64::consts::PI };
+            let season = 1.0 + p.seasonal_amp * (self.t as f64 * phase_scale + phase).sin();
+            self.current[idx] = self.base[idx] * season * self.anomaly[idx].exp();
+        }
+    }
+}
+
+/// Cheap integer draw with the right mean for small expected counts
+/// (sum of Bernoulli over 8 trials of mean/8 each — adequate for event
+/// scheduling, not a statistics library).
+fn poisson_like(rng: &mut Xoshiro256PlusPlus, expected: f64) -> usize {
+    let trials = 8usize;
+    let per = (expected / trials as f64).min(1.0);
+    (0..trials).filter(|_| rng.next_f64() < per).count()
+}
+
+/// FNV-1a hash of a short name (variable stream separation).
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(var: ClimateVar) -> ClimateModel {
+        ClimateModel::with_grid(var, Grid::new(72, 45), 1)
+    }
+
+    fn abs_changes(model: &mut ClimateModel, steps: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut prev = model.current().to_vec();
+        for _ in 0..steps {
+            let next = model.step().to_vec();
+            for (p, c) in prev.iter().zip(&next) {
+                out.push(((c - p) / p).abs());
+            }
+            prev = next;
+        }
+        out
+    }
+
+    #[test]
+    fn fields_are_positive_and_finite() {
+        for v in ClimateVar::all() {
+            let mut m = small(v);
+            for _ in 0..10 {
+                m.step();
+            }
+            for &x in m.current() {
+                assert!(x.is_finite() && x > 0.0, "{v}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rlus_matches_paper_headline_statistic() {
+        // Paper Fig. 1: "more than 75% of climate rlus data remains
+        // unchanged or only changes with a percentage less than 0.5%".
+        let mut m = ClimateModel::new(ClimateVar::Rlus, 7);
+        let changes = abs_changes(&mut m, 5);
+        let small = changes.iter().filter(|&&c| c < 0.005).count();
+        let frac = small as f64 / changes.len() as f64;
+        assert!(frac > 0.75, "only {:.1}% of rlus changes below 0.5%", frac * 100.0);
+    }
+
+    #[test]
+    fn abs550aer_is_the_hardest_variable() {
+        // §III-E calls abs550aer "one of the most challenging": its
+        // changes must spread far beyond the 0.5% landmark.
+        let mut m = ClimateModel::new(ClimateVar::Abs550aer, 7);
+        let changes = abs_changes(&mut m, 5);
+        let small = changes.iter().filter(|&&c| c < 0.005).count();
+        let frac = small as f64 / changes.len() as f64;
+        assert!(frac < 0.30, "{:.1}% of abs550aer changes below 0.5% — too easy", frac * 100.0);
+        // And a substantial spread: 90th percentile above 5%.
+        let mut sorted = changes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(sorted[sorted.len() * 9 / 10] > 0.05);
+    }
+
+    #[test]
+    fn mrro_values_are_tiny() {
+        // Table II reports ξ = 0.000 for every compressor on mrro, which
+        // only happens when the values themselves are ~1e-5.
+        let m = small(ClimateVar::Mrro);
+        let max = m.current().iter().cloned().fold(0.0f64, f64::max);
+        assert!(max < 1e-3, "mrro max {max}");
+    }
+
+    #[test]
+    fn mc_values_are_huge() {
+        // Table II: ξ ≈ 200 even after compression — value scale ~1e4+.
+        let m = small(ClimateVar::Mc);
+        let mean = m.current().iter().sum::<f64>() / m.current().len() as f64;
+        assert!(mean > 1e4, "mc mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_var() {
+        let mut a = small(ClimateVar::Rlds);
+        let mut b = small(ClimateVar::Rlds);
+        for _ in 0..5 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.current(), b.current());
+        let mut c = ClimateModel::with_grid(ClimateVar::Rlds, Grid::new(72, 45), 2);
+        c.step();
+        assert_ne!(a.current(), c.current());
+    }
+
+    #[test]
+    fn variables_use_distinct_streams() {
+        let a = small(ClimateVar::Rlus);
+        let b = small(ClimateVar::Rlds);
+        // Same seed, different variables: fields must differ beyond a
+        // scale factor.
+        let ratio0 = a.current()[0] / b.current()[0];
+        let ratio1 = a.current()[100] / b.current()[100];
+        assert!((ratio0 - ratio1).abs() > 1e-6);
+    }
+
+    #[test]
+    fn seasonal_cycle_moves_the_mean() {
+        let mut m = ClimateModel::with_grid(ClimateVar::Rlus, Grid::new(36, 23), 3);
+        let mean = |f: &[f64]| f.iter().sum::<f64>() / f.len() as f64;
+        // Northern-hemisphere mean over half a year must swing by a few
+        // percent.
+        let north_mean = |m: &ClimateModel| {
+            let g = m.grid();
+            let mut s = 0.0;
+            let mut n = 0.0;
+            for idx in 0..g.len() {
+                let (_, ilat) = g.coords(idx);
+                if g.latitude(ilat) > 0.0 {
+                    s += m.current()[idx];
+                    n += 1.0;
+                }
+            }
+            s / n
+        };
+        let start = north_mean(&m);
+        // Quarter period = seasonal peak (sin goes 0 → 1).
+        for _ in 0..91 {
+            m.step();
+        }
+        let mid = north_mean(&m);
+        let swing = ((mid - start) / start).abs();
+        assert!(swing > 0.02, "seasonal swing {swing}");
+        assert!(mean(m.current()) > 0.0);
+    }
+
+    #[test]
+    fn take_iterations_returns_n_fresh_fields() {
+        let mut m = small(ClimateVar::Mc);
+        let first = m.current().to_vec();
+        let iters = m.take_iterations(4);
+        assert_eq!(iters.len(), 4);
+        assert_eq!(m.iteration(), 4);
+        assert_ne!(iters[0], first);
+        assert_eq!(iters[3], m.current());
+    }
+
+    #[test]
+    fn mrsos_rain_events_produce_heavy_tails() {
+        let mut m = ClimateModel::new(ClimateVar::Mrsos, 11);
+        let changes = abs_changes(&mut m, 20);
+        let mut sorted = changes;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = sorted[sorted.len() / 2];
+        let p999 = sorted[sorted.len() * 999 / 1000];
+        assert!(
+            p999 > 8.0 * p50,
+            "rain spikes should fatten the tail: p50={p50} p99.9={p999}"
+        );
+    }
+}

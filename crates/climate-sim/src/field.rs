@@ -1,0 +1,177 @@
+//! Spatially correlated random fields.
+//!
+//! Climate anomalies are smooth in space: neighbouring grid cells move
+//! together. We build such fields by box-blurring white noise a few
+//! times (each pass convolves with a top-hat; three passes approximate a
+//! Gaussian kernel well) and re-normalising to unit variance. Longitude
+//! wraps around; latitude clamps at the poles.
+
+use crate::grid::Grid;
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+/// White standard-normal field.
+pub fn white_noise(grid: Grid, rng: &mut Xoshiro256PlusPlus) -> Vec<f64> {
+    (0..grid.len()).map(|_| rng.normal()).collect()
+}
+
+/// One separable box-blur pass with radius `r` (longitude wraps,
+/// latitude clamps).
+pub fn box_blur(grid: Grid, field: &[f64], r: usize) -> Vec<f64> {
+    assert_eq!(field.len(), grid.len());
+    let (nlon, nlat) = (grid.nlon(), grid.nlat());
+    let w = (2 * r + 1) as f64;
+    // Longitude pass (wrapping).
+    let mut tmp = vec![0.0; field.len()];
+    for ilat in 0..nlat {
+        for ilon in 0..nlon {
+            let mut s = 0.0;
+            for d in -(r as isize)..=(r as isize) {
+                let li = (ilon as isize + d).rem_euclid(nlon as isize) as usize;
+                s += field[grid.index(li, ilat)];
+            }
+            tmp[grid.index(ilon, ilat)] = s / w;
+        }
+    }
+    // Latitude pass (clamping).
+    let mut out = vec![0.0; field.len()];
+    for ilat in 0..nlat {
+        for ilon in 0..nlon {
+            let mut s = 0.0;
+            for d in -(r as isize)..=(r as isize) {
+                let lj = (ilat as isize + d).clamp(0, nlat as isize - 1) as usize;
+                s += tmp[grid.index(ilon, lj)];
+            }
+            out[grid.index(ilon, ilat)] = s / w;
+        }
+    }
+    out
+}
+
+/// Smooth unit-variance, zero-mean correlated noise: white noise blurred
+/// `passes` times with radius `radius`, then re-standardised.
+pub fn correlated_noise(
+    grid: Grid,
+    rng: &mut Xoshiro256PlusPlus,
+    radius: usize,
+    passes: usize,
+) -> Vec<f64> {
+    let mut f = white_noise(grid, rng);
+    for _ in 0..passes {
+        f = box_blur(grid, &f, radius);
+    }
+    standardize(&mut f);
+    f
+}
+
+/// In-place shift/scale to zero mean, unit variance (no-op for a
+/// constant field).
+pub fn standardize(field: &mut [f64]) {
+    if field.is_empty() {
+        return;
+    }
+    let n = field.len() as f64;
+    let mean = field.iter().sum::<f64>() / n;
+    let var = field.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        for x in field.iter_mut() {
+            *x -= mean;
+        }
+        return;
+    }
+    for x in field.iter_mut() {
+        *x = (*x - mean) / sd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(42)
+    }
+
+    #[test]
+    fn white_noise_has_unit_moments() {
+        let g = Grid::new(100, 100);
+        let f = white_noise(g, &mut rng());
+        let mean = f.iter().sum::<f64>() / f.len() as f64;
+        let var = f.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn blur_preserves_mean() {
+        let g = Grid::new(32, 24);
+        let f = white_noise(g, &mut rng());
+        let b = box_blur(g, &f, 2);
+        let mf = f.iter().sum::<f64>() / f.len() as f64;
+        let mb = b.iter().sum::<f64>() / b.len() as f64;
+        // Latitude clamping redistributes but longitude wrap conserves;
+        // means agree loosely.
+        assert!((mf - mb).abs() < 0.05, "{mf} vs {mb}");
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let g = Grid::new(64, 48);
+        let f = white_noise(g, &mut rng());
+        let b = box_blur(g, &f, 2);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&b) < 0.5 * var(&f));
+    }
+
+    #[test]
+    fn correlated_noise_is_smooth_and_standardised() {
+        let g = Grid::new(72, 45);
+        let f = correlated_noise(g, &mut rng(), 2, 3);
+        let mean = f.iter().sum::<f64>() / f.len() as f64;
+        let var = f.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f.len() as f64;
+        assert!(mean.abs() < 1e-10);
+        assert!((var - 1.0).abs() < 1e-10);
+        // Smoothness: neighbour correlation well above white noise.
+        let mut num = 0.0;
+        let mut count = 0.0;
+        for ilat in 0..g.nlat() {
+            for ilon in 0..g.nlon() - 1 {
+                num += f[g.index(ilon, ilat)] * f[g.index(ilon + 1, ilat)];
+                count += 1.0;
+            }
+        }
+        let corr = num / count;
+        assert!(corr > 0.7, "neighbour correlation {corr} too low");
+    }
+
+    #[test]
+    fn longitude_blur_wraps_seamlessly() {
+        let g = Grid::new(16, 4);
+        // Impulse at lon 0: blur must leak to lon 15 via the wrap.
+        let mut f = vec![0.0; g.len()];
+        f[g.index(0, 2)] = 1.0;
+        let b = box_blur(g, &f, 1);
+        assert!(b[g.index(15, 2)] > 0.0, "no wrap-around leakage");
+        assert!(b[g.index(1, 2)] > 0.0);
+    }
+
+    #[test]
+    fn standardize_constant_field() {
+        let mut f = vec![3.0; 10];
+        standardize(&mut f);
+        assert!(f.iter().all(|&x| x == 0.0));
+        let mut e: Vec<f64> = vec![];
+        standardize(&mut e); // must not panic
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = Grid::new(20, 20);
+        let a = correlated_noise(g, &mut Xoshiro256PlusPlus::seed_from_u64(7), 2, 2);
+        let b = correlated_noise(g, &mut Xoshiro256PlusPlus::seed_from_u64(7), 2, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! The lat/lon grid the paper's CMIP5 variables live on.
+
+/// A regular longitude × latitude grid. The paper's resolution is 2.5°
+/// (lon) by 2° (lat): 144 × 90 points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    nlon: usize,
+    nlat: usize,
+}
+
+impl Grid {
+    /// The paper's CMIP5 grid: 144 × 90.
+    pub fn cmip5() -> Self {
+        Self::new(144, 90)
+    }
+
+    /// Arbitrary grid (used by tests and scaled-down benches).
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nlon: usize, nlat: usize) -> Self {
+        assert!(nlon > 0 && nlat > 0, "grid dimensions must be positive");
+        Self { nlon, nlat }
+    }
+
+    /// Longitude points.
+    #[inline]
+    pub fn nlon(&self) -> usize {
+        self.nlon
+    }
+
+    /// Latitude points.
+    #[inline]
+    pub fn nlat(&self) -> usize {
+        self.nlat
+    }
+
+    /// Total points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nlon * self.nlat
+    }
+
+    /// True for a degenerate grid (never constructible; kept for the
+    /// conventional pairing with `len`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of `(lon index, lat index)`, longitude-fastest.
+    #[inline]
+    pub fn index(&self, ilon: usize, ilat: usize) -> usize {
+        debug_assert!(ilon < self.nlon && ilat < self.nlat);
+        ilat * self.nlon + ilon
+    }
+
+    /// Inverse of [`Grid::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.nlon, idx / self.nlon)
+    }
+
+    /// Latitude of row `ilat` in radians, from −π/2 (row 0) to +π/2.
+    #[inline]
+    pub fn latitude(&self, ilat: usize) -> f64 {
+        if self.nlat == 1 {
+            return 0.0;
+        }
+        (ilat as f64 / (self.nlat - 1) as f64 - 0.5) * std::f64::consts::PI
+    }
+
+    /// Longitude of column `ilon` in radians, `[0, 2π)`.
+    #[inline]
+    pub fn longitude(&self, ilon: usize) -> f64 {
+        ilon as f64 / self.nlon as f64 * std::f64::consts::TAU
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmip5_grid_matches_paper_resolution() {
+        let g = Grid::cmip5();
+        assert_eq!(g.nlon(), 144); // 360° / 2.5°
+        assert_eq!(g.nlat(), 90); // 180° / 2°
+        assert_eq!(g.len(), 12960);
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = Grid::new(10, 7);
+        for idx in 0..g.len() {
+            let (i, j) = g.coords(idx);
+            assert_eq!(g.index(i, j), idx);
+        }
+    }
+
+    #[test]
+    fn latitude_spans_poles() {
+        let g = Grid::cmip5();
+        assert!((g.latitude(0) + std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((g.latitude(89) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(g.latitude(44).abs() < 0.05);
+    }
+
+    #[test]
+    fn longitude_wraps() {
+        let g = Grid::cmip5();
+        assert_eq!(g.longitude(0), 0.0);
+        assert!(g.longitude(143) < std::f64::consts::TAU);
+    }
+}

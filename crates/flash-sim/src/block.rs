@@ -1,0 +1,359 @@
+//! A FLASH-style mesh block: `nx × ny` interior cells surrounded by
+//! [`GUARD`] guard cells on each side (the paper: "a block is a
+//! three-dimensional array with an additional 4 elements as guard cells
+//! in each dimension on both sides").
+
+/// Guard-cell depth per side (FLASH default).
+pub const GUARD: usize = 4;
+
+/// Number of conserved components: density, x/y/z momentum, total energy
+/// density. z-momentum exists so `velz` is a live (passively advected)
+/// variable even in this 2-D solver.
+pub const NCONS: usize = 5;
+
+/// Conserved-component indices.
+pub mod cons {
+    /// Mass density ρ.
+    pub const RHO: usize = 0;
+    /// x momentum ρu.
+    pub const MX: usize = 1;
+    /// y momentum ρv.
+    pub const MY: usize = 2;
+    /// z momentum ρw (passive in 2-D).
+    pub const MZ: usize = 3;
+    /// Total energy density E.
+    pub const ENERGY: usize = 4;
+}
+
+/// One mesh block (structure-of-arrays over conserved components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    nx: usize,
+    ny: usize,
+    stride: usize,
+    /// Each component has `(nx + 2G) · (ny + 2G)` cells, x-fastest.
+    data: [Vec<f64>; NCONS],
+}
+
+impl Block {
+    /// Zero-initialised block with `nx × ny` interior cells.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "block dimensions must be positive");
+        let stride = nx + 2 * GUARD;
+        let len = stride * (ny + 2 * GUARD);
+        Self { nx, ny, stride, data: std::array::from_fn(|_| vec![0.0; len]) }
+    }
+
+    /// Interior width.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior height.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Flat offset of interior coordinate `(i, j)`; guard cells are
+    /// addressed with negative values down to `-GUARD` and values up to
+    /// `nx/ny + GUARD - 1`.
+    #[inline]
+    pub fn offset(&self, i: isize, j: isize) -> usize {
+        debug_assert!(i >= -(GUARD as isize) && i < (self.nx + GUARD) as isize, "i={i}");
+        debug_assert!(j >= -(GUARD as isize) && j < (self.ny + GUARD) as isize, "j={j}");
+        let ii = (i + GUARD as isize) as usize;
+        let jj = (j + GUARD as isize) as usize;
+        jj * self.stride + ii
+    }
+
+    /// Read conserved component `c` at `(i, j)`.
+    #[inline]
+    pub fn get(&self, c: usize, i: isize, j: isize) -> f64 {
+        self.data[c][self.offset(i, j)]
+    }
+
+    /// Write conserved component `c` at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, i: isize, j: isize, v: f64) {
+        let o = self.offset(i, j);
+        self.data[c][o] = v;
+    }
+
+    /// All five conserved components at `(i, j)`.
+    #[inline]
+    pub fn state(&self, i: isize, j: isize) -> [f64; NCONS] {
+        let o = self.offset(i, j);
+        std::array::from_fn(|c| self.data[c][o])
+    }
+
+    /// Overwrite all five conserved components at `(i, j)`.
+    #[inline]
+    pub fn set_state(&mut self, i: isize, j: isize, u: [f64; NCONS]) {
+        let o = self.offset(i, j);
+        for (c, v) in u.into_iter().enumerate() {
+            self.data[c][o] = v;
+        }
+    }
+
+    /// Copy a `GUARD`-deep edge strip of the *interior* for export to a
+    /// neighbour. Layout: component-major, then row-major over the strip.
+    pub fn export_strip(&self, side: Side) -> Vec<f64> {
+        let (is, js) = side.interior_range(self.nx, self.ny);
+        let mut out = Vec::with_capacity(NCONS * (is.len()) * (js.len()));
+        for c in 0..NCONS {
+            for j in js.clone() {
+                for i in is.clone() {
+                    out.push(self.get(c, i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fill this block's guard cells on `side` from a neighbour's
+    /// exported strip (produced by [`Block::export_strip`] on the
+    /// *opposite* side).
+    pub fn import_strip(&mut self, side: Side, strip: &[f64]) {
+        let (is, js) = side.guard_range(self.nx, self.ny);
+        debug_assert_eq!(strip.len(), NCONS * is.len() * js.len());
+        let mut it = strip.iter();
+        for c in 0..NCONS {
+            for j in js.clone() {
+                for i in is.clone() {
+                    let o = self.offset(i, j);
+                    self.data[c][o] = *it.next().expect("strip sized to fit");
+                }
+            }
+        }
+    }
+
+    /// Outflow (zero-gradient) boundary: clamp-copy the outermost interior
+    /// row/column into the guards on `side`.
+    pub fn outflow_guard(&mut self, side: Side) {
+        let (is, js) = side.guard_range(self.nx, self.ny);
+        for c in 0..NCONS {
+            for j in js.clone() {
+                for i in is.clone() {
+                    let ci = i.clamp(0, self.nx as isize - 1);
+                    let cj = j.clamp(0, self.ny as isize - 1);
+                    let v = self.get(c, ci, cj);
+                    let o = self.offset(i, j);
+                    self.data[c][o] = v;
+                }
+            }
+        }
+    }
+
+    /// Reflecting boundary on `side`: mirror the interior with the
+    /// wall-normal momentum negated.
+    pub fn reflect_guard(&mut self, side: Side) {
+        let (is, js) = side.guard_range(self.nx, self.ny);
+        for c in 0..NCONS {
+            for j in js.clone() {
+                for i in is.clone() {
+                    // Mirror index across the wall.
+                    let (mi, mj) = match side {
+                        Side::West => (-1 - i, j),
+                        Side::East => (2 * self.nx as isize - 1 - i, j),
+                        Side::South => (i, -1 - j),
+                        Side::North => (i, 2 * self.ny as isize - 1 - j),
+                    };
+                    let mut v = self.get(c, mi, mj);
+                    let normal = match side {
+                        Side::West | Side::East => cons::MX,
+                        Side::South | Side::North => cons::MY,
+                    };
+                    if c == normal {
+                        v = -v;
+                    }
+                    let o = self.offset(i, j);
+                    self.data[c][o] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Block edge identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Negative x.
+    West,
+    /// Positive x.
+    East,
+    /// Negative y.
+    South,
+    /// Positive y.
+    North,
+}
+
+impl Side {
+    /// All four sides.
+    pub fn all() -> [Side; 4] {
+        [Side::West, Side::East, Side::South, Side::North]
+    }
+
+    /// The opposite edge.
+    pub fn opposite(&self) -> Side {
+        match self {
+            Side::West => Side::East,
+            Side::East => Side::West,
+            Side::South => Side::North,
+            Side::North => Side::South,
+        }
+    }
+
+    /// Interior cell ranges whose values a neighbour on this side needs
+    /// (i.e. the strip to export).
+    fn interior_range(
+        &self,
+        nx: usize,
+        ny: usize,
+    ) -> (std::ops::Range<isize>, std::ops::Range<isize>) {
+        let g = GUARD as isize;
+        match self {
+            Side::West => (0..g, 0..ny as isize),
+            Side::East => (nx as isize - g..nx as isize, 0..ny as isize),
+            Side::South => (0..nx as isize, 0..g),
+            Side::North => (0..nx as isize, ny as isize - g..ny as isize),
+        }
+    }
+
+    /// Guard cell ranges on this side of a block.
+    fn guard_range(
+        &self,
+        nx: usize,
+        ny: usize,
+    ) -> (std::ops::Range<isize>, std::ops::Range<isize>) {
+        let g = GUARD as isize;
+        match self {
+            Side::West => (-g..0, 0..ny as isize),
+            Side::East => (nx as isize..nx as isize + g, 0..ny as isize),
+            Side::South => (0..nx as isize, -g..0),
+            Side::North => (0..nx as isize, ny as isize..ny as isize + g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_interior_and_guards() {
+        let mut b = Block::new(8, 6);
+        b.set(cons::RHO, 0, 0, 1.5);
+        b.set(cons::ENERGY, 7, 5, 2.5);
+        b.set(cons::MX, -4, -4, 3.5);
+        b.set(cons::MY, 11, 9, 4.5);
+        assert_eq!(b.get(cons::RHO, 0, 0), 1.5);
+        assert_eq!(b.get(cons::ENERGY, 7, 5), 2.5);
+        assert_eq!(b.get(cons::MX, -4, -4), 3.5);
+        assert_eq!(b.get(cons::MY, 11, 9), 4.5);
+    }
+
+    #[test]
+    fn state_accessors() {
+        let mut b = Block::new(4, 4);
+        b.set_state(2, 3, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.state(2, 3), [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn export_import_pairs_line_up() {
+        // Fill block A's east interior edge, export it, import as block
+        // B's west guard: B's guard must equal A's edge.
+        let mut a = Block::new(8, 8);
+        for j in 0..8isize {
+            for i in 0..8isize {
+                a.set(cons::RHO, i, j, (i * 100 + j) as f64);
+            }
+        }
+        let strip = a.export_strip(Side::East);
+        let mut b = Block::new(8, 8);
+        b.import_strip(Side::West, &strip);
+        for j in 0..8isize {
+            for gi in 0..GUARD as isize {
+                // B's west guard cell (-GUARD + gi) holds A's interior
+                // column (8 - GUARD + gi).
+                let got = b.get(cons::RHO, -(GUARD as isize) + gi, j);
+                let want = a.get(cons::RHO, 8 - GUARD as isize + gi, j);
+                assert_eq!(got, want, "gi={gi} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_export_import() {
+        let mut a = Block::new(6, 6);
+        for j in 0..6isize {
+            for i in 0..6isize {
+                a.set(cons::ENERGY, i, j, (j * 10 + i) as f64);
+            }
+        }
+        let strip = a.export_strip(Side::North);
+        let mut b = Block::new(6, 6);
+        b.import_strip(Side::South, &strip);
+        for gj in 0..GUARD as isize {
+            for i in 0..6isize {
+                let got = b.get(cons::ENERGY, i, -(GUARD as isize) + gj);
+                let want = a.get(cons::ENERGY, i, 6 - GUARD as isize + gj);
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn outflow_guard_copies_edge() {
+        let mut b = Block::new(4, 4);
+        for j in 0..4isize {
+            for i in 0..4isize {
+                b.set(cons::RHO, i, j, 1.0 + i as f64);
+            }
+        }
+        b.outflow_guard(Side::West);
+        for j in 0..4isize {
+            for gi in 1..=GUARD as isize {
+                assert_eq!(b.get(cons::RHO, -gi, j), 1.0, "column 0 value extended");
+            }
+        }
+    }
+
+    #[test]
+    fn reflect_guard_mirrors_and_negates_normal_momentum() {
+        let mut b = Block::new(4, 4);
+        for j in 0..4isize {
+            for i in 0..4isize {
+                b.set(cons::MX, i, j, (i + 1) as f64);
+                b.set(cons::RHO, i, j, (i + 1) as f64 * 10.0);
+            }
+        }
+        b.reflect_guard(Side::West);
+        for j in 0..4isize {
+            // Guard cell -1 mirrors interior cell 0.
+            assert_eq!(b.get(cons::MX, -1, j), -1.0);
+            assert_eq!(b.get(cons::RHO, -1, j), 10.0);
+            // Guard cell -2 mirrors interior cell 1.
+            assert_eq!(b.get(cons::MX, -2, j), -2.0);
+            assert_eq!(b.get(cons::RHO, -2, j), 20.0);
+        }
+    }
+
+    #[test]
+    fn sides_opposite() {
+        for s in Side::all() {
+            assert_eq!(s.opposite().opposite(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        Block::new(0, 4);
+    }
+}

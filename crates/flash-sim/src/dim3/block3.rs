@@ -1,0 +1,303 @@
+//! 3-D mesh block: `nx × ny × nz` interior cells with [`crate::block::GUARD`]
+//! guard cells on every face.
+
+use crate::block::{GUARD, NCONS};
+
+/// Face identifier for guard exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Face3 {
+    /// −x
+    West,
+    /// +x
+    East,
+    /// −y
+    South,
+    /// +y
+    North,
+    /// −z
+    Down,
+    /// +z
+    Up,
+}
+
+impl Face3 {
+    /// All six faces.
+    pub fn all() -> [Face3; 6] {
+        [Face3::West, Face3::East, Face3::South, Face3::North, Face3::Down, Face3::Up]
+    }
+
+    /// The opposite face.
+    pub fn opposite(&self) -> Face3 {
+        match self {
+            Face3::West => Face3::East,
+            Face3::East => Face3::West,
+            Face3::South => Face3::North,
+            Face3::North => Face3::South,
+            Face3::Down => Face3::Up,
+            Face3::Up => Face3::Down,
+        }
+    }
+
+    /// Unit offset `(dx, dy, dz)` toward the neighbouring block.
+    pub fn offset(&self) -> (isize, isize, isize) {
+        match self {
+            Face3::West => (-1, 0, 0),
+            Face3::East => (1, 0, 0),
+            Face3::South => (0, -1, 0),
+            Face3::North => (0, 1, 0),
+            Face3::Down => (0, 0, -1),
+            Face3::Up => (0, 0, 1),
+        }
+    }
+}
+
+/// A 3-D block (structure-of-arrays over the conserved components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    sx: usize,
+    sy: usize,
+    data: [Vec<f64>; NCONS],
+}
+
+impl Block3 {
+    /// Zero block with `nx × ny × nz` interior cells.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "block dimensions must be positive");
+        let sx = nx + 2 * GUARD;
+        let sy = ny + 2 * GUARD;
+        let len = sx * sy * (nz + 2 * GUARD);
+        Self { nx, ny, nz, sx, sy, data: std::array::from_fn(|_| vec![0.0; len]) }
+    }
+
+    /// Interior extents `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Flat offset of interior coordinate `(i, j, k)`; guards addressed
+    /// with negatives down to `-GUARD`.
+    #[inline]
+    pub fn offset(&self, i: isize, j: isize, k: isize) -> usize {
+        debug_assert!(i >= -(GUARD as isize) && i < (self.nx + GUARD) as isize);
+        debug_assert!(j >= -(GUARD as isize) && j < (self.ny + GUARD) as isize);
+        debug_assert!(k >= -(GUARD as isize) && k < (self.nz + GUARD) as isize);
+        let ii = (i + GUARD as isize) as usize;
+        let jj = (j + GUARD as isize) as usize;
+        let kk = (k + GUARD as isize) as usize;
+        (kk * self.sy + jj) * self.sx + ii
+    }
+
+    /// Read component `c` at `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, c: usize, i: isize, j: isize, k: isize) -> f64 {
+        self.data[c][self.offset(i, j, k)]
+    }
+
+    /// All conserved components at `(i, j, k)`.
+    #[inline]
+    pub fn state(&self, i: isize, j: isize, k: isize) -> [f64; NCONS] {
+        let o = self.offset(i, j, k);
+        std::array::from_fn(|c| self.data[c][o])
+    }
+
+    /// Overwrite all conserved components at `(i, j, k)`.
+    #[inline]
+    pub fn set_state(&mut self, i: isize, j: isize, k: isize, u: [f64; NCONS]) {
+        let o = self.offset(i, j, k);
+        for (c, v) in u.into_iter().enumerate() {
+            self.data[c][o] = v;
+        }
+    }
+
+    /// Ranges `(is, js, ks)` of the interior strip a neighbour across
+    /// `face` needs.
+    fn interior_range(
+        &self,
+        face: Face3,
+    ) -> (std::ops::Range<isize>, std::ops::Range<isize>, std::ops::Range<isize>) {
+        let g = GUARD as isize;
+        let (nx, ny, nz) = (self.nx as isize, self.ny as isize, self.nz as isize);
+        match face {
+            Face3::West => (0..g, 0..ny, 0..nz),
+            Face3::East => (nx - g..nx, 0..ny, 0..nz),
+            Face3::South => (0..nx, 0..g, 0..nz),
+            Face3::North => (0..nx, ny - g..ny, 0..nz),
+            Face3::Down => (0..nx, 0..ny, 0..g),
+            Face3::Up => (0..nx, 0..ny, nz - g..nz),
+        }
+    }
+
+    /// Guard ranges on `face`.
+    fn guard_range(
+        &self,
+        face: Face3,
+    ) -> (std::ops::Range<isize>, std::ops::Range<isize>, std::ops::Range<isize>) {
+        let g = GUARD as isize;
+        let (nx, ny, nz) = (self.nx as isize, self.ny as isize, self.nz as isize);
+        match face {
+            Face3::West => (-g..0, 0..ny, 0..nz),
+            Face3::East => (nx..nx + g, 0..ny, 0..nz),
+            Face3::South => (0..nx, -g..0, 0..nz),
+            Face3::North => (0..nx, ny..ny + g, 0..nz),
+            Face3::Down => (0..nx, 0..ny, -g..0),
+            Face3::Up => (0..nx, 0..ny, nz..nz + g),
+        }
+    }
+
+    /// Export the interior strip a neighbour across `face` needs.
+    pub fn export_face(&self, face: Face3) -> Vec<f64> {
+        let (is, js, ks) = self.interior_range(face);
+        let mut out =
+            Vec::with_capacity(NCONS * is.len() * js.len() * ks.len());
+        for c in 0..NCONS {
+            for k in ks.clone() {
+                for j in js.clone() {
+                    for i in is.clone() {
+                        out.push(self.get(c, i, j, k));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Import a neighbour's exported strip into this block's guards on
+    /// `face`.
+    pub fn import_face(&mut self, face: Face3, strip: &[f64]) {
+        let (is, js, ks) = self.guard_range(face);
+        debug_assert_eq!(strip.len(), NCONS * is.len() * js.len() * ks.len());
+        let mut it = strip.iter();
+        for c in 0..NCONS {
+            for k in ks.clone() {
+                for j in js.clone() {
+                    for i in is.clone() {
+                        let o = self.offset(i, j, k);
+                        self.data[c][o] = *it.next().expect("sized to fit");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero-gradient outflow guards on `face`.
+    pub fn outflow_face(&mut self, face: Face3) {
+        let (is, js, ks) = self.guard_range(face);
+        for c in 0..NCONS {
+            for k in ks.clone() {
+                for j in js.clone() {
+                    for i in is.clone() {
+                        let ci = i.clamp(0, self.nx as isize - 1);
+                        let cj = j.clamp(0, self.ny as isize - 1);
+                        let ck = k.clamp(0, self.nz as isize - 1);
+                        let v = self.get(c, ci, cj, ck);
+                        let o = self.offset(i, j, k);
+                        self.data[c][o] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::cons;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut b = Block3::new(4, 5, 6);
+        b.set_state(0, 0, 0, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        b.set_state(3, 4, 5, [6.0, 7.0, 8.0, 9.0, 10.0]);
+        b.set_state(-4, -4, -4, [0.5; 5]);
+        assert_eq!(b.state(0, 0, 0), [1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.state(3, 4, 5), [6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(b.state(-4, -4, -4), [0.5; 5]);
+        assert_eq!(b.dims(), (4, 5, 6));
+    }
+
+    #[test]
+    fn offsets_are_unique() {
+        let b = Block3::new(3, 4, 5);
+        let g = GUARD as isize;
+        let mut seen = std::collections::HashSet::new();
+        for k in -g..(5 + g) {
+            for j in -g..(4 + g) {
+                for i in -g..(3 + g) {
+                    assert!(seen.insert(b.offset(i, j, k)), "collision at ({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn face_export_import_lines_up() {
+        let n = 6usize;
+        let mut a = Block3::new(n, n, n);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                for i in 0..n as isize {
+                    a.set_state(i, j, k, [(i * 100 + j * 10 + k) as f64; 5]);
+                }
+            }
+        }
+        for face in Face3::all() {
+            let strip = a.export_face(face);
+            let mut b = Block3::new(n, n, n);
+            b.import_face(face.opposite(), &strip);
+            // Spot-check one guard cell per face: the neighbour's guard
+            // at distance 1 outside must equal a's interior edge cell.
+            let (di, dj, dk) = face.offset();
+            // a's interior cell on the `face` side, centre of the face:
+            let (ci, cj, ck) = (
+                if di < 0 { 0 } else if di > 0 { n as isize - 1 } else { 2 },
+                if dj < 0 { 0 } else if dj > 0 { n as isize - 1 } else { 2 },
+                if dk < 0 { 0 } else if dk > 0 { n as isize - 1 } else { 2 },
+            );
+            // In b (the neighbour across `face`), that cell appears in the
+            // guard across the *opposite* face, one cell outside.
+            let (gi, gj, gk) = (
+                if di < 0 { n as isize } else if di > 0 { -1 } else { 2 },
+                if dj < 0 { n as isize } else if dj > 0 { -1 } else { 2 },
+                if dk < 0 { n as isize } else if dk > 0 { -1 } else { 2 },
+            );
+            assert_eq!(
+                b.get(cons::RHO, gi, gj, gk),
+                a.get(cons::RHO, ci, cj, ck),
+                "face {face:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outflow_extends_edges() {
+        let mut b = Block3::new(4, 4, 4);
+        for k in 0..4isize {
+            for j in 0..4isize {
+                for i in 0..4isize {
+                    b.set_state(i, j, k, [(k + 1) as f64; 5]);
+                }
+            }
+        }
+        b.outflow_face(Face3::Down);
+        b.outflow_face(Face3::Up);
+        assert_eq!(b.get(cons::RHO, 2, 2, -3), 1.0);
+        assert_eq!(b.get(cons::RHO, 2, 2, 6), 4.0);
+    }
+
+    #[test]
+    fn faces_opposites() {
+        for f in Face3::all() {
+            assert_eq!(f.opposite().opposite(), f);
+            let (a, b, c) = f.offset();
+            let (oa, ob, oc) = f.opposite().offset();
+            assert_eq!((a + oa, b + ob, c + oc), (0, 0, 0));
+        }
+    }
+}

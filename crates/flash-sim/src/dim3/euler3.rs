@@ -1,0 +1,198 @@
+//! 3-D compressible-Euler kernel (first-order finite volume, Rusanov
+//! fluxes) — the straightforward extension of [`crate::euler`] to three
+//! axes, with the z momentum now dynamically coupled.
+
+use crate::block::{cons, NCONS};
+use crate::dim3::block3::Block3;
+use crate::eos::GammaLaw;
+use crate::euler::{to_primitive, Primitive, P_FLOOR, RHO_FLOOR};
+
+// Re-exported so callers see one set of floors.
+pub use crate::euler::{P_FLOOR as PRESSURE_FLOOR, RHO_FLOOR as DENSITY_FLOOR};
+
+/// Physical flux along `axis` (0 = x, 1 = y, 2 = z).
+#[inline]
+fn physical_flux(s: &[f64; NCONS], pr: &Primitive, axis: usize) -> [f64; NCONS] {
+    let vel = match axis {
+        0 => pr.u,
+        1 => pr.v,
+        _ => pr.w,
+    };
+    let mut f = [
+        s[cons::RHO] * vel,
+        s[cons::MX] * vel,
+        s[cons::MY] * vel,
+        s[cons::MZ] * vel,
+        (s[cons::ENERGY] + pr.p) * vel,
+    ];
+    match axis {
+        0 => f[cons::MX] += pr.p,
+        1 => f[cons::MY] += pr.p,
+        _ => f[cons::MZ] += pr.p,
+    }
+    f
+}
+
+/// Rusanov numerical flux along `axis`.
+#[inline]
+pub fn rusanov3(
+    left: &[f64; NCONS],
+    right: &[f64; NCONS],
+    eos: &GammaLaw,
+    axis: usize,
+) -> [f64; NCONS] {
+    let pl = to_primitive(left, eos);
+    let pr = to_primitive(right, eos);
+    let fl = physical_flux(left, &pl, axis);
+    let fr = physical_flux(right, &pr, axis);
+    let vsel = |p: &Primitive| match axis {
+        0 => p.u,
+        1 => p.v,
+        _ => p.w,
+    };
+    let sl = vsel(&pl).abs() + eos.sound_speed(pl.rho, pl.p);
+    let sr = vsel(&pr).abs() + eos.sound_speed(pr.rho, pr.p);
+    let smax = sl.max(sr);
+    std::array::from_fn(|c| 0.5 * (fl[c] + fr[c]) - 0.5 * smax * (right[c] - left[c]))
+}
+
+/// Maximum signal speed over the interior (3-axis CFL driver).
+pub fn max_wave_speed3(block: &Block3, eos: &GammaLaw) -> f64 {
+    let (nx, ny, nz) = block.dims();
+    let mut smax = 0.0f64;
+    for k in 0..nz as isize {
+        for j in 0..ny as isize {
+            for i in 0..nx as isize {
+                let pr = to_primitive(&block.state(i, j, k), eos);
+                let c = eos.sound_speed(pr.rho.max(RHO_FLOOR), pr.p.max(P_FLOOR));
+                smax = smax.max(pr.u.abs() + c).max(pr.v.abs() + c).max(pr.w.abs() + c);
+            }
+        }
+    }
+    smax
+}
+
+/// One forward-Euler step of the interior; guards must be current.
+pub fn update_block3(
+    block: &Block3,
+    out: &mut Block3,
+    dt: f64,
+    dx: f64,
+    dy: f64,
+    dz: f64,
+    eos: &GammaLaw,
+) {
+    debug_assert_eq!(block.dims(), out.dims());
+    let (nx, ny, nz) = block.dims();
+    let (lx, ly, lz) = (dt / dx, dt / dy, dt / dz);
+    for k in 0..nz as isize {
+        for j in 0..ny as isize {
+            for i in 0..nx as isize {
+                let u = block.state(i, j, k);
+                let fw = rusanov3(&block.state(i - 1, j, k), &u, eos, 0);
+                let fe = rusanov3(&u, &block.state(i + 1, j, k), eos, 0);
+                let gs = rusanov3(&block.state(i, j - 1, k), &u, eos, 1);
+                let gn = rusanov3(&u, &block.state(i, j + 1, k), eos, 1);
+                let hd = rusanov3(&block.state(i, j, k - 1), &u, eos, 2);
+                let hu = rusanov3(&u, &block.state(i, j, k + 1), eos, 2);
+                let newu: [f64; NCONS] = std::array::from_fn(|c| {
+                    u[c] - lx * (fe[c] - fw[c]) - ly * (gn[c] - gs[c]) - lz * (hu[c] - hd[c])
+                });
+                out.set_state(i, j, k, newu);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::GUARD;
+    use crate::euler::to_conserved;
+
+    fn fill_uniform(b: &mut Block3, pr: &Primitive, eos: &GammaLaw) {
+        let (nx, ny, nz) = b.dims();
+        let g = GUARD as isize;
+        let u = to_conserved(pr, eos);
+        for k in -g..(nz as isize + g) {
+            for j in -g..(ny as isize + g) {
+                for i in -g..(nx as isize + g) {
+                    b.set_state(i, j, k, u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_flux_on_all_axes() {
+        let eos = GammaLaw::AIR;
+        let pr = Primitive { rho: 1.2, u: 0.3, v: -0.2, w: 0.15, p: 0.9 };
+        let u = to_conserved(&pr, &eos);
+        for axis in 0..3 {
+            let f = rusanov3(&u, &u, &eos, axis);
+            let fp = physical_flux(&u, &pr, axis);
+            for c in 0..NCONS {
+                assert!((f[c] - fp[c]).abs() < 1e-13, "axis {axis} comp {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_state_is_a_fixed_point() {
+        let eos = GammaLaw::AIR;
+        let pr = Primitive { rho: 1.0, u: 0.1, v: -0.05, w: 0.2, p: 1.0 };
+        let mut b = Block3::new(5, 5, 5);
+        fill_uniform(&mut b, &pr, &eos);
+        let mut out = b.clone();
+        update_block3(&b, &mut out, 0.01, 0.2, 0.2, 0.2, &eos);
+        for k in 0..5isize {
+            for j in 0..5isize {
+                for i in 0..5isize {
+                    let s0 = b.state(i, j, k);
+                    let s1 = out.state(i, j, k);
+                    for c in 0..NCONS {
+                        assert!((s0[c] - s1[c]).abs() < 1e-13);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_dynamics_are_real() {
+        // A z-gradient in pressure must accelerate the gas along z —
+        // the property the 2-D solver cannot provide.
+        let eos = GammaLaw::AIR;
+        let n = 6usize;
+        let g = GUARD as isize;
+        let mut b = Block3::new(n, n, n);
+        for k in -g..(n as isize + g) {
+            for j in -g..(n as isize + g) {
+                for i in -g..(n as isize + g) {
+                    let kk = k.clamp(0, n as isize - 1) as f64;
+                    let pr = Primitive {
+                        rho: 1.0,
+                        u: 0.0,
+                        v: 0.0,
+                        w: 0.0,
+                        p: 1.0 + 0.2 * kk / n as f64,
+                    };
+                    b.set_state(i, j, k, to_conserved(&pr, &eos));
+                }
+            }
+        }
+        let mut out = b.clone();
+        update_block3(&b, &mut out, 0.01, 0.1, 0.1, 0.1, &eos);
+        // Pressure decreases downward ⇒ force pushes gas toward −z.
+        let w_mid = to_primitive(&out.state(3, 3, 3), &eos).w;
+        assert!(w_mid < -1e-4, "w should become negative, got {w_mid}");
+    }
+
+    #[test]
+    fn wave_speed_of_still_gas() {
+        let eos = GammaLaw::AIR;
+        let mut b = Block3::new(4, 4, 4);
+        fill_uniform(&mut b, &Primitive { rho: 1.0, u: 0.0, v: 0.0, w: 0.0, p: 1.0 }, &eos);
+        assert!((max_wave_speed3(&b, &eos) - 1.4f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! 3-D block tiling with six-face guard exchange (two-phase, parallel).
+
+use rayon::prelude::*;
+
+use crate::block::NCONS;
+use crate::dim3::block3::{Block3, Face3};
+use crate::dim3::euler3;
+use crate::eos::GammaLaw;
+
+/// Domain boundary condition for the 3-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary3 {
+    /// Zero-gradient outflow.
+    Outflow,
+    /// Periodic wrap-around.
+    Periodic,
+}
+
+/// A `bx × by × bz` tiling of `n³`-ish blocks over the unit cube.
+#[derive(Debug, Clone)]
+pub struct Mesh3 {
+    blocks: Vec<Block3>,
+    scratch: Vec<Block3>,
+    bx: usize,
+    by: usize,
+    bz: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dx: f64,
+    dy: f64,
+    dz: f64,
+    boundary: Boundary3,
+}
+
+impl Mesh3 {
+    /// Build a mesh covering the unit cube.
+    ///
+    /// # Panics
+    /// Panics on zero block counts.
+    pub fn new(
+        (bx, by, bz): (usize, usize, usize),
+        (nx, ny, nz): (usize, usize, usize),
+        boundary: Boundary3,
+    ) -> Self {
+        assert!(bx > 0 && by > 0 && bz > 0, "need at least one block per axis");
+        let blocks = vec![Block3::new(nx, ny, nz); bx * by * bz];
+        let scratch = blocks.clone();
+        Self {
+            blocks,
+            scratch,
+            bx,
+            by,
+            bz,
+            nx,
+            ny,
+            nz,
+            dx: 1.0 / (bx * nx) as f64,
+            dy: 1.0 / (by * ny) as f64,
+            dz: 1.0 / (bz * nz) as f64,
+            boundary,
+        }
+    }
+
+    /// Blocks per axis.
+    pub fn block_counts(&self) -> (usize, usize, usize) {
+        (self.bx, self.by, self.bz)
+    }
+
+    /// Interior cells per block.
+    pub fn block_dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Cell sizes.
+    pub fn cell_sizes(&self) -> (f64, f64, f64) {
+        (self.dx, self.dy, self.dz)
+    }
+
+    /// Total interior cells.
+    pub fn num_cells(&self) -> usize {
+        self.bx * self.by * self.bz * self.nx * self.ny * self.nz
+    }
+
+    fn block_index(&self, bi: usize, bj: usize, bk: usize) -> usize {
+        (bk * self.by + bj) * self.bx + bi
+    }
+
+    /// Immutable block access.
+    pub fn block(&self, bi: usize, bj: usize, bk: usize) -> &Block3 {
+        &self.blocks[self.block_index(bi, bj, bk)]
+    }
+
+    /// Mutable block access.
+    pub fn block_mut(&mut self, bi: usize, bj: usize, bk: usize) -> &mut Block3 {
+        let idx = self.block_index(bi, bj, bk);
+        &mut self.blocks[idx]
+    }
+
+    /// Physical centre of interior cell `(i, j, k)` of block
+    /// `(bi, bj, bk)`.
+    pub fn cell_center(
+        &self,
+        (bi, bj, bk): (usize, usize, usize),
+        (i, j, k): (usize, usize, usize),
+    ) -> (f64, f64, f64) {
+        (
+            ((bi * self.nx + i) as f64 + 0.5) * self.dx,
+            ((bj * self.ny + j) as f64 + 0.5) * self.dy,
+            ((bk * self.nz + k) as f64 + 0.5) * self.dz,
+        )
+    }
+
+    /// Initialise every interior cell from its physical centre.
+    pub fn fill(&mut self, f: impl Fn(f64, f64, f64) -> [f64; NCONS] + Sync) {
+        let (bxn, nx, ny, nz) = (self.bx, self.nx, self.ny, self.nz);
+        let byn = self.by;
+        let (dx, dy, dz) = (self.dx, self.dy, self.dz);
+        self.blocks.par_iter_mut().enumerate().for_each(|(flat, block)| {
+            let bi = flat % bxn;
+            let bj = (flat / bxn) % byn;
+            let bk = flat / (bxn * byn);
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let x = ((bi * nx + i) as f64 + 0.5) * dx;
+                        let y = ((bj * ny + j) as f64 + 0.5) * dy;
+                        let z = ((bk * nz + k) as f64 + 0.5) * dz;
+                        block.set_state(i as isize, j as isize, k as isize, f(x, y, z));
+                    }
+                }
+            }
+        });
+    }
+
+    /// Fill all guard cells from neighbours / the boundary condition.
+    pub fn exchange_guards(&mut self) {
+        let faces = Face3::all();
+        // Phase A: export all face strips.
+        let strips: Vec<Vec<Vec<f64>>> = self
+            .blocks
+            .par_iter()
+            .map(|b| faces.iter().map(|&f| b.export_face(f)).collect())
+            .collect();
+        let face_idx = |f: Face3| faces.iter().position(|&x| x == f).expect("in list");
+        let (bxn, byn, bzn) = (self.bx, self.by, self.bz);
+        let boundary = self.boundary;
+        // Phase B: import.
+        self.blocks.par_iter_mut().enumerate().for_each(|(flat, block)| {
+            let bi = (flat % bxn) as isize;
+            let bj = ((flat / bxn) % byn) as isize;
+            let bk = (flat / (bxn * byn)) as isize;
+            for &face in &faces {
+                let (di, dj, dk) = face.offset();
+                let (ni, nj, nk) = (bi + di, bj + dj, bk + dk);
+                let inside = ni >= 0
+                    && ni < bxn as isize
+                    && nj >= 0
+                    && nj < byn as isize
+                    && nk >= 0
+                    && nk < bzn as isize;
+                if inside {
+                    let n = ((nk as usize * byn) + nj as usize) * bxn + ni as usize;
+                    block.import_face(face, &strips[n][face_idx(face.opposite())]);
+                } else {
+                    match boundary {
+                        Boundary3::Outflow => block.outflow_face(face),
+                        Boundary3::Periodic => {
+                            let wi = ni.rem_euclid(bxn as isize) as usize;
+                            let wj = nj.rem_euclid(byn as isize) as usize;
+                            let wk = nk.rem_euclid(bzn as isize) as usize;
+                            let n = (wk * byn + wj) * bxn + wi;
+                            block.import_face(face, &strips[n][face_idx(face.opposite())]);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Global maximum wave speed.
+    pub fn max_wave_speed(&self, eos: &GammaLaw) -> f64 {
+        self.blocks
+            .par_iter()
+            .map(|b| euler3::max_wave_speed3(b, eos))
+            .reduce(|| 0.0, f64::max)
+    }
+
+    /// Advance every block by `dt` (guards must be current).
+    pub fn advance(&mut self, dt: f64, eos: &GammaLaw) {
+        let (dx, dy, dz) = (self.dx, self.dy, self.dz);
+        self.scratch
+            .par_iter_mut()
+            .zip(self.blocks.par_iter())
+            .for_each(|(out, b)| euler3::update_block3(b, out, dt, dx, dy, dz, eos));
+        std::mem::swap(&mut self.blocks, &mut self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::cons;
+    use crate::euler::{to_conserved, Primitive};
+
+    #[test]
+    fn guard_exchange_is_seamless_in_all_axes() {
+        let eos = GammaLaw::AIR;
+        let mut m = Mesh3::new((2, 2, 2), (4, 4, 4), Boundary3::Outflow);
+        m.fill(|x, y, z| {
+            to_conserved(
+                &Primitive { rho: 1.0 + x + 10.0 * y + 100.0 * z, u: 0.0, v: 0.0, w: 0.0, p: 1.0 },
+                &eos,
+            )
+        });
+        m.exchange_guards();
+        // Block (0,0,0)'s +x guard = block (1,0,0)'s interior.
+        assert_eq!(
+            m.block(0, 0, 0).get(cons::RHO, 4, 2, 2),
+            m.block(1, 0, 0).get(cons::RHO, 0, 2, 2)
+        );
+        // +y neighbour.
+        assert_eq!(
+            m.block(0, 0, 0).get(cons::RHO, 2, 4, 1),
+            m.block(0, 1, 0).get(cons::RHO, 2, 0, 1)
+        );
+        // +z neighbour.
+        assert_eq!(
+            m.block(0, 0, 0).get(cons::RHO, 1, 3, 4),
+            m.block(0, 0, 1).get(cons::RHO, 1, 3, 0)
+        );
+    }
+
+    #[test]
+    fn periodic_wraps_in_z() {
+        let eos = GammaLaw::AIR;
+        let mut m = Mesh3::new((1, 1, 2), (4, 4, 4), Boundary3::Periodic);
+        m.fill(|_, _, z| {
+            to_conserved(&Primitive { rho: 1.0 + z, u: 0.0, v: 0.0, w: 0.0, p: 1.0 }, &eos)
+        });
+        m.exchange_guards();
+        // Down guard of the bottom block = top block's top interior layer.
+        assert_eq!(
+            m.block(0, 0, 0).get(cons::RHO, 2, 2, -1),
+            m.block(0, 0, 1).get(cons::RHO, 2, 2, 3)
+        );
+    }
+
+    #[test]
+    fn uniform_flow_is_preserved() {
+        let eos = GammaLaw::AIR;
+        let mut m = Mesh3::new((2, 1, 1), (4, 4, 4), Boundary3::Periodic);
+        let pr = Primitive { rho: 1.0, u: 0.2, v: 0.1, w: -0.15, p: 1.0 };
+        m.fill(|_, _, _| to_conserved(&pr, &eos));
+        for _ in 0..4 {
+            m.exchange_guards();
+            m.advance(0.004, &eos);
+        }
+        let want = to_conserved(&pr, &eos);
+        for bi in 0..2 {
+            for k in 0..4isize {
+                let got = m.block(bi, 0, 0).state(2, 2, k);
+                for c in 0..NCONS {
+                    assert!((got[c] - want[c]).abs() < 1e-12, "block {bi} comp {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_advance_conserves_mass() {
+        let eos = GammaLaw::AIR;
+        let mut m = Mesh3::new((2, 2, 2), (4, 4, 4), Boundary3::Periodic);
+        m.fill(|x, y, z| {
+            to_conserved(
+                &Primitive {
+                    rho: 1.0 + 0.2 * (std::f64::consts::TAU * (x + y + z)).sin(),
+                    u: 0.1,
+                    v: -0.05,
+                    w: 0.07,
+                    p: 1.0,
+                },
+                &eos,
+            )
+        });
+        let total = |m: &Mesh3| -> f64 {
+            let mut t = 0.0;
+            for bk in 0..2 {
+                for bj in 0..2 {
+                    for bi in 0..2 {
+                        for k in 0..4isize {
+                            for j in 0..4isize {
+                                for i in 0..4isize {
+                                    t += m.block(bi, bj, bk).state(i, j, k)[cons::RHO];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            t
+        };
+        let m0 = total(&m);
+        for _ in 0..10 {
+            m.exchange_guards();
+            m.advance(0.002, &eos);
+        }
+        let m1 = total(&m);
+        assert!((m0 - m1).abs() < 1e-10 * m0, "{m0} -> {m1}");
+    }
+
+    #[test]
+    fn cell_centers_and_counts() {
+        let m = Mesh3::new((2, 3, 1), (4, 2, 8), Boundary3::Outflow);
+        assert_eq!(m.num_cells(), 2 * 3 * 4 * 2 * 8);
+        let (x, y, z) = m.cell_center((1, 2, 0), (0, 0, 0));
+        assert!((x - (4.0 + 0.5) / 8.0).abs() < 1e-12);
+        assert!((y - (4.0 + 0.5) / 6.0).abs() < 1e-12);
+        assert!((z - 0.5 / 8.0).abs() < 1e-12);
+    }
+}

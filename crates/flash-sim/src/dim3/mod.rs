@@ -1,0 +1,18 @@
+//! Three-dimensional solver, matching the paper's actual block geometry.
+//!
+//! FLASH blocks are "a three-dimensional array with an additional 4
+//! elements as guard cells in each dimension on both sides" (§III-A);
+//! the 2-D solver in the crate root is the cheap workhorse for the
+//! figure sweeps, and this module is the faithful 3-D variant: 16³
+//! blocks, six-face guard exchange, and a genuinely evolving `velz`.
+//! The same ten checkpoint variables come out; cells are ~16× more
+//! expensive per block, so experiment configurations use fewer blocks.
+
+pub mod block3;
+pub mod euler3;
+pub mod mesh3;
+pub mod sim3;
+
+pub use block3::Block3;
+pub use mesh3::{Boundary3, Mesh3};
+pub use sim3::{FlashSimulation3, Problem3};

@@ -1,0 +1,84 @@
+//! Gamma-law equation of state.
+//!
+//! FLASH couples a pluggable EOS; for the shock problems the paper's
+//! checkpoints come from, a perfect-gas gamma-law EOS is the standard
+//! choice and keeps `gamc`/`game` constant fields — which matches the
+//! paper's observation that those two variables compress trivially.
+
+/// Perfect-gas EOS with adiabatic index `gamma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaLaw {
+    /// Adiabatic index (1.4 for diatomic-like test problems).
+    pub gamma: f64,
+}
+
+impl GammaLaw {
+    /// Standard diatomic index used by the Sod/Sedov test problems.
+    pub const AIR: GammaLaw = GammaLaw { gamma: 1.4 };
+
+    /// Construct with an explicit index.
+    ///
+    /// # Panics
+    /// Panics unless `gamma > 1`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 1.0, "gamma must exceed 1");
+        Self { gamma }
+    }
+
+    /// Pressure from density and *specific* internal energy:
+    /// `p = (γ − 1)·ρ·e`.
+    #[inline]
+    pub fn pressure(&self, dens: f64, eint: f64) -> f64 {
+        (self.gamma - 1.0) * dens * eint
+    }
+
+    /// Specific internal energy from density and pressure.
+    #[inline]
+    pub fn internal_energy(&self, dens: f64, pres: f64) -> f64 {
+        pres / ((self.gamma - 1.0) * dens)
+    }
+
+    /// Sound speed `c = sqrt(γ·p/ρ)`.
+    #[inline]
+    pub fn sound_speed(&self, dens: f64, pres: f64) -> f64 {
+        (self.gamma * pres / dens).sqrt()
+    }
+
+    /// Ideal-gas temperature with unit gas constant: `T = p/ρ`.
+    #[inline]
+    pub fn temperature(&self, dens: f64, pres: f64) -> f64 {
+        pres / dens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_energy_are_inverse() {
+        let eos = GammaLaw::AIR;
+        let (d, e) = (1.3, 2.7);
+        let p = eos.pressure(d, e);
+        assert!((eos.internal_energy(d, p) - e).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sound_speed_known_value() {
+        let eos = GammaLaw::AIR;
+        // rho = 1, p = 1: c = sqrt(1.4).
+        assert!((eos.sound_speed(1.0, 1.0) - 1.4f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn temperature_is_p_over_rho() {
+        let eos = GammaLaw::AIR;
+        assert_eq!(eos.temperature(2.0, 6.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn gamma_below_one_rejected() {
+        GammaLaw::new(0.9);
+    }
+}

@@ -1,0 +1,38 @@
+//! A block-structured compressible-Euler simulator standing in for FLASH.
+//!
+//! The paper evaluates NUMARCK on checkpoints of FLASH, a production
+//! block-structured adaptive-mesh hydrodynamics code. NUMARCK only
+//! consumes the per-variable checkpoint arrays and their
+//! iteration-to-iteration change ratios, so the substitution implemented
+//! here is a single-node 2-D finite-volume Euler solver that preserves
+//! what matters:
+//!
+//! * the same block layout FLASH checkpoints use — `16×16` interior cells
+//!   with 4 guard cells per side, many blocks per "process" ([`block`],
+//!   [`mesh`]);
+//! * the same 10 checkpoint variables: `dens, eint, ener, gamc, game,
+//!   pres, temp, velx, vely, velz` ([`vars`]);
+//! * physically honest temporal dynamics: a gamma-law-EOS Euler solve
+//!   (Rusanov fluxes, CFL time stepping) on shock-tube and blast
+//!   problems, so smooth regions produce tightly clustered change ratios
+//!   while fronts produce heavy tails ([`euler`], [`problems`]);
+//! * checkpoint/restart hooks: extract variables, overwrite the state
+//!   from (possibly lossily reconstructed) variables, and continue the
+//!   run — the paper's §III-G experiment ([`sim`]).
+//!
+//! Not reproduced (documented in DESIGN.md): AMR refinement and MPI
+//! distribution, which affect scalability but not the statistics of the
+//! checkpoint streams NUMARCK sees.
+
+pub mod block;
+pub mod dim3;
+pub mod eos;
+pub mod euler;
+pub mod mesh;
+pub mod problems;
+pub mod sim;
+pub mod vars;
+
+pub use problems::Problem;
+pub use sim::FlashSimulation;
+pub use vars::FlashVar;

@@ -1,0 +1,348 @@
+//! A uniform tiling of blocks with guard-cell exchange.
+//!
+//! FLASH distributes blocks over MPI ranks; here all blocks live in one
+//! address space and are updated in parallel with Rayon. The exchange is
+//! two-phase so no block reads another mid-update: first every block
+//! exports its four edge strips (read-only, parallel), then every block
+//! imports its neighbours' strips or applies the domain boundary
+//! condition (mutable, parallel).
+
+use rayon::prelude::*;
+
+use crate::block::{Block, Side};
+use crate::eos::GammaLaw;
+use crate::euler;
+
+/// Domain boundary condition applied on all four outer edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Zero-gradient outflow.
+    Outflow,
+    /// Reflecting walls.
+    Reflect,
+    /// Periodic wrap-around.
+    Periodic,
+}
+
+/// A `blocks_x × blocks_y` tiling of `nx × ny` blocks over the unit
+/// square-ish domain `[0, width] × [0, height]`.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    blocks_x: usize,
+    blocks_y: usize,
+    nx: usize,
+    ny: usize,
+    dx: f64,
+    dy: f64,
+    boundary: Boundary,
+    blocks: Vec<Block>,
+    scratch: Vec<Block>,
+}
+
+impl Mesh {
+    /// Build a mesh of `blocks_x × blocks_y` blocks, each `nx × ny`
+    /// cells, covering `[0, width] × [0, height]`.
+    ///
+    /// # Panics
+    /// Panics on zero block counts or non-positive extents.
+    pub fn new(
+        blocks_x: usize,
+        blocks_y: usize,
+        nx: usize,
+        ny: usize,
+        width: f64,
+        height: f64,
+        boundary: Boundary,
+    ) -> Self {
+        assert!(blocks_x > 0 && blocks_y > 0, "need at least one block per axis");
+        assert!(width > 0.0 && height > 0.0, "domain extents must be positive");
+        let total_x = blocks_x * nx;
+        let total_y = blocks_y * ny;
+        let blocks = vec![Block::new(nx, ny); blocks_x * blocks_y];
+        let scratch = blocks.clone();
+        Self {
+            blocks_x,
+            blocks_y,
+            nx,
+            ny,
+            dx: width / total_x as f64,
+            dy: height / total_y as f64,
+            boundary,
+            blocks,
+            scratch,
+        }
+    }
+
+    /// Blocks per axis `(x, y)`.
+    pub fn block_counts(&self) -> (usize, usize) {
+        (self.blocks_x, self.blocks_y)
+    }
+
+    /// Interior cells per block `(nx, ny)`.
+    pub fn block_dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Cell sizes `(dx, dy)`.
+    pub fn cell_sizes(&self) -> (f64, f64) {
+        (self.dx, self.dy)
+    }
+
+    /// Total interior cells.
+    pub fn num_cells(&self) -> usize {
+        self.blocks_x * self.nx * self.blocks_y * self.ny
+    }
+
+    /// Immutable block access (block index = `by · blocks_x + bx`).
+    pub fn block(&self, bx: usize, by: usize) -> &Block {
+        &self.blocks[by * self.blocks_x + bx]
+    }
+
+    /// Mutable block access.
+    pub fn block_mut(&mut self, bx: usize, by: usize) -> &mut Block {
+        &mut self.blocks[by * self.blocks_x + bx]
+    }
+
+    /// Centre coordinates of interior cell `(i, j)` of block `(bx, by)`.
+    pub fn cell_center(&self, bx: usize, by: usize, i: usize, j: usize) -> (f64, f64) {
+        let gx = (bx * self.nx + i) as f64;
+        let gy = (by * self.ny + j) as f64;
+        ((gx + 0.5) * self.dx, (gy + 0.5) * self.dy)
+    }
+
+    /// Initialise every interior cell from a function of its centre.
+    pub fn fill(&mut self, f: impl Fn(f64, f64) -> [f64; crate::block::NCONS] + Sync) {
+        let (bx_n, nx, ny, dx, dy) = (self.blocks_x, self.nx, self.ny, self.dx, self.dy);
+        self.blocks.par_iter_mut().enumerate().for_each(|(bi, block)| {
+            let bx = bi % bx_n;
+            let by = bi / bx_n;
+            for j in 0..ny {
+                for i in 0..nx {
+                    let gx = (bx * nx + i) as f64;
+                    let gy = (by * ny + j) as f64;
+                    let (x, y) = ((gx + 0.5) * dx, (gy + 0.5) * dy);
+                    block.set_state(i as isize, j as isize, f(x, y));
+                }
+            }
+        });
+    }
+
+    /// Fill all guard cells: interior edges from neighbours, domain edges
+    /// from the boundary condition.
+    pub fn exchange_guards(&mut self) {
+        // Phase A: export strips (read-only).
+        let strips: Vec<[Vec<f64>; 4]> = self
+            .blocks
+            .par_iter()
+            .map(|b| {
+                [
+                    b.export_strip(Side::West),
+                    b.export_strip(Side::East),
+                    b.export_strip(Side::South),
+                    b.export_strip(Side::North),
+                ]
+            })
+            .collect();
+        let side_index = |s: Side| match s {
+            Side::West => 0usize,
+            Side::East => 1,
+            Side::South => 2,
+            Side::North => 3,
+        };
+        let (bx_n, by_n) = (self.blocks_x, self.blocks_y);
+        let boundary = self.boundary;
+        // Phase B: import (mutable, parallel).
+        self.blocks.par_iter_mut().enumerate().for_each(|(bi, block)| {
+            let bx = (bi % bx_n) as isize;
+            let by = (bi / bx_n) as isize;
+            for side in Side::all() {
+                let (nbx, nby) = match side {
+                    Side::West => (bx - 1, by),
+                    Side::East => (bx + 1, by),
+                    Side::South => (bx, by - 1),
+                    Side::North => (bx, by + 1),
+                };
+                let in_domain =
+                    nbx >= 0 && nbx < bx_n as isize && nby >= 0 && nby < by_n as isize;
+                if in_domain {
+                    let ni = nby as usize * bx_n + nbx as usize;
+                    block.import_strip(side, &strips[ni][side_index(side.opposite())]);
+                } else {
+                    match boundary {
+                        Boundary::Outflow => block.outflow_guard(side),
+                        Boundary::Reflect => block.reflect_guard(side),
+                        Boundary::Periodic => {
+                            let wi = nbx.rem_euclid(bx_n as isize) as usize;
+                            let wj = nby.rem_euclid(by_n as isize) as usize;
+                            let ni = wj * bx_n + wi;
+                            block.import_strip(side, &strips[ni][side_index(side.opposite())]);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Global maximum wave speed (CFL input).
+    pub fn max_wave_speed(&self, eos: &GammaLaw) -> f64 {
+        self.blocks
+            .par_iter()
+            .map(|b| euler::max_wave_speed(b, eos))
+            .reduce(|| 0.0, f64::max)
+    }
+
+    /// Advance every block by `dt` (guards must be current). Double
+    /// buffered: reads `blocks`, writes `scratch`, then swaps.
+    pub fn advance(&mut self, dt: f64, eos: &GammaLaw) {
+        self.advance_scheme(dt, eos, euler::Scheme::FirstOrder);
+    }
+
+    /// [`Mesh::advance`] with an explicit reconstruction scheme.
+    pub fn advance_scheme(&mut self, dt: f64, eos: &GammaLaw, scheme: euler::Scheme) {
+        let (dx, dy) = (self.dx, self.dy);
+        self.scratch
+            .par_iter_mut()
+            .zip(self.blocks.par_iter())
+            .for_each(|(out, b)| euler::update_block_scheme(b, out, dt, dx, dy, eos, scheme));
+        std::mem::swap(&mut self.blocks, &mut self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::cons;
+    use crate::euler::{to_conserved, Primitive};
+
+    fn gradient_mesh() -> Mesh {
+        let mut m = Mesh::new(3, 2, 8, 8, 1.0, 1.0, Boundary::Outflow);
+        let eos = GammaLaw::AIR;
+        m.fill(|x, y| {
+            to_conserved(
+                &Primitive { rho: 1.0 + x + 10.0 * y, u: 0.0, v: 0.0, w: 0.0, p: 1.0 },
+                &eos,
+            )
+        });
+        m
+    }
+
+    #[test]
+    fn fill_uses_cell_centers() {
+        let m = gradient_mesh();
+        let (dx, dy) = m.cell_sizes();
+        let rho = m.block(1, 1).get(cons::RHO, 2, 3);
+        let (x, y) = m.cell_center(1, 1, 2, 3);
+        assert!((rho - (1.0 + x + 10.0 * y)).abs() < 1e-12);
+        assert!((dx - 1.0 / 24.0).abs() < 1e-15);
+        assert!((dy - 1.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interior_guard_exchange_is_seamless() {
+        let mut m = gradient_mesh();
+        m.exchange_guards();
+        // Block (0,0)'s east guard must continue the gradient into block
+        // (1,0)'s interior.
+        let b = m.block(0, 0);
+        for gi in 0..crate::block::GUARD as isize {
+            let got = b.get(cons::RHO, 8 + gi, 4);
+            let want = m.block(1, 0).get(cons::RHO, gi, 4);
+            assert_eq!(got, want, "gi={gi}");
+        }
+        // And vertically: block (0,0)'s north guard = block (0,1) interior.
+        for gj in 0..crate::block::GUARD as isize {
+            let got = b.get(cons::RHO, 3, 8 + gj);
+            let want = m.block(0, 1).get(cons::RHO, 3, gj);
+            assert_eq!(got, want, "gj={gj}");
+        }
+    }
+
+    #[test]
+    fn periodic_wraps_across_the_domain() {
+        let mut m = Mesh::new(2, 1, 4, 4, 1.0, 1.0, Boundary::Periodic);
+        let eos = GammaLaw::AIR;
+        m.fill(|x, _| {
+            to_conserved(&Primitive { rho: 1.0 + x, u: 0.0, v: 0.0, w: 0.0, p: 1.0 }, &eos)
+        });
+        m.exchange_guards();
+        // West guard of block (0,0) = east interior of block (1,0).
+        let west_guard = m.block(0, 0).get(cons::RHO, -1, 2);
+        let east_interior = m.block(1, 0).get(cons::RHO, 3, 2);
+        assert_eq!(west_guard, east_interior);
+    }
+
+    #[test]
+    fn uniform_flow_is_preserved_by_advance() {
+        let eos = GammaLaw::AIR;
+        let mut m = Mesh::new(2, 2, 8, 8, 1.0, 1.0, Boundary::Periodic);
+        let pr = Primitive { rho: 1.0, u: 0.2, v: 0.1, w: 0.05, p: 1.0 };
+        m.fill(|_, _| to_conserved(&pr, &eos));
+        for _ in 0..5 {
+            m.exchange_guards();
+            m.advance(0.005, &eos);
+        }
+        for by in 0..2 {
+            for bx in 0..2 {
+                for j in 0..8isize {
+                    for i in 0..8isize {
+                        let s = m.block(bx, by).state(i, j);
+                        let u = to_conserved(&pr, &eos);
+                        for c in 0..crate::block::NCONS {
+                            assert!(
+                                (s[c] - u[c]).abs() < 1e-12,
+                                "block ({bx},{by}) cell ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_advance_conserves_mass_and_energy() {
+        let eos = GammaLaw::AIR;
+        let mut m = Mesh::new(2, 2, 8, 8, 1.0, 1.0, Boundary::Periodic);
+        m.fill(|x, y| {
+            to_conserved(
+                &Primitive {
+                    rho: 1.0 + 0.2 * (std::f64::consts::TAU * x).sin(),
+                    u: 0.1 * (std::f64::consts::TAU * y).cos(),
+                    v: 0.0,
+                    w: 0.01,
+                    p: 1.0,
+                },
+                &eos,
+            )
+        });
+        let total = |m: &Mesh, c: usize| -> f64 {
+            let mut t = 0.0;
+            for by in 0..2 {
+                for bx in 0..2 {
+                    for j in 0..8isize {
+                        for i in 0..8isize {
+                            t += m.block(bx, by).state(i, j)[c];
+                        }
+                    }
+                }
+            }
+            t
+        };
+        let m0 = total(&m, cons::RHO);
+        let e0 = total(&m, cons::ENERGY);
+        for _ in 0..20 {
+            m.exchange_guards();
+            m.advance(0.002, &eos);
+        }
+        let m1 = total(&m, cons::RHO);
+        let e1 = total(&m, cons::ENERGY);
+        assert!((m0 - m1).abs() < 1e-10 * m0.abs(), "mass {m0} -> {m1}");
+        assert!((e0 - e1).abs() < 1e-10 * e0.abs(), "energy {e0} -> {e1}");
+    }
+
+    #[test]
+    fn wave_speed_positive_for_any_gas() {
+        let m = gradient_mesh();
+        assert!(m.max_wave_speed(&GammaLaw::AIR) > 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The ten FLASH checkpoint variables (paper §III-A).
+
+/// A checkpoint variable. FLASH writes 24 variables per cell but
+/// checkpoints only these ten; the paper's Figures 3, 5 and 8 and the
+/// FLASH half of Tables I/II are all over this set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlashVar {
+    /// Mass density.
+    Dens,
+    /// Specific internal energy.
+    Eint,
+    /// Specific total energy.
+    Ener,
+    /// Adiabatic index Γ₁ (constant for a gamma-law gas).
+    Gamc,
+    /// Adiabatic index used in the energy equation (equal to `Gamc` for
+    /// gamma-law).
+    Game,
+    /// Pressure.
+    Pres,
+    /// Temperature (ideal-gas, unit gas constant).
+    Temp,
+    /// x velocity.
+    Velx,
+    /// y velocity.
+    Vely,
+    /// z velocity (passively advected scalar in this 2-D solver).
+    Velz,
+}
+
+impl FlashVar {
+    /// All ten checkpoint variables, in the paper's listing order.
+    pub fn all() -> [FlashVar; 10] {
+        [
+            Self::Dens,
+            Self::Eint,
+            Self::Ener,
+            Self::Gamc,
+            Self::Game,
+            Self::Pres,
+            Self::Temp,
+            Self::Velx,
+            Self::Vely,
+            Self::Velz,
+        ]
+    }
+
+    /// Lowercase FLASH variable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Dens => "dens",
+            Self::Eint => "eint",
+            Self::Ener => "ener",
+            Self::Gamc => "gamc",
+            Self::Game => "game",
+            Self::Pres => "pres",
+            Self::Temp => "temp",
+            Self::Velx => "velx",
+            Self::Vely => "vely",
+            Self::Velz => "velz",
+        }
+    }
+
+    /// Parse a FLASH variable name.
+    pub fn from_name(name: &str) -> Option<FlashVar> {
+        Self::all().into_iter().find(|v| v.name() == name)
+    }
+}
+
+impl std::fmt::Display for FlashVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_variables_with_unique_names() {
+        let all = FlashVar::all();
+        assert_eq!(all.len(), 10);
+        let names: std::collections::HashSet<_> = all.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn roundtrip_names() {
+        for v in FlashVar::all() {
+            assert_eq!(FlashVar::from_name(v.name()), Some(v));
+        }
+        assert_eq!(FlashVar::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain cubic-B-spline data reduction (Chou & Piegl, reference \[7\]).
+//!
+//! The whole data vector of one iteration is least-squares fitted by a
+//! cubic B-spline with `P_S` control points; only the control points are
+//! stored (64 bits each), so the compression ratio is exactly
+//! `1 − P_S/n`. The paper sets `P_S = 0.8·n` "to provide accurate lossy
+//! compression", which pins the ratio at 20% — the weakest baseline in
+//! Table I.
+
+use numarck_linalg::bspline::{CubicBSpline, FitError, MIN_CONTROL_POINTS};
+
+use crate::LossyCompressor;
+
+/// Cubic-B-spline compressor with control-point budget `P_S = fraction·n`.
+#[derive(Debug, Clone, Copy)]
+pub struct BSplineCompressor {
+    fraction: f64,
+}
+
+/// Compressed form: the spline control points plus the original length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BSplineCompressed {
+    /// Fitted spline (owns the control points).
+    pub spline: CubicBSpline,
+    /// Original data length.
+    pub num_points: usize,
+}
+
+impl BSplineCompressor {
+    /// Budget as a fraction of the data length, clamped to at least
+    /// [`MIN_CONTROL_POINTS`] at compression time.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn new(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        Self { fraction }
+    }
+
+    /// The paper's setting: `P_S = 0.8·n`.
+    pub fn paper_default() -> Self {
+        Self::new(0.8)
+    }
+
+    /// Number of control points used for a vector of length `n`.
+    pub fn control_points_for(&self, n: usize) -> usize {
+        ((self.fraction * n as f64).round() as usize).clamp(MIN_CONTROL_POINTS, n.max(MIN_CONTROL_POINTS))
+    }
+
+    /// Fit the spline.
+    pub fn compress(&self, data: &[f64]) -> Result<BSplineCompressed, FitError> {
+        let m = self.control_points_for(data.len());
+        Ok(BSplineCompressed { spline: CubicBSpline::fit(data, m)?, num_points: data.len() })
+    }
+}
+
+impl BSplineCompressed {
+    /// Sample the spline back at the original positions.
+    pub fn decompress(&self) -> Vec<f64> {
+        self.spline.sample(self.num_points)
+    }
+
+    /// Stored size in bits: 64 per control point.
+    pub fn stored_bits(&self) -> u64 {
+        self.spline.num_coeffs() as u64 * 64
+    }
+}
+
+impl LossyCompressor for BSplineCompressor {
+    fn name(&self) -> &'static str {
+        "B-Splines"
+    }
+
+    fn roundtrip(&self, data: &[f64]) -> (Vec<f64>, u64) {
+        if data.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let c = self.compress(data).expect("finite data with m >= 4 always fits");
+        (c.decompress(), c.stored_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratio_is_twenty_percent() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.001).cos()).collect();
+        let c = BSplineCompressor::paper_default();
+        let r = c.compression_ratio(&data);
+        assert!((r - 0.2).abs() < 1e-6, "ratio {r}");
+    }
+
+    #[test]
+    fn smooth_data_reconstructs_accurately_at_point_eight() {
+        let n = 2000;
+        let data: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64 * 0.01).sin()).collect();
+        let c = BSplineCompressor::paper_default().compress(&data).unwrap();
+        let restored = c.decompress();
+        for (a, b) in restored.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rough_data_loses_detail_at_low_budget() {
+        // High-frequency noise cannot be captured by 10% of the points;
+        // this is why B-splines' ξ is an order of magnitude worse in
+        // Table II.
+        let n = 1000;
+        let data: Vec<f64> =
+            (0..n).map(|i| ((i as f64 * 2654435761.0).sin() * 43758.5453).fract()).collect();
+        let low = BSplineCompressor::new(0.1).compress(&data).unwrap();
+        let rmse: f64 = (low
+            .decompress()
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        assert!(rmse > 0.1, "noise should not fit: rmse={rmse}");
+    }
+
+    #[test]
+    fn tiny_inputs_clamp_to_min_control_points() {
+        let c = BSplineCompressor::new(0.5);
+        assert_eq!(c.control_points_for(3), MIN_CONTROL_POINTS);
+        let data = vec![1.0, 2.0, 3.0];
+        let (restored, bits) = c.roundtrip(&data);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(bits, MIN_CONTROL_POINTS as u64 * 64);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = BSplineCompressor::paper_default();
+        let (restored, bits) = c.roundtrip(&[]);
+        assert!(restored.is_empty());
+        assert_eq!(bits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_rejected() {
+        BSplineCompressor::new(0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Baseline lossy compressors for the paper's §III-F comparison
+//! (Tables I and II).
+//!
+//! * [`bsplines`] — plain cubic-B-spline data reduction (Chou & Piegl):
+//!   fit the whole data vector with `P_S = 0.8·n` control points. Its
+//!   compression ratio is structural — always `1 − P_S/n = 20%`.
+//! * [`isabela`] — ISABELA (Lakshminarasimhan et al., Euro-Par'11):
+//!   window the data, *sort* each window (storing the permutation as
+//!   `log2 W₀`-bit ranks), and fit the now-monotone window with a fixed
+//!   `P_I = 30`-coefficient cubic B-spline. Sorting is the
+//!   preconditioning trick that makes "incompressible" data fit tightly.
+//!
+//! Both implement [`LossyCompressor`], the minimal interface the
+//! benchmark harness needs: reconstruct the data and report the stored
+//! size in bits.
+
+pub mod bsplines;
+pub mod isabela;
+
+pub use bsplines::BSplineCompressor;
+pub use isabela::IsabelaCompressor;
+
+/// Minimal interface for the Table I/II harness.
+pub trait LossyCompressor {
+    /// Display name used in report rows.
+    fn name(&self) -> &'static str;
+
+    /// Compress then decompress `data`, returning the reconstruction and
+    /// the number of bits the compressed form occupies.
+    fn roundtrip(&self, data: &[f64]) -> (Vec<f64>, u64);
+
+    /// Compression ratio as the paper defines it (Eq. 2, fraction saved).
+    fn compression_ratio(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let (_, bits) = self.roundtrip(data);
+        1.0 - bits as f64 / (data.len() as f64 * 64.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_work() {
+        let comps: Vec<Box<dyn LossyCompressor>> = vec![
+            Box::new(BSplineCompressor::paper_default()),
+            Box::new(IsabelaCompressor::cmip5_default()),
+        ];
+        let data: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.01).sin() * 10.0).collect();
+        for c in &comps {
+            let (restored, bits) = c.roundtrip(&data);
+            assert_eq!(restored.len(), data.len(), "{}", c.name());
+            assert!(bits > 0, "{}", c.name());
+            assert!(c.compression_ratio(&data) > 0.0, "{}", c.name());
+        }
+    }
+}

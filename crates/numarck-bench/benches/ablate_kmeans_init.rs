@@ -1,0 +1,67 @@
+//! Ablation: K-means initialisation methods (paper §II-C.3 — "the choice
+//! of initial clustering centroids has been proved to influence
+//! significantly the performance of the algorithm and quality of the
+//! results").
+//!
+//! Times a full fit per initialiser; the one-shot quality comparison
+//! (final inertia + iterations to converge) is printed to stderr once so
+//! the timing numbers can be read next to the quality numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use numarck_kmeans::{Init1D, KMeans1D};
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+fn multimodal(n: usize) -> Vec<f64> {
+    // Three modes of very different mass plus a heavy tail — the regime
+    // where initialisation matters.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(17);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64();
+            if u < 0.6 {
+                rng.normal_with(0.0, 0.001)
+            } else if u < 0.9 {
+                rng.normal_with(0.02, 0.002)
+            } else if u < 0.99 {
+                rng.normal_with(-0.05, 0.005)
+            } else {
+                rng.normal_with(0.0, 0.5)
+            }
+        })
+        .collect()
+}
+
+fn bench_inits(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = multimodal(n);
+    let inits =
+        [Init1D::Histogram, Init1D::KMeansPlusPlus, Init1D::UniformSpread];
+
+    // One-shot quality report.
+    eprintln!("\nkmeans init quality on multimodal change ratios (k = 255):");
+    for init in inits {
+        let res = KMeans1D::new(255).with_init(init).fit(&data);
+        eprintln!(
+            "  {init:?}: inertia {:.6e}, iterations {}, converged {}",
+            res.inertia, res.iterations, res.converged
+        );
+    }
+
+    let mut group = c.benchmark_group("kmeans_init");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for init in inits {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{init:?}")),
+            &init,
+            |b, &init| {
+                b.iter(|| KMeans1D::new(255).with_init(init).fit(&data));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inits);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Throughput of the baseline compressors (Table I/II comparators).
+//! ISABELA's cost is dominated by the per-window sort + 30-coefficient
+//! spline fit; B-Splines by one huge banded least-squares solve.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use numarck_baselines::{BSplineCompressor, IsabelaCompressor, LossyCompressor};
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+fn snapshot(n: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+    (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data = snapshot(n);
+    let mut group = c.benchmark_group("baseline_roundtrip");
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.sample_size(10);
+    group.bench_function("isabela_w512", |b| {
+        let comp = IsabelaCompressor::cmip5_default();
+        b.iter(|| comp.roundtrip(&data));
+    });
+    group.bench_function("isabela_w256", |b| {
+        let comp = IsabelaCompressor::flash_default();
+        b.iter(|| comp.roundtrip(&data));
+    });
+    group.bench_function("bsplines_p08", |b| {
+        let comp = BSplineCompressor::paper_default();
+        b.iter(|| comp.roundtrip(&data));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Bit-packed index stream pack/unpack throughput at the paper's index
+//! widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use numarck::bitstream::{read_at, BitReader, BitWriter};
+
+fn bench_pack(c: &mut Criterion) {
+    let n = 1 << 20;
+    let mut group = c.benchmark_group("bitstream_pack");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for bits in [8u8, 9, 10, 16] {
+        let mask = (1u32 << bits) - 1;
+        let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &values, |b, values| {
+            b.iter(|| {
+                let mut w = BitWriter::with_capacity(values.len(), bits);
+                for &v in values {
+                    w.push(v, bits);
+                }
+                w
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let n = 1 << 20;
+    let mut group = c.benchmark_group("bitstream_unpack");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for bits in [8u8, 9] {
+        let mask = (1u32 << bits) - 1;
+        let mut w = BitWriter::with_capacity(n, bits);
+        for i in 0..n as u32 {
+            w.push(i.wrapping_mul(2654435761) & mask, bits);
+        }
+        let len_bits = w.len_bits();
+        let words = w.into_words();
+        group.bench_with_input(
+            BenchmarkId::new("sequential", bits),
+            &words,
+            |b, words| {
+                b.iter(|| {
+                    let mut r = BitReader::new(words, len_bits);
+                    let mut acc = 0u64;
+                    while let Some(v) = r.read(bits) {
+                        acc = acc.wrapping_add(v as u64);
+                    }
+                    acc
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random_access", bits),
+            &words,
+            |b, words| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for i in 0..n {
+                        acc = acc.wrapping_add(read_at(words, bits, i) as u64);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack, bench_unpack);
+criterion_main!(benches);

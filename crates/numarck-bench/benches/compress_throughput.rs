@@ -1,0 +1,71 @@
+//! Encode/decode throughput of the NUMARCK compressor per strategy and
+//! precision — the in-situ viability question: compression must be much
+//! cheaper than the I/O it saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use numarck::{decode, Compressor, Config, Strategy};
+
+fn make_pair(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = numarck_par::rng::Xoshiro256PlusPlus::seed_from_u64(11);
+    let prev: Vec<f64> = (0..n).map(|_| 10.0 + rng.uniform(0.0, 5.0)).collect();
+    let curr: Vec<f64> =
+        prev.iter().map(|v| v * (1.0 + rng.normal_with(0.0, 0.003))).collect();
+    (prev, curr)
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let n = 1 << 18; // 256 Ki points = 2 MiB per iteration
+    let (prev, curr) = make_pair(n);
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.sample_size(10);
+    for strategy in Strategy::all() {
+        for bits in [8u8, 10] {
+            let config = Config::new(bits, 0.001, strategy).expect("valid");
+            let compressor = Compressor::new(config);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("B{bits}")),
+                &compressor,
+                |b, comp| {
+                    b.iter(|| comp.compress(&prev, &curr).expect("finite"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let n = 1 << 18;
+    let (prev, curr) = make_pair(n);
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("valid");
+    let (block, _) = Compressor::new(config).compress(&prev, &curr).expect("finite");
+    let mut group = c.benchmark_group("decode");
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.sample_size(10);
+    group.bench_function("reconstruct_parallel", |b| {
+        b.iter(|| decode::reconstruct(&prev, &block).expect("valid"));
+    });
+    group.bench_function("reconstruct_sequential", |b| {
+        b.iter(|| decode::reconstruct_seq(&prev, &block).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_fpc_postpass(c: &mut Criterion) {
+    let n = 1 << 16;
+    let (_, curr) = make_pair(n);
+    let mut group = c.benchmark_group("fpc");
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.sample_size(10);
+    group.bench_function("compress", |b| b.iter(|| numarck::fpc::compress(&curr)));
+    let packed = numarck::fpc::compress(&curr);
+    group.bench_function("decompress", |b| {
+        b.iter(|| numarck::fpc::decompress(&packed).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decode, bench_fpc_postpass);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Parallel K-means scaling (the paper's clustering step) and the
+//! sorted-centre assignment ablation.
+//!
+//! Two questions: how the Lloyd iteration scales with worker threads,
+//! and how much the O(log k) sorted-midpoint assignment buys over the
+//! naive O(k) nearest-centre scan at the paper's k = 255.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use numarck_kmeans::lloyd1d::SortedCenters;
+use numarck_kmeans::{KMeans1D, KMeansOptions};
+use numarck_par::pool::build_pool;
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+fn change_ratio_like(n: usize) -> Vec<f64> {
+    // Mixture resembling a real change-ratio stream: tight core + tails.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < 0.9 {
+                rng.normal_with(0.0, 0.002)
+            } else {
+                rng.normal_with(0.0, 0.05)
+            }
+        })
+        .collect()
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = change_ratio_like(n);
+    let mut group = c.benchmark_group("kmeans_threads");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut threads = vec![1usize, 2, 4];
+    if max_threads >= 8 {
+        threads.push(8);
+    }
+    for t in threads {
+        let pool = build_pool(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &pool, |b, pool| {
+            b.iter(|| {
+                pool.install(|| {
+                    KMeans1D::new(255)
+                        .with_options(KMeansOptions { max_iterations: 5, ..Default::default() })
+                        .fit(&data)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let data = change_ratio_like(1 << 18);
+    let centers: Vec<f64> = (0..255).map(|i| -0.1 + 0.2 * i as f64 / 254.0).collect();
+    let sorted = SortedCenters::new(centers.clone());
+    let mut group = c.benchmark_group("assignment");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sorted_binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &x in &data {
+                acc = acc.wrapping_add(sorted.nearest(x));
+            }
+            acc
+        });
+    });
+    group.bench_function("naive_linear_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &x in &data {
+                let mut best = 0usize;
+                let mut bd = f64::INFINITY;
+                for (i, &c) in centers.iter().enumerate() {
+                    let d = (x - c).abs();
+                    if d < bd {
+                        bd = d;
+                        best = i;
+                    }
+                }
+                acc = acc.wrapping_add(best);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Restart-path cost: replaying a chain of compressed deltas on top of a
+//! full checkpoint (the paper's §II-D recovery procedure). Restart time
+//! scales linearly with the distance from the last full checkpoint —
+//! the trade-off the full-checkpoint interval policy balances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use numarck::{Config, DeltaChain, Strategy};
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+fn build_chain(n: usize, deltas: usize) -> DeltaChain {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+    let base: Vec<f64> = (0..n).map(|_| 5.0 + rng.uniform(0.0, 1.0)).collect();
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("valid");
+    let mut chain = DeltaChain::new(base, config);
+    let mut state = chain.base().to_vec();
+    for _ in 0..deltas {
+        for v in state.iter_mut() {
+            *v *= 1.0 + rng.normal_with(0.0, 0.002);
+        }
+        chain.append(&state).expect("finite");
+    }
+    chain
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let n = 1 << 18;
+    let chain = build_chain(n, 8);
+    let mut group = c.benchmark_group("restart_replay");
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.sample_size(10);
+    for depth in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| chain.reconstruct(depth).expect("in range"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Run every paper experiment and every extension experiment in
+//! sequence — the one-command reproduction entry point:
+//!
+//! ```sh
+//! cargo run --release -p numarck-bench --bin all_experiments
+//! ```
+//!
+//! Each sibling binary prints its own paper-vs-expected commentary and
+//! writes its CSV under `results/`; this runner just sequences them and
+//! summarises pass/fail.
+
+use std::process::Command;
+
+/// Experiment binaries in presentation order.
+const EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "fig8",
+    "ext1_closed_loop",
+    "ext2_anomaly",
+    "ext3_adaptive",
+    "ext4_group",
+    "ext5_entropy",
+    "ext6_dim3",
+    "ext7_solver_order",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe has a parent dir").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        println!("\n================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("** {name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "** cannot run {} ({e}); build all bins first: \
+                     cargo build --release -p numarck-bench --bins",
+                    path.display()
+                );
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed; CSVs in results/", EXPERIMENTS.len());
+    } else {
+        println!("{} experiment(s) FAILED: {}", failures.len(), failures.join(", "));
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Extension experiment 2: soft-error detection via the change
+//! distribution (the paper's §V: "identifying erroneous calculations due
+//! to soft errors or hardware errors").
+//!
+//! Protocol: take a clean FLASH transition, inject single bit flips at
+//! every bit position into a sample of points, and measure which flips
+//! the change-ratio outlier detector catches — plus the false-positive
+//! rate on clean data.
+
+use flash_sim::FlashVar;
+use numarck::anomaly::{detect, AnomalyConfig};
+use numarck_bench::data::{flash_sequence, FlashConfig};
+use numarck_bench::report::{print_table, write_csv};
+use numarck_bench::RESULTS_DIR;
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+fn main() {
+    let seq = flash_sequence(FlashConfig::default(), FlashVar::Pres, 2);
+    let (prev, curr) = (&seq[0], &seq[1]);
+    let config = AnomalyConfig::default();
+
+    // False positives on the clean transition.
+    let clean = detect(prev, curr, &config).expect("lengths match");
+    println!(
+        "clean transition: {} points, {} false positives ({:.4}%)",
+        clean.num_points,
+        clean.anomalies.len(),
+        clean.anomalies.len() as f64 / clean.num_points as f64 * 100.0
+    );
+
+    // Detection rate per flipped bit position (sampled points).
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2024);
+    let trials_per_bit = 20usize;
+    let mut table = vec![vec![
+        "bit".to_string(),
+        "region".to_string(),
+        "detected".to_string(),
+        "rate %".to_string(),
+    ]];
+    let mut csv =
+        vec![vec!["bit".to_string(), "detected".to_string(), "trials".to_string()]];
+    for bit in (0..64).step_by(4).chain([51usize, 62, 63]) {
+        let mut detected = 0usize;
+        for _ in 0..trials_per_bit {
+            let victim = rng.below(curr.len());
+            let mut corrupted = curr.clone();
+            corrupted[victim] = f64::from_bits(corrupted[victim].to_bits() ^ (1u64 << bit));
+            let report = detect(prev, &corrupted, &config).expect("lengths match");
+            if report.anomalies.iter().any(|a| a.index == victim) {
+                detected += 1;
+            }
+        }
+        let region = match bit {
+            63 => "sign",
+            52..=62 => "exponent",
+            _ => "mantissa",
+        };
+        table.push(vec![
+            bit.to_string(),
+            region.to_string(),
+            format!("{detected}/{trials_per_bit}"),
+            format!("{:.0}", detected as f64 / trials_per_bit as f64 * 100.0),
+        ]);
+        csv.push(vec![bit.to_string(), detected.to_string(), trials_per_bit.to_string()]);
+    }
+    println!("\nExtension 2: single-bit-flip detection rate by bit position (pres)");
+    print_table(&table);
+    println!("\n(expected: exponent/sign flips ~100% detected; high-mantissa flips mostly");
+    println!(" detected; low-mantissa flips are sub-tolerance by definition and invisible —");
+    println!(" they are also harmless at NUMARCK's operating tolerances)");
+    match write_csv(RESULTS_DIR, "ext2_anomaly_detection", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

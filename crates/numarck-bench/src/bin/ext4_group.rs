@@ -1,0 +1,79 @@
+//! Extension experiment 4: shared-table group compression of co-varying
+//! variables.
+//!
+//! The paper notes pres and temp behave identically under compression
+//! (§III-G). Pooling their fit samples and sharing one representative
+//! table halves the table overhead with no loss — while grouping
+//! variables with *different* distributions costs escapes. This binary
+//! quantifies both cases on FLASH data.
+
+use flash_sim::FlashVar;
+use numarck::group::encode_group;
+use numarck::{Config, Strategy};
+use numarck_bench::data::{flash_sequences, FlashConfig};
+use numarck_bench::report::{print_table, write_csv};
+use numarck_bench::RESULTS_DIR;
+
+fn main() {
+    let seqs = flash_sequences(FlashConfig::default(), 2);
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("valid");
+
+    let groups: [(&str, Vec<FlashVar>); 3] = [
+        ("pres+temp (co-varying)", vec![FlashVar::Pres, FlashVar::Temp]),
+        ("ener+eint (co-varying)", vec![FlashVar::Ener, FlashVar::Eint]),
+        ("dens+pres+temp+ener+eint", vec![
+            FlashVar::Dens,
+            FlashVar::Pres,
+            FlashVar::Temp,
+            FlashVar::Ener,
+            FlashVar::Eint,
+        ]),
+    ];
+
+    println!("Extension 4: shared-table group compression (E = 0.1%, B = 8)\n");
+    let mut table = vec![vec![
+        "group".to_string(),
+        "shared table".to_string(),
+        "Eq.3 shared %".to_string(),
+        "Eq.3 private %".to_string(),
+        "mean γ %".to_string(),
+    ]];
+    let mut csv = vec![vec![
+        "group".to_string(),
+        "shared_ratio".to_string(),
+        "private_ratio".to_string(),
+        "mean_gamma".to_string(),
+    ]];
+    for (name, vars) in &groups {
+        let pairs: Vec<(&[f64], &[f64])> =
+            vars.iter().map(|v| (seqs[v][0].as_slice(), seqs[v][1].as_slice())).collect();
+        let (_, stats) = encode_group(&pairs, &config).expect("finite sim data");
+        let gamma = stats
+            .per_variable
+            .iter()
+            .map(|s| s.incompressible_ratio)
+            .sum::<f64>()
+            / stats.per_variable.len() as f64;
+        table.push(vec![
+            name.to_string(),
+            format!("{} entries", stats.shared_table_len),
+            format!("{:.2}", stats.compression_ratio_eq3_shared * 100.0),
+            format!("{:.2}", stats.compression_ratio_eq3_private * 100.0),
+            format!("{:.3}", gamma * 100.0),
+        ]);
+        csv.push(vec![
+            name.to_string(),
+            stats.compression_ratio_eq3_shared.to_string(),
+            stats.compression_ratio_eq3_private.to_string(),
+            gamma.to_string(),
+        ]);
+    }
+    print_table(&table);
+    println!("\n(expected: co-varying pairs gain the table savings for free; the mixed");
+    println!(" five-variable group still gains overall but pays a small γ increase where");
+    println!(" distributions compete for representatives)");
+    match write_csv(RESULTS_DIR, "ext4_group_compression", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

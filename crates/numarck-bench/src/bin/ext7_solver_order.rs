@@ -1,0 +1,92 @@
+//! Extension experiment 7: does the solver's spatial order change the
+//! compression story?
+//!
+//! The figure sweeps run the robust first-order solver. A fair worry is
+//! that its extra numerical diffusion makes the change ratios
+//! artificially easy to compress. This binary repeats the strategy sweep
+//! with the MUSCL (second-order, minmod-limited) scheme, which keeps
+//! fronts markedly sharper, and also reports the per-variable automatic
+//! precision choice ([`numarck::autotune`]) under both schemes.
+
+use flash_sim::euler::Scheme;
+use flash_sim::{FlashSimulation, FlashVar, Problem};
+use numarck::autotune::{choose_bits, AutotuneOptions};
+use numarck::Strategy;
+use numarck_bench::report::{pct, print_table, write_csv};
+use numarck_bench::run::{mean_of, strategy_sweep};
+use numarck_bench::RESULTS_DIR;
+
+fn sequence(scheme: Scheme, var: FlashVar, checkpoints: usize) -> Vec<Vec<f64>> {
+    let mut sim =
+        FlashSimulation::paper_default(Problem::SedovBlast, 4, 4).with_scheme(scheme);
+    sim.run_steps(20);
+    let mut out = Vec::with_capacity(checkpoints);
+    for c in 0..checkpoints {
+        if c > 0 {
+            sim.run_steps(2);
+        }
+        out.push(sim.checkpoint().remove(&var).expect("var exists"));
+    }
+    out
+}
+
+fn main() {
+    let checkpoints = 20usize;
+    let mut table = vec![vec![
+        "scheme".to_string(),
+        "variable".to_string(),
+        "clustering γ %".to_string(),
+        "mean error %".to_string(),
+        "auto-chosen B".to_string(),
+    ]];
+    let mut csv = vec![vec![
+        "scheme".to_string(),
+        "variable".to_string(),
+        "gamma".to_string(),
+        "mean_error".to_string(),
+        "bits".to_string(),
+    ]];
+    for (name, scheme) in [("first-order", Scheme::FirstOrder), ("muscl", Scheme::Muscl)] {
+        for var in [FlashVar::Dens, FlashVar::Pres, FlashVar::Ener] {
+            let seq = sequence(scheme, var, checkpoints);
+            let sweep = strategy_sweep(&seq, 8, 0.001);
+            let (_, stats) = sweep
+                .iter()
+                .find(|(s, _)| *s == Strategy::Clustering)
+                .expect("clustering in sweep");
+            let tuned = choose_bits(
+                &seq[checkpoints / 2],
+                &seq[checkpoints / 2 + 1],
+                0.001,
+                Strategy::Clustering,
+                &AutotuneOptions::default(),
+            )
+            .expect("finite sim data");
+            let gamma = mean_of(stats, |s| s.incompressible_ratio);
+            let err = mean_of(stats, |s| s.mean_error_rate);
+            table.push(vec![
+                name.to_string(),
+                var.name().to_string(),
+                pct(gamma, 2),
+                pct(err, 4),
+                tuned.bits.to_string(),
+            ]);
+            csv.push(vec![
+                name.to_string(),
+                var.name().to_string(),
+                gamma.to_string(),
+                err.to_string(),
+                tuned.bits.to_string(),
+            ]);
+        }
+    }
+    println!("Extension 7: solver order ablation (Sedov, E = 0.1%, B = 8, clustering)");
+    print_table(&table);
+    println!("\n(expected: sharper MUSCL fronts shift slightly more mass into the ratio");
+    println!(" tails — γ and the auto-chosen B move a little, but the compression story");
+    println!(" is unchanged: FLASH data stays easy and errors stay bounded)");
+    match write_csv(RESULTS_DIR, "ext7_solver_order", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 1: a slice of climate `rlus` data — raw values of two
+//! consecutive iterations, the per-point change percentage, and the
+//! distribution of relative change.
+//!
+//! The paper's headline observation: the raw snapshots look like noise
+//! (no repeated patterns), but the change-ratio distribution is tightly
+//! concentrated — more than 75% of points change by less than 0.5%.
+
+use climate_sim::ClimateVar;
+use numarck_bench::data::climate_sequence;
+use numarck_bench::report::{pct, print_table, write_csv};
+use numarck_bench::RESULTS_DIR;
+
+fn main() {
+    let seq = climate_sequence(ClimateVar::Rlus, 2);
+    let (a, b) = (&seq[0], &seq[1]);
+
+    println!("Fig. 1 (A/B): first grid points of two consecutive rlus iterations");
+    let mut rows = vec![vec![
+        "point".to_string(),
+        "iter 1".to_string(),
+        "iter 2".to_string(),
+        "change %".to_string(),
+    ]];
+    for j in 0..10 {
+        rows.push(vec![
+            j.to_string(),
+            format!("{:.3}", a[j]),
+            format!("{:.3}", b[j]),
+            format!("{:+.4}", (b[j] - a[j]) / a[j] * 100.0),
+        ]);
+    }
+    print_table(&rows);
+
+    // (C)/(D): distribution of the relative change.
+    let ratios: Vec<f64> = a.iter().zip(b).map(|(x, y)| (y - x) / x).collect();
+    let below_half_pct =
+        ratios.iter().filter(|r| r.abs() < 0.005).count() as f64 / ratios.len() as f64;
+    println!();
+    println!(
+        "Fig. 1 (C): {} of {} points ({}%) change by less than 0.5%  (paper: >75%)",
+        ratios.iter().filter(|r| r.abs() < 0.005).count(),
+        ratios.len(),
+        pct(below_half_pct, 1),
+    );
+
+    println!();
+    println!("Fig. 1 (D): distribution of relative data change between the two iterations");
+    let edges: Vec<f64> = (-10..=10).map(|i| i as f64 * 0.001).collect();
+    let mut hist_rows =
+        vec![vec!["bin lo %".to_string(), "bin hi %".to_string(), "count".to_string(), "".to_string()]];
+    let mut csv = vec![vec!["bin_lo".to_string(), "bin_hi".to_string(), "count".to_string()]];
+    for w in edges.windows(2) {
+        let count = ratios.iter().filter(|&&r| r >= w[0] && r < w[1]).count();
+        let bar_len = (count as f64 / ratios.len() as f64 * 200.0).round() as usize;
+        hist_rows.push(vec![
+            format!("{:+.1}", w[0] * 100.0),
+            format!("{:+.1}", w[1] * 100.0),
+            count.to_string(),
+            "#".repeat(bar_len.min(60)),
+        ]);
+        csv.push(vec![w[0].to_string(), w[1].to_string(), count.to_string()]);
+    }
+    print_table(&hist_rows);
+    match write_csv(RESULTS_DIR, "fig1_change_distribution", &csv) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    assert!(below_half_pct > 0.75, "calibration regression: rlus must match the paper's >75% claim");
+}

@@ -1,0 +1,69 @@
+//! Figure 4: NUMARCK on CMIP5 data — incompressible ratio and mean error
+//! rate per iteration for each approximation strategy.
+//!
+//! Settings per the paper: `E = 0.1%`, `B = 8` bits. Expected shape:
+//! clustering ≤ log-scale ≤ equal-width in incompressible ratio, all
+//! mean errors far below `E`, and CMIP5 visibly harder than FLASH
+//! (compare `fig5`).
+
+use climate_sim::ClimateVar;
+use numarck_bench::data::climate_sequence;
+use numarck_bench::report::{pct, print_table, write_csv};
+use numarck_bench::run::{mean_of, strategy_sweep};
+use numarck_bench::RESULTS_DIR;
+
+fn main() {
+    let iterations = 60usize;
+    let bits = 8u8;
+    let tolerance = 0.001;
+
+    println!(
+        "Fig. 4: CMIP5, E = 0.1%, B = {bits} — mean over {} transitions",
+        iterations - 1
+    );
+    let mut summary = vec![vec![
+        "variable".to_string(),
+        "strategy".to_string(),
+        "incompressible %".to_string(),
+        "mean error %".to_string(),
+        "compression % (Eq.3)".to_string(),
+    ]];
+    let mut csv = vec![vec![
+        "variable".to_string(),
+        "strategy".to_string(),
+        "iteration".to_string(),
+        "incompressible_ratio".to_string(),
+        "mean_error".to_string(),
+        "compression_eq3".to_string(),
+    ]];
+
+    for var in ClimateVar::all() {
+        let seq = climate_sequence(var, iterations);
+        for (strategy, stats) in strategy_sweep(&seq, bits, tolerance) {
+            for (i, st) in stats.iter().enumerate() {
+                csv.push(vec![
+                    var.name().to_string(),
+                    strategy.name().to_string(),
+                    (i + 1).to_string(),
+                    st.incompressible_ratio.to_string(),
+                    st.mean_error_rate.to_string(),
+                    st.compression_ratio_eq3.to_string(),
+                ]);
+            }
+            summary.push(vec![
+                var.name().to_string(),
+                strategy.name().to_string(),
+                pct(mean_of(&stats, |s| s.incompressible_ratio), 2),
+                pct(mean_of(&stats, |s| s.mean_error_rate), 4),
+                pct(mean_of(&stats, |s| s.compression_ratio_eq3), 2),
+            ]);
+        }
+    }
+    print_table(&summary);
+    println!("\n(paper: clustering best on every variable; mean errors < 0.025%;");
+    println!(" clustering incompressible ratio up to ~25% on the hard variables)");
+    match write_csv(RESULTS_DIR, "fig4_cmip5_per_iteration", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 5: NUMARCK on FLASH data — incompressible ratio and mean error
+//! rate per iteration for each approximation strategy.
+//!
+//! Settings per the paper: `E = 0.1%`, `B = 8`. Expected shape:
+//! clustering achieves a low incompressible ratio on all FLASH
+//! variables (paper: < 7%), markedly easier than CMIP5 (fig4), and mean
+//! errors stay far below `E`.
+
+use numarck_bench::data::{flash_figure_vars, flash_sequences, FlashConfig};
+use numarck_bench::report::{pct, print_table, write_csv};
+use numarck_bench::run::{mean_of, strategy_sweep};
+use numarck_bench::RESULTS_DIR;
+
+fn main() {
+    let checkpoints = 40usize;
+    let bits = 8u8;
+    let tolerance = 0.001;
+    let cfg = FlashConfig::default();
+
+    println!(
+        "Fig. 5: FLASH ({} on {}x{} blocks), E = 0.1%, B = {bits} — mean over {} transitions",
+        cfg.problem,
+        cfg.blocks,
+        cfg.blocks,
+        checkpoints - 1
+    );
+    let sequences = flash_sequences(cfg, checkpoints);
+
+    let mut summary = vec![vec![
+        "variable".to_string(),
+        "strategy".to_string(),
+        "incompressible %".to_string(),
+        "mean error %".to_string(),
+        "compression % (Eq.3)".to_string(),
+    ]];
+    let mut csv = vec![vec![
+        "variable".to_string(),
+        "strategy".to_string(),
+        "iteration".to_string(),
+        "incompressible_ratio".to_string(),
+        "mean_error".to_string(),
+        "compression_eq3".to_string(),
+    ]];
+
+    for var in flash_figure_vars() {
+        let seq = &sequences[&var];
+        for (strategy, stats) in strategy_sweep(seq, bits, tolerance) {
+            for (i, st) in stats.iter().enumerate() {
+                csv.push(vec![
+                    var.name().to_string(),
+                    strategy.name().to_string(),
+                    (i + 1).to_string(),
+                    st.incompressible_ratio.to_string(),
+                    st.mean_error_rate.to_string(),
+                    st.compression_ratio_eq3.to_string(),
+                ]);
+            }
+            summary.push(vec![
+                var.name().to_string(),
+                strategy.name().to_string(),
+                pct(mean_of(&stats, |s| s.incompressible_ratio), 2),
+                pct(mean_of(&stats, |s| s.mean_error_rate), 4),
+                pct(mean_of(&stats, |s| s.compression_ratio_eq3), 2),
+            ]);
+        }
+    }
+    print_table(&summary);
+    println!("\n(paper: clustering < 7% incompressible on all FLASH data; easier than CMIP5)");
+    match write_csv(RESULTS_DIR, "fig5_flash_per_iteration", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 7: effect of the user tolerance `E` on `abs550aer` with the
+//! clustering strategy, `B = 8`, 60 iterations.
+//!
+//! Expected shape (paper): raising E from 0.1% to 0.5% drives the
+//! incompressible ratio from >40% down below 10% and the compression
+//! ratio from <50% to >80%, while the mean error stays well below the
+//! tolerance (e.g. <0.1% at E = 0.4%).
+
+use climate_sim::ClimateVar;
+use numarck::{Config, Strategy};
+use numarck_bench::data::climate_sequence;
+use numarck_bench::report::{pct, print_table, write_csv};
+use numarck_bench::run::{compress_sequence, mean_of};
+use numarck_bench::RESULTS_DIR;
+
+fn main() {
+    let iterations = 60usize;
+    let bits = 8u8;
+    let seq = climate_sequence(ClimateVar::Abs550aer, iterations);
+
+    println!(
+        "Fig. 7: abs550aer, clustering, B = {bits}, {} transitions",
+        iterations - 1
+    );
+    let mut summary = vec![vec![
+        "E %".to_string(),
+        "incompressible %".to_string(),
+        "compression % (Eq.3)".to_string(),
+        "mean error %".to_string(),
+    ]];
+    let mut csv = vec![vec![
+        "tolerance".to_string(),
+        "iteration".to_string(),
+        "incompressible_ratio".to_string(),
+        "compression_eq3".to_string(),
+        "mean_error".to_string(),
+    ]];
+    for e_pct in [0.1f64, 0.2, 0.3, 0.4, 0.5] {
+        let tolerance = e_pct / 100.0;
+        let config = Config::new(bits, tolerance, Strategy::Clustering).expect("valid");
+        let stats = compress_sequence(&seq, config);
+        for (i, st) in stats.iter().enumerate() {
+            csv.push(vec![
+                tolerance.to_string(),
+                (i + 1).to_string(),
+                st.incompressible_ratio.to_string(),
+                st.compression_ratio_eq3.to_string(),
+                st.mean_error_rate.to_string(),
+            ]);
+        }
+        summary.push(vec![
+            format!("{e_pct:.1}"),
+            pct(mean_of(&stats, |s| s.incompressible_ratio), 2),
+            pct(mean_of(&stats, |s| s.compression_ratio_eq3), 2),
+            pct(mean_of(&stats, |s| s.mean_error_rate), 4),
+        ]);
+    }
+    print_table(&summary);
+    println!("\n(paper: incompressible >40% → <10% and compression <50% → >80% as E rises;");
+    println!(" mean error stays far below E, e.g. <0.1% at E = 0.4%)");
+    match write_csv(RESULTS_DIR, "fig7_tolerance_sweep", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

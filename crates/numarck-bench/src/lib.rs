@@ -1,0 +1,18 @@
+//! Shared experiment harness for the paper-reproduction binaries.
+//!
+//! Each figure/table of the paper's §III has a binary in `src/bin/`
+//! (`fig1` … `fig8`, `table1`) built from the pieces here:
+//!
+//! * [`data`] — checkpoint-sequence generators: FLASH variables from
+//!   [`flash_sim`] runs and CMIP5-like variables from [`climate_sim`];
+//! * [`run`] — sweep runners that compress a sequence under a strategy
+//!   grid and collect [`numarck::IterationStats`];
+//! * [`report`] — fixed-width console tables and CSV emission under
+//!   `results/` so figures can be re-plotted.
+
+pub mod data;
+pub mod report;
+pub mod run;
+
+/// Default output directory for CSV series.
+pub const RESULTS_DIR: &str = "results";

@@ -1,0 +1,85 @@
+//! Console tables and CSV emission.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Print a fixed-width table. The first row is the header.
+pub fn print_table(rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+    let line = |row: &[String]| {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect();
+        println!("  {}", cells.join("  "));
+    };
+    line(&rows[0]);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&rule);
+    for row in &rows[1..] {
+        line(row);
+    }
+}
+
+/// Write rows as CSV under `dir/name.csv` (creating `dir`), returning
+/// the path written. Cells are written verbatim; callers only emit
+/// numbers and simple identifiers.
+pub fn write_csv(dir: &str, name: &str, rows: &[Vec<String>]) -> std::io::Result<String> {
+    fs::create_dir_all(dir)?;
+    let path = Path::new(dir).join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path.display().to_string())
+}
+
+/// Format a fraction as a percent with `dp` decimals.
+pub fn pct(x: f64, dp: usize) -> String {
+    format!("{:.dp$}", x * 100.0)
+}
+
+/// Format `mean ± std` the way the paper's tables do.
+pub fn pm(mean: f64, std: f64, dp: usize) -> String {
+    format!("{mean:.dp$}±{std:.dp$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_pm_format() {
+        assert_eq!(pct(0.80078125, 3), "80.078");
+        assert_eq!(pm(0.999, 0.0004, 3), "0.999±0.000");
+    }
+
+    #[test]
+    fn csv_rows_written() {
+        let dir = std::env::temp_dir().join(format!("numarck-csv-{}", std::process::id()));
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string(), "2".to_string()],
+        ];
+        let path = write_csv(dir.to_str().unwrap(), "t", &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn print_table_handles_empty() {
+        print_table(&[]); // must not panic
+    }
+}

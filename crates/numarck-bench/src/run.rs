@@ -1,0 +1,91 @@
+//! Sweep runners.
+
+use numarck::encode::IterationStats;
+use numarck::{Compressor, Config, Strategy};
+
+use crate::data::Sequence;
+
+/// Compress every consecutive pair of a sequence and collect stats.
+pub fn compress_sequence(seq: &Sequence, config: Config) -> Vec<IterationStats> {
+    let compressor = Compressor::new(config);
+    seq.windows(2)
+        .map(|w| compressor.compress(&w[0], &w[1]).expect("experiment data is finite").1)
+        .collect()
+}
+
+/// Per-strategy stats over a sequence (paper order: equal-width,
+/// log-scale, clustering).
+pub fn strategy_sweep(
+    seq: &Sequence,
+    bits: u8,
+    tolerance: f64,
+) -> Vec<(Strategy, Vec<IterationStats>)> {
+    Strategy::all()
+        .into_iter()
+        .map(|s| {
+            let config = Config::new(bits, tolerance, s).expect("valid sweep parameters");
+            (s, compress_sequence(seq, config))
+        })
+        .collect()
+}
+
+/// Mean of a statistic over iterations.
+pub fn mean_of(stats: &[IterationStats], f: impl Fn(&IterationStats) -> f64) -> f64 {
+    if stats.is_empty() {
+        return 0.0;
+    }
+    stats.iter().map(&f).sum::<f64>() / stats.len() as f64
+}
+
+/// Mean and population standard deviation of a derived per-iteration
+/// quantity.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sequence() -> Sequence {
+        let mut seq = vec![(0..500).map(|i| 1.0 + (i % 9) as f64).collect::<Vec<f64>>()];
+        for s in 1..4 {
+            let prev: &Vec<f64> = seq.last().expect("non-empty");
+            seq.push(prev.iter().map(|v| v * (1.0 + 0.002 * s as f64)).collect());
+        }
+        seq
+    }
+
+    #[test]
+    fn compress_sequence_yields_one_stat_per_transition() {
+        let seq = toy_sequence();
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let stats = compress_sequence(&seq, cfg);
+        assert_eq!(stats.len(), seq.len() - 1);
+        for st in &stats {
+            assert_eq!(st.num_points, 500);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_strategies() {
+        let seq = toy_sequence();
+        let sweep = strategy_sweep(&seq, 8, 0.001);
+        let names: Vec<_> = sweep.iter().map(|(s, _)| s.name()).collect();
+        assert_eq!(names, vec!["equal-width", "log-scale", "clustering"]);
+    }
+
+    #[test]
+    fn mean_std_hand_checked() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

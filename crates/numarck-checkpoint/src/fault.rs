@@ -1,0 +1,168 @@
+//! Fault injection for recovery testing.
+//!
+//! Checkpointing exists to survive faults, so the test suite must
+//! exercise the failure paths: torn writes, bit rot, vanished files.
+//! These helpers mutate stored checkpoint files in controlled ways and
+//! [`verify_store`] reports which iterations remain restartable.
+
+use std::fs;
+use std::path::Path;
+
+use crate::restart::RestartEngine;
+use crate::store::CheckpointStore;
+
+/// A way to damage a checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Truncate the file to `keep` bytes.
+    Truncate {
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// XOR the byte at `offset` with `mask`.
+    BitFlip {
+        /// Byte offset (clamped to the file).
+        offset: usize,
+        /// Mask to XOR in (0 is a no-op).
+        mask: u8,
+    },
+    /// Delete the file entirely.
+    Delete,
+}
+
+/// Apply `fault` to the file at `path`.
+pub fn inject(path: &Path, fault: Fault) -> std::io::Result<()> {
+    match fault {
+        Fault::Truncate { keep } => {
+            let data = fs::read(path)?;
+            fs::write(path, &data[..keep.min(data.len())])
+        }
+        Fault::BitFlip { offset, mask } => {
+            let mut data = fs::read(path)?;
+            if data.is_empty() {
+                return Ok(());
+            }
+            let o = offset.min(data.len() - 1);
+            data[o] ^= mask;
+            fs::write(path, data)
+        }
+        Fault::Delete => fs::remove_file(path),
+    }
+}
+
+/// Health report for one iteration in a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationHealth {
+    /// Iteration number.
+    pub iteration: u64,
+    /// Whether [`RestartEngine::restart_at`] succeeds for it.
+    pub restartable: bool,
+}
+
+/// Try to restart at every checkpointed iteration and report which ones
+/// survive. Fault-tolerant diagnosis: one damaged delta makes every
+/// later iteration (up to the next full) unrestartable, which this
+/// report makes visible.
+pub fn verify_store(store: &CheckpointStore) -> std::io::Result<Vec<IterationHealth>> {
+    let engine = RestartEngine::new(store.clone());
+    Ok(store
+        .list()?
+        .into_iter()
+        .map(|e| IterationHealth {
+            iteration: e.iteration,
+            restartable: engine.restart_at(e.iteration).is_ok(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{CheckpointManager, ManagerPolicy};
+    use crate::store::testutil::TempDir;
+    use crate::VariableSet;
+    use numarck::{Config, Strategy};
+
+    fn build(tmp: &TempDir, iters: u64, full_interval: u64) -> CheckpointStore {
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let mut mgr =
+            CheckpointManager::new(store.clone(), cfg, ManagerPolicy::fixed(full_interval));
+        let mut state: Vec<f64> = (0..200).map(|i| 1.0 + (i % 9) as f64).collect();
+        for it in 0..iters {
+            if it > 0 {
+                for v in state.iter_mut() {
+                    *v *= 1.002;
+                }
+            }
+            let mut vars = VariableSet::new();
+            vars.insert("x".into(), state.clone());
+            mgr.checkpoint(it, &vars).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn healthy_store_is_fully_restartable() {
+        let tmp = TempDir::new("fault-healthy");
+        let store = build(&tmp, 10, 4);
+        let health = verify_store(&store).unwrap();
+        assert_eq!(health.len(), 10);
+        assert!(health.iter().all(|h| h.restartable));
+    }
+
+    #[test]
+    fn corrupt_delta_breaks_only_its_chain_segment() {
+        let tmp = TempDir::new("fault-delta");
+        let store = build(&tmp, 12, 4);
+        // Corrupt delta at iteration 5 (fulls at 0, 4, 8).
+        inject(&store.path_of(5, false), Fault::BitFlip { offset: 40, mask: 0x08 }).unwrap();
+        let health = verify_store(&store).unwrap();
+        let map: std::collections::BTreeMap<u64, bool> =
+            health.iter().map(|h| (h.iteration, h.restartable)).collect();
+        // 0..=4 fine; 5..=7 broken; 8.. fine again.
+        for it in 0..=4u64 {
+            assert!(map[&it], "iteration {it} should survive");
+        }
+        for it in 5..=7u64 {
+            assert!(!map[&it], "iteration {it} should be broken");
+        }
+        for it in 8..=11u64 {
+            assert!(map[&it], "iteration {it} should survive");
+        }
+    }
+
+    #[test]
+    fn truncated_full_breaks_until_next_full() {
+        let tmp = TempDir::new("fault-full");
+        let store = build(&tmp, 9, 4);
+        inject(&store.path_of(4, true), Fault::Truncate { keep: 64 }).unwrap();
+        let health = verify_store(&store).unwrap();
+        let map: std::collections::BTreeMap<u64, bool> =
+            health.iter().map(|h| (h.iteration, h.restartable)).collect();
+        for it in 0..=3u64 {
+            assert!(map[&it]);
+        }
+        for it in 4..=7u64 {
+            assert!(!map[&it], "iteration {it} depends on the damaged full");
+        }
+        assert!(map[&8]);
+    }
+
+    #[test]
+    fn deleted_base_detected() {
+        let tmp = TempDir::new("fault-delete");
+        let store = build(&tmp, 4, 10);
+        inject(&store.path_of(0, true), Fault::Delete).unwrap();
+        let health = verify_store(&store).unwrap();
+        assert!(health.iter().all(|h| !h.restartable));
+    }
+
+    #[test]
+    fn zero_mask_bitflip_is_harmless() {
+        let tmp = TempDir::new("fault-noop");
+        let store = build(&tmp, 3, 10);
+        inject(&store.path_of(1, false), Fault::BitFlip { offset: 10, mask: 0 }).unwrap();
+        assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+    }
+}

@@ -1,0 +1,261 @@
+//! On-disk checkpoint container.
+//!
+//! ```text
+//! [0..4)   magic b"NCKP"
+//! [4..6)   version (u16)
+//! [6]      kind: 0 = full, 1 = delta
+//! [7]      reserved
+//! [8..16)  iteration number (u64)
+//! [16..20) variable count (u32)
+//! [20..24) reserved
+//! per variable:
+//!   name_len (u16) | name bytes (UTF-8)
+//!   payload_len (u64) | payload bytes
+//!     full:  num_points × f64 LE
+//!     delta: a numarck::serialize blob
+//! crc32 of everything above (u32)
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use numarck::encode::CompressedIteration;
+use numarck::error::NumarckError;
+use numarck::serialize as nser;
+
+use crate::VariableSet;
+
+/// Magic bytes of a checkpoint file.
+pub const MAGIC: [u8; 4] = *b"NCKP";
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+/// Full (exact) or delta (NUMARCK-compressed) checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointKind {
+    /// Raw `f64` arrays — the paper's `D_0`.
+    Full(VariableSet),
+    /// One compressed block per variable.
+    Delta(std::collections::BTreeMap<String, CompressedIteration>),
+}
+
+/// A checkpoint ready to be written or just read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFile {
+    /// Simulation iteration this checkpoint captures.
+    pub iteration: u64,
+    /// Payload.
+    pub kind: CheckpointKind,
+}
+
+impl CheckpointFile {
+    /// Serialise to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        let (kind_byte, count) = match &self.kind {
+            CheckpointKind::Full(vars) => (0u8, vars.len()),
+            CheckpointKind::Delta(blocks) => (1u8, blocks.len()),
+        };
+        buf.put_u8(kind_byte);
+        buf.put_u8(0);
+        buf.put_u64_le(self.iteration);
+        buf.put_u32_le(count as u32);
+        buf.put_u32_le(0);
+        match &self.kind {
+            CheckpointKind::Full(vars) => {
+                for (name, data) in vars {
+                    put_name(&mut buf, name);
+                    buf.put_u64_le((data.len() * 8) as u64);
+                    for &v in data {
+                        buf.put_f64_le(v);
+                    }
+                }
+            }
+            CheckpointKind::Delta(blocks) => {
+                for (name, block) in blocks {
+                    put_name(&mut buf, name);
+                    let payload = nser::to_bytes(block);
+                    buf.put_u64_le(payload.len() as u64);
+                    buf.put_slice(&payload);
+                }
+            }
+        }
+        let crc = nser::crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.to_vec()
+    }
+
+    /// Parse and validate bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, NumarckError> {
+        const HEADER: usize = 24;
+        if data.len() < HEADER + 4 {
+            return Err(NumarckError::Corrupt("checkpoint file too short".into()));
+        }
+        let body = &data[..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+        let computed = nser::crc32(body);
+        if stored != computed {
+            return Err(NumarckError::Corrupt(format!(
+                "checkpoint crc mismatch: stored {stored:#x}, computed {computed:#x}"
+            )));
+        }
+        let mut cur = body;
+        let mut magic = [0u8; 4];
+        cur.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(NumarckError::Corrupt("bad checkpoint magic".into()));
+        }
+        let version = cur.get_u16_le();
+        if version != VERSION {
+            return Err(NumarckError::VersionMismatch { found: version, expected: VERSION });
+        }
+        let kind_byte = cur.get_u8();
+        let _ = cur.get_u8();
+        let iteration = cur.get_u64_le();
+        let count = cur.get_u32_le() as usize;
+        let _ = cur.get_u32_le();
+
+        let read_entry = |cur: &mut &[u8]| -> Result<(String, Vec<u8>), NumarckError> {
+            if cur.remaining() < 2 {
+                return Err(NumarckError::Corrupt("truncated variable name".into()));
+            }
+            let name_len = cur.get_u16_le() as usize;
+            if cur.remaining() < name_len {
+                return Err(NumarckError::Corrupt("truncated variable name".into()));
+            }
+            let mut name_bytes = vec![0u8; name_len];
+            cur.copy_to_slice(&mut name_bytes);
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| NumarckError::Corrupt("variable name not UTF-8".into()))?;
+            if cur.remaining() < 8 {
+                return Err(NumarckError::Corrupt("truncated payload length".into()));
+            }
+            let payload_len = cur.get_u64_le() as usize;
+            if cur.remaining() < payload_len {
+                return Err(NumarckError::Corrupt(format!(
+                    "payload for '{name}' truncated: want {payload_len}, have {}",
+                    cur.remaining()
+                )));
+            }
+            let mut payload = vec![0u8; payload_len];
+            cur.copy_to_slice(&mut payload);
+            Ok((name, payload))
+        };
+
+        let kind = match kind_byte {
+            0 => {
+                let mut vars = VariableSet::new();
+                for _ in 0..count {
+                    let (name, payload) = read_entry(&mut cur)?;
+                    if payload.len() % 8 != 0 {
+                        return Err(NumarckError::Corrupt(format!(
+                            "full payload for '{name}' not a multiple of 8 bytes"
+                        )));
+                    }
+                    let values: Vec<f64> = payload
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect();
+                    vars.insert(name, values);
+                }
+                CheckpointKind::Full(vars)
+            }
+            1 => {
+                let mut blocks = std::collections::BTreeMap::new();
+                for _ in 0..count {
+                    let (name, payload) = read_entry(&mut cur)?;
+                    blocks.insert(name, nser::from_bytes(&payload)?);
+                }
+                CheckpointKind::Delta(blocks)
+            }
+            k => return Err(NumarckError::Corrupt(format!("unknown checkpoint kind {k}"))),
+        };
+        if cur.remaining() != 0 {
+            return Err(NumarckError::Corrupt(format!(
+                "{} trailing bytes after last variable",
+                cur.remaining()
+            )));
+        }
+        Ok(Self { iteration, kind })
+    }
+}
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    assert!(name.len() <= u16::MAX as usize, "variable name too long");
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numarck::{Config, Strategy};
+
+    fn sample_vars() -> VariableSet {
+        let mut vars = VariableSet::new();
+        vars.insert("dens".into(), (0..500).map(|i| 1.0 + (i % 7) as f64).collect());
+        vars.insert("pres".into(), (0..500).map(|i| 0.5 + (i % 3) as f64).collect());
+        vars
+    }
+
+    fn sample_delta() -> CheckpointFile {
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let vars = sample_vars();
+        let mut blocks = std::collections::BTreeMap::new();
+        for (name, data) in &vars {
+            let next: Vec<f64> = data.iter().map(|v| v * 1.01).collect();
+            let (block, _) = numarck::encode::encode(data, &next, &cfg).unwrap();
+            blocks.insert(name.clone(), block);
+        }
+        CheckpointFile { iteration: 42, kind: CheckpointKind::Delta(blocks) }
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let f = CheckpointFile { iteration: 7, kind: CheckpointKind::Full(sample_vars()) };
+        let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let f = sample_delta();
+        let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn empty_variable_set_roundtrip() {
+        let f = CheckpointFile { iteration: 0, kind: CheckpointKind::Full(VariableSet::new()) };
+        let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn corruption_detected_everywhere() {
+        let bytes = sample_delta().to_bytes();
+        for pos in [0usize, 5, 9, 30, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(CheckpointFile::from_bytes(&bad).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_delta().to_bytes();
+        for cut in [0usize, 10, 23, bytes.len() / 3, bytes.len() - 1] {
+            assert!(CheckpointFile::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unicode_variable_names() {
+        let mut vars = VariableSet::new();
+        vars.insert("ρ-density".into(), vec![1.0, 2.0]);
+        let f = CheckpointFile { iteration: 1, kind: CheckpointKind::Full(vars) };
+        let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+    }
+}

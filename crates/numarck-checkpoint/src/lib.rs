@@ -1,0 +1,34 @@
+//! Checkpoint/restart machinery built on NUMARCK compression.
+//!
+//! This crate is the storage side of the paper's Algorithm 1 and §II-D:
+//!
+//! * [`format`](crate::format) — an on-disk container for one checkpoint: either a
+//!   *full* checkpoint (raw `f64` arrays per variable, the paper's `D_0`)
+//!   or a *delta* checkpoint (one NUMARCK-compressed block per
+//!   variable). CRC-protected, length-validated.
+//! * [`store`] — a directory of checkpoint files indexed by iteration.
+//! * [`manager`] — the write-side policy: a full checkpoint every `K`
+//!   iterations, NUMARCK deltas in between (change ratios computed
+//!   against the *exact* previous iteration, as in the paper).
+//! * [`restart`] — the read side: locate the newest full checkpoint at or
+//!   before the requested iteration and replay the delta chain on top,
+//!   reproducing the paper's restart equation (including its error
+//!   accumulation behaviour).
+//! * [`fault`] — fault injection used by the recovery tests: truncate or
+//!   bit-flip stored files and assert the reader degrades loudly, never
+//!   silently.
+
+pub mod fault;
+pub mod format;
+pub mod manager;
+pub mod restart;
+pub mod store;
+
+pub use format::{CheckpointFile, CheckpointKind};
+pub use manager::{AdaptivePolicy, CheckpointManager, CheckpointOutcome, ManagerPolicy};
+pub use restart::RestartEngine;
+pub use store::CheckpointStore;
+
+/// Variables are keyed by name; every variable is an `f64` array of the
+/// same length within one checkpoint stream.
+pub type VariableSet = std::collections::BTreeMap<String, Vec<f64>>;

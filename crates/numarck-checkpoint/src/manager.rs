@@ -1,0 +1,392 @@
+//! Write-side checkpointing policy (the paper's Algorithm 1).
+//!
+//! Every `full_interval` iterations a full checkpoint is stored; in
+//! between, each variable's transition from the *exact* previous
+//! iteration is NUMARCK-compressed into a delta checkpoint. The manager
+//! therefore keeps one copy of the previous exact state — the in-situ
+//! memory cost the paper's scheme pays for avoiding error feedback in
+//! the encoder.
+
+use std::collections::BTreeMap;
+
+use numarck::drift::{ChangeDistribution, DriftTracker};
+use numarck::encode::IterationStats;
+use numarck::error::NumarckError;
+use numarck::{Compressor, Config};
+
+use crate::format::{CheckpointFile, CheckpointKind};
+use crate::store::CheckpointStore;
+use crate::VariableSet;
+
+/// Adaptive full-checkpoint triggering (the paper's §V future-work item:
+/// "determining dynamic checkpointing frequency based on how evolving
+/// distributions change").
+///
+/// When the L1 distance between consecutive iterations' change-ratio
+/// distributions exceeds `drift_threshold` for any variable, the regime
+/// has shifted — the learned representatives are getting stale and
+/// restart chains through the shift accumulate error faster — so a full
+/// checkpoint is written immediately, resetting the chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// L1 drift (0..=2) above which a full checkpoint is forced.
+    pub drift_threshold: f64,
+    /// Support half-width for the distribution summaries.
+    pub cap: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        Self { drift_threshold: 0.5, cap: 0.5 }
+    }
+}
+
+/// Checkpointing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerPolicy {
+    /// A full checkpoint at least every this many iterations (the first
+    /// is always full). Must be >= 1.
+    pub full_interval: u64,
+    /// Optional drift-triggered early fulls.
+    pub adaptive: Option<AdaptivePolicy>,
+}
+
+impl ManagerPolicy {
+    /// Fixed-interval policy (the paper's baseline behaviour).
+    pub fn fixed(full_interval: u64) -> Self {
+        Self { full_interval, adaptive: None }
+    }
+
+    /// Fixed interval plus drift-triggered early fulls.
+    pub fn adaptive(full_interval: u64, adaptive: AdaptivePolicy) -> Self {
+        Self { full_interval, adaptive: Some(adaptive) }
+    }
+}
+
+impl Default for ManagerPolicy {
+    fn default() -> Self {
+        Self::fixed(10)
+    }
+}
+
+/// Outcome of one [`CheckpointManager::checkpoint`] call.
+#[derive(Debug, Clone)]
+pub enum CheckpointOutcome {
+    /// A full checkpoint was written (on schedule, or forced by shape
+    /// change / iteration gap).
+    Full,
+    /// A full checkpoint was written early because the change
+    /// distribution drifted past the adaptive threshold.
+    FullOnDrift {
+        /// The variable whose drift tripped the trigger.
+        variable: String,
+        /// Its measured L1 drift.
+        drift_l1: f64,
+    },
+    /// A delta checkpoint was written; per-variable compression stats.
+    Delta(BTreeMap<String, IterationStats>),
+}
+
+/// The write-side manager.
+#[derive(Debug)]
+pub struct CheckpointManager {
+    store: CheckpointStore,
+    compressor: Compressor,
+    policy: ManagerPolicy,
+    previous: Option<(u64, VariableSet)>,
+    drift_trackers: BTreeMap<String, DriftTracker>,
+}
+
+impl CheckpointManager {
+    /// Create over `store`, compressing deltas with `config`.
+    ///
+    /// # Panics
+    /// Panics if `policy.full_interval == 0`.
+    pub fn new(store: CheckpointStore, config: Config, policy: ManagerPolicy) -> Self {
+        assert!(policy.full_interval >= 1, "full_interval must be >= 1");
+        Self {
+            store,
+            compressor: Compressor::new(config),
+            policy,
+            previous: None,
+            drift_trackers: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Checkpoint `vars` as iteration `iteration`.
+    ///
+    /// Writes a full checkpoint when the policy says so (or when this is
+    /// the first call, or the variable shapes changed); otherwise writes
+    /// a NUMARCK delta against the previous exact state.
+    pub fn checkpoint(
+        &mut self,
+        iteration: u64,
+        vars: &VariableSet,
+    ) -> Result<CheckpointOutcome, NumarckError> {
+        let needs_full = match &self.previous {
+            None => true,
+            Some((prev_iter, prev_vars)) => {
+                iteration.is_multiple_of(self.policy.full_interval)
+                    || iteration != prev_iter + 1
+                    || !same_shape(prev_vars, vars)
+            }
+        };
+        // Adaptive trigger: compare each variable's change distribution
+        // with its previous one; any drift past the threshold forces a
+        // full. (The trackers are fed regardless of which kind of
+        // checkpoint ends up being written.)
+        let mut drift_trigger: Option<(String, f64)> = None;
+        if let (Some(adaptive), Some((prev_iter, prev_vars))) =
+            (self.policy.adaptive, &self.previous)
+        {
+            if iteration == prev_iter + 1 && same_shape(prev_vars, vars) {
+                let tolerance = self.compressor.config().tolerance();
+                for (name, curr) in vars {
+                    let dist = ChangeDistribution::from_iterations(
+                        &prev_vars[name],
+                        curr,
+                        tolerance,
+                        adaptive.cap,
+                    )?;
+                    let tracker = self.drift_trackers.entry(name.clone()).or_default();
+                    if let Some(report) = tracker.observe(dist) {
+                        if report.l1 > adaptive.drift_threshold
+                            && drift_trigger
+                                .as_ref()
+                                .map(|(_, best)| report.l1 > *best)
+                                .unwrap_or(true)
+                        {
+                            drift_trigger = Some((name.clone(), report.l1));
+                        }
+                    }
+                }
+            } else {
+                // Chain break: distribution history no longer describes
+                // consecutive iterations.
+                self.drift_trackers.clear();
+            }
+        }
+        let outcome = if needs_full || drift_trigger.is_some() {
+            let file = CheckpointFile {
+                iteration,
+                kind: CheckpointKind::Full(vars.clone()),
+            };
+            self.store
+                .write(&file)
+                .map_err(|e| NumarckError::Corrupt(format!("write failed: {e}")))?;
+            match (needs_full, drift_trigger) {
+                (false, Some((variable, drift_l1))) => {
+                    // The regime changed; drop the distribution history
+                    // so the *next* transition (new regime vs new
+                    // regime) is judged fresh instead of against the
+                    // jump itself.
+                    self.drift_trackers.clear();
+                    CheckpointOutcome::FullOnDrift { variable, drift_l1 }
+                }
+                _ => CheckpointOutcome::Full,
+            }
+        } else {
+            let (_, prev_vars) = self.previous.as_ref().expect("checked above");
+            let mut blocks = BTreeMap::new();
+            let mut stats = BTreeMap::new();
+            for (name, curr) in vars {
+                let prev = &prev_vars[name];
+                let (block, st) = self.compressor.compress(prev, curr)?;
+                blocks.insert(name.clone(), block);
+                stats.insert(name.clone(), st);
+            }
+            let file = CheckpointFile { iteration, kind: CheckpointKind::Delta(blocks) };
+            self.store
+                .write(&file)
+                .map_err(|e| NumarckError::Corrupt(format!("write failed: {e}")))?;
+            CheckpointOutcome::Delta(stats)
+        };
+        self.previous = Some((iteration, vars.clone()));
+        Ok(outcome)
+    }
+}
+
+fn same_shape(a: &VariableSet, b: &VariableSet) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|((na, va), (nb, vb))| na == nb && va.len() == vb.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::testutil::TempDir;
+    use numarck::Strategy;
+
+    fn vars_at(iter: u64, n: usize) -> VariableSet {
+        let mut vars = VariableSet::new();
+        let f = 1.0 + iter as f64 * 0.002;
+        vars.insert("a".into(), (0..n).map(|i| f * (1.0 + (i % 5) as f64)).collect());
+        vars.insert("b".into(), (0..n).map(|i| f * (2.0 + (i % 3) as f64)).collect());
+        vars
+    }
+
+    fn manager(tmp: &TempDir, interval: u64) -> CheckpointManager {
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        CheckpointManager::new(store, cfg, ManagerPolicy::fixed(interval))
+    }
+
+    #[test]
+    fn first_checkpoint_is_full_then_deltas() {
+        let tmp = TempDir::new("mgr-basic");
+        let mut mgr = manager(&tmp, 10);
+        assert!(matches!(mgr.checkpoint(1, &vars_at(1, 200)).unwrap(), CheckpointOutcome::Full));
+        for i in 2..=5 {
+            let out = mgr.checkpoint(i, &vars_at(i, 200)).unwrap();
+            assert!(matches!(out, CheckpointOutcome::Delta(_)), "iteration {i}");
+        }
+        let list = mgr.store().list().unwrap();
+        assert_eq!(list.len(), 5);
+        assert_eq!(list.iter().filter(|e| e.is_full).count(), 1);
+    }
+
+    #[test]
+    fn full_interval_is_honoured() {
+        let tmp = TempDir::new("mgr-interval");
+        let mut mgr = manager(&tmp, 4);
+        for i in 1..=9 {
+            mgr.checkpoint(i, &vars_at(i, 100)).unwrap();
+        }
+        let fulls: Vec<u64> = mgr
+            .store()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.is_full)
+            .map(|e| e.iteration)
+            .collect();
+        // Iteration 1 (first) plus multiples of 4.
+        assert_eq!(fulls, vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn gap_in_iterations_forces_full() {
+        let tmp = TempDir::new("mgr-gap");
+        let mut mgr = manager(&tmp, 100);
+        mgr.checkpoint(1, &vars_at(1, 50)).unwrap();
+        mgr.checkpoint(2, &vars_at(2, 50)).unwrap();
+        // Skip to 10: the delta chain would be wrong, so a full is forced.
+        let out = mgr.checkpoint(10, &vars_at(10, 50)).unwrap();
+        assert!(matches!(out, CheckpointOutcome::Full));
+    }
+
+    #[test]
+    fn shape_change_forces_full() {
+        let tmp = TempDir::new("mgr-shape");
+        let mut mgr = manager(&tmp, 100);
+        mgr.checkpoint(1, &vars_at(1, 50)).unwrap();
+        let out = mgr.checkpoint(2, &vars_at(2, 60)).unwrap();
+        assert!(matches!(out, CheckpointOutcome::Full));
+    }
+
+    #[test]
+    fn delta_stats_cover_all_variables() {
+        let tmp = TempDir::new("mgr-stats");
+        let mut mgr = manager(&tmp, 10);
+        mgr.checkpoint(1, &vars_at(1, 300)).unwrap();
+        match mgr.checkpoint(2, &vars_at(2, 300)).unwrap() {
+            CheckpointOutcome::Delta(stats) => {
+                assert_eq!(stats.len(), 2);
+                for (name, st) in stats {
+                    assert_eq!(st.num_points, 300, "{name}");
+                    assert!(st.max_error_rate <= 0.001 + 1e-12);
+                }
+            }
+            CheckpointOutcome::Full | CheckpointOutcome::FullOnDrift { .. } => panic!("expected delta"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full_interval")]
+    fn zero_interval_rejected() {
+        let tmp = TempDir::new("mgr-zero");
+        manager(&tmp, 0);
+    }
+
+    /// Evolve with a given uniform growth rate.
+    fn grow(vars: &VariableSet, rate: f64) -> VariableSet {
+        vars.iter()
+            .map(|(k, v)| (k.clone(), v.iter().map(|x| x * (1.0 + rate)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn adaptive_policy_fires_on_regime_change() {
+        let tmp = TempDir::new("mgr-adaptive");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let policy = ManagerPolicy::adaptive(
+            1000, // fixed interval effectively disabled
+            AdaptivePolicy { drift_threshold: 0.5, cap: 0.5 },
+        );
+        let mut mgr = CheckpointManager::new(store, cfg, policy);
+        let mut vars = vars_at(0, 400);
+        mgr.checkpoint(0, &vars).unwrap(); // initial full
+        // Steady regime: constant 0.4% growth — distributions identical,
+        // deltas only. (Drift needs two observations, so the earliest
+        // possible trigger is iteration 3.)
+        for it in 1..=6u64 {
+            vars = grow(&vars, 0.004);
+            let out = mgr.checkpoint(it, &vars).unwrap();
+            if it >= 2 {
+                assert!(
+                    matches!(out, CheckpointOutcome::Delta(_)),
+                    "steady regime at {it} must stay delta"
+                );
+            }
+        }
+        // Regime change: sudden 30% jump — change distribution teleports.
+        vars = grow(&vars, 0.30);
+        let out = mgr.checkpoint(7, &vars).unwrap();
+        match out {
+            CheckpointOutcome::FullOnDrift { drift_l1, .. } => {
+                assert!(drift_l1 > 0.5, "reported drift {drift_l1}");
+            }
+            other => panic!("expected FullOnDrift, got {other:?}"),
+        }
+        // Back to steady: deltas resume after one more observation.
+        vars = grow(&vars, 0.004);
+        mgr.checkpoint(8, &vars).unwrap();
+        vars = grow(&vars, 0.004);
+        let out = mgr.checkpoint(9, &vars).unwrap();
+        assert!(matches!(out, CheckpointOutcome::Delta(_)), "steady regime resumes deltas");
+    }
+
+    #[test]
+    fn fixed_policy_never_reports_drift() {
+        let tmp = TempDir::new("mgr-fixed-nodrift");
+        let mut mgr = manager(&tmp, 50);
+        let mut vars = vars_at(0, 200);
+        mgr.checkpoint(0, &vars).unwrap();
+        for it in 1..=5u64 {
+            // Wild swings, but no adaptive policy configured.
+            vars = grow(&vars, if it % 2 == 0 { 0.5 } else { -0.3 });
+            let out = mgr.checkpoint(it, &vars).unwrap();
+            assert!(
+                !matches!(out, CheckpointOutcome::FullOnDrift { .. }),
+                "fixed policy must not drift-trigger"
+            );
+        }
+    }
+}
+
+/// Small helpers shared with sibling modules' tests.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use numarck::{Config, Strategy};
+
+    /// A valid default config for building trivial deltas in tests.
+    pub fn trivial_config() -> Config {
+        Config::new(8, 0.001, Strategy::Clustering).expect("valid test config")
+    }
+}

@@ -1,0 +1,306 @@
+//! A directory of checkpoint files.
+//!
+//! Files are named `ckpt_<iteration>.<full|delta>`. Writes go through a
+//! temp file + rename so a crash mid-write never leaves a plausible but
+//! corrupt checkpoint (the CRC catches torn writes that survive the
+//! rename discipline anyway).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use numarck::error::NumarckError;
+
+use crate::format::{CheckpointFile, CheckpointKind};
+
+/// Directory-backed checkpoint store.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+/// A store listing entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StoreEntry {
+    /// Iteration the file captures.
+    pub iteration: u64,
+    /// True for full checkpoints.
+    pub is_full: bool,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the file for `iteration`.
+    pub fn path_of(&self, iteration: u64, is_full: bool) -> PathBuf {
+        let ext = if is_full { "full" } else { "delta" };
+        self.dir.join(format!("ckpt_{iteration:010}.{ext}"))
+    }
+
+    /// Write a checkpoint atomically (temp file + rename).
+    pub fn write(&self, file: &CheckpointFile) -> std::io::Result<PathBuf> {
+        let is_full = matches!(file.kind, CheckpointKind::Full(_));
+        let path = self.path_of(file.iteration, is_full);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&file.to_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Read and validate the checkpoint for `iteration`.
+    pub fn read(&self, iteration: u64, is_full: bool) -> Result<CheckpointFile, NumarckError> {
+        let path = self.path_of(iteration, is_full);
+        let bytes = fs::read(&path).map_err(|e| {
+            NumarckError::Corrupt(format!("cannot read {}: {e}", path.display()))
+        })?;
+        let file = CheckpointFile::from_bytes(&bytes)?;
+        if file.iteration != iteration {
+            return Err(NumarckError::Corrupt(format!(
+                "file {} claims iteration {}, expected {iteration}",
+                path.display(),
+                file.iteration
+            )));
+        }
+        Ok(file)
+    }
+
+    /// List all checkpoints, sorted by iteration (fulls before deltas at
+    /// the same iteration).
+    pub fn list(&self) -> std::io::Result<Vec<StoreEntry>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix("ckpt_") else { continue };
+            let (digits, ext) = match rest.split_once('.') {
+                Some(parts) => parts,
+                None => continue,
+            };
+            let Ok(iteration) = digits.parse::<u64>() else { continue };
+            let is_full = match ext {
+                "full" => true,
+                "delta" => false,
+                _ => continue,
+            };
+            entries.push(StoreEntry { iteration, is_full });
+        }
+        entries.sort_by_key(|e| (e.iteration, !e.is_full));
+        Ok(entries)
+    }
+
+    /// Latest full checkpoint at or before `iteration`, if any.
+    pub fn latest_full_at_or_before(&self, iteration: u64) -> std::io::Result<Option<u64>> {
+        Ok(self
+            .list()?
+            .into_iter()
+            .filter(|e| e.is_full && e.iteration <= iteration)
+            .map(|e| e.iteration)
+            .max())
+    }
+
+    /// Delete everything in the store (test hygiene).
+    pub fn clear(&self) -> std::io::Result<()> {
+        for e in self.list()? {
+            let _ = fs::remove_file(self.path_of(e.iteration, e.is_full));
+        }
+        Ok(())
+    }
+
+    /// Retention: keep only the newest `keep_chains` restart chains.
+    ///
+    /// A *chain* is a full checkpoint plus the deltas up to (excluding)
+    /// the next full. Everything older than the `keep_chains`-th newest
+    /// full checkpoint is deleted; every kept iteration remains
+    /// restartable because chains are only removed whole. Returns the
+    /// number of files deleted.
+    ///
+    /// `keep_chains == 0` is rejected — it would delete the ability to
+    /// restart at all.
+    pub fn prune(&self, keep_chains: usize) -> std::io::Result<usize> {
+        assert!(keep_chains >= 1, "must keep at least one chain");
+        let entries = self.list()?;
+        let mut fulls: Vec<u64> =
+            entries.iter().filter(|e| e.is_full).map(|e| e.iteration).collect();
+        fulls.sort_unstable();
+        if fulls.len() <= keep_chains {
+            return Ok(0);
+        }
+        let cutoff = fulls[fulls.len() - keep_chains];
+        let mut removed = 0;
+        for e in entries {
+            if e.iteration < cutoff {
+                fs::remove_file(self.path_of(e.iteration, e.is_full))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+
+    /// Self-cleaning unique temp directory.
+    pub struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub fn new(tag: &str) -> Self {
+            let unique = format!(
+                "numarck-test-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock after epoch")
+                    .as_nanos()
+            );
+            let path = std::env::temp_dir().join(unique);
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            Self(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::TempDir;
+    use super::*;
+    use crate::VariableSet;
+
+    fn full(iter: u64) -> CheckpointFile {
+        let mut vars = VariableSet::new();
+        vars.insert("x".into(), vec![iter as f64; 16]);
+        CheckpointFile { iteration: iter, kind: CheckpointKind::Full(vars) }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let tmp = TempDir::new("store-rt");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let f = full(3);
+        store.write(&f).unwrap();
+        let back = store.read(3, true).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn listing_is_sorted_and_filtered() {
+        let tmp = TempDir::new("store-list");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        for i in [5u64, 1, 3] {
+            store.write(&full(i)).unwrap();
+        }
+        // Noise files are ignored.
+        std::fs::write(tmp.0.join("README"), b"hello").unwrap();
+        std::fs::write(tmp.0.join("ckpt_bogus.full"), b"zzz").unwrap();
+        let list = store.list().unwrap();
+        let iters: Vec<u64> = list.iter().map(|e| e.iteration).collect();
+        assert_eq!(iters, vec![1, 3, 5]);
+        assert!(list.iter().all(|e| e.is_full));
+    }
+
+    #[test]
+    fn latest_full_lookup() {
+        let tmp = TempDir::new("store-latest");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        for i in [0u64, 4, 8] {
+            store.write(&full(i)).unwrap();
+        }
+        assert_eq!(store.latest_full_at_or_before(6).unwrap(), Some(4));
+        assert_eq!(store.latest_full_at_or_before(8).unwrap(), Some(8));
+        assert_eq!(store.latest_full_at_or_before(100).unwrap(), Some(8));
+        let empty = CheckpointStore::open(tmp.0.join("sub")).unwrap();
+        assert_eq!(empty.latest_full_at_or_before(5).unwrap(), None);
+    }
+
+    #[test]
+    fn reading_missing_file_errors() {
+        let tmp = TempDir::new("store-missing");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        assert!(store.read(9, true).is_err());
+    }
+
+    #[test]
+    fn iteration_mismatch_detected() {
+        let tmp = TempDir::new("store-mismatch");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        // Hand-write a file whose name disagrees with its header.
+        let f = full(7);
+        std::fs::write(store.path_of(9, true), f.to_bytes()).unwrap();
+        assert!(store.read(9, true).is_err());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_chains_whole() {
+        use crate::format::CheckpointKind;
+        use crate::VariableSet;
+        let tmp = TempDir::new("store-prune");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        // Fulls at 0, 4, 8; deltas elsewhere up to 10.
+        for it in 0..=10u64 {
+            let kind = if it % 4 == 0 {
+                CheckpointKind::Full({
+                    let mut v = VariableSet::new();
+                    v.insert("x".into(), vec![it as f64; 4]);
+                    v
+                })
+            } else {
+                // A delta payload isn't needed for pruning tests; write a
+                // full-shaped file under the delta name via the format
+                // API would be wrong, so build a real (trivial) delta.
+                let cfg = crate::manager::test_support::trivial_config();
+                let prev = vec![1.0, 2.0, 3.0, 4.0];
+                let curr = vec![1.001, 2.002, 3.003, 4.004];
+                let (block, _) = numarck::encode::encode(&prev, &curr, &cfg).unwrap();
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("x".to_string(), block);
+                CheckpointKind::Delta(m)
+            };
+            store.write(&CheckpointFile { iteration: it, kind }).unwrap();
+        }
+        let removed = store.prune(2).unwrap();
+        // Cutoff at full 4: iterations 0..=3 go (4 files).
+        assert_eq!(removed, 4);
+        let left: Vec<u64> = store.list().unwrap().iter().map(|e| e.iteration).collect();
+        assert_eq!(left, vec![4, 5, 6, 7, 8, 9, 10]);
+        // Keeping more chains than exist is a no-op.
+        assert_eq!(store.prune(5).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn prune_zero_rejected() {
+        let tmp = TempDir::new("store-prune-zero");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let _ = store.prune(0);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let tmp = TempDir::new("store-clear");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        store.write(&full(1)).unwrap();
+        store.clear().unwrap();
+        assert!(store.list().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Tiny flag parser: positionals plus `--key value` pairs and boolean
+//! `--flag` switches. No external dependencies, strict about unknown
+//! flags (a typo must not silently change an experiment).
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Arguments that are not flags, in order.
+    pub positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse `args` given the sets of known value-flags and switches.
+pub fn parse(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            if switch_flags.contains(&name) {
+                out.switches.push(name.to_string());
+            } else if value_flags.contains(&name) {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                out.flags.insert(name.to_string(), value.clone());
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        } else {
+            out.positionals.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// Value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Required flag value.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parse a flag as `T`, with a default when absent.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Exactly `n` positionals, else an error naming them.
+    pub fn expect_positionals(&self, n: usize, names: &str) -> Result<&[String], String> {
+        if self.positionals.len() != n {
+            return Err(format!(
+                "expected {n} positional argument(s) ({names}), got {}",
+                self.positionals.len()
+            ));
+        }
+        Ok(&self.positionals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixed_parse() {
+        let p = parse(
+            &argv(&["input.f64s", "--bits", "9", "--closed-loop", "--out", "x"]),
+            &["bits", "out"],
+            &["closed-loop"],
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["input.f64s"]);
+        assert_eq!(p.get("bits"), Some("9"));
+        assert!(p.has("closed-loop"));
+        assert_eq!(p.get_parsed::<u8>("bits", 8).unwrap(), 9);
+        assert_eq!(p.get_parsed::<f64>("tolerance", 0.001).unwrap(), 0.001);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = parse(&argv(&["--bogus"]), &["out"], &[]).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = parse(&argv(&["--out"]), &["out"], &[]).unwrap_err();
+        assert!(err.contains("expects a value"));
+    }
+
+    #[test]
+    fn require_and_positional_count() {
+        let p = parse(&argv(&["a", "b"]), &["out"], &[]).unwrap();
+        assert!(p.require("out").is_err());
+        assert!(p.expect_positionals(2, "a b").is_ok());
+        assert!(p.expect_positionals(1, "a").is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_descriptive() {
+        let p = parse(&argv(&["--bits", "eight"]), &["bits"], &[]).unwrap();
+        let err = p.get_parsed::<u8>("bits", 8).unwrap_err();
+        assert!(err.contains("eight"));
+    }
+}

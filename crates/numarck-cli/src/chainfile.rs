@@ -1,0 +1,227 @@
+//! `.nmkc` chain files: one exact base iteration plus NUMARCK deltas.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  NMKC | version u16 | bits u8 | strategy u8 | mode u8 | pad [3]
+//! tolerance f64 | num_deltas u32 | points u64
+//! base: points × f64
+//! per delta: payload_len u64 | numarck::serialize blob
+//! crc32 of everything above
+//! ```
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use numarck::encode::CompressedIteration;
+use numarck::serialize as nser;
+use numarck::{ReferenceMode, Strategy};
+
+/// Magic bytes of a chain file.
+pub const MAGIC: [u8; 4] = *b"NMKC";
+/// Format version.
+pub const VERSION: u16 = 1;
+
+/// An in-memory chain file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainFile {
+    /// Index width.
+    pub bits: u8,
+    /// Tolerance the deltas were encoded with.
+    pub tolerance: f64,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Open or closed loop.
+    pub mode: ReferenceMode,
+    /// The exact base iteration.
+    pub base: Vec<f64>,
+    /// Compressed deltas, chain order.
+    pub deltas: Vec<CompressedIteration>,
+}
+
+fn strategy_code(s: Strategy) -> u8 {
+    match s {
+        Strategy::EqualWidth => 0,
+        Strategy::LogScale => 1,
+        Strategy::Clustering => 2,
+    }
+}
+
+fn strategy_from(code: u8) -> Result<Strategy, String> {
+    match code {
+        0 => Ok(Strategy::EqualWidth),
+        1 => Ok(Strategy::LogScale),
+        2 => Ok(Strategy::Clustering),
+        c => Err(format!("unknown strategy code {c}")),
+    }
+}
+
+impl ChainFile {
+    /// Serialise and write to `path` with fixed-width indices.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        self.save_with(path, nser::IndexEncoding::FixedWidth)
+    }
+
+    /// Serialise and write with an explicit index encoding (the reader
+    /// auto-detects, so no format flag is needed at this level).
+    pub fn save_with(&self, path: &Path, encoding: nser::IndexEncoding) -> Result<(), String> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(self.bits);
+        buf.push(strategy_code(self.strategy));
+        buf.push(match self.mode {
+            ReferenceMode::TrueValues => 0,
+            ReferenceMode::Reconstructed => 1,
+        });
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&self.tolerance.to_le_bytes());
+        buf.extend_from_slice(&(self.deltas.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.base.len() as u64).to_le_bytes());
+        for v in &self.base {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for delta in &self.deltas {
+            let payload = nser::to_bytes_with(delta, encoding);
+            buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        let crc = nser::crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let mut f = fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        f.write_all(&buf).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Read and validate from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let data =
+            fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        const HEADER: usize = 4 + 2 + 1 + 1 + 1 + 3 + 8 + 4 + 8;
+        if data.len() < HEADER + 4 {
+            return Err(format!("{}: too short for a chain file", path.display()));
+        }
+        let body = &data[..data.len() - 4];
+        let stored =
+            u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+        if stored != nser::crc32(body) {
+            return Err(format!("{}: crc mismatch (corrupt file)", path.display()));
+        }
+        if data[..4] != MAGIC {
+            return Err(format!("{}: not a .nmkc chain file", path.display()));
+        }
+        let version = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(format!("unsupported chain version {version}"));
+        }
+        let bits = data[6];
+        let strategy = strategy_from(data[7])?;
+        let mode = match data[8] {
+            0 => ReferenceMode::TrueValues,
+            1 => ReferenceMode::Reconstructed,
+            m => return Err(format!("unknown reference mode {m}")),
+        };
+        let tolerance = f64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+        let num_deltas = u32::from_le_bytes(data[20..24].try_into().expect("4 bytes")) as usize;
+        let points = u64::from_le_bytes(data[24..32].try_into().expect("8 bytes")) as usize;
+        let mut off = 32;
+        if body.len() < off + points * 8 {
+            return Err("truncated base section".to_string());
+        }
+        let mut base = Vec::with_capacity(points);
+        for _ in 0..points {
+            base.push(f64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes")));
+            off += 8;
+        }
+        let mut deltas = Vec::with_capacity(num_deltas);
+        for d in 0..num_deltas {
+            if body.len() < off + 8 {
+                return Err(format!("truncated delta {d} length"));
+            }
+            let len =
+                u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes")) as usize;
+            off += 8;
+            if body.len() < off + len {
+                return Err(format!("truncated delta {d} payload"));
+            }
+            let block = nser::from_bytes(&body[off..off + len])
+                .map_err(|e| format!("delta {d}: {e}"))?;
+            off += len;
+            deltas.push(block);
+        }
+        if off != body.len() {
+            return Err(format!("{} trailing bytes", body.len() - off));
+        }
+        Ok(Self { bits, tolerance, strategy, mode, base, deltas })
+    }
+
+    /// Total serialized size of all deltas (bytes), for reports.
+    pub fn delta_bytes(&self) -> usize {
+        self.deltas.iter().map(nser::serialized_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use numarck::{Compressor, Config};
+
+    fn sample() -> ChainFile {
+        let base: Vec<f64> = (0..300).map(|i| 1.0 + (i % 7) as f64).collect();
+        let next: Vec<f64> = base.iter().map(|v| v * 1.01).collect();
+        let config = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let (block, _) = Compressor::new(config).compress(&base, &next).unwrap();
+        ChainFile {
+            bits: 8,
+            tolerance: 0.001,
+            strategy: Strategy::Clustering,
+            mode: ReferenceMode::TrueValues,
+            base,
+            deltas: vec![block],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let tmp = TempDir::new("chainfile");
+        let path = std::path::PathBuf::from(tmp.path("c.nmkc"));
+        let chain = sample();
+        chain.save(&path).unwrap();
+        assert_eq!(ChainFile::load(&path).unwrap(), chain);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let tmp = TempDir::new("chainfile-corrupt");
+        let path = std::path::PathBuf::from(tmp.path("c.nmkc"));
+        sample().save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        let err = ChainFile::load(&path).unwrap_err();
+        assert!(err.contains("crc"), "{err}");
+    }
+
+    #[test]
+    fn all_strategies_and_modes_roundtrip() {
+        let tmp = TempDir::new("chainfile-modes");
+        for (i, s) in Strategy::all().into_iter().enumerate() {
+            for (j, m) in [ReferenceMode::TrueValues, ReferenceMode::Reconstructed]
+                .into_iter()
+                .enumerate()
+            {
+                let mut chain = sample();
+                chain.strategy = s;
+                chain.mode = m;
+                let path = std::path::PathBuf::from(tmp.path(&format!("c{i}{j}.nmkc")));
+                chain.save(&path).unwrap();
+                let back = ChainFile::load(&path).unwrap();
+                assert_eq!(back.strategy, s);
+                assert_eq!(back.mode, m);
+            }
+        }
+    }
+}

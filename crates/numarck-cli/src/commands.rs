@@ -1,0 +1,303 @@
+//! The five CLI commands.
+
+use std::path::Path;
+
+use numarck::metrics::{max_relative_error, mean_relative_error, pearson, rmse};
+use numarck::{decode, Config, DeltaChain, ReferenceMode, Strategy};
+
+use crate::args;
+use crate::chainfile::ChainFile;
+use crate::seqfile;
+use crate::CliResult;
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Strategy::all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown strategy '{name}' (equal-width|log-scale|clustering)"))
+}
+
+/// `numarck gen`: produce a `.f64s` sequence from one of the built-in
+/// simulators.
+pub fn gen(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &["source", "iterations", "out", "grid", "seed"], &[])?;
+    p.expect_positionals(0, "")?;
+    let source = p.require("source")?;
+    let iterations: usize = p.get_parsed("iterations", 10)?;
+    let seed: u64 = p.get_parsed("seed", 42)?;
+    let out = p.require("out")?.to_string();
+    if iterations == 0 {
+        return Err("--iterations must be at least 1".to_string());
+    }
+
+    let seq: Vec<Vec<f64>> = match source.split_once(':') {
+        Some(("climate", var_name)) => {
+            let var = climate_sim::ClimateVar::from_name(var_name)
+                .ok_or_else(|| format!("unknown climate variable '{var_name}'"))?;
+            let grid = match p.get("grid") {
+                None => climate_sim::Grid::cmip5(),
+                Some(spec) => {
+                    let (w, h) = spec
+                        .split_once('x')
+                        .ok_or_else(|| format!("--grid expects WxH, got '{spec}'"))?;
+                    let w: usize = w.parse().map_err(|_| format!("bad grid width '{w}'"))?;
+                    let h: usize = h.parse().map_err(|_| format!("bad grid height '{h}'"))?;
+                    if w == 0 || h == 0 {
+                        return Err("grid dimensions must be positive".to_string());
+                    }
+                    climate_sim::Grid::new(w, h)
+                }
+            };
+            let mut model = climate_sim::ClimateModel::with_grid(var, grid, seed);
+            let mut seq = vec![model.current().to_vec()];
+            for _ in 1..iterations {
+                seq.push(model.step().to_vec());
+            }
+            seq
+        }
+        Some(("flash", var_name)) => {
+            let var = flash_sim::FlashVar::from_name(var_name)
+                .ok_or_else(|| format!("unknown FLASH variable '{var_name}'"))?;
+            let mut sim = flash_sim::FlashSimulation::paper_default(
+                flash_sim::Problem::SedovBlast,
+                4,
+                4,
+            );
+            sim.run_steps(20);
+            let mut seq = Vec::with_capacity(iterations);
+            for i in 0..iterations {
+                if i > 0 {
+                    sim.run_steps(2);
+                }
+                seq.push(sim.checkpoint().remove(&var).expect("var exists"));
+            }
+            seq
+        }
+        _ => {
+            return Err(format!(
+                "--source must be climate:<var> or flash:<var>, got '{source}'"
+            ))
+        }
+    };
+    seqfile::write(Path::new(&out), &seq)?;
+    Ok(format!(
+        "wrote {out}: {} iterations × {} points",
+        seq.len(),
+        seq.first().map(|v| v.len()).unwrap_or(0)
+    ))
+}
+
+/// `numarck compress`: `.f64s` → `.nmkc`.
+pub fn compress(raw: &[String]) -> CliResult {
+    let p =
+        args::parse(raw, &["out", "bits", "tolerance", "strategy"], &["closed-loop", "entropy"])?;
+    let input = &p.expect_positionals(1, "input .f64s")?[0];
+    let out = p.require("out")?.to_string();
+    let bits: u8 = p.get_parsed("bits", 8)?;
+    let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
+    let strategy = parse_strategy(p.get("strategy").unwrap_or("clustering"))?;
+    let mode = if p.has("closed-loop") {
+        ReferenceMode::Reconstructed
+    } else {
+        ReferenceMode::TrueValues
+    };
+
+    let seq = seqfile::read(Path::new(input))?;
+    if seq.is_empty() {
+        return Err("input sequence is empty".to_string());
+    }
+    let config = Config::new(bits, tolerance, strategy).map_err(|e| e.to_string())?;
+    let mut chain = DeltaChain::with_mode(seq[0].clone(), config, mode);
+    let mut gamma_sum = 0.0;
+    for it in &seq[1..] {
+        let stats = chain.append(it).map_err(|e| e.to_string())?;
+        gamma_sum += stats.incompressible_ratio;
+    }
+    let deltas = seq.len() - 1;
+    let file = ChainFile {
+        bits,
+        tolerance,
+        strategy,
+        mode,
+        base: chain.base().to_vec(),
+        deltas: chain.deltas().to_vec(),
+    };
+    let encoding = if p.has("entropy") {
+        numarck::serialize::IndexEncoding::Huffman
+    } else {
+        numarck::serialize::IndexEncoding::FixedWidth
+    };
+    file.save_with(Path::new(&out), encoding)?;
+    let raw_bytes = seq.iter().map(|v| v.len() * 8).sum::<usize>();
+    let stored = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0) as usize;
+    Ok(format!(
+        "wrote {out}: base + {deltas} deltas, {:.2}% total compression (mean γ {:.2}%)",
+        (1.0 - stored as f64 / raw_bytes as f64) * 100.0,
+        if deltas > 0 { gamma_sum / deltas as f64 * 100.0 } else { 0.0 }
+    ))
+}
+
+/// `numarck decompress`: `.nmkc` → `.f64s` (base + every reconstructed
+/// iteration).
+pub fn decompress(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &["out"], &[])?;
+    let input = &p.expect_positionals(1, "input .nmkc")?[0];
+    let out = p.require("out")?.to_string();
+    let chain = ChainFile::load(Path::new(input))?;
+    let mut iterations = Vec::with_capacity(chain.deltas.len() + 1);
+    let mut state = chain.base.clone();
+    iterations.push(state.clone());
+    for (i, delta) in chain.deltas.iter().enumerate() {
+        state = decode::reconstruct(&state, delta)
+            .map_err(|e| format!("delta {i}: {e}"))?;
+        iterations.push(state.clone());
+    }
+    seqfile::write(Path::new(&out), &iterations)?;
+    Ok(format!(
+        "wrote {out}: {} iterations × {} points (reconstructed)",
+        iterations.len(),
+        chain.base.len()
+    ))
+}
+
+/// `numarck inspect`: human-readable summary of a chain file.
+pub fn inspect(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &[], &[])?;
+    let input = &p.expect_positionals(1, "input .nmkc")?[0];
+    let chain = ChainFile::load(Path::new(input))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{input}: B = {} bits, E = {}, strategy = {}, mode = {:?}\n",
+        chain.bits, chain.tolerance, chain.strategy, chain.mode
+    ));
+    out.push_str(&format!(
+        "base: {} points ({} bytes raw); {} deltas ({} bytes total)\n",
+        chain.base.len(),
+        chain.base.len() * 8,
+        chain.deltas.len(),
+        chain.delta_bytes()
+    ));
+    for (i, d) in chain.deltas.iter().enumerate() {
+        out.push_str(&format!(
+            "  delta {:3}: γ {:6.3}%, table {:3} entries, Eq.3 ratio {:6.2}%\n",
+            i + 1,
+            d.incompressible_ratio() * 100.0,
+            d.table.len(),
+            d.compression_ratio_eq3() * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+/// `numarck anomaly-scan`: scan every transition of a sequence for
+/// soft-error outliers.
+pub fn anomaly_scan(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &["fence-multiplier"], &[])?;
+    let input = &p.expect_positionals(1, "input .f64s")?[0];
+    let fence: f64 = p.get_parsed("fence-multiplier", 3.0)?;
+    let seq = seqfile::read(Path::new(input))?;
+    if seq.len() < 2 {
+        return Err("anomaly scan needs at least two iterations".to_string());
+    }
+    let config = numarck::anomaly::AnomalyConfig {
+        fence_multiplier: fence,
+        ..Default::default()
+    };
+    let mut out = String::new();
+    let mut total = 0usize;
+    for (i, w) in seq.windows(2).enumerate() {
+        let report = numarck::anomaly::detect(&w[0], &w[1], &config)
+            .map_err(|e| e.to_string())?;
+        total += report.anomalies.len();
+        if report.is_clean() {
+            out.push_str(&format!("transition {i:3}: clean\n"));
+        } else {
+            out.push_str(&format!(
+                "transition {i:3}: {} suspect point(s), fence [{:.4}, {:.4}]\n",
+                report.anomalies.len(),
+                report.fence_lo,
+                report.fence_hi
+            ));
+            for a in report.anomalies.iter().take(5) {
+                out.push_str(&format!(
+                    "    point {:8}: ratio {:?}, score {:.1}\n",
+                    a.index, a.ratio, a.score
+                ));
+            }
+        }
+    }
+    out.push_str(&format!("total suspect points: {total}\n"));
+    Ok(out)
+}
+
+/// `numarck drift`: print the change-distribution drift series of a
+/// sequence (the signal the adaptive checkpoint policy consumes).
+pub fn drift(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &["tolerance", "cap"], &[])?;
+    let input = &p.expect_positionals(1, "input .f64s")?[0];
+    let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
+    let cap: f64 = p.get_parsed("cap", 0.5)?;
+    let seq = seqfile::read(Path::new(input))?;
+    if seq.len() < 3 {
+        return Err("drift needs at least three iterations".to_string());
+    }
+    let mut tracker = numarck::drift::DriftTracker::new();
+    let mut out = String::from("transition   L1      KL      EMD\n");
+    for (i, w) in seq.windows(2).enumerate() {
+        let dist =
+            numarck::drift::ChangeDistribution::from_iterations(&w[0], &w[1], tolerance, cap)
+                .map_err(|e| e.to_string())?;
+        if let Some(report) = tracker.observe(dist) {
+            out.push_str(&format!(
+                "{:10}  {:.4}  {:.4}  {:.5}\n",
+                i, report.l1, report.kl, report.emd
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `numarck verify`: compare two sequences point-wise.
+pub fn verify(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &["tolerance"], &[])?;
+    let pos = p.expect_positionals(2, "reference .f64s, candidate .f64s")?;
+    let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
+    let a = seqfile::read(Path::new(&pos[0]))?;
+    let b = seqfile::read(Path::new(&pos[1]))?;
+    if a.len() != b.len() {
+        return Err(format!(
+            "FAIL: iteration counts differ ({} vs {})",
+            a.len(),
+            b.len()
+        ));
+    }
+    let mut report = String::new();
+    let mut worst_overall = 0.0f64;
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        if x.len() != y.len() {
+            return Err(format!("FAIL: iteration {i} lengths differ"));
+        }
+        let max = max_relative_error(x, y);
+        let mean = mean_relative_error(x, y);
+        worst_overall = worst_overall.max(max);
+        report.push_str(&format!(
+            "iteration {i:3}: max rel {:.3e}, mean rel {:.3e}, ρ {:.6}, ξ {:.6}\n",
+            max,
+            mean,
+            pearson(x, y),
+            rmse(x, y)
+        ));
+    }
+    // Chained open-loop reconstruction compounds; allow the chain budget
+    // for the sequence length.
+    let budget = (1.0 + tolerance / (1.0 - tolerance.min(0.5))).powi(a.len() as i32) - 1.0;
+    if worst_overall <= budget {
+        Ok(format!(
+            "{report}PASS: worst relative error {worst_overall:.3e} within chain budget {budget:.3e}"
+        ))
+    } else {
+        Err(format!(
+            "{report}FAIL: worst relative error {worst_overall:.3e} exceeds chain budget {budget:.3e}"
+        ))
+    }
+}

@@ -1,0 +1,232 @@
+//! The `numarck` command-line tool.
+//!
+//! A thin, dependency-free front-end over the library for working with
+//! *iteration sequence* files (`.f64s`, a trivial raw container defined
+//! in [`seqfile`]) and NUMARCK *chain* files (`.nmkc`, a full base
+//! checkpoint plus compressed deltas, defined in [`chainfile`]):
+//!
+//! ```text
+//! numarck gen  --source climate:rlus --iterations 20 --out data.f64s
+//! numarck compress data.f64s --out data.nmkc --bits 8 --tolerance 0.001
+//! numarck decompress data.nmkc --out restored.f64s
+//! numarck inspect data.nmkc
+//! numarck verify data.f64s restored.f64s
+//! ```
+//!
+//! All command logic lives in this library crate so it is unit-testable;
+//! `main.rs` only forwards `std::env::args`.
+
+pub mod args;
+pub mod chainfile;
+pub mod commands;
+pub mod seqfile;
+
+/// Exit status for the binary: `Ok(report)` printed to stdout, `Err`
+/// printed to stderr with exit code 1.
+pub type CliResult = Result<String, String>;
+
+/// Entry point shared by `main.rs` and the tests.
+pub fn run(args: &[String]) -> CliResult {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "gen" => commands::gen(&args[1..]),
+        "compress" => commands::compress(&args[1..]),
+        "decompress" => commands::decompress(&args[1..]),
+        "inspect" => commands::inspect(&args[1..]),
+        "verify" => commands::verify(&args[1..]),
+        "anomaly-scan" => commands::anomaly_scan(&args[1..]),
+        "drift" => commands::drift(&args[1..]),
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "numarck — error-bounded checkpoint compression (NUMARCK, SC'14)
+
+USAGE:
+  numarck gen        --source <climate:VAR | flash:VAR> --iterations <N> --out <file.f64s>
+  numarck compress   <in.f64s>  --out <file.nmkc> [--bits B] [--tolerance E]
+                     [--strategy equal-width|log-scale|clustering] [--closed-loop] [--entropy]
+  numarck decompress <in.nmkc>  --out <file.f64s>
+  numarck inspect    <in.nmkc>
+  numarck verify     <a.f64s> <b.f64s> [--tolerance E]
+  numarck anomaly-scan <in.f64s> [--fence-multiplier K]
+  numarck drift        <in.f64s> [--tolerance E] [--cap C]
+
+Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering."
+        .to_string()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+
+    pub struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "numarck-cli-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("after epoch")
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).expect("mkdir");
+            Self(path)
+        }
+
+        pub fn path(&self, name: &str) -> String {
+            self.0.join(name).display().to_string()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    pub fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{argv, TempDir};
+    use super::*;
+
+    #[test]
+    fn no_args_shows_usage_as_error() {
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn help_is_ok() {
+        assert!(run(&argv(&["--help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_error_with_usage() {
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn full_pipeline_roundtrip() {
+        let tmp = TempDir::new("pipeline");
+        let data = tmp.path("data.f64s");
+        let chain = tmp.path("data.nmkc");
+        let restored = tmp.path("restored.f64s");
+
+        let out = run(&argv(&[
+            "gen", "--source", "climate:rlus", "--iterations", "5", "--grid", "24x16",
+            "--out", &data,
+        ]))
+        .unwrap();
+        assert!(out.contains("5 iterations"), "{out}");
+
+        let out = run(&argv(&[
+            "compress", &data, "--out", &chain, "--bits", "8", "--tolerance", "0.001",
+        ]))
+        .unwrap();
+        assert!(out.contains("compression"), "{out}");
+
+        let out = run(&argv(&["decompress", &chain, "--out", &restored])).unwrap();
+        assert!(out.contains("5 iterations"), "{out}");
+
+        let out = run(&argv(&["verify", &data, &restored, "--tolerance", "0.001"])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        let out = run(&argv(&["inspect", &chain])).unwrap();
+        assert!(out.contains("deltas"), "{out}");
+    }
+
+    #[test]
+    fn closed_loop_pipeline_roundtrip() {
+        let tmp = TempDir::new("closed");
+        let data = tmp.path("d.f64s");
+        let chain = tmp.path("d.nmkc");
+        let restored = tmp.path("r.f64s");
+        run(&argv(&[
+            "gen", "--source", "flash:dens", "--iterations", "4", "--out", &data,
+        ]))
+        .unwrap();
+        run(&argv(&["compress", &data, "--out", &chain, "--closed-loop"])).unwrap();
+        run(&argv(&["decompress", &chain, "--out", &restored])).unwrap();
+        let out = run(&argv(&["verify", &data, &restored])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn entropy_pipeline_roundtrip_is_smaller() {
+        let tmp = TempDir::new("entropy");
+        let data = tmp.path("d.f64s");
+        let plain = tmp.path("p.nmkc");
+        let packed = tmp.path("e.nmkc");
+        let restored = tmp.path("r.f64s");
+        run(&argv(&["gen", "--source", "flash:dens", "--iterations", "6", "--out", &data])).unwrap();
+        run(&argv(&["compress", &data, "--out", &plain])).unwrap();
+        run(&argv(&["compress", &data, "--out", &packed, "--entropy"])).unwrap();
+        let plain_len = std::fs::metadata(&plain).unwrap().len();
+        let packed_len = std::fs::metadata(&packed).unwrap().len();
+        assert!(packed_len < plain_len, "entropy {packed_len} vs plain {plain_len}");
+        run(&argv(&["decompress", &packed, "--out", &restored])).unwrap();
+        let out = run(&argv(&["verify", &data, &restored])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn verify_fails_on_mismatched_data() {
+        let tmp = TempDir::new("verify-fail");
+        let a = tmp.path("a.f64s");
+        let b = tmp.path("b.f64s");
+        run(&argv(&["gen", "--source", "climate:mc", "--iterations", "3", "--grid", "16x8", "--out", &a])).unwrap();
+        run(&argv(&["gen", "--source", "climate:mrro", "--iterations", "3", "--grid", "16x8", "--out", &b])).unwrap();
+        let err = run(&argv(&["verify", &a, &b, "--tolerance", "0.001"])).unwrap_err();
+        assert!(err.contains("FAIL"), "{err}");
+    }
+
+    #[test]
+    fn anomaly_scan_flags_injected_corruption() {
+        let tmp = TempDir::new("anomaly");
+        let data = tmp.path("d.f64s");
+        run(&argv(&["gen", "--source", "climate:rlus", "--iterations", "4", "--grid", "32x20", "--out", &data])).unwrap();
+        // Clean scan first.
+        let out = run(&argv(&["anomaly-scan", &data])).unwrap();
+        assert!(out.contains("total suspect points: 0"), "{out}");
+        // Corrupt one value in iteration 2 (smash the exponent).
+        let mut seq = crate::seqfile::read(std::path::Path::new(&data)).unwrap();
+        seq[2][100] *= 1e9;
+        crate::seqfile::write(std::path::Path::new(&data), &seq).unwrap();
+        let out = run(&argv(&["anomaly-scan", &data])).unwrap();
+        assert!(out.contains("point      100"), "{out}");
+        // The same corrupt value is an outlier in two transitions (in and
+        // out of iteration 2).
+        assert!(out.contains("total suspect points: 2"), "{out}");
+    }
+
+    #[test]
+    fn drift_prints_series() {
+        let tmp = TempDir::new("drift");
+        let data = tmp.path("d.f64s");
+        run(&argv(&["gen", "--source", "climate:mc", "--iterations", "5", "--grid", "32x20", "--out", &data])).unwrap();
+        let out = run(&argv(&["drift", &data])).unwrap();
+        assert!(out.contains("L1"), "{out}");
+        // 4 transitions -> 3 drift rows.
+        assert_eq!(out.lines().count(), 4, "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&argv(&["inspect", "/nonexistent/x.nmkc"])).unwrap_err();
+        assert!(err.contains("cannot"), "{err}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Binary entry point; all logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match numarck_cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! `.f64s` iteration-sequence files.
+//!
+//! Layout (little-endian): magic `NF64`, `u32` iteration count, `u64`
+//! points per iteration, then `iterations × points` doubles. Trivial on
+//! purpose — it is the interchange format between `gen`, `compress`,
+//! `decompress` and `verify`, and easy to produce from any simulation.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes of a sequence file.
+pub const MAGIC: [u8; 4] = *b"NF64";
+
+/// Write a sequence of equal-length iterations.
+pub fn write(path: &Path, iterations: &[Vec<f64>]) -> Result<(), String> {
+    if let Some(first) = iterations.first() {
+        if iterations.iter().any(|it| it.len() != first.len()) {
+            return Err("all iterations must have the same length".to_string());
+        }
+    }
+    let points = iterations.first().map(|v| v.len()).unwrap_or(0);
+    let mut buf =
+        Vec::with_capacity(16 + iterations.len() * points * 8);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&(iterations.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(points as u64).to_le_bytes());
+    for it in iterations {
+        for v in it {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let mut f = fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    f.write_all(&buf).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Read a sequence file.
+pub fn read(path: &Path) -> Result<Vec<Vec<f64>>, String> {
+    let data =
+        fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if data.len() < 16 || data[..4] != MAGIC {
+        return Err(format!("{} is not a .f64s sequence file", path.display()));
+    }
+    let iterations = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) as usize;
+    let points = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = 16 + iterations * points * 8;
+    if data.len() != expected {
+        return Err(format!(
+            "{}: expected {expected} bytes for {iterations}x{points}, found {}",
+            path.display(),
+            data.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(iterations);
+    let mut off = 16;
+    for _ in 0..iterations {
+        let mut it = Vec::with_capacity(points);
+        for _ in 0..points {
+            it.push(f64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes")));
+            off += 8;
+        }
+        out.push(it);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn roundtrip() {
+        let tmp = TempDir::new("seqfile");
+        let path = std::path::PathBuf::from(tmp.path("x.f64s"));
+        let data = vec![vec![1.0, 2.0, 3.0], vec![1.5, 2.5, -3.5]];
+        write(&path, &data).unwrap();
+        assert_eq!(read(&path).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let tmp = TempDir::new("seqfile-empty");
+        let path = std::path::PathBuf::from(tmp.path("e.f64s"));
+        write(&path, &[]).unwrap();
+        assert!(read(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        let tmp = TempDir::new("seqfile-ragged");
+        let path = std::path::PathBuf::from(tmp.path("r.f64s"));
+        assert!(write(&path, &[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let tmp = TempDir::new("seqfile-garbage");
+        let path = std::path::PathBuf::from(tmp.path("g.f64s"));
+        std::fs::write(&path, b"not a sequence").unwrap();
+        assert!(read(&path).is_err());
+        // Truncated payload.
+        let good = std::path::PathBuf::from(tmp.path("t.f64s"));
+        write(&good, &[vec![1.0, 2.0]]).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+        std::fs::write(&good, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read(&good).is_err());
+    }
+}

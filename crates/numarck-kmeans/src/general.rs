@@ -1,0 +1,356 @@
+//! General dense d-dimensional K-means.
+//!
+//! Not on NUMARCK's hot path (change ratios are 1-D), but kept for two
+//! reasons: it is the oracle the specialised 1-D implementation is tested
+//! against (d = 1 must agree), and it lets downstream users cluster
+//! multi-variable checkpoint records (e.g. joint `(pres, temp)` ratios,
+//! one of the paper's future-work directions).
+
+use rayon::prelude::*;
+
+use numarck_par::chunk::chunk_size_for;
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+use crate::KMeansOptions;
+
+/// Row-major view of `n` points in `dim` dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct Points<'a> {
+    data: &'a [f64],
+    dim: usize,
+}
+
+impl<'a> Points<'a> {
+    /// Wrap a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the buffer length is not a multiple of
+    /// `dim`.
+    pub fn new(data: &'a [f64], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer length must be a multiple of dim");
+        Self { data, dim }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when there are no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th point.
+    #[inline]
+    pub fn point(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Result of a dense K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Row-major centres, `k × dim`.
+    pub centers: Vec<f64>,
+    /// Dimensionality of each centre.
+    pub dim: usize,
+    /// Cluster index per point.
+    pub assignments: Vec<u32>,
+    /// Points per cluster.
+    pub counts: Vec<u64>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Sum of squared distances to assigned centres.
+    pub inertia: f64,
+    /// Whether the membership-change criterion was met.
+    pub converged: bool,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// The `c`-th centre.
+    pub fn center(&self, c: usize) -> &[f64] {
+        &self.centers[c * self.dim..(c + 1) * self.dim]
+    }
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+fn nearest_center(centers: &[f64], dim: usize, p: &[f64]) -> (usize, f64) {
+    let k = centers.len() / dim;
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..k {
+        let d = dist_sq(p, &centers[c * dim..(c + 1) * dim]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Dense K-means with k-means++ initialisation.
+pub fn kmeans(points: Points<'_>, k: usize, opts: &KMeansOptions) -> KMeansResult {
+    assert!(k >= 1, "k must be >= 1");
+    let dim = points.dim();
+    let n = points.len();
+    if n == 0 {
+        return KMeansResult {
+            centers: Vec::new(),
+            dim,
+            assignments: Vec::new(),
+            counts: Vec::new(),
+            iterations: 0,
+            inertia: 0.0,
+            converged: true,
+        };
+    }
+    let k = k.min(n);
+    let mut centers = kmeanspp(points, k, opts.seed);
+    let kk = centers.len() / dim;
+    let mut assignments = vec![0u32; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    assign_all(points, &centers, &mut assignments);
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        let (sums, counts) = cluster_sums(points, &assignments, kk);
+        for c in 0..kk {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centers[c * dim + d] = sums[c * dim + d] / counts[c] as f64;
+                }
+            }
+        }
+        let changed = reassign(points, &centers, &mut assignments);
+        if (changed as f64) / (n as f64) < opts.change_threshold {
+            converged = true;
+            break;
+        }
+    }
+
+    let (_, counts) = cluster_sums(points, &assignments, kk);
+    let inertia = total_inertia(points, &centers, &assignments);
+    KMeansResult { centers, dim, assignments, counts, iterations, inertia, converged }
+}
+
+fn kmeanspp(points: Points<'_>, k: usize, seed: u64) -> Vec<f64> {
+    let dim = points.dim();
+    let n = points.len();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut centers: Vec<f64> = Vec::with_capacity(k * dim);
+    let first = rng.below(n);
+    centers.extend_from_slice(points.point(first));
+    let mut d2: Vec<f64> = (0..n).map(|i| dist_sq(points.point(i), points.point(first))).collect();
+    while centers.len() / dim < k {
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let target = rng.next_f64() * total;
+        let mut acc = 0.0;
+        let mut chosen = n - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            acc += w;
+            if acc >= target {
+                chosen = i;
+                break;
+            }
+        }
+        let start = centers.len();
+        centers.extend_from_slice(points.point(chosen));
+        let newc = centers[start..].to_vec();
+        for i in 0..n {
+            let nd = dist_sq(points.point(i), &newc);
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+    centers
+}
+
+fn assign_all(points: Points<'_>, centers: &[f64], out: &mut [u32]) {
+    let dim = points.dim();
+    let chunk = chunk_size_for(points.len());
+    out.par_chunks_mut(chunk).enumerate().for_each(|(ci, o)| {
+        let base = ci * chunk;
+        for (j, oi) in o.iter_mut().enumerate() {
+            *oi = nearest_center(centers, dim, points.point(base + j)).0 as u32;
+        }
+    });
+}
+
+fn reassign(points: Points<'_>, centers: &[f64], assignments: &mut [u32]) -> usize {
+    let dim = points.dim();
+    let chunk = chunk_size_for(points.len());
+    assignments
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, a)| {
+            let base = ci * chunk;
+            let mut changed = 0;
+            for (j, ai) in a.iter_mut().enumerate() {
+                let n = nearest_center(centers, dim, points.point(base + j)).0 as u32;
+                if n != *ai {
+                    changed += 1;
+                    *ai = n;
+                }
+            }
+            changed
+        })
+        .sum()
+}
+
+fn cluster_sums(points: Points<'_>, assignments: &[u32], k: usize) -> (Vec<f64>, Vec<u64>) {
+    let dim = points.dim();
+    let chunk = chunk_size_for(points.len());
+    let n = points.len();
+    let ranges: Vec<(usize, usize)> =
+        numarck_par::chunk::chunk_ranges(n, chunk).collect();
+    let partials: Vec<(Vec<f64>, Vec<u64>)> = ranges
+        .par_iter()
+        .map(|&(s, e)| {
+            let mut sums = vec![0.0; k * dim];
+            let mut counts = vec![0u64; k];
+            for i in s..e {
+                let c = assignments[i] as usize;
+                counts[c] += 1;
+                let p = points.point(i);
+                for d in 0..dim {
+                    sums[c * dim + d] += p[d];
+                }
+            }
+            (sums, counts)
+        })
+        .collect();
+    let mut sums = vec![0.0; k * dim];
+    let mut counts = vec![0u64; k];
+    for (ps, pc) in &partials {
+        for i in 0..k * dim {
+            sums[i] += ps[i];
+        }
+        for i in 0..k {
+            counts[i] += pc[i];
+        }
+    }
+    (sums, counts)
+}
+
+fn total_inertia(points: Points<'_>, centers: &[f64], assignments: &[u32]) -> f64 {
+    let dim = points.dim();
+    (0..points.len())
+        .into_par_iter()
+        .map(|i| {
+            let c = assignments[i] as usize;
+            dist_sq(points.point(i), &centers[c * dim..(c + 1) * dim])
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_accessors() {
+        let buf = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let p = Points::new(&buf, 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.point(1), &[3.0, 4.0]);
+        assert_eq!(p.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bad_buffer_length_panics() {
+        Points::new(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn two_gaussian_blobs_2d() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut buf = Vec::new();
+        for _ in 0..500 {
+            buf.push(rng.normal_with(0.0, 0.5));
+            buf.push(rng.normal_with(0.0, 0.5));
+        }
+        for _ in 0..500 {
+            buf.push(rng.normal_with(20.0, 0.5));
+            buf.push(rng.normal_with(20.0, 0.5));
+        }
+        let res = kmeans(Points::new(&buf, 2), 2, &KMeansOptions::default());
+        assert_eq!(res.k(), 2);
+        assert!(res.converged);
+        let mut means: Vec<f64> = (0..2).map(|c| res.center(c)[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(means[0].abs() < 1.0, "blob at origin: {means:?}");
+        assert!((means[1] - 20.0).abs() < 1.0, "blob at 20: {means:?}");
+        assert_eq!(res.counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn one_dimensional_agrees_with_specialised_path() {
+        let data: Vec<f64> = (0..2000)
+            .map(|i| if i % 2 == 0 { (i % 13) as f64 } else { 500.0 + (i % 13) as f64 })
+            .collect();
+        let dense = kmeans(Points::new(&data, 1), 2, &KMeansOptions::default());
+        let fast = crate::KMeans1D::new(2).fit(&data);
+        let mut dc: Vec<f64> = dense.centers.clone();
+        dc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let fc = fast.centers.centers();
+        for (a, b) in dc.iter().zip(fc) {
+            assert!((a - b).abs() < 1e-6, "dense {dc:?} vs fast {fc:?}");
+        }
+        assert!((dense.inertia - fast.inertia).abs() < 1e-6 * dense.inertia.max(1.0));
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let buf = [0.0, 1.0, 2.0, 3.0];
+        let res = kmeans(Points::new(&buf, 2), 10, &KMeansOptions::default());
+        assert!(res.k() <= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = kmeans(Points::new(&[], 3), 4, &KMeansOptions::default());
+        assert_eq!(res.k(), 0);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let buf: Vec<f64> = (0..600).map(|_| rng.normal()).collect();
+        let a = kmeans(Points::new(&buf, 3), 4, &KMeansOptions::default());
+        let b = kmeans(Points::new(&buf, 3), 4, &KMeansOptions::default());
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,242 @@
+//! Centre initialisation strategies for 1-D K-means.
+//!
+//! The paper (§II-C.3) initialises "with prior-knowledge from the
+//! equal-width histogram to achieve more reliable segmentation results".
+//! We implement that, plus k-means++ and uniform spread as ablation
+//! baselines.
+
+use numarck_par::histogram::{FixedHistogram, HistogramSpec};
+use numarck_par::reduce::par_min_max;
+use numarck_par::rng::Xoshiro256PlusPlus;
+
+/// Which initialiser to use for the 1-D clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init1D {
+    /// Seed centres from the most populated equal-width histogram bins
+    /// (the paper's method). Deterministic.
+    #[default]
+    Histogram,
+    /// k-means++ sampling (Arthur & Vassilvitskii). Randomised but
+    /// reproducible via the options seed.
+    KMeansPlusPlus,
+    /// `k` centres spread uniformly over `[min, max]`. Deterministic; the
+    /// weakest baseline — equivalent to equal-width bin centres.
+    UniformSpread,
+}
+
+/// Number of histogram bins used for histogram seeding when `k` clusters
+/// are requested. Oversampling by 8× gives the equal-mass quantile
+/// extraction enough resolution to place centres inside dense regions.
+fn seeding_bins(k: usize) -> usize {
+    (8 * k).max(64)
+}
+
+/// Produce `k` sorted, deduplicated initial centres for `data`.
+///
+/// Fewer than `k` centres can be returned when the data has fewer than `k`
+/// distinct values — callers must handle a shorter centre list (the
+/// encoder simply uses a smaller table).
+pub fn initial_centers(method: Init1D, data: &[f64], k: usize, seed: u64) -> Vec<f64> {
+    assert!(k >= 1, "need at least one cluster");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut centers = match method {
+        Init1D::Histogram => histogram_seed(data, k),
+        Init1D::KMeansPlusPlus => kmeanspp_seed(data, k, seed),
+        Init1D::UniformSpread => uniform_seed(data, k),
+    };
+    centers.sort_by(|a, b| a.partial_cmp(b).expect("non-finite center"));
+    centers.dedup_by(|a, b| *a == *b);
+    centers
+}
+
+/// Histogram seeding (the paper's "prior-knowledge from the equal-width
+/// histogram"): fill an oversampled equal-width histogram and place the
+/// `k` initial centres at the equal-mass quantiles of its CDF, linearly
+/// interpolated inside bins. Every centre therefore starts with roughly
+/// `n/k` points — dense regions get many centres, empty stretches get
+/// none, and no centre is born memberless (Lloyd cannot move a centre
+/// that owns no points, which is what strands uniform seeds on
+/// heavy-tailed change distributions).
+fn histogram_seed(data: &[f64], k: usize) -> Vec<f64> {
+    let mm = par_min_max(data);
+    if mm.count == 0 {
+        return Vec::new();
+    }
+    if mm.range() == 0.0 {
+        return vec![mm.min];
+    }
+    let spec = HistogramSpec::new(mm.min, mm.max, seeding_bins(k));
+    let hist = FixedHistogram::fill_par(spec, data);
+    let total = hist.total();
+    if total == 0 {
+        return vec![mm.min];
+    }
+    // Blended measure: true counts plus a uniform pseudo-count of equal
+    // total mass. Pure equal-mass quantiles starve sparse-but-wide tails
+    // (those points all escape); pure equal-width starves dense modes.
+    // Half-and-half seeds ~k/2 centres by population and ~k/2 by
+    // coverage; Lloyd refines from there.
+    let pseudo = total as f64 / spec.bins as f64;
+    let weight = |b: usize| hist.counts[b] as f64 + pseudo;
+    let blended_total = 2.0 * total as f64;
+    let mut centers = Vec::with_capacity(k);
+    let mut bin = 0usize;
+    let mut cum = 0.0f64; // blended mass strictly before `bin`
+    for i in 0..k {
+        let target = (i as f64 + 0.5) * blended_total / k as f64;
+        while bin + 1 < spec.bins && cum + weight(bin) <= target {
+            cum += weight(bin);
+            bin += 1;
+        }
+        let frac = ((target - cum) / weight(bin)).clamp(0.0, 1.0);
+        centers.push(spec.edge(bin) + frac * spec.width());
+    }
+    centers
+}
+
+/// k-means++ for 1-D data: first centre uniform at random, subsequent
+/// centres sampled proportional to squared distance to the nearest chosen
+/// centre. O(n·k) — only used for ablation, so the cost is acceptable.
+fn kmeanspp_seed(data: &[f64], k: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut centers = Vec::with_capacity(k);
+    centers.push(data[rng.below(data.len())]);
+    let mut d2: Vec<f64> = data.iter().map(|&x| sq(x - centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            break; // all points coincide with a centre already
+        }
+        let target = rng.next_f64() * total;
+        let mut acc = 0.0;
+        let mut chosen = data.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            acc += w;
+            if acc >= target {
+                chosen = i;
+                break;
+            }
+        }
+        let c = data[chosen];
+        centers.push(c);
+        for (i, &x) in data.iter().enumerate() {
+            let nd = sq(x - c);
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+    centers
+}
+
+/// `k` centres evenly spread across `[min, max]` (bin centres of an
+/// equal-width partition).
+fn uniform_seed(data: &[f64], k: usize) -> Vec<f64> {
+    let mm = par_min_max(data);
+    if mm.count == 0 {
+        return Vec::new();
+    }
+    if mm.range() == 0.0 {
+        return vec![mm.min];
+    }
+    let w = mm.range() / k as f64;
+    (0..k).map(|i| mm.min + (i as f64 + 0.5) * w).collect()
+}
+
+#[inline]
+fn sq(x: f64) -> f64 {
+    x * x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal() -> Vec<f64> {
+        // Two tight modes at 0 and 10 plus a couple of outliers.
+        let mut v = Vec::new();
+        for i in 0..500 {
+            v.push(0.0 + 0.01 * (i % 10) as f64);
+            v.push(10.0 + 0.01 * (i % 10) as f64);
+        }
+        v.push(100.0);
+        v
+    }
+
+    #[test]
+    fn histogram_seed_allocates_mass_to_modes() {
+        // With 8 centres over bimodal data (modes at 0 and 10, one
+        // outlier at 100), the blended quantile seeding must put at
+        // least one centre near each mode — mass pulls half the seeds
+        // into [0, 11] even though that is 11% of the range.
+        let data = bimodal();
+        let c = initial_centers(Init1D::Histogram, &data, 8, 0);
+        assert_eq!(c.len(), 8);
+        let near_low = c.iter().filter(|&&x| x < 11.0).count();
+        assert!(near_low >= 3, "seeds near the modes: {c:?}");
+        // ...and the coverage half reaches toward the outlier.
+        assert!(c.iter().any(|&x| x > 20.0), "no coverage seed in the tail: {c:?}");
+    }
+
+    #[test]
+    fn uniform_seed_ignores_density() {
+        let data = bimodal();
+        let c = initial_centers(Init1D::UniformSpread, &data, 4, 0);
+        assert_eq!(c.len(), 4);
+        // Spread over [0, 100]: centres at 12.5, 37.5, 62.5, 87.5.
+        assert!((c[0] - 12.5).abs() < 1.0);
+        assert!((c[3] - 87.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn kmeanspp_is_reproducible() {
+        let data = bimodal();
+        let a = initial_centers(Init1D::KMeansPlusPlus, &data, 5, 123);
+        let b = initial_centers(Init1D::KMeansPlusPlus, &data, 5, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kmeanspp_spreads_centers() {
+        let data = bimodal();
+        let c = initial_centers(Init1D::KMeansPlusPlus, &data, 2, 42);
+        assert_eq!(c.len(), 2);
+        assert!(c[1] - c[0] > 5.0, "k-means++ should pick distant centres: {c:?}");
+    }
+
+    #[test]
+    fn constant_data_yields_single_center() {
+        let data = vec![3.5; 1000];
+        for m in [Init1D::Histogram, Init1D::KMeansPlusPlus, Init1D::UniformSpread] {
+            let c = initial_centers(m, &data, 8, 1);
+            assert_eq!(c, vec![3.5], "method {m:?}");
+        }
+    }
+
+    #[test]
+    fn empty_data_yields_no_centers() {
+        for m in [Init1D::Histogram, Init1D::KMeansPlusPlus, Init1D::UniformSpread] {
+            assert!(initial_centers(m, &[], 4, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn centers_are_sorted_and_unique() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        for m in [Init1D::Histogram, Init1D::KMeansPlusPlus, Init1D::UniformSpread] {
+            let c = initial_centers(m, &data, 16, 7);
+            for w in c.windows(2) {
+                assert!(w[0] < w[1], "method {m:?}: centres not strictly sorted: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_k() {
+        let data = vec![1.0, 2.0, 1.0, 2.0, 1.0];
+        let c = initial_centers(Init1D::KMeansPlusPlus, &data, 10, 3);
+        assert!(c.len() <= 2, "only two distinct values exist: {c:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Parallel K-means clustering substrate.
+//!
+//! NUMARCK's best-performing approximation strategy (SC'14 §II-C.3) runs
+//! K-means over the one-dimensional change-ratio stream with
+//! `k = 2^B − 1` clusters, seeded from the equal-width histogram to avoid
+//! the classic sensitivity of Lloyd's algorithm to its initial centres.
+//! The paper uses the authors' MPI-parallel K-means package; this crate is
+//! the shared-memory equivalent.
+//!
+//! Two implementations are provided:
+//!
+//! * [`lloyd1d`] — the production path. Exploits the 1-D structure: with
+//!   centres kept sorted, nearest-centre assignment reduces to a binary
+//!   search over the `k − 1` midpoints (O(log k) per point instead of
+//!   O(k)), and the update step is a chunk-parallel partial-sum merge.
+//! * [`general`] — a straightforward dense d-dimensional Lloyd iteration,
+//!   used as a test oracle for the 1-D path and available for callers that
+//!   cluster multi-variable records.
+//!
+//! Initialisation methods live in [`init`]: histogram seeding (the paper's
+//! choice), k-means++, and uniform-spread, so the `ablate_kmeans_init`
+//! benchmark can quantify the paper's claim that seeding matters.
+
+pub mod general;
+pub mod init;
+pub mod lloyd1d;
+
+pub use init::Init1D;
+pub use lloyd1d::{KMeans1D, KMeans1DResult};
+
+/// Options controlling a Lloyd's-algorithm run.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansOptions {
+    /// Hard cap on Lloyd iterations.
+    pub max_iterations: usize,
+    /// Converged when the fraction of points that changed cluster in an
+    /// iteration drops below this. The paper's package uses the same
+    /// membership-change criterion.
+    pub change_threshold: f64,
+    /// Seed for randomised initialisers (ignored by deterministic ones).
+    pub seed: u64,
+}
+
+impl Default for KMeansOptions {
+    fn default() -> Self {
+        Self { max_iterations: 50, change_threshold: 1e-3, seed: 0x5EED_CAFE }
+    }
+}

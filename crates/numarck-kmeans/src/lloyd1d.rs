@@ -1,0 +1,492 @@
+//! 1-D Lloyd's algorithm specialised for NUMARCK's change-ratio stream.
+//!
+//! With centres kept sorted, the Voronoi cells of 1-D K-means are
+//! intervals whose boundaries are the midpoints between adjacent centres,
+//! so nearest-centre assignment is a binary search over `k − 1` midpoints.
+//! For the paper's `k = 255/511` this turns the O(n·k) assignment step into
+//! O(n·log k) — the difference between the clustering strategy being
+//! usable in-situ or not.
+
+use rayon::prelude::*;
+
+use numarck_par::chunk::chunk_size_for;
+
+use crate::init::{initial_centers, Init1D};
+use crate::KMeansOptions;
+
+/// Sorted centres plus precomputed midpoints; provides O(log k)
+/// nearest-centre queries. This is also the assignment structure the
+/// NUMARCK encoder uses to map change ratios to table indices, so it lives
+/// here and is shared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedCenters {
+    centers: Vec<f64>,
+    midpoints: Vec<f64>,
+}
+
+impl SortedCenters {
+    /// Build from centres (sorted internally; duplicates removed).
+    ///
+    /// # Panics
+    /// Panics if any centre is non-finite.
+    pub fn new(mut centers: Vec<f64>) -> Self {
+        assert!(centers.iter().all(|c| c.is_finite()), "centres must be finite");
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        centers.dedup();
+        let midpoints = midpoints_of(&centers);
+        Self { centers, midpoints }
+    }
+
+    /// The sorted centres.
+    #[inline]
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Number of centres.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True when there are no centres.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Index of the centre nearest to `x` (ties resolve to the lower
+    /// index).
+    ///
+    /// # Panics
+    /// Panics if there are no centres.
+    #[inline]
+    pub fn nearest(&self, x: f64) -> usize {
+        assert!(!self.centers.is_empty(), "nearest() on empty centre set");
+        // Number of midpoints strictly below x == index of x's interval.
+        self.midpoints.partition_point(|&m| m < x)
+    }
+
+    /// Nearest centre value for `x`.
+    #[inline]
+    pub fn nearest_value(&self, x: f64) -> f64 {
+        self.centers[self.nearest(x)]
+    }
+}
+
+fn midpoints_of(centers: &[f64]) -> Vec<f64> {
+    centers.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
+}
+
+/// Result of a 1-D K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans1DResult {
+    /// Final sorted centres (may be fewer than requested `k` when the data
+    /// has few distinct values).
+    pub centers: SortedCenters,
+    /// Points per cluster, aligned with `centers`.
+    pub counts: Vec<u64>,
+    /// Final cluster index per input point.
+    pub assignments: Vec<u32>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Sum of squared distances to assigned centres.
+    pub inertia: f64,
+    /// Whether the membership-change criterion was met before the
+    /// iteration cap.
+    pub converged: bool,
+}
+
+/// 1-D K-means runner.
+#[derive(Debug, Clone)]
+pub struct KMeans1D {
+    /// Requested number of clusters.
+    pub k: usize,
+    /// Initialisation method.
+    pub init: Init1D,
+    /// Iteration/convergence options.
+    pub opts: KMeansOptions,
+}
+
+impl KMeans1D {
+    /// Runner with the paper's defaults (histogram seeding).
+    pub fn new(k: usize) -> Self {
+        Self { k, init: Init1D::Histogram, opts: KMeansOptions::default() }
+    }
+
+    /// Override the initialiser.
+    pub fn with_init(mut self, init: Init1D) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Override the options.
+    pub fn with_options(mut self, opts: KMeansOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Cluster `data`. Empty input yields an empty result.
+    pub fn fit(&self, data: &[f64]) -> KMeans1DResult {
+        assert!(self.k >= 1, "k must be >= 1");
+        if data.is_empty() {
+            return KMeans1DResult {
+                centers: SortedCenters::new(Vec::new()),
+                counts: Vec::new(),
+                assignments: Vec::new(),
+                iterations: 0,
+                inertia: 0.0,
+                converged: true,
+            };
+        }
+        let init = initial_centers(self.init, data, self.k, self.opts.seed);
+        let mut centers = SortedCenters::new(init);
+        let mut assignments: Vec<u32> = vec![0; data.len()];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        // First assignment pass.
+        assign_par(&centers, data, &mut assignments);
+
+        while iterations < self.opts.max_iterations {
+            iterations += 1;
+            // Update: per-chunk partial (sum, count) per cluster, merged in
+            // chunk order for determinism.
+            let (sums, counts) = partial_sums(&centers, data, &assignments);
+            let mut new_centers = Vec::with_capacity(centers.len());
+            for (i, (&s, &c)) in sums.iter().zip(&counts).enumerate() {
+                if c > 0 {
+                    new_centers.push(s / c as f64);
+                } else {
+                    // Empty cluster: keep the old centre (deterministic;
+                    // it can be re-adopted by points in later iterations).
+                    new_centers.push(centers.centers()[i]);
+                }
+            }
+            let next = SortedCenters::new(new_centers);
+            // Reassign and count membership changes.
+            let changed = reassign_count_changes(&next, data, &mut assignments);
+            centers = next;
+            if (changed as f64) / (data.len() as f64) < self.opts.change_threshold {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final bookkeeping pass against the final centres.
+        assign_par(&centers, data, &mut assignments);
+        let (_, counts) = partial_sums(&centers, data, &assignments);
+        // Drop clusters that ended empty (kept-alive old centres that no
+        // point adopted): they would waste representative-table slots
+        // downstream. Removing a memberless centre cannot change any
+        // point's nearest choice among the survivors... except for points
+        // whose tie previously resolved to it, so reassign to be safe.
+        if counts.contains(&0) {
+            let kept: Vec<f64> = centers
+                .centers()
+                .iter()
+                .zip(&counts)
+                .filter(|(_, &c)| c > 0)
+                .map(|(&v, _)| v)
+                .collect();
+            centers = SortedCenters::new(kept);
+            assign_par(&centers, data, &mut assignments);
+        }
+        let (_, counts) = partial_sums(&centers, data, &assignments);
+        let inertia = inertia_par(&centers, data, &assignments);
+        KMeans1DResult { centers, counts, assignments, iterations, inertia, converged }
+    }
+}
+
+fn assign_par(centers: &SortedCenters, data: &[f64], out: &mut [u32]) {
+    debug_assert_eq!(data.len(), out.len());
+    if centers.is_empty() {
+        return;
+    }
+    let chunk = chunk_size_for(data.len());
+    out.par_chunks_mut(chunk).zip(data.par_chunks(chunk)).for_each(|(o, d)| {
+        for (oi, &x) in o.iter_mut().zip(d) {
+            *oi = centers.nearest(x) as u32;
+        }
+    });
+}
+
+/// Reassign all points to `centers`, returning how many changed cluster.
+fn reassign_count_changes(centers: &SortedCenters, data: &[f64], assignments: &mut [u32]) -> usize {
+    let chunk = chunk_size_for(data.len());
+    assignments
+        .par_chunks_mut(chunk)
+        .zip(data.par_chunks(chunk))
+        .map(|(a, d)| {
+            let mut changed = 0usize;
+            for (ai, &x) in a.iter_mut().zip(d) {
+                let n = centers.nearest(x) as u32;
+                if n != *ai {
+                    changed += 1;
+                    *ai = n;
+                }
+            }
+            changed
+        })
+        .sum()
+}
+
+/// Per-cluster sums and counts, chunk-parallel with ordered merge.
+fn partial_sums(centers: &SortedCenters, data: &[f64], assignments: &[u32]) -> (Vec<f64>, Vec<u64>) {
+    let k = centers.len();
+    let chunk = chunk_size_for(data.len());
+    let partials: Vec<(Vec<f64>, Vec<u64>)> = data
+        .par_chunks(chunk)
+        .zip(assignments.par_chunks(chunk))
+        .map(|(d, a)| {
+            let mut sums = vec![0.0f64; k];
+            let mut counts = vec![0u64; k];
+            for (&x, &ci) in d.iter().zip(a) {
+                sums[ci as usize] += x;
+                counts[ci as usize] += 1;
+            }
+            (sums, counts)
+        })
+        .collect();
+    let mut sums = vec![0.0f64; k];
+    let mut counts = vec![0u64; k];
+    for (ps, pc) in &partials {
+        for i in 0..k {
+            sums[i] += ps[i];
+            counts[i] += pc[i];
+        }
+    }
+    (sums, counts)
+}
+
+fn inertia_par(centers: &SortedCenters, data: &[f64], assignments: &[u32]) -> f64 {
+    let chunk = chunk_size_for(data.len());
+    data.par_chunks(chunk)
+        .zip(assignments.par_chunks(chunk))
+        .map(|(d, a)| {
+            let mut s = 0.0;
+            for (&x, &ci) in d.iter().zip(a) {
+                let dx = x - centers.centers()[ci as usize];
+                s += dx * dx;
+            }
+            s
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_centers_nearest_basic() {
+        let sc = SortedCenters::new(vec![0.0, 10.0, 20.0]);
+        assert_eq!(sc.nearest(-5.0), 0);
+        assert_eq!(sc.nearest(4.9), 0);
+        assert_eq!(sc.nearest(5.1), 1);
+        assert_eq!(sc.nearest(14.9), 1);
+        assert_eq!(sc.nearest(15.1), 2);
+        assert_eq!(sc.nearest(100.0), 2);
+    }
+
+    #[test]
+    fn nearest_tie_goes_to_lower_index() {
+        let sc = SortedCenters::new(vec![0.0, 10.0]);
+        assert_eq!(sc.nearest(5.0), 0);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let sc = SortedCenters::new(vec![-3.0, -1.0, 0.5, 2.0, 8.0, 8.5]);
+        for i in -100..200 {
+            let x = i as f64 * 0.1;
+            let fast = sc.nearest(x);
+            let slow = sc
+                .centers()
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (x - **a).abs().partial_cmp(&(x - **b).abs()).unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            let fd = (x - sc.centers()[fast]).abs();
+            let sd = (x - sc.centers()[slow]).abs();
+            assert!(
+                (fd - sd).abs() < 1e-12,
+                "x={x}: fast idx {fast} (d={fd}) vs slow idx {slow} (d={sd})"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_and_deduped() {
+        let sc = SortedCenters::new(vec![5.0, 1.0, 5.0, 3.0]);
+        assert_eq!(sc.centers(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_center_panics() {
+        SortedCenters::new(vec![1.0, f64::NAN]);
+    }
+
+    fn two_modes(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 100.0 };
+                base + (i % 7) as f64 * 0.1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_separates_two_modes() {
+        let data = two_modes(10_000);
+        let res = KMeans1D::new(2).fit(&data);
+        assert_eq!(res.centers.len(), 2);
+        assert!(res.centers.centers()[0] < 1.0);
+        assert!(res.centers.centers()[1] > 99.0);
+        assert!(res.converged);
+        // Both clusters hold half the points.
+        assert_eq!(res.counts[0], 5_000);
+        assert_eq!(res.counts[1], 5_000);
+    }
+
+    #[test]
+    fn fit_empty_data() {
+        let res = KMeans1D::new(4).fit(&[]);
+        assert!(res.centers.is_empty());
+        assert!(res.assignments.is_empty());
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn fit_constant_data_single_cluster() {
+        let data = vec![7.0; 5000];
+        let res = KMeans1D::new(8).fit(&data);
+        assert_eq!(res.centers.len(), 1);
+        assert_eq!(res.centers.centers()[0], 7.0);
+        assert_eq!(res.inertia, 0.0);
+    }
+
+    #[test]
+    fn counts_sum_to_n_and_match_assignments() {
+        let data: Vec<f64> = (0..5000).map(|i| ((i * 31) % 997) as f64).collect();
+        let res = KMeans1D::new(16).fit(&data);
+        assert_eq!(res.counts.iter().sum::<u64>(), data.len() as u64);
+        let mut recount = vec![0u64; res.centers.len()];
+        for &a in &res.assignments {
+            recount[a as usize] += 1;
+        }
+        assert_eq!(recount, res.counts);
+    }
+
+    #[test]
+    fn lloyd_never_increases_inertia_vs_uniform_init() {
+        // Clustering-quality sanity: fitted inertia must be no worse than
+        // the inertia of the initial uniform centres.
+        let data = two_modes(4000);
+        let init = SortedCenters::new(crate::init::initial_centers(
+            Init1D::UniformSpread,
+            &data,
+            4,
+            0,
+        ));
+        let init_inertia: f64 = data.iter().map(|&x| {
+            let c = init.nearest_value(x);
+            (x - c) * (x - c)
+        }).sum();
+        let res = KMeans1D::new(4).with_init(Init1D::UniformSpread).fit(&data);
+        assert!(
+            res.inertia <= init_inertia + 1e-9,
+            "fit {} vs init {}",
+            res.inertia,
+            init_inertia
+        );
+    }
+
+    #[test]
+    fn histogram_init_covers_the_dense_mode_on_skewed_data() {
+        // Heavily skewed data: 99% in a tight mode, 1% spread far away.
+        // The design goal of histogram seeding is NUMARCK coverage, not
+        // inertia: virtually all dense-mode points must end within a
+        // tight tolerance of some centre, which uniform seeding only
+        // achieves after Lloyd rescues its single in-mode seed.
+        let mut data: Vec<f64> = (0..9900).map(|i| (i % 100) as f64 * 1e-4).collect();
+        data.extend((0..100).map(|i| 1000.0 + i as f64 * 10.0));
+        let tol = 0.005;
+        let escape_frac = |res: &KMeans1DResult| {
+            data.iter()
+                .filter(|&&x| x < 1.0) // dense-mode points only
+                .filter(|&&x| (x - res.centers.nearest_value(x)).abs() > tol)
+                .count() as f64
+                / 9900.0
+        };
+        let hist = KMeans1D::new(8).with_init(Init1D::Histogram).fit(&data);
+        assert!(
+            escape_frac(&hist) < 0.02,
+            "dense mode under-covered: {} escapes",
+            escape_frac(&hist)
+        );
+        // And at least one centre sits inside the mode (empty-cluster
+        // pruning may consolidate the mode into a single centre, which
+        // is optimal here — the mode is narrower than the tolerance).
+        let in_mode = hist.centers.centers().iter().filter(|&&c| c < 1.0).count();
+        assert!(in_mode >= 1, "centres in mode: {:?}", hist.centers.centers());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let data = two_modes(20_000);
+        let a = KMeans1D::new(7).fit(&data);
+        let b = KMeans1D::new(7).fit(&data);
+        assert_eq!(a.centers.centers(), b.centers.centers());
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let data = two_modes(1000);
+        let opts = KMeansOptions { max_iterations: 1, change_threshold: 0.0, seed: 0 };
+        let res = KMeans1D::new(4).with_options(opts).fit(&data);
+        assert!(res.iterations <= 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn assignments_are_nearest_center(
+                xs in proptest::collection::vec(-1e3f64..1e3, 1..300),
+                k in 1usize..10
+            ) {
+                let res = KMeans1D::new(k).fit(&xs);
+                for (&x, &a) in xs.iter().zip(&res.assignments) {
+                    let da = (x - res.centers.centers()[a as usize]).abs();
+                    for &c in res.centers.centers() {
+                        prop_assert!(da <= (x - c).abs() + 1e-9);
+                    }
+                }
+            }
+
+            #[test]
+            fn centers_within_data_range(
+                xs in proptest::collection::vec(-50.0f64..50.0, 1..200),
+                k in 1usize..8
+            ) {
+                let res = KMeans1D::new(k).fit(&xs);
+                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for &c in res.centers.centers() {
+                    prop_assert!(c >= lo - 1e-9 && c <= hi + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Symmetric banded matrices and banded Cholesky.
+//!
+//! Storage is the lower band in "diagonal-major" layout: `band[d]` holds
+//! the `d`-th sub-diagonal (`band[0]` is the main diagonal, length `n`;
+//! `band[d][i]` is entry `(i + d, i)`). For bandwidth `p` a Cholesky
+//! factorisation costs O(n·p²) and stays inside the band, which is what
+//! makes B-spline least squares linear-time.
+
+/// Symmetric banded matrix of order `n` with `p` sub-diagonals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymBanded {
+    n: usize,
+    p: usize,
+    /// `band[d][i]` = A[i+d][i], for d in 0..=p.
+    band: Vec<Vec<f64>>,
+}
+
+impl SymBanded {
+    /// Zero matrix of order `n` with bandwidth `p` (p sub-diagonals).
+    pub fn zeros(n: usize, p: usize) -> Self {
+        let band = (0..=p).map(|d| vec![0.0; n.saturating_sub(d)]).collect();
+        Self { n, p, band }
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sub-diagonals.
+    #[inline]
+    pub fn bandwidth(&self) -> usize {
+        self.p
+    }
+
+    /// Entry `(r, c)`; zero outside the band.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (hi, lo) = if r >= c { (r, c) } else { (c, r) };
+        let d = hi - lo;
+        if d > self.p {
+            0.0
+        } else {
+            self.band[d][lo]
+        }
+    }
+
+    /// Set entry `(r, c)` (and its mirror).
+    ///
+    /// # Panics
+    /// Panics if `(r, c)` lies outside the band or the matrix.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        let (hi, lo) = if r >= c { (r, c) } else { (c, r) };
+        let d = hi - lo;
+        assert!(d <= self.p, "entry ({r},{c}) outside bandwidth {}", self.p);
+        self.band[d][lo] = v;
+    }
+
+    /// Add `v` to entry `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        let (hi, lo) = if r >= c { (r, c) } else { (c, r) };
+        let d = hi - lo;
+        assert!(d <= self.p, "entry ({r},{c}) outside bandwidth {}", self.p);
+        self.band[d][lo] += v;
+    }
+
+    /// Matrix-vector product `A·x` (for tests and residual checks).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let lo = r.saturating_sub(self.p);
+            let hi = (r + self.p + 1).min(self.n);
+            let mut acc = 0.0;
+            for c in lo..hi {
+                acc += self.get(r, c) * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Banded Cholesky factorisation `A = L·Lᵀ`; returns the lower factor
+    /// in the same banded layout, or `None` if the matrix is not positive
+    /// definite (a non-positive pivot is encountered).
+    pub fn cholesky(&self) -> Option<BandedCholesky> {
+        let n = self.n;
+        let p = self.p;
+        let mut l = self.band.clone();
+        for j in 0..n {
+            // Pivot: A[j][j] - sum_{k} L[j][k]^2 over banded k.
+            let mut d = l[0][j];
+            let kmin = j.saturating_sub(p);
+            for k in kmin..j {
+                let v = l[j - k][k];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return None;
+            }
+            let dj = d.sqrt();
+            l[0][j] = dj;
+            // Column below the pivot.
+            let imax = (j + p + 1).min(n);
+            for i in j + 1..imax {
+                let mut s = l[i - j][j];
+                let kmin = i.saturating_sub(p).max(j.saturating_sub(p));
+                for k in kmin..j {
+                    // Both L[i][k] and L[j][k] must be inside the band.
+                    if i - k <= p && j - k <= p {
+                        s -= l[i - k][k] * l[j - k][k];
+                    }
+                }
+                l[i - j][j] = s / dj;
+            }
+        }
+        Some(BandedCholesky { n, p, band: l })
+    }
+}
+
+/// Lower Cholesky factor in banded layout.
+#[derive(Debug, Clone)]
+pub struct BandedCholesky {
+    n: usize,
+    p: usize,
+    band: Vec<Vec<f64>>,
+}
+
+impl BandedCholesky {
+    /// Solve `A·x = b` given `A = L·Lᵀ`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut y = b.to_vec();
+        // Forward: L·y = b.
+        for i in 0..self.n {
+            let kmin = i.saturating_sub(self.p);
+            let mut s = y[i];
+            for k in kmin..i {
+                s -= self.band[i - k][k] * y[k];
+            }
+            y[i] = s / self.band[0][i];
+        }
+        // Backward: Lᵀ·x = y.
+        for i in (0..self.n).rev() {
+            let imax = (i + self.p + 1).min(self.n);
+            let mut s = y[i];
+            for k in i + 1..imax {
+                s -= self.band[k - i][i] * y[k];
+            }
+            y[i] = s / self.band[0][i];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense oracle: naive Cholesky + solve.
+    fn dense_solve(a: &SymBanded, b: &[f64]) -> Vec<f64> {
+        let n = a.order();
+        let mut m: Vec<Vec<f64>> = (0..n).map(|r| (0..n).map(|c| a.get(r, c)).collect()).collect();
+        let mut rhs = b.to_vec();
+        // Gaussian elimination with no pivoting (SPD).
+        for j in 0..n {
+            let piv = m[j][j];
+            for i in j + 1..n {
+                let f = m[i][j] / piv;
+                for c in j..n {
+                    m[i][c] -= f * m[j][c];
+                }
+                rhs[i] -= f * rhs[j];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = rhs[i];
+            for c in i + 1..n {
+                s -= m[i][c] * x[c];
+            }
+            x[i] = s / m[i][i];
+        }
+        x
+    }
+
+    fn diagonally_dominant(n: usize, p: usize) -> SymBanded {
+        let mut a = SymBanded::zeros(n, p);
+        for i in 0..n {
+            a.set(i, i, 10.0 + (i % 5) as f64);
+            for d in 1..=p {
+                if i + d < n {
+                    a.set(i + d, i, 1.0 / (d as f64 + 1.0) + 0.01 * ((i + d) % 3) as f64);
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn get_set_symmetry() {
+        let mut a = SymBanded::zeros(5, 2);
+        a.set(3, 1, 7.0);
+        assert_eq!(a.get(3, 1), 7.0);
+        assert_eq!(a.get(1, 3), 7.0);
+        assert_eq!(a.get(0, 4), 0.0); // outside band
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bandwidth")]
+    fn set_outside_band_panics() {
+        let mut a = SymBanded::zeros(5, 1);
+        a.set(4, 0, 1.0);
+    }
+
+    #[test]
+    fn cholesky_solve_identity() {
+        let mut a = SymBanded::zeros(4, 1);
+        for i in 0..4 {
+            a.set(i, i, 1.0);
+        }
+        let ch = a.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b), b);
+    }
+
+    #[test]
+    fn cholesky_matches_dense_oracle() {
+        for (n, p) in [(6usize, 1usize), (10, 2), (25, 3), (50, 4)] {
+            let a = diagonally_dominant(n, p);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let fast = a.cholesky().expect("SPD").solve(&b);
+            let slow = dense_solve(&a, &b);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "n={n} p={p}: {f} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_is_tiny() {
+        let a = diagonally_dominant(40, 3);
+        let b: Vec<f64> = (0..40).map(|i| 1.0 + (i % 7) as f64).collect();
+        let x = a.cholesky().unwrap().solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let mut a = SymBanded::zeros(3, 1);
+        a.set(0, 0, -1.0);
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 1.0);
+        assert!(a.cholesky().is_none());
+        // Singular (zero pivot) also rejected.
+        let z = SymBanded::zeros(3, 1);
+        assert!(z.cholesky().is_none());
+    }
+
+    #[test]
+    fn bandwidth_zero_is_diagonal() {
+        let mut a = SymBanded::zeros(3, 0);
+        for i in 0..3 {
+            a.set(i, i, (i + 1) as f64);
+        }
+        let x = a.cholesky().unwrap().solve(&[2.0, 6.0, 12.0]);
+        for (got, want) in x.iter().zip(&[2.0, 3.0, 4.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn banded_solve_matches_dense(
+                n in 2usize..30,
+                p in 1usize..4,
+                seed in 0u64..1000
+            ) {
+                let p = p.min(n - 1);
+                let mut a = SymBanded::zeros(n, p);
+                // Deterministic pseudo-random SPD matrix.
+                let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut next = || {
+                    s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                    (s % 1000) as f64 / 1000.0
+                };
+                for i in 0..n {
+                    a.set(i, i, 5.0 + next());
+                    for d in 1..=p {
+                        if i + d < n {
+                            a.set(i + d, i, next() * 0.5);
+                        }
+                    }
+                }
+                let b: Vec<f64> = (0..n).map(|_| next() * 10.0 - 5.0).collect();
+                let fast = a.cholesky().unwrap().solve(&b);
+                let slow = dense_solve(&a, &b);
+                for (f, sl) in fast.iter().zip(&slow) {
+                    prop_assert!((f - sl).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Linear-algebra substrate for the baseline lossy compressors.
+//!
+//! The paper's comparison targets — cubic B-splines (Chou & Piegl) and
+//! ISABELA (Lakshminarasimhan et al.) — both reduce to least-squares
+//! cubic-B-spline fits. A cubic spline's design matrix has 4 non-zeros
+//! per row, so the normal equations are symmetric positive-definite with
+//! bandwidth 3; everything needed is:
+//!
+//! * [`banded`] — symmetric banded storage + banded Cholesky factor/solve
+//!   (O(n·p²) instead of O(n³));
+//! * [`tridiag`] — Thomas algorithm for tridiagonal systems;
+//! * [`bspline`] — clamped uniform cubic B-spline basis, evaluation, and
+//!   least-squares fitting built on the banded solver.
+
+pub mod banded;
+pub mod bspline;
+pub mod tridiag;
+
+pub use banded::SymBanded;
+pub use bspline::CubicBSpline;

@@ -1,0 +1,120 @@
+//! Thomas algorithm for tridiagonal systems.
+//!
+//! Used by the simulators' implicit smoothing steps and kept as the
+//! specialised fast path for bandwidth-1 systems.
+
+/// Solve the tridiagonal system with sub-diagonal `a` (length n−1),
+/// diagonal `b` (length n), super-diagonal `c` (length n−1) and
+/// right-hand side `d` (length n). Returns `None` when a pivot vanishes
+/// (the algorithm does not pivot; callers must supply diagonally dominant
+/// or SPD systems).
+pub fn solve_tridiagonal(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(d.len(), n, "rhs length");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    assert_eq!(a.len(), n - 1, "sub-diagonal length");
+    assert_eq!(c.len(), n - 1, "super-diagonal length");
+
+    let mut cp = vec![0.0; n.saturating_sub(1)];
+    let mut dp = vec![0.0; n];
+    if b[0] == 0.0 {
+        return None;
+    }
+    if n > 1 {
+        cp[0] = c[0] / b[0];
+    }
+    dp[0] = d[0] / b[0];
+    for i in 1..n {
+        let m = b[i] - a[i - 1] * cp.get(i - 1).copied().unwrap_or(0.0);
+        if m == 0.0 || !m.is_finite() {
+            return None;
+        }
+        if i < n - 1 {
+            cp[i] = c[i] / m;
+        }
+        dp[i] = (d[i] - a[i - 1] * dp[i - 1]) / m;
+    }
+    let mut x = dp;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= cp[i] * next;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1 0; 1 2 1; 0 1 2] x = [4, 8, 8] -> x = [1, 2, 3]
+        let x = solve_tridiagonal(&[1.0, 1.0], &[2.0, 2.0, 2.0], &[1.0, 1.0], &[4.0, 8.0, 8.0])
+            .unwrap();
+        for (got, want) in x.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let x = solve_tridiagonal(&[], &[4.0], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(solve_tridiagonal(&[], &[], &[], &[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn zero_pivot_rejected() {
+        assert!(solve_tridiagonal(&[1.0], &[0.0, 1.0], &[1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn matches_banded_cholesky_on_spd_system() {
+        use crate::banded::SymBanded;
+        let n = 20;
+        let mut m = SymBanded::zeros(n, 1);
+        let mut sub = Vec::new();
+        let mut diag = Vec::new();
+        for i in 0..n {
+            let dv = 4.0 + (i % 3) as f64;
+            m.set(i, i, dv);
+            diag.push(dv);
+            if i + 1 < n {
+                let ov = 1.0 + 0.1 * (i % 4) as f64;
+                m.set(i + 1, i, ov);
+                sub.push(ov);
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let thomas = solve_tridiagonal(&sub, &diag, &sub, &rhs).unwrap();
+        let chol = m.cholesky().unwrap().solve(&rhs);
+        for (t, c) in thomas.iter().zip(&chol) {
+            assert!((t - c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn residual_check_large_system() {
+        let n = 500;
+        let sub = vec![-1.0; n - 1];
+        let diag = vec![2.5; n];
+        let rhs: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64).collect();
+        let x = solve_tridiagonal(&sub, &diag, &sub, &rhs).unwrap();
+        for i in 0..n {
+            let mut ax = diag[i] * x[i];
+            if i > 0 {
+                ax += sub[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                ax += sub[i] * x[i + 1];
+            }
+            assert!((ax - rhs[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Chunk-size heuristics shared by the parallel kernels.
+//!
+//! Rayon's `par_chunks` needs an explicit chunk length. Too small and the
+//! scheduling overhead dominates; too large and load balancing suffers. The
+//! heuristic here targets roughly 4 chunks per worker thread, with a floor
+//! that keeps per-chunk work above the scheduling cost for trivially cheap
+//! kernels.
+
+/// Minimum number of elements per chunk. Below this, sequential execution
+/// beats the fork/join overhead for the simple arithmetic kernels NUMARCK
+/// runs (a few flops per element).
+pub const MIN_CHUNK: usize = 4 * 1024;
+
+/// Chunks per worker thread. Over-decomposing by this factor gives the
+/// work-stealing scheduler room to balance uneven chunks (e.g. histogram
+/// bins concentrated in one region).
+pub const CHUNKS_PER_THREAD: usize = 4;
+
+/// Choose a chunk length for a parallel sweep over `len` elements.
+///
+/// Returns at least 1 so callers can pass the result straight to
+/// `par_chunks` without a zero-length panic.
+pub fn chunk_size_for(len: usize) -> usize {
+    chunk_size_with_threads(len, rayon::current_num_threads())
+}
+
+/// [`chunk_size_for`] with an explicit thread count (testable, and used by
+/// callers that run inside a custom pool).
+pub fn chunk_size_with_threads(len: usize, threads: usize) -> usize {
+    let threads = threads.max(1);
+    let target_chunks = threads * CHUNKS_PER_THREAD;
+    let by_threads = len.div_ceil(target_chunks.max(1));
+    by_threads.clamp(1, len.max(1)).max(MIN_CHUNK.min(len.max(1)))
+}
+
+/// Iterator over `(start, end)` half-open ranges covering `0..len` in
+/// chunks of `chunk`. Used where index arithmetic is needed alongside the
+/// slice data (e.g. writing bin IDs back at the right offsets).
+pub fn chunk_ranges(len: usize, chunk: usize) -> impl Iterator<Item = (usize, usize)> {
+    let chunk = chunk.max(1);
+    (0..len).step_by(chunk).map(move |s| (s, (s + chunk).min(len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_is_positive() {
+        for len in [0usize, 1, 5, 1000, 1 << 20] {
+            for threads in [1usize, 2, 8, 64] {
+                let c = chunk_size_with_threads(len, threads);
+                assert!(c >= 1, "len={len} threads={threads} gave {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_honours_min_chunk_for_large_inputs() {
+        let c = chunk_size_with_threads(1 << 24, 8);
+        assert!(c >= MIN_CHUNK);
+    }
+
+    #[test]
+    fn small_inputs_get_single_chunk() {
+        // Inputs below MIN_CHUNK should not be split at all.
+        let c = chunk_size_with_threads(100, 16);
+        assert_eq!(c, 100);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for len in [0usize, 1, 7, 100, 1023] {
+            for chunk in [1usize, 3, 64, 5000] {
+                let mut covered = vec![false; len];
+                for (s, e) in chunk_ranges(len, chunk) {
+                    assert!(s < e && e <= len);
+                    for c in covered.iter_mut().take(e).skip(s) {
+                        assert!(!*c, "double coverage");
+                        *c = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap in coverage len={len} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_ordered() {
+        let ranges: Vec<_> = chunk_ranges(1000, 64).collect();
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 1000);
+    }
+}

@@ -1,0 +1,31 @@
+//! Parallel primitives used throughout the NUMARCK workspace.
+//!
+//! NUMARCK's design goal (SC'14, §I) is to perform as much work as possible
+//! *in place* and *locally*: change-ratio computation, histogramming, and
+//! K-means assignment are all embarrassingly parallel over the data points,
+//! with small per-thread partial results merged at the end. This crate
+//! provides those building blocks once, so every other crate in the
+//! workspace expresses its parallelism the same way:
+//!
+//! * [`reduce`] — compensated (Neumaier) parallel sums, min/max, and moment
+//!   accumulators that are deterministic for a fixed chunk size.
+//! * [`histogram`] — fixed-bin parallel histograms with mergeable partials.
+//! * [`scan`] — parallel prefix sums (the decoder's bitmap rank index).
+//! * [`chunk`] — chunk-size selection heuristics shared by all crates.
+//! * [`pool`] — helpers for building appropriately sized Rayon pools.
+//!
+//! All entry points accept plain slices and are safe to call from inside an
+//! existing Rayon pool (they use `par_chunks`, never spawn their own pool
+//! unless asked via [`pool::build_pool`]).
+
+pub mod chunk;
+pub mod histogram;
+pub mod pool;
+pub mod quantile;
+pub mod reduce;
+pub mod rng;
+pub mod scan;
+
+pub use chunk::chunk_size_for;
+pub use histogram::{FixedHistogram, HistogramSpec};
+pub use reduce::{par_min_max, par_moments, par_sum, Moments, MinMax};

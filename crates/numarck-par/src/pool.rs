@@ -1,0 +1,52 @@
+//! Rayon pool construction helpers.
+//!
+//! Benchmarks sweep the thread count (the `kmeans_scaling` bench reproduces
+//! the "parallel K-means" claim), so they need pools of explicit sizes
+//! rather than the global one. Library code should keep using the ambient
+//! pool; only harnesses build their own.
+
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Build a Rayon pool with exactly `threads` workers (>= 1).
+///
+/// # Panics
+/// Panics if the pool cannot be built (thread spawn failure).
+pub fn build_pool(threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .thread_name(|i| format!("numarck-worker-{i}"))
+        .build()
+        .expect("failed to build rayon pool")
+}
+
+/// Number of workers the ambient pool would use.
+pub fn available_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_threads() {
+        let pool = build_pool(3);
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn zero_is_clamped_to_one() {
+        let pool = build_pool(0);
+        assert_eq!(pool.current_num_threads(), 1);
+    }
+
+    #[test]
+    fn work_runs_inside_pool() {
+        let pool = build_pool(2);
+        let total: u64 = pool.install(|| {
+            use rayon::prelude::*;
+            (0..1000u64).into_par_iter().sum()
+        });
+        assert_eq!(total, 499_500);
+    }
+}

@@ -1,0 +1,271 @@
+//! Streaming quantile estimation (the P² algorithm of Jain & Chlamtac,
+//! CACM 1985).
+//!
+//! The anomaly fence and the drift summaries need quantiles of change
+//! ratios. The batch paths use histogram quantiles; for *streaming*
+//! settings (in-situ monitoring of a running solver, where a full pass
+//! per statistic is not available) the P² sketch maintains a quantile
+//! estimate in O(1) memory and O(1) per observation, with no storage of
+//! the data.
+
+/// P² estimator for a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at the marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: usize,
+    /// First five observations (before the sketch activates).
+    warmup: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: [0.0; 5],
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if self.count < 5 {
+            self.warmup[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights = self.warmup;
+            }
+            return;
+        }
+        self.count += 1;
+        // Locate the cell and bump marker positions above it.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+        // Adjust interior markers toward their desired positions with
+        // piecewise-parabolic (P²) interpolation.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (pm, p, pp) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + sign / (pp - pm)
+            * ((p - pm + sign) * (hp - h) / (pp - p) + (pp - p - sign) * (h - hm) / (p - pm))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = (i as f64 + sign) as usize;
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (exact for fewer than five observations; `None`
+    /// when nothing was observed).
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut tmp: Vec<f64> = self.warmup[..n].to_vec();
+                tmp.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                Some(tmp[idx])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// A bracket of three P² sketches (lo / median / hi) — what the streaming
+/// anomaly fence needs.
+#[derive(Debug, Clone)]
+pub struct QuantileBracket {
+    /// Lower tail sketch.
+    pub lo: P2Quantile,
+    /// Median sketch.
+    pub median: P2Quantile,
+    /// Upper tail sketch.
+    pub hi: P2Quantile,
+}
+
+impl QuantileBracket {
+    /// Bracket at `tail` / 0.5 / `1 − tail`.
+    pub fn new(tail: f64) -> Self {
+        Self {
+            lo: P2Quantile::new(tail),
+            median: P2Quantile::new(0.5),
+            hi: P2Quantile::new(1.0 - tail),
+        }
+    }
+
+    /// Feed one observation to all three sketches.
+    pub fn observe(&mut self, x: f64) {
+        self.lo.observe(x);
+        self.median.observe(x);
+        self.hi.observe(x);
+    }
+
+    /// `(lo, median, hi)` estimates, if any data has been observed.
+    pub fn estimates(&self) -> Option<(f64, f64, f64)> {
+        Some((self.lo.estimate()?, self.median.estimate()?, self.hi.estimate()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+
+    #[test]
+    fn empty_and_warmup() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.observe(3.0);
+        assert_eq!(p.estimate(), Some(3.0));
+        p.observe(1.0);
+        p.observe(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut p = P2Quantile::new(0.5);
+        for _ in 0..100_000 {
+            p.observe(rng.uniform(0.0, 10.0));
+        }
+        let m = p.estimate().unwrap();
+        assert!((m - 5.0).abs() < 0.1, "median estimate {m}");
+    }
+
+    #[test]
+    fn tail_quantiles_of_normal_stream() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut p95 = P2Quantile::new(0.95);
+        let mut p05 = P2Quantile::new(0.05);
+        for _ in 0..200_000 {
+            let x = rng.normal();
+            p95.observe(x);
+            p05.observe(x);
+        }
+        // Φ⁻¹(0.95) ≈ 1.645.
+        assert!((p95.estimate().unwrap() - 1.645).abs() < 0.05);
+        assert!((p05.estimate().unwrap() + 1.645).abs() < 0.05);
+    }
+
+    #[test]
+    fn matches_exact_quantile_on_skewed_data() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let data: Vec<f64> = (0..50_000).map(|_| rng.normal().exp()).collect(); // lognormal
+        let mut p = P2Quantile::new(0.9);
+        for &x in &data {
+            p.observe(x);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let exact = exact_quantile(&sorted, 0.9);
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - exact).abs() < 0.08 * exact,
+            "P² {est} vs exact {exact} on a heavy-tailed stream"
+        );
+    }
+
+    #[test]
+    fn monotone_stream() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            p.observe(i as f64);
+        }
+        let m = p.estimate().unwrap();
+        assert!((m - 5000.0).abs() < 150.0, "median of 0..10000 ≈ {m}");
+    }
+
+    #[test]
+    fn bracket_orders_its_estimates() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(21);
+        let mut b = QuantileBracket::new(0.01);
+        for _ in 0..50_000 {
+            b.observe(rng.normal());
+        }
+        let (lo, med, hi) = b.estimates().unwrap();
+        assert!(lo < med && med < hi, "({lo}, {med}, {hi})");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_rejected() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Small deterministic PRNGs for reproducible experiments.
+//!
+//! The experiment harness must regenerate the paper's figures bit-for-bit
+//! across runs and thread counts, so the synthetic data generators and the
+//! k-means++ initialiser use these seedable generators rather than an
+//! OS-seeded source. `SplitMix64` is used for seeding/stream-splitting and
+//! `Xoshiro256PlusPlus` as the workhorse generator (both public domain
+//! algorithms by Blackman & Vigna).
+
+/// SplitMix64: tiny, fast, passes BigCrush; ideal for seeding.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256++: the general-purpose generator for the simulators.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seed via SplitMix64 expansion (never produces the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift (unbiased
+    /// enough for our workloads; exact rejection is overkill here).
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal via Box–Muller (polar form avoided for simplicity;
+    /// the trig form is branch-free and deterministic).
+    pub fn normal(&mut self) -> f64 {
+        // Guard against log(0).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with explicit mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Split off an independent generator stream (for per-thread or
+    /// per-variable streams with a shared master seed).
+    pub fn split(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let i = rng.below(10);
+            assert!(i < 10);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear in 10k draws");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut master1 = Xoshiro256PlusPlus::seed_from_u64(99);
+        let mut master2 = Xoshiro256PlusPlus::seed_from_u64(99);
+        let mut s1 = master1.split();
+        let mut s2 = master2.split();
+        for _ in 0..50 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+        let mut a = master1.split();
+        let overlap = (0..16).filter(|_| a.next_u64() == s2.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Parallel prefix sums (scans).
+//!
+//! The decoder needs, for every 64-point bitmap word, the number of
+//! compressible points before it — an exclusive prefix sum of popcounts.
+//! For the multi-million-word bitmaps of large checkpoint variables the
+//! classic two-pass blocked scan (per-block sums, scan the block sums
+//! sequentially, then offset each block in parallel) is worthwhile;
+//! below the threshold a simple sequential scan wins.
+
+use rayon::prelude::*;
+
+use crate::chunk::{chunk_ranges, chunk_size_for};
+
+/// Minimum length for the parallel path (two passes over the data must
+/// beat one sequential pass).
+pub const PAR_THRESHOLD: usize = 1 << 16;
+
+/// Sequential exclusive prefix sum: `out[i] = Σ_{j<i} f(in[j])`.
+/// Returns the vector and the grand total.
+pub fn exclusive_scan_seq<T, F>(input: &[T], f: F) -> (Vec<u64>, u64)
+where
+    F: Fn(&T) -> u64,
+{
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for x in input {
+        out.push(acc);
+        acc += f(x);
+    }
+    (out, acc)
+}
+
+/// Parallel exclusive prefix sum with the same contract as
+/// [`exclusive_scan_seq`]. `f` must be pure.
+pub fn exclusive_scan<T, F>(input: &[T], f: F) -> (Vec<u64>, u64)
+where
+    T: Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    if input.len() < PAR_THRESHOLD {
+        return exclusive_scan_seq(input, f);
+    }
+    let chunk = chunk_size_for(input.len());
+    let ranges: Vec<(usize, usize)> = chunk_ranges(input.len(), chunk).collect();
+    // Pass 1: per-block totals.
+    let block_sums: Vec<u64> = ranges
+        .par_iter()
+        .map(|&(s, e)| input[s..e].iter().map(&f).sum())
+        .collect();
+    // Scan the (few) block sums sequentially.
+    let (block_offsets, total) = exclusive_scan_seq(&block_sums, |&x| x);
+    // Pass 2: per-block local scans shifted by the block offset.
+    let mut out = vec![0u64; input.len()];
+    out.par_chunks_mut(chunk).zip(ranges.par_iter()).zip(block_offsets.par_iter()).for_each(
+        |((o, &(s, e)), &offset)| {
+            let mut acc = offset;
+            for (slot, x) in o.iter_mut().zip(&input[s..e]) {
+                *slot = acc;
+                acc += f(x);
+            }
+        },
+    );
+    (out, total)
+}
+
+/// Exclusive prefix popcount over bitmap words — the decoder's rank
+/// index: `rank[w]` = set bits in words `0..w`.
+pub fn popcount_ranks(bitmap: &[u64]) -> (Vec<u64>, u64) {
+    exclusive_scan(bitmap, |w| w.count_ones() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_scan_basic() {
+        let (scan, total) = exclusive_scan_seq(&[1u64, 2, 3, 4], |&x| x);
+        assert_eq!(scan, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let (scan, total) = exclusive_scan::<u64, _>(&[], |&x| x);
+        assert!(scan.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn par_matches_seq_across_threshold() {
+        let input: Vec<u64> = (0..PAR_THRESHOLD as u64 + 1000).map(|i| i % 7).collect();
+        let (par, pt) = exclusive_scan(&input, |&x| x);
+        let (seq, st) = exclusive_scan_seq(&input, |&x| x);
+        assert_eq!(par, seq);
+        assert_eq!(pt, st);
+    }
+
+    #[test]
+    fn popcount_ranks_hand_checked() {
+        let bitmap = [0b1011u64, 0, u64::MAX, 0b1];
+        let (ranks, total) = popcount_ranks(&bitmap);
+        assert_eq!(ranks, vec![0, 3, 3, 67]);
+        assert_eq!(total, 68);
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let input: Vec<u64> = (0..200_000).map(|i| (i * 31) % 13).collect();
+        let a = exclusive_scan(&input, |&x| x);
+        let b = exclusive_scan(&input, |&x| x);
+        assert_eq!(a, b);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn scan_invariant(xs in proptest::collection::vec(0u64..1000, 0..500)) {
+                let (scan, total) = exclusive_scan(&xs, |&x| x);
+                prop_assert_eq!(scan.len(), xs.len());
+                let mut acc = 0u64;
+                for (s, x) in scan.iter().zip(&xs) {
+                    prop_assert_eq!(*s, acc);
+                    acc += x;
+                }
+                prop_assert_eq!(total, acc);
+            }
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Soft-error / anomaly detection over change ratios.
+//!
+//! Paper §V: "NUMARCK's mechanisms in learning the evolving data
+//! distributions can also enable understanding anomalies at scale,
+//! thereby potentially identifying erroneous calculations due to soft
+//! errors or hardware errors." A silent bit flip in a floating-point
+//! value typically changes it by many orders of magnitude more than the
+//! physics does between two checkpoints, so it shows up as an extreme
+//! outlier of the change-ratio distribution.
+//!
+//! The detector brackets the bulk of the current iteration's ratio
+//! distribution with approximate quantiles (computed from a
+//! high-resolution histogram in O(n)) and flags points beyond a fence a
+//! few bracket-spans outside it — plus any point whose ratio is
+//! undefined/non-finite when its neighbours' are not.
+
+use numarck_par::histogram::{FixedHistogram, HistogramSpec};
+use numarck_par::reduce::par_min_max;
+
+use crate::error::NumarckError;
+use crate::ratio::{self, RatioClass};
+
+/// Detector configuration: a robust quantile fence.
+///
+/// Physical change distributions are heavy-tailed (shock fronts, rain
+/// events), so location/scale rules like median±k·MAD flag genuine
+/// physics. Instead the fence brackets the observed bulk — the
+/// `[tail_quantile, 1 − tail_quantile]` ratio range — and extends it by
+/// `fence_multiplier` spans on each side. Anything beyond sits outside
+/// the distribution the physics produced this step; a bit flip in the
+/// exponent or sign lands there by hundreds of spans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// Quantile defining the bulk bracket (e.g. 0.0025 ⇒ central 99.5%).
+    pub tail_quantile: f64,
+    /// Fence distance beyond the bracket, in bracket-span units.
+    pub fence_multiplier: f64,
+    /// Absolute floor on the fence half-width, so near-constant
+    /// iterations (span ≈ 0) don't flag numerical dust.
+    pub min_radius: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        Self { tail_quantile: 0.0025, fence_multiplier: 3.0, min_radius: 1e-6 }
+    }
+}
+
+/// One flagged point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// Point index.
+    pub index: usize,
+    /// The offending change ratio (`None` when the ratio itself was
+    /// undefined — e.g. the value was smashed to make `prev` look zero).
+    pub ratio: Option<f64>,
+    /// Distance beyond the fence in bracket-span units;
+    /// `f64::INFINITY` for undefined ratios.
+    pub score: f64,
+}
+
+/// Detection result.
+#[derive(Debug, Clone)]
+pub struct AnomalyReport {
+    /// Flagged points, ascending by index.
+    pub anomalies: Vec<Anomaly>,
+    /// Lower fence on the change ratio.
+    pub fence_lo: f64,
+    /// Upper fence on the change ratio.
+    pub fence_hi: f64,
+    /// Points examined.
+    pub num_points: usize,
+}
+
+impl AnomalyReport {
+    /// True when nothing was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+}
+
+/// Histogram-based approximate quantile: value below which `q` of the
+/// mass lies, with iterative zoom.
+///
+/// One histogram pass resolves `range / 4096`; when a single
+/// astronomical outlier (a bit-flipped exponent!) stretches the range,
+/// that resolution is useless, so the search re-histograms inside the
+/// bin containing the target quantile until the bin width stops
+/// improving — exponential convergence, a handful of O(n) passes.
+fn approx_quantile(data: &[f64], q: f64) -> f64 {
+    debug_assert!(!data.is_empty());
+    let mm = par_min_max(data);
+    if mm.range() == 0.0 {
+        return mm.min;
+    }
+    let (mut lo, mut hi) = (mm.min, mm.max);
+    let mut mass_below_lo = 0u64; // data strictly below the zoom window
+    let total = data.len() as u64;
+    for _ in 0..8 {
+        let spec = HistogramSpec::new(lo, hi, 4096);
+        let hist = FixedHistogram::fill_par(spec, data);
+        // Mass below the window that the spec counted as out-of-range is
+        // `mass_below_lo`; recompute the in-window target accordingly.
+        let target = q * total as f64 - mass_below_lo as f64;
+        let mut acc = 0u64;
+        let mut located = None;
+        for (i, &c) in hist.counts.iter().enumerate() {
+            if (acc + c) as f64 >= target {
+                located = Some((i, acc, c));
+                break;
+            }
+            acc += c;
+        }
+        let Some((bin, below, in_bin)) = located else {
+            return hi;
+        };
+        let bin_lo = spec.edge(bin);
+        let bin_hi = bin_lo + spec.width();
+        // Zoom when the bin still holds enough points to matter and the
+        // width is not yet tight relative to the window.
+        if in_bin <= 1 || spec.width() <= 0.0 {
+            let frac =
+                if in_bin == 0 { 0.5 } else { ((target - below as f64) / in_bin as f64).clamp(0.0, 1.0) };
+            return bin_lo + frac * spec.width();
+        }
+        mass_below_lo += below;
+        lo = bin_lo;
+        hi = bin_hi;
+        if !(lo < hi) {
+            return lo;
+        }
+    }
+    // Final interpolation at the reached resolution.
+    let spec = HistogramSpec::new(lo, hi, 4096);
+    let hist = FixedHistogram::fill_par(spec, data);
+    let target = q * total as f64 - mass_below_lo as f64;
+    let mut acc = 0u64;
+    for (i, &c) in hist.counts.iter().enumerate() {
+        if (acc + c) as f64 >= target {
+            let frac = if c == 0 { 0.5 } else { ((target - acc as f64) / c as f64).clamp(0.0, 1.0) };
+            return spec.edge(i) + frac * spec.width();
+        }
+        acc += c;
+    }
+    hi
+}
+
+/// Scan the transition `prev → curr` for anomalous points.
+///
+/// Unlike the compressor, non-finite values in `curr` are *expected*
+/// here (they are precisely what a soft error can produce), so inputs
+/// are not rejected — non-finite points are flagged instead. `prev` is
+/// assumed good (it was validated when it was checkpointed).
+pub fn detect(
+    prev: &[f64],
+    curr: &[f64],
+    config: &AnomalyConfig,
+) -> Result<AnomalyReport, NumarckError> {
+    if prev.len() != curr.len() {
+        return Err(NumarckError::LengthMismatch { prev: prev.len(), curr: curr.len() });
+    }
+    let n = prev.len();
+    if n == 0 {
+        return Ok(AnomalyReport {
+            anomalies: Vec::new(),
+            fence_lo: 0.0,
+            fence_hi: 0.0,
+            num_points: 0,
+        });
+    }
+
+    // Per-point ratios; non-finite curr values get None.
+    let ratios: Vec<Option<f64>> = prev
+        .iter()
+        .zip(curr)
+        .map(|(&p, &c)| if c.is_finite() { ratio::change_ratio(p, c) } else { None })
+        .collect();
+    let defined: Vec<f64> = ratios.iter().flatten().copied().collect();
+    if defined.is_empty() {
+        // Nothing comparable: flag everything with a finite... no —
+        // report all points as undefined anomalies only if prev was
+        // non-zero (a zero prev legitimately has no ratio).
+        let anomalies = (0..n)
+            .filter(|&j| prev[j] != 0.0)
+            .map(|j| Anomaly { index: j, ratio: None, score: f64::INFINITY })
+            .collect();
+        return Ok(AnomalyReport { anomalies, fence_lo: 0.0, fence_hi: 0.0, num_points: n });
+    }
+
+    let (fence_lo, fence_hi, span) = fences(&defined, config);
+    let mut anomalies = Vec::new();
+    for (j, r) in ratios.iter().enumerate() {
+        match r {
+            Some(r) => {
+                let outside = if *r < fence_lo {
+                    fence_lo - r
+                } else if *r > fence_hi {
+                    r - fence_hi
+                } else {
+                    continue;
+                };
+                anomalies.push(Anomaly {
+                    index: j,
+                    ratio: Some(*r),
+                    score: if span > 0.0 { outside / span } else { f64::INFINITY },
+                });
+            }
+            None => {
+                // Undefined ratio where prev was non-zero: either curr is
+                // non-finite or the division overflowed — both anomalous.
+                if prev[j] != 0.0 {
+                    anomalies.push(Anomaly { index: j, ratio: None, score: f64::INFINITY });
+                }
+            }
+        }
+    }
+    Ok(AnomalyReport { anomalies, fence_lo, fence_hi, num_points: n })
+}
+
+/// Quantile fence: `(lo, hi, span)` for the defined ratios.
+fn fences(defined: &[f64], config: &AnomalyConfig) -> (f64, f64, f64) {
+    let q_lo = approx_quantile(defined, config.tail_quantile);
+    let q_hi = approx_quantile(defined, 1.0 - config.tail_quantile);
+    let span = (q_hi - q_lo).max(0.0);
+    let radius = (config.fence_multiplier * span).max(config.min_radius);
+    (q_lo - radius, q_hi + radius, span)
+}
+
+/// Convenience for checkpoint pipelines: detect against the classes an
+/// encoder already computed (uses only `Large` ratios for statistics, so
+/// it can share work with compression).
+pub fn detect_from_classes(
+    classes: &[RatioClass],
+    config: &AnomalyConfig,
+) -> Vec<usize> {
+    let defined: Vec<f64> = classes
+        .iter()
+        .filter_map(|c| match c {
+            RatioClass::Large(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    if defined.is_empty() {
+        return Vec::new();
+    }
+    let (fence_lo, fence_hi, _) = fences(&defined, config);
+    classes
+        .iter()
+        .enumerate()
+        .filter_map(|(j, c)| match c {
+            RatioClass::Large(r) if *r < fence_lo || *r > fence_hi => Some(j),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_pair(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let prev: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64 * 0.01).sin()).collect();
+        let curr: Vec<f64> = prev
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * (1.0 + 0.001 * ((i % 7) as f64 - 3.0) / 3.0))
+            .collect();
+        (prev, curr)
+    }
+
+    #[test]
+    fn clean_transition_is_clean() {
+        let (prev, curr) = smooth_pair(10_000);
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+        assert!(report.fence_hi > report.fence_lo);
+    }
+
+    #[test]
+    fn single_bit_flip_is_caught() {
+        let (prev, mut curr) = smooth_pair(10_000);
+        // Flip a high exponent bit of one value: value changes by ~2^512.
+        let victim = 4321;
+        curr[victim] = f64::from_bits(curr[victim].to_bits() ^ (1u64 << 62));
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].index, victim);
+        assert!(report.anomalies[0].score > 100.0);
+    }
+
+    #[test]
+    fn mantissa_flip_in_high_bits_is_caught() {
+        let (prev, mut curr) = smooth_pair(10_000);
+        let victim = 77;
+        // Highest mantissa bit: ~50% relative change vs ~0.1% background.
+        curr[victim] = f64::from_bits(curr[victim].to_bits() ^ (1u64 << 51));
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert!(report.anomalies.iter().any(|a| a.index == victim));
+    }
+
+    #[test]
+    fn nan_from_soft_error_is_flagged() {
+        let (prev, mut curr) = smooth_pair(1_000);
+        curr[500] = f64::NAN;
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].index, 500);
+        assert_eq!(report.anomalies[0].ratio, None);
+    }
+
+    #[test]
+    fn multiple_flips_all_found() {
+        let (prev, mut curr) = smooth_pair(50_000);
+        let victims = [10usize, 999, 25_000, 49_999];
+        for &v in &victims {
+            curr[v] *= 1e6;
+        }
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        let found: Vec<usize> = report.anomalies.iter().map(|a| a.index).collect();
+        assert_eq!(found, victims);
+    }
+
+    #[test]
+    fn low_mantissa_flips_are_invisible_by_design() {
+        // A flip in the low mantissa bits changes the value by ~1e-12
+        // relatively — indistinguishable from physics, and harmless.
+        let (prev, mut curr) = smooth_pair(10_000);
+        curr[123] = f64::from_bits(curr[123].to_bits() ^ 1);
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn near_constant_iteration_uses_min_radius() {
+        // All ratios identical: MAD = 0; without the floor everything at
+        // the tiniest numerical wobble would flag.
+        let prev = vec![5.0; 1000];
+        let mut curr: Vec<f64> = prev.iter().map(|v| v * 1.001).collect();
+        curr[7] = 50.0; // genuine anomaly (10x)
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].index, 7);
+    }
+
+    #[test]
+    fn zero_prev_is_not_an_anomaly() {
+        // A zero previous value has no defined ratio — that is a known
+        // property of the data (the compressor escapes it), not a soft
+        // error, so it must not be flagged.
+        let (mut prev, mut curr) = smooth_pair(2_000);
+        prev[100] = 0.0;
+        curr[100] = 3.0;
+        let report = detect(&prev, &curr, &AnomalyConfig::default()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(detect(&[1.0], &[1.0, 2.0], &AnomalyConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let report = detect(&[], &[], &AnomalyConfig::default()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.num_points, 0);
+    }
+
+    #[test]
+    fn detect_from_classes_matches_detect_on_large_ratios() {
+        let (prev, mut curr) = smooth_pair(5_000);
+        curr[42] *= 100.0;
+        let tolerance = 1e-6; // classify everything as Large
+        let ratios = crate::ratio::compute(&prev, &curr, tolerance).unwrap();
+        let flagged = detect_from_classes(&ratios.classes, &AnomalyConfig::default());
+        assert_eq!(flagged, vec![42]);
+    }
+
+    #[test]
+    fn quantile_approximation_is_close() {
+        let data: Vec<f64> = (0..10_001).map(|i| i as f64).collect();
+        let q50 = approx_quantile(&data, 0.5);
+        assert!((q50 - 5000.0).abs() < 10.0, "median {q50}");
+        let q90 = approx_quantile(&data, 0.9);
+        assert!((q90 - 9000.0).abs() < 10.0, "p90 {q90}");
+        assert_eq!(approx_quantile(&[3.0, 3.0], 0.5), 3.0);
+    }
+}
+
+/// Streaming soft-error monitor for in-situ use.
+///
+/// The batch [`detect`] needs the whole transition in memory. When the
+/// solver produces values point-by-point (or tile-by-tile), this monitor
+/// keeps P² quantile sketches ([`numarck_par::quantile`]) of the ratio
+/// stream and flags each observation against the fence learned from all
+/// *previous* observations — O(1) memory, one pass, no second scan.
+///
+/// Because the fence is causal (built only from the past), the first
+/// observations of a fresh monitor are never flagged; feed it a warmup
+/// transition (or the first few tiles) before trusting its verdicts.
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    bracket: numarck_par::quantile::QuantileBracket,
+    config: AnomalyConfig,
+    observed: usize,
+}
+
+/// Minimum observations before the streaming fence activates.
+pub const STREAM_WARMUP: usize = 64;
+
+impl StreamingDetector {
+    /// Fresh monitor.
+    pub fn new(config: AnomalyConfig) -> Self {
+        Self {
+            bracket: numarck_par::quantile::QuantileBracket::new(config.tail_quantile),
+            config,
+            observed: 0,
+        }
+    }
+
+    /// Observations folded in so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Feed the transition of one point; returns `true` when the point
+    /// is anomalous under the fence learned so far. Undefined ratios
+    /// (non-finite `curr` with non-zero `prev`) are always anomalous
+    /// after warmup.
+    pub fn observe(&mut self, prev: f64, curr: f64) -> bool {
+        let ratio = if curr.is_finite() { ratio::change_ratio(prev, curr) } else { None };
+        match ratio {
+            Some(r) => {
+                let flagged = self.observed >= STREAM_WARMUP && self.is_outlier(r);
+                // Flagged or not, the observation is folded into the
+                // sketches: P² quantile markers barely move for one
+                // extreme sample, while *excluding* flagged points would
+                // freeze the fence at whatever the early stream looked
+                // like and flag every later regime change forever.
+                self.bracket.observe(r);
+                self.observed += 1;
+                flagged
+            }
+            None => prev != 0.0 && self.observed >= STREAM_WARMUP,
+        }
+    }
+
+    /// Current fence, if enough data has been seen.
+    pub fn fence(&self) -> Option<(f64, f64)> {
+        if self.observed < STREAM_WARMUP {
+            return None;
+        }
+        let (lo, _, hi) = self.bracket.estimates()?;
+        let span = (hi - lo).max(0.0);
+        let radius = (self.config.fence_multiplier * span).max(self.config.min_radius);
+        Some((lo - radius, hi + radius))
+    }
+
+    fn is_outlier(&self, r: f64) -> bool {
+        match self.fence() {
+            Some((lo, hi)) => r < lo || r > hi,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+
+    #[test]
+    fn warmup_never_flags() {
+        let mut d = StreamingDetector::new(AnomalyConfig::default());
+        for i in 0..STREAM_WARMUP {
+            assert!(!d.observe(1.0, 1.0 + 1e9 * i as f64), "warmup observation {i}");
+        }
+    }
+
+    #[test]
+    fn flags_spikes_after_warmup() {
+        let mut d = StreamingDetector::new(AnomalyConfig::default());
+        let mut rng = numarck_par::rng::Xoshiro256PlusPlus::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let prev = 10.0 + rng.uniform(0.0, 1.0);
+            let curr = prev * (1.0 + rng.normal_with(0.0, 0.001));
+            assert!(!d.observe(prev, curr), "clean stream should not flag");
+        }
+        assert!(d.observe(10.0, 10.0 * 1e8), "exponent-scale spike missed");
+        // The spike was excluded from the sketches: the fence is intact
+        // and the next clean value passes.
+        assert!(!d.observe(10.0, 10.001));
+        assert!(d.observe(5.0, f64::NAN), "NaN after warmup must flag");
+    }
+
+    #[test]
+    fn fence_tracks_the_stream_scale() {
+        let mut d = StreamingDetector::new(AnomalyConfig::default());
+        let mut rng = numarck_par::rng::Xoshiro256PlusPlus::seed_from_u64(6);
+        for _ in 0..50_000 {
+            d.observe(1.0, 1.0 + rng.normal_with(0.0, 0.01));
+        }
+        let (lo, hi) = d.fence().unwrap();
+        // ±(bracket span + 3 spans): bracket ≈ ±2.8σ at q=0.0025, so the
+        // fence sits at roughly ±4 × 2.8σ ≈ ±0.11 — order 0.1, not 1.
+        assert!(lo < -0.05 && lo > -0.5, "lo {lo}");
+        assert!(hi > 0.05 && hi < 0.5, "hi {hi}");
+    }
+
+    #[test]
+    fn streaming_agrees_with_batch_on_planted_error() {
+        // Plant one corrupt point mid-stream; both detectors must agree.
+        let n = 20_000;
+        let prev: Vec<f64> = (0..n).map(|i| 10.0 + (i % 13) as f64).collect();
+        let mut curr: Vec<f64> =
+            prev.iter().enumerate().map(|(i, v)| v * (1.0 + 1e-4 * ((i % 7) as f64 - 3.0))).collect();
+        curr[15_000] *= 1e7;
+        let config = AnomalyConfig::default();
+        let batch = detect(&prev, &curr, &config).unwrap();
+        assert_eq!(batch.anomalies.len(), 1);
+        let mut streaming = StreamingDetector::new(config);
+        let mut flagged = Vec::new();
+        for (j, (&p, &c)) in prev.iter().zip(&curr).enumerate() {
+            if streaming.observe(p, c) {
+                flagged.push(j);
+            }
+        }
+        assert_eq!(flagged, vec![15_000]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Automatic precision selection.
+//!
+//! The paper shows (Fig. 6) that the right index width `B` is sharply
+//! data-dependent: 8 bits leaves 60% of `rlds` incompressible while 10
+//! bits compresses everything — but paying 10 bits on a variable that
+//! needs 6 wastes a sixth of the compressed size. This module picks the
+//! smallest `B` whose incompressible ratio meets a target, exploiting
+//! the monotonicity of γ in `B` (more representatives can only cover
+//! more ratios) for a binary search, and estimating each candidate's γ
+//! on a strided sample so the search costs a fraction of one full
+//! encode.
+
+use crate::config::Config;
+use crate::encode::{self, CompressedIteration, IterationStats};
+use crate::error::NumarckError;
+use crate::strategy::Strategy;
+
+/// Tuning options.
+#[derive(Debug, Clone, Copy)]
+pub struct AutotuneOptions {
+    /// Smallest precision to consider.
+    pub min_bits: u8,
+    /// Largest precision to consider.
+    pub max_bits: u8,
+    /// Accept the smallest `B` with (estimated) incompressible ratio at
+    /// or below this.
+    pub target_gamma: f64,
+    /// Evaluate candidates on every `sample_stride`-th point (1 = use
+    /// all points).
+    pub sample_stride: usize,
+}
+
+impl Default for AutotuneOptions {
+    fn default() -> Self {
+        Self { min_bits: 4, max_bits: 12, target_gamma: 0.05, sample_stride: 7 }
+    }
+}
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutotuneResult {
+    /// The chosen precision.
+    pub bits: u8,
+    /// Estimated incompressible ratio at that precision (on the sample).
+    pub estimated_gamma: f64,
+    /// Whether the target was met ( `false` ⇒ even `max_bits` missed it
+    /// and `bits == max_bits`).
+    pub target_met: bool,
+}
+
+/// Pick the smallest `B ∈ [min_bits, max_bits]` whose sampled γ meets
+/// the target for the transition `prev → curr`.
+pub fn choose_bits(
+    prev: &[f64],
+    curr: &[f64],
+    tolerance: f64,
+    strategy: Strategy,
+    opts: &AutotuneOptions,
+) -> Result<AutotuneResult, NumarckError> {
+    if opts.min_bits > opts.max_bits {
+        return Err(NumarckError::InvalidConfig(format!(
+            "min_bits {} > max_bits {}",
+            opts.min_bits, opts.max_bits
+        )));
+    }
+    if prev.len() != curr.len() {
+        return Err(NumarckError::LengthMismatch { prev: prev.len(), curr: curr.len() });
+    }
+    let stride = opts.sample_stride.max(1);
+    let sample_prev: Vec<f64> = prev.iter().step_by(stride).copied().collect();
+    let sample_curr: Vec<f64> = curr.iter().step_by(stride).copied().collect();
+
+    let gamma_at = |bits: u8| -> Result<f64, NumarckError> {
+        let config = Config::new(bits, tolerance, strategy)?;
+        let (_, stats) = encode::encode(&sample_prev, &sample_curr, &config)?;
+        Ok(stats.incompressible_ratio)
+    };
+
+    // Binary search on the monotone (non-increasing) γ(B).
+    let mut lo = opts.min_bits;
+    let mut hi = opts.max_bits;
+    // First check the cheap end: maybe min_bits already suffices.
+    let g_lo = gamma_at(lo)?;
+    if g_lo <= opts.target_gamma {
+        return Ok(AutotuneResult { bits: lo, estimated_gamma: g_lo, target_met: true });
+    }
+    let g_hi = gamma_at(hi)?;
+    if g_hi > opts.target_gamma {
+        return Ok(AutotuneResult { bits: hi, estimated_gamma: g_hi, target_met: false });
+    }
+    let mut best = (hi, g_hi);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let g = gamma_at(mid)?;
+        if g <= opts.target_gamma {
+            best = (mid, g);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(AutotuneResult { bits: best.0, estimated_gamma: best.1, target_met: true })
+}
+
+/// Tune, then encode the full transition at the chosen precision.
+pub fn compress_autotuned(
+    prev: &[f64],
+    curr: &[f64],
+    tolerance: f64,
+    strategy: Strategy,
+    opts: &AutotuneOptions,
+) -> Result<(AutotuneResult, CompressedIteration, IterationStats), NumarckError> {
+    let tuned = choose_bits(prev, curr, tolerance, strategy, opts)?;
+    let config = Config::new(tuned.bits, tolerance, strategy)?;
+    let (block, stats) = encode::encode(prev, curr, &config)?;
+    Ok((tuned, block, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> AutotuneOptions {
+        AutotuneOptions { sample_stride: 3, ..Default::default() }
+    }
+
+    /// Transition whose ratios take exactly `distinct` different values,
+    /// spaced further apart than 2E so bins can't merge them.
+    fn distinct_ratio_pair(n: usize, distinct: usize) -> (Vec<f64>, Vec<f64>) {
+        let prev = vec![10.0f64; n];
+        let curr: Vec<f64> =
+            (0..n).map(|i| 10.0 * (1.0 + 0.01 + 0.01 * (i % distinct) as f64)).collect();
+        (prev, curr)
+    }
+
+    #[test]
+    fn easy_data_gets_the_minimum_bits() {
+        // Three distinct ratios: even 4 bits (15 representatives) covers
+        // them perfectly.
+        let (prev, curr) = distinct_ratio_pair(3000, 3);
+        let r = choose_bits(&prev, &curr, 0.001, Strategy::Clustering, &opts()).unwrap();
+        assert_eq!(r.bits, 4);
+        assert!(r.target_met);
+        assert_eq!(r.estimated_gamma, 0.0);
+    }
+
+    #[test]
+    fn wide_data_needs_more_bits() {
+        // 200 distinct well-separated ratios: 4 bits (15 reps) cannot
+        // cover them, 8 bits (255 reps) can.
+        let (prev, curr) = distinct_ratio_pair(6000, 200);
+        let r = choose_bits(&prev, &curr, 0.001, Strategy::Clustering, &opts()).unwrap();
+        assert!(r.bits > 4, "chose {}", r.bits);
+        assert!(r.bits <= 9, "chose {}", r.bits);
+        assert!(r.target_met);
+    }
+
+    #[test]
+    fn minimality_of_the_choice() {
+        // One bit less than the chosen precision must miss the target
+        // (on the same sample the tuner used).
+        let (prev, curr) = distinct_ratio_pair(6000, 60);
+        let o = opts();
+        let r = choose_bits(&prev, &curr, 0.001, Strategy::Clustering, &o).unwrap();
+        assert!(r.target_met);
+        if r.bits > o.min_bits {
+            let sample_prev: Vec<f64> = prev.iter().step_by(3).copied().collect();
+            let sample_curr: Vec<f64> = curr.iter().step_by(3).copied().collect();
+            let config = Config::new(r.bits - 1, 0.001, Strategy::Clustering).unwrap();
+            let (_, stats) = encode::encode(&sample_prev, &sample_curr, &config).unwrap();
+            assert!(
+                stats.incompressible_ratio > o.target_gamma,
+                "B-1 = {} already meets the target; tuner over-chose",
+                r.bits - 1
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_target_reports_failure_with_max_bits() {
+        // prev = 0 everywhere: every point is incompressible at any B.
+        let prev = vec![0.0; 500];
+        let curr: Vec<f64> = (0..500).map(|i| i as f64 + 1.0).collect();
+        let r = choose_bits(&prev, &curr, 0.001, Strategy::EqualWidth, &opts()).unwrap();
+        assert!(!r.target_met);
+        assert_eq!(r.bits, opts().max_bits);
+        assert_eq!(r.estimated_gamma, 1.0);
+    }
+
+    #[test]
+    fn compress_autotuned_encodes_at_the_chosen_bits() {
+        let (prev, curr) = distinct_ratio_pair(4000, 3);
+        let (tuned, block, stats) =
+            compress_autotuned(&prev, &curr, 0.001, Strategy::Clustering, &opts()).unwrap();
+        assert_eq!(block.bits, tuned.bits);
+        assert_eq!(stats.num_points, 4000);
+        assert!(stats.max_error_rate <= 0.001 + 1e-12);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let bad = AutotuneOptions { min_bits: 10, max_bits: 8, ..Default::default() };
+        assert!(choose_bits(&[1.0], &[1.0], 0.001, Strategy::Clustering, &bad).is_err());
+    }
+
+    #[test]
+    fn stride_one_uses_all_points() {
+        let (prev, curr) = distinct_ratio_pair(1000, 3);
+        let o = AutotuneOptions { sample_stride: 1, ..opts() };
+        let r = choose_bits(&prev, &curr, 0.001, Strategy::Clustering, &o).unwrap();
+        assert!(r.target_met);
+    }
+}

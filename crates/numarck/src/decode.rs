@@ -1,0 +1,276 @@
+//! Reconstruction (the paper's restart equation, §II-D).
+//!
+//! Given the previous iteration's values (exact or themselves
+//! reconstructed) and a compressed block, each point is rebuilt as
+//!
+//! ```text
+//! ε_ij = D_ij                      if point j is incompressible (ζ = 0)
+//!      = D'_{i−1,j}                if index = 0 (change below E)
+//!      = D'_{i−1,j} · (1 + Δ'_ij)  otherwise
+//! ```
+//!
+//! Decoding is chunk-parallel: the bitmap is rank-indexed per 64-point
+//! word so each chunk knows where its indices and exact values start.
+
+use rayon::prelude::*;
+
+use crate::bitstream::read_at;
+use crate::encode::CompressedIteration;
+use crate::error::NumarckError;
+
+/// Reconstruct the current iteration from `prev` and a compressed block.
+///
+/// `prev` may be exact data or a previous reconstruction (the restart
+/// chain case); length must equal the block's `num_points`.
+pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>, NumarckError> {
+    validate(prev, block)?;
+    let n = block.num_points;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Rank index: for each 64-point word, how many compressible points
+    // precede it (parallel prefix popcount for large bitmaps).
+    let (comp_before, _) = numarck_par::scan::popcount_ranks(&block.bitmap);
+
+    let mut out = vec![0.0f64; n];
+    // One parallel task per bitmap word (64 points): big enough to
+    // amortize, small enough to balance.
+    out.par_chunks_mut(64).enumerate().for_each(|(wi, chunk)| {
+        let word = block.bitmap[wi];
+        let mut comp_rank = comp_before[wi] as usize;
+        let base = wi * 64;
+        // Exact rank: points before this word minus compressible before.
+        let mut exact_rank = base.min(n) - comp_rank;
+        for (b, slot) in chunk.iter_mut().enumerate() {
+            let j = base + b;
+            if (word >> b) & 1 == 1 {
+                let code = read_at(&block.index_words, block.bits, comp_rank);
+                comp_rank += 1;
+                *slot = if code == 0 {
+                    prev[j]
+                } else {
+                    let rep = block.table.representative(code as usize - 1);
+                    prev[j] * (1.0 + rep)
+                };
+            } else {
+                *slot = block.exact_values[exact_rank];
+                exact_rank += 1;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Sequential reference decoder (kept as the oracle the parallel path is
+/// tested against; also used for tiny blocks in hot loops).
+pub fn reconstruct_seq(
+    prev: &[f64],
+    block: &CompressedIteration,
+) -> Result<Vec<f64>, NumarckError> {
+    validate(prev, block)?;
+    let mut out = Vec::with_capacity(block.num_points);
+    let mut reader = crate::bitstream::BitReader::new(
+        &block.index_words,
+        block.num_compressible * block.bits as usize,
+    );
+    let mut exacts = block.exact_values.iter();
+    for j in 0..block.num_points {
+        if block.is_compressible(j) {
+            let code = reader
+                .read(block.bits)
+                .ok_or_else(|| NumarckError::Corrupt("index stream exhausted".into()))?;
+            if code == 0 {
+                out.push(prev[j]);
+            } else {
+                out.push(prev[j] * (1.0 + block.table.representative(code as usize - 1)));
+            }
+        } else {
+            let v = exacts
+                .next()
+                .ok_or_else(|| NumarckError::Corrupt("exact values exhausted".into()))?;
+            out.push(*v);
+        }
+    }
+    Ok(out)
+}
+
+fn validate(prev: &[f64], block: &CompressedIteration) -> Result<(), NumarckError> {
+    if prev.len() != block.num_points {
+        return Err(NumarckError::LengthMismatch { prev: prev.len(), curr: block.num_points });
+    }
+    let set_bits: usize = block.bitmap.iter().map(|w| w.count_ones() as usize).sum();
+    if set_bits != block.num_compressible {
+        return Err(NumarckError::Corrupt(format!(
+            "bitmap has {set_bits} set bits but header claims {}",
+            block.num_compressible
+        )));
+    }
+    if block.num_compressible + block.exact_values.len() != block.num_points {
+        return Err(NumarckError::Corrupt(
+            "compressible + exact counts do not cover all points".into(),
+        ));
+    }
+    // Indices must address the table; cheap scan via max code.
+    let max_code = (0..block.num_compressible)
+        .map(|i| read_at(&block.index_words, block.bits, i))
+        .max()
+        .unwrap_or(0);
+    if max_code as usize > block.table.len() {
+        return Err(NumarckError::Corrupt(format!(
+            "index {max_code} exceeds table length {}",
+            block.table.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::encode::encode;
+    use crate::strategy::Strategy;
+
+    fn roundtrip(prev: &[f64], curr: &[f64], cfg: &Config) -> Vec<f64> {
+        let (block, _) = encode(prev, curr, cfg).unwrap();
+        let par = reconstruct(prev, &block).unwrap();
+        let seq = reconstruct_seq(prev, &block).unwrap();
+        assert_eq!(par, seq, "parallel and sequential decoders must agree");
+        par
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound() {
+        let n = 10_000;
+        let prev: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 31) % 1009) as f64 / 100.0).collect();
+        let curr: Vec<f64> =
+            prev.iter().enumerate().map(|(i, v)| v * (1.0 + 0.004 * ((i % 11) as f64 - 5.0) / 5.0)).collect();
+        for s in Strategy::all() {
+            let cfg = Config::new(8, 0.001, s).unwrap();
+            let restored = roundtrip(&prev, &curr, &cfg);
+            for (j, (&r, &c)) in restored.iter().zip(&curr).enumerate() {
+                // Value-space bound: E · |prev/curr| (changes here are at
+                // most 0.4%, so the factor is ≤ 1/0.996).
+                let rel = ((r - c) / c).abs();
+                assert!(rel <= 0.001 / 0.996 + 1e-12, "{s} point {j}: rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_points_are_bit_exact() {
+        let prev = vec![0.0, 0.0, 1.0];
+        let curr = vec![std::f64::consts::PI, -7.25, 1.0];
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let restored = roundtrip(&prev, &curr, &cfg);
+        assert_eq!(restored[0], std::f64::consts::PI);
+        assert_eq!(restored[1], -7.25);
+        assert_eq!(restored[2], 1.0);
+    }
+
+    #[test]
+    fn small_change_points_carry_previous_value() {
+        let prev = vec![2.0, 3.0];
+        let curr = vec![2.0001, 3.0]; // 0.005% and 0% — both below E = 0.1%
+        let cfg = Config::new(8, 0.001, Strategy::EqualWidth).unwrap();
+        let restored = roundtrip(&prev, &curr, &cfg);
+        assert_eq!(restored, prev);
+    }
+
+    #[test]
+    fn empty_block() {
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let (block, _) = encode(&[], &[], &cfg).unwrap();
+        assert!(reconstruct(&[], &block).unwrap().is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let (block, _) = encode(&[1.0, 2.0], &[1.0, 2.0], &cfg).unwrap();
+        assert!(matches!(
+            reconstruct(&[1.0], &block),
+            Err(NumarckError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_bitmap_detected() {
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let prev = vec![1.0; 100];
+        let curr: Vec<f64> = (0..100).map(|i| 1.0 + 0.01 * (i % 3) as f64).collect();
+        let (mut block, _) = encode(&prev, &curr, &cfg).unwrap();
+        block.bitmap[0] ^= 1; // flip one compressibility bit
+        assert!(matches!(reconstruct(&prev, &block), Err(NumarckError::Corrupt(_))));
+    }
+
+    #[test]
+    fn chain_reconstruction_accumulates_bounded_error() {
+        // Apply 5 compressed deltas in sequence starting from the exact
+        // base; relative error compounds roughly additively (paper §II-D).
+        let n = 2000;
+        let steps = 5usize;
+        let tol = 0.001;
+        let cfg = Config::new(8, tol, Strategy::Clustering).unwrap();
+        let mut truth: Vec<Vec<f64>> = vec![(0..n).map(|i| 1.0 + (i % 97) as f64).collect()];
+        for s in 1..=steps {
+            let prev = truth.last().unwrap();
+            let next: Vec<f64> = prev
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (1.0 + 0.003 * (((i + s) % 7) as f64 - 3.0) / 3.0))
+                .collect();
+            truth.push(next);
+        }
+        let mut reconstructed = truth[0].clone();
+        for s in 1..=steps {
+            let (block, _) = encode(&truth[s - 1], &truth[s], &cfg).unwrap();
+            reconstructed = reconstruct(&reconstructed, &block).unwrap();
+        }
+        let budget = (1.0 + tol).powi(steps as i32) - 1.0 + 1e-9;
+        for (r, t) in reconstructed.iter().zip(&truth[steps]) {
+            let rel = ((r - t) / t).abs();
+            assert!(rel <= budget, "rel {rel} > budget {budget}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn roundtrip_error_bounded(
+                prev in proptest::collection::vec(0.5f64..50.0, 1..400),
+                rates in proptest::collection::vec(-0.3f64..0.3, 1..400),
+                bits in 3u8..10
+            ) {
+                let n = prev.len().min(rates.len());
+                let prev = &prev[..n];
+                let curr: Vec<f64> = (0..n).map(|i| prev[i] * (1.0 + rates[i])).collect();
+                for s in crate::strategy::Strategy::all() {
+                    let cfg = Config::new(bits, 0.005, s).unwrap();
+                    let (block, _) = encode(prev, &curr, &cfg).unwrap();
+                    let rp = reconstruct(prev, &block).unwrap();
+                    let rs = reconstruct_seq(prev, &block).unwrap();
+                    prop_assert_eq!(&rp, &rs);
+                    for (i, (r, c)) in rp.iter().zip(&curr).enumerate() {
+                        // The guarantee is on the change ratio:
+                        // |Δ' − Δ| ≤ E. In value space that is
+                        // |r − c| ≤ E · |prev|, i.e. a relative error of
+                        // E · |prev/curr| w.r.t. the current value.
+                        let bound = 0.005 * (prev[i] / c).abs() + 1e-12;
+                        prop_assert!(
+                            ((r - c) / c).abs() <= bound,
+                            "rel {} > bound {bound}",
+                            ((r - c) / c).abs()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Change-distribution summaries and drift metrics.
+//!
+//! The paper's future-work section (§V) sketches two uses for the
+//! *evolution* of the learned change distribution: "determining dynamic
+//! checkpointing frequency based on how evolving distributions change"
+//! and "understanding anomalies at scale". Both need a compact,
+//! comparable summary of one iteration's change ratios and a distance
+//! between summaries — that is this module. The adaptive checkpoint
+//! policy (`numarck-checkpoint`) and the soft-error detector
+//! ([`crate::anomaly`]) build on it.
+
+use crate::ratio::{ChangeRatios, RatioClass};
+
+/// Number of interior histogram bins of a [`ChangeDistribution`].
+pub const BINS: usize = 128;
+
+/// A fixed-shape summary of one iteration's change ratios: a normalised
+/// histogram over `[-cap, +cap]` with explicit underflow/overflow mass,
+/// plus the small/undefined fractions. Fixed shape means any two
+/// summaries (built with the same `cap`) are directly comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeDistribution {
+    /// Half-width of the histogram support.
+    pub cap: f64,
+    /// Normalised interior bin masses (sum + tails + small = 1 when any
+    /// points exist).
+    pub bins: [f64; BINS],
+    /// Mass below `-cap` / above `+cap`.
+    pub tail_low: f64,
+    /// Mass above `+cap`.
+    pub tail_high: f64,
+    /// Fraction of points with `|Δ| < E` (the index-0 class).
+    pub small_fraction: f64,
+    /// Fraction of points with undefined ratios (zero previous value).
+    pub undefined_fraction: f64,
+    /// Number of points summarised.
+    pub count: usize,
+}
+
+impl ChangeDistribution {
+    /// Summarise a computed [`ChangeRatios`] with support `[-cap, cap]`.
+    ///
+    /// # Panics
+    /// Panics unless `cap` is finite and positive.
+    pub fn from_ratios(ratios: &ChangeRatios, cap: f64) -> Self {
+        assert!(cap.is_finite() && cap > 0.0, "cap must be positive");
+        let mut bins = [0.0f64; BINS];
+        let mut tail_low = 0usize;
+        let mut tail_high = 0usize;
+        let mut small = 0usize;
+        let mut undefined = 0usize;
+        let mut large = 0usize;
+        for class in &ratios.classes {
+            match *class {
+                RatioClass::Small => small += 1,
+                RatioClass::Undefined => undefined += 1,
+                RatioClass::Large(r) => {
+                    large += 1;
+                    if r < -cap {
+                        tail_low += 1;
+                    } else if r > cap {
+                        tail_high += 1;
+                    } else {
+                        let t = (r + cap) / (2.0 * cap);
+                        let idx = ((t * BINS as f64) as usize).min(BINS - 1);
+                        bins[idx] += 1.0;
+                    }
+                }
+            }
+        }
+        let n = (small + undefined + large).max(1) as f64;
+        for b in bins.iter_mut() {
+            *b /= n;
+        }
+        Self {
+            cap,
+            bins,
+            tail_low: tail_low as f64 / n,
+            tail_high: tail_high as f64 / n,
+            small_fraction: small as f64 / n,
+            undefined_fraction: undefined as f64 / n,
+            count: ratios.len(),
+        }
+    }
+
+    /// Convenience: compute ratios then summarise.
+    pub fn from_iterations(
+        prev: &[f64],
+        curr: &[f64],
+        tolerance: f64,
+        cap: f64,
+    ) -> Result<Self, crate::error::NumarckError> {
+        Ok(Self::from_ratios(&crate::ratio::compute(prev, curr, tolerance)?, cap))
+    }
+
+    /// Total probability mass (1 for non-empty input, 0 for empty).
+    pub fn total_mass(&self) -> f64 {
+        self.bins.iter().sum::<f64>()
+            + self.tail_low
+            + self.tail_high
+            + self.small_fraction
+            + self.undefined_fraction
+    }
+
+    /// The full mass vector including the two tails and the small/
+    /// undefined classes (used by the distances so that mass moving into
+    /// the tails or into the small class is seen as drift).
+    fn mass_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(BINS + 4);
+        v.push(self.tail_low);
+        v.extend_from_slice(&self.bins);
+        v.push(self.tail_high);
+        v.push(self.small_fraction);
+        v.push(self.undefined_fraction);
+        v
+    }
+
+    /// L1 distance (= 2 × total-variation) between two summaries.
+    ///
+    /// # Panics
+    /// Panics if the summaries were built with different caps.
+    pub fn l1_distance(&self, other: &Self) -> f64 {
+        assert_eq!(self.cap, other.cap, "summaries must share a cap");
+        self.mass_vector()
+            .iter()
+            .zip(other.mass_vector())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Symmetrised, smoothed Kullback–Leibler divergence.
+    pub fn symmetric_kl(&self, other: &Self) -> f64 {
+        assert_eq!(self.cap, other.cap, "summaries must share a cap");
+        let eps = 1e-9;
+        let p = self.mass_vector();
+        let q = other.mass_vector();
+        let mut kl_pq = 0.0;
+        let mut kl_qp = 0.0;
+        for (a, b) in p.iter().zip(&q) {
+            let a = a + eps;
+            let b = b + eps;
+            kl_pq += a * (a / b).ln();
+            kl_qp += b * (b / a).ln();
+        }
+        (kl_pq + kl_qp).max(0.0)
+    }
+
+    /// 1-D earth-mover's distance over the interior bins (CDF
+    /// difference, in ratio units). Tail/small/undefined mass is
+    /// compared separately by the other metrics; EMD measures how far
+    /// the in-range shape moved.
+    pub fn emd(&self, other: &Self) -> f64 {
+        assert_eq!(self.cap, other.cap, "summaries must share a cap");
+        let width = 2.0 * self.cap / BINS as f64;
+        let mut cdf_diff = 0.0;
+        let mut acc = 0.0;
+        for (a, b) in self.bins.iter().zip(&other.bins) {
+            acc += a - b;
+            cdf_diff += acc.abs() * width;
+        }
+        cdf_diff
+    }
+}
+
+/// Rolling drift tracker: feed it one iteration's summary at a time and
+/// it reports how far the distribution moved since the previous one.
+#[derive(Debug, Clone, Default)]
+pub struct DriftTracker {
+    previous: Option<ChangeDistribution>,
+}
+
+/// Drift between two consecutive summaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// L1 distance (0..=2).
+    pub l1: f64,
+    /// Symmetric KL divergence (≥ 0).
+    pub kl: f64,
+    /// Earth-mover's distance in ratio units.
+    pub emd: f64,
+}
+
+impl DriftTracker {
+    /// Fresh tracker with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe the next summary. Returns `None` on the first call (no
+    /// baseline yet).
+    pub fn observe(&mut self, dist: ChangeDistribution) -> Option<DriftReport> {
+        let report = self.previous.as_ref().map(|prev| DriftReport {
+            l1: prev.l1_distance(&dist),
+            kl: prev.symmetric_kl(&dist),
+            emd: prev.emd(&dist),
+        });
+        self.previous = Some(dist);
+        report
+    }
+
+    /// The most recent summary, if any.
+    pub fn last(&self) -> Option<&ChangeDistribution> {
+        self.previous.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio;
+
+    fn dist_of(rates: &[f64]) -> ChangeDistribution {
+        let prev = vec![1.0; rates.len()];
+        let curr: Vec<f64> = rates.iter().map(|r| 1.0 + r).collect();
+        let r = ratio::compute(&prev, &curr, 1e-4).expect("finite");
+        ChangeDistribution::from_ratios(&r, 0.5)
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let d = dist_of(&[0.0, 0.001, 0.1, -0.3, 0.9, -0.9]);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(d.count, 6);
+    }
+
+    #[test]
+    fn classes_are_routed_correctly() {
+        // 0.0 -> small; 0.9 -> high tail; -0.9 -> low tail; rest interior.
+        let d = dist_of(&[0.0, 0.9, -0.9, 0.1]);
+        assert!((d.small_fraction - 0.25).abs() < 1e-12);
+        assert!((d.tail_high - 0.25).abs() < 1e-12);
+        assert!((d.tail_low - 0.25).abs() < 1e-12);
+        assert!((d.bins.iter().sum::<f64>() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_mass_counted() {
+        let prev = vec![0.0, 1.0];
+        let curr = vec![1.0, 1.2];
+        let r = ratio::compute(&prev, &curr, 1e-4).expect("finite");
+        let d = ChangeDistribution::from_ratios(&r, 0.5);
+        assert!((d.undefined_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let a = dist_of(&[0.1, -0.2, 0.05, 0.3]);
+        let b = dist_of(&[0.1, -0.2, 0.05, 0.3]);
+        assert_eq!(a.l1_distance(&b), 0.0);
+        assert!(a.symmetric_kl(&b).abs() < 1e-9);
+        assert_eq!(a.emd(&b), 0.0);
+    }
+
+    #[test]
+    fn distances_grow_with_shift() {
+        let base = dist_of(&vec![0.01; 1000]);
+        let near = dist_of(&vec![0.02; 1000]);
+        let far = dist_of(&vec![0.30; 1000]);
+        assert!(base.emd(&near) < base.emd(&far), "EMD must grow with shift distance");
+        // L1 saturates for disjoint supports; both are maximal here.
+        assert!(base.l1_distance(&far) > 1.9);
+    }
+
+    #[test]
+    fn emd_is_shift_times_mass() {
+        // All mass shifting by one bin width moves EMD by ~width.
+        let width = 2.0 * 0.5 / BINS as f64;
+        let a = dist_of(&vec![0.1; 10_000]);
+        let b = dist_of(&vec![0.1 + width; 10_000]);
+        assert!((a.emd(&b) - width).abs() < width * 0.5, "{} vs {width}", a.emd(&b));
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = dist_of(&[0.1, 0.2, -0.1, 0.0]);
+        let b = dist_of(&[0.3, -0.25, 0.0, 0.0, 0.15]);
+        assert!((a.l1_distance(&b) - b.l1_distance(&a)).abs() < 1e-12);
+        assert!((a.symmetric_kl(&b) - b.symmetric_kl(&a)).abs() < 1e-9);
+        assert!((a.emd(&b) - b.emd(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a cap")]
+    fn cap_mismatch_panics() {
+        let prev = vec![1.0];
+        let curr = vec![1.1];
+        let r = ratio::compute(&prev, &curr, 1e-4).expect("finite");
+        let a = ChangeDistribution::from_ratios(&r, 0.5);
+        let b = ChangeDistribution::from_ratios(&r, 1.0);
+        let _ = a.l1_distance(&b);
+    }
+
+    #[test]
+    fn tracker_reports_from_second_observation() {
+        let mut t = DriftTracker::new();
+        assert!(t.observe(dist_of(&[0.1, 0.1])).is_none());
+        let r = t.observe(dist_of(&[0.1, 0.1])).expect("second observation");
+        assert!(r.l1 < 1e-12);
+        let r = t.observe(dist_of(&[0.4, 0.4])).expect("third observation");
+        assert!(r.l1 > 1.0, "large shift must register: {r:?}");
+        assert!(t.last().is_some());
+    }
+
+    #[test]
+    fn empty_input_is_benign() {
+        let r = ratio::compute(&[], &[], 1e-4).expect("empty ok");
+        let d = ChangeDistribution::from_ratios(&r, 0.5);
+        assert_eq!(d.total_mass(), 0.0);
+        assert_eq!(d.count, 0);
+    }
+
+    #[test]
+    fn emd_ignores_mass_in_the_special_classes() {
+        // Tail/small/undefined mass moves register through L1, not EMD.
+        let a = dist_of(&[0.0, 0.0, 0.1, 0.1]);
+        let b = dist_of(&[0.9, 0.9, 0.1, 0.1]); // small mass -> high tail
+        assert!(a.emd(&b) < 1e-9, "interior shape unchanged");
+        assert!(a.l1_distance(&b) > 0.9, "L1 sees the class shift");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mass_conservation(
+                rates in proptest::collection::vec(-2.0f64..2.0, 1..500)
+            ) {
+                let d = dist_of(&rates);
+                prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+            }
+
+            #[test]
+            fn l1_triangle_inequality(
+                a in proptest::collection::vec(-1.0f64..1.0, 1..100),
+                b in proptest::collection::vec(-1.0f64..1.0, 1..100),
+                c in proptest::collection::vec(-1.0f64..1.0, 1..100),
+            ) {
+                let (da, db, dc) = (dist_of(&a), dist_of(&b), dist_of(&c));
+                prop_assert!(
+                    da.l1_distance(&dc) <= da.l1_distance(&db) + db.l1_distance(&dc) + 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the NUMARCK public API.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing configurations, compressing,
+/// or deserialising NUMARCK data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumarckError {
+    /// Configuration parameter out of range.
+    InvalidConfig(String),
+    /// The two iterations passed to the compressor have different lengths.
+    LengthMismatch {
+        /// Points in the previous iteration.
+        prev: usize,
+        /// Points in the current iteration.
+        curr: usize,
+    },
+    /// Input contained a non-finite value where one is not permitted.
+    NonFiniteInput {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A serialised blob failed structural validation.
+    Corrupt(String),
+    /// A serialised blob was produced by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this library writes.
+        expected: u16,
+    },
+}
+
+impl fmt::Display for NumarckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::LengthMismatch { prev, curr } => {
+                write!(f, "iteration length mismatch: prev has {prev} points, curr has {curr}")
+            }
+            Self::NonFiniteInput { index } => {
+                write!(f, "non-finite input value at index {index}")
+            }
+            Self::Corrupt(msg) => write!(f, "corrupt compressed data: {msg}"),
+            Self::VersionMismatch { found, expected } => {
+                write!(f, "format version mismatch: found {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumarckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumarckError::LengthMismatch { prev: 3, curr: 5 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('5'));
+        let e = NumarckError::VersionMismatch { found: 9, expected: 1 };
+        assert!(e.to_string().contains("version"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NumarckError::Corrupt("x".into()));
+    }
+}

@@ -1,0 +1,418 @@
+//! Canonical Huffman coding of the index stream.
+//!
+//! The paper stores every compressible point with exactly `B` bits and
+//! notes that "a lossless compression technique like FPC" could be
+//! layered on top. The index stream is in fact highly skewed — index 0
+//! (change below tolerance) frequently holds most of the mass, and the
+//! cluster populations follow the learned distribution — so simple
+//! entropy coding beats fixed-width storage substantially. This module
+//! implements a canonical Huffman coder over the indices: the code is
+//! fully described by one byte (code length) per symbol, decode is
+//! table-free canonical decoding, and the `ext5_entropy` experiment
+//! measures the bits-per-point win on the paper's datasets.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::encode::CompressedIteration;
+use crate::error::NumarckError;
+
+/// Longest admissible code. With ≤ 2^16 symbols Huffman depth is bounded
+/// by ~Fibonacci growth of frequencies; 48 bits would need frequency
+/// ratios beyond any real index stream, so this is a structural cap, not
+/// a length-limiting rewrite.
+pub const MAX_CODE_LEN: u8 = 48;
+
+/// A canonical Huffman code over symbols `0..lengths.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// Code length per symbol; 0 = symbol does not occur.
+    lengths: Vec<u8>,
+}
+
+/// An entropy-coded symbol stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HuffmanEncoded {
+    /// The code (needed to decode).
+    pub code: HuffmanCode,
+    /// Packed codeword stream.
+    pub words: Vec<u64>,
+    /// Valid bits in `words`.
+    pub len_bits: usize,
+    /// Number of symbols encoded.
+    pub count: usize,
+}
+
+impl HuffmanCode {
+    /// Build the optimal prefix code for `frequencies` (index = symbol).
+    /// Symbols with zero frequency get no code. A single-symbol alphabet
+    /// gets a 1-bit code.
+    pub fn from_frequencies(frequencies: &[u64]) -> Self {
+        let n = frequencies.len();
+        let mut lengths = vec![0u8; n];
+        let present: Vec<usize> = (0..n).filter(|&s| frequencies[s] > 0).collect();
+        match present.len() {
+            0 => return Self { lengths },
+            1 => {
+                lengths[present[0]] = 1;
+                return Self { lengths };
+            }
+            _ => {}
+        }
+        // Package-free Huffman via two-queue method after sorting by
+        // frequency (O(n log n) in the sort, O(n) merge).
+        let mut leaves: Vec<(u64, usize)> =
+            present.iter().map(|&s| (frequencies[s], s)).collect();
+        leaves.sort_unstable();
+        // Tree nodes: (freq, node id); children recorded for depth walk.
+        let mut children: Vec<Option<(usize, usize)>> = vec![None; leaves.len()];
+        let mut leaf_of: Vec<Option<usize>> = leaves.iter().map(|&(_, s)| Some(s)).collect();
+        let mut q1: std::collections::VecDeque<(u64, usize)> =
+            leaves.iter().enumerate().map(|(i, &(f, _))| (f, i)).collect();
+        let mut q2: std::collections::VecDeque<(u64, usize)> = std::collections::VecDeque::new();
+        let pop_min = |q1: &mut std::collections::VecDeque<(u64, usize)>,
+                           q2: &mut std::collections::VecDeque<(u64, usize)>| {
+            match (q1.front().copied(), q2.front().copied()) {
+                (Some(a), Some(b)) => {
+                    if a.0 <= b.0 {
+                        q1.pop_front().expect("present")
+                    } else {
+                        q2.pop_front().expect("present")
+                    }
+                }
+                (Some(_), None) => q1.pop_front().expect("present"),
+                (None, Some(_)) => q2.pop_front().expect("present"),
+                (None, None) => unreachable!("loop guard keeps >= 2 nodes"),
+            }
+        };
+        while q1.len() + q2.len() >= 2 {
+            let a = pop_min(&mut q1, &mut q2);
+            let b = pop_min(&mut q1, &mut q2);
+            let id = children.len();
+            children.push(Some((a.1, b.1)));
+            leaf_of.push(None);
+            q2.push_back((a.0 + b.0, id));
+        }
+        let root = q2.pop_front().or_else(|| q1.pop_front()).expect("one root remains").1;
+        // Iterative depth walk.
+        let mut stack = vec![(root, 0u8)];
+        while let Some((node, depth)) = stack.pop() {
+            if let Some(symbol) = leaf_of[node] {
+                debug_assert!(depth <= MAX_CODE_LEN);
+                lengths[symbol] = depth.max(1);
+            } else if let Some((l, r)) = children[node] {
+                stack.push((l, depth + 1));
+                stack.push((r, depth + 1));
+            }
+        }
+        Self { lengths }
+    }
+
+    /// The per-symbol code lengths (0 = absent).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Rebuild a code from stored lengths (the wire format of
+    /// [`crate::serialize`]'s Huffman variant). Rejects length tables
+    /// that are not a valid prefix code (Kraft sum > 1, overlong codes,
+    /// or an incomplete multi-symbol code), so corrupt input cannot
+    /// drive the decoder out of bounds.
+    pub fn from_lengths(lengths: Vec<u8>) -> Result<Self, NumarckError> {
+        let mut kraft_num = 0u128; // Σ 2^(MAX − len), exact in u128
+        let present = lengths.iter().filter(|&&l| l > 0).count();
+        for &l in &lengths {
+            if l > MAX_CODE_LEN {
+                return Err(NumarckError::Corrupt(format!("huffman length {l} too long")));
+            }
+            if l > 0 {
+                kraft_num += 1u128 << (MAX_CODE_LEN - l);
+            }
+        }
+        // Kraft: Σ 2^-len ≤ 1 ⇔ kraft_num ≤ 2^MAX. A lone 1-bit code
+        // (degenerate alphabet) is allowed despite being incomplete.
+        if kraft_num > 1u128 << MAX_CODE_LEN {
+            return Err(NumarckError::Corrupt("huffman lengths violate Kraft".into()));
+        }
+        if present > 1 && kraft_num != 1u128 << MAX_CODE_LEN {
+            return Err(NumarckError::Corrupt("huffman code incomplete".into()));
+        }
+        Ok(Self { lengths })
+    }
+
+    /// Canonical codewords per symbol (None for absent symbols).
+    /// Canonical order: shorter codes first, ties by symbol value.
+    fn codewords(&self) -> Vec<Option<(u64, u8)>> {
+        let mut order: Vec<usize> =
+            (0..self.lengths.len()).filter(|&s| self.lengths[s] > 0).collect();
+        order.sort_by_key(|&s| (self.lengths[s], s));
+        let mut out = vec![None; self.lengths.len()];
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            let len = self.lengths[s];
+            code <<= len - prev_len;
+            out[s] = Some((code, len));
+            code += 1;
+            prev_len = len;
+        }
+        out
+    }
+
+    /// Expected bits per symbol under `frequencies`.
+    pub fn mean_bits(&self, frequencies: &[u64]) -> f64 {
+        let total: u64 = frequencies.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let bits: u64 = frequencies
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum();
+        bits as f64 / total as f64
+    }
+}
+
+/// Shannon entropy (bits/symbol) of a frequency table.
+pub fn entropy(frequencies: &[u64]) -> f64 {
+    let total: u64 = frequencies.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    -frequencies
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / t;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Entropy-encode a symbol stream drawn from `0..num_symbols`.
+pub fn encode_symbols(symbols: impl Iterator<Item = u32> + Clone, num_symbols: usize) -> HuffmanEncoded {
+    let mut freqs = vec![0u64; num_symbols];
+    let mut count = 0usize;
+    for s in symbols.clone() {
+        freqs[s as usize] += 1;
+        count += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let words = code.codewords();
+    let mut writer = BitWriter::new();
+    for s in symbols {
+        let (cw, len) = words[s as usize].expect("symbol was counted");
+        // Write MSB-first so canonical prefix decoding works.
+        for b in (0..len).rev() {
+            writer.push(((cw >> b) & 1) as u32, 1);
+        }
+    }
+    let len_bits = writer.len_bits();
+    HuffmanEncoded { code, words: writer.into_words(), len_bits, count }
+}
+
+/// Decode an entropy-coded stream.
+pub fn decode_symbols(encoded: &HuffmanEncoded) -> Result<Vec<u32>, NumarckError> {
+    let lengths = encoded.code.lengths();
+    // Canonical decode tables: for each length, the first code value and
+    // the symbols of that length in canonical order.
+    let mut by_len: Vec<Vec<u32>> = vec![Vec::new(); MAX_CODE_LEN as usize + 1];
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+    order.sort_by_key(|&s| (lengths[s], s));
+    for &s in &order {
+        by_len[lengths[s] as usize].push(s as u32);
+    }
+    let mut first_code = vec![0u64; MAX_CODE_LEN as usize + 2];
+    {
+        let mut code = 0u64;
+        for len in 1..=MAX_CODE_LEN as usize {
+            first_code[len] = code;
+            code = (code + by_len[len].len() as u64) << 1;
+        }
+    }
+    let mut reader = BitReader::new(&encoded.words, encoded.len_bits);
+    let mut out = Vec::with_capacity(encoded.count);
+    for _ in 0..encoded.count {
+        let mut code = 0u64;
+        let mut len = 0usize;
+        loop {
+            let bit = reader
+                .read(1)
+                .ok_or_else(|| NumarckError::Corrupt("huffman stream exhausted".into()))?;
+            code = (code << 1) | bit as u64;
+            len += 1;
+            if len > MAX_CODE_LEN as usize {
+                return Err(NumarckError::Corrupt("huffman code overlong".into()));
+            }
+            let slot = code.wrapping_sub(first_code[len]);
+            if !by_len[len].is_empty() && code >= first_code[len] && (slot as usize) < by_len[len].len()
+            {
+                out.push(by_len[len][slot as usize]);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Entropy statistics for a compressed block's index stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexEntropyStats {
+    /// Fixed-width bits per compressible point (= `B`).
+    pub fixed_bits: f64,
+    /// Huffman bits per compressible point (including nothing for the
+    /// code table — see `table_bits`).
+    pub huffman_bits: f64,
+    /// Shannon entropy of the index distribution.
+    pub entropy_bits: f64,
+    /// One-off cost of shipping the code lengths (8 bits per possible
+    /// symbol).
+    pub table_bits: usize,
+}
+
+/// Measure how much entropy coding would save on a block's indices.
+pub fn index_entropy_stats(block: &CompressedIteration) -> IndexEntropyStats {
+    let num_symbols = block.table.len() + 1;
+    let mut freqs = vec![0u64; num_symbols];
+    for i in 0..block.num_compressible {
+        let code = crate::bitstream::read_at(&block.index_words, block.bits, i);
+        freqs[code as usize] += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs);
+    IndexEntropyStats {
+        fixed_bits: block.bits as f64,
+        huffman_bits: code.mean_bits(&freqs),
+        entropy_bits: entropy(&freqs),
+        table_bits: num_symbols * 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32], num_symbols: usize) {
+        let enc = encode_symbols(symbols.iter().copied(), num_symbols);
+        let dec = decode_symbols(&enc).unwrap();
+        assert_eq!(dec, symbols);
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[], 10);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        roundtrip(&[3, 3, 3, 3, 3], 8);
+        let enc = encode_symbols([3u32; 5].into_iter(), 8);
+        assert_eq!(enc.len_bits, 5, "degenerate alphabet costs 1 bit/symbol");
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 1, 0], 2);
+    }
+
+    #[test]
+    fn skewed_stream_beats_fixed_width() {
+        // 95% index 0, the rest spread: fixed 8 bits, Huffman ~ < 1.5.
+        let mut symbols = vec![0u32; 9500];
+        for i in 0..500 {
+            symbols.push(1 + (i % 255) as u32);
+        }
+        let enc = encode_symbols(symbols.iter().copied(), 256);
+        let bits_per = enc.len_bits as f64 / symbols.len() as f64;
+        assert!(bits_per < 1.5, "got {bits_per} bits/symbol");
+        roundtrip(&symbols, 256);
+    }
+
+    #[test]
+    fn mean_length_within_entropy_plus_one() {
+        // Huffman optimality bound: H <= L < H + 1.
+        let mut freqs = vec![0u64; 64];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = ((i * i + 1) % 97) as u64;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let h = entropy(&freqs);
+        let l = code.mean_bits(&freqs);
+        assert!(l >= h - 1e-9, "L {l} below entropy {h}");
+        assert!(l < h + 1.0, "L {l} above H+1 {}", h + 1.0);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (0..300).map(|i| 1 + (i * 7919) as u64 % 1000).collect();
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let kraft: f64 =
+            code.lengths().iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft sum {kraft}");
+        // Huffman codes are complete: equality.
+        assert!((kraft - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_stream_costs_about_log_n() {
+        let symbols: Vec<u32> = (0..4096).map(|i| i % 256).collect();
+        let enc = encode_symbols(symbols.iter().copied(), 256);
+        let bits_per = enc.len_bits as f64 / symbols.len() as f64;
+        assert!((bits_per - 8.0).abs() < 0.01, "uniform over 256: {bits_per}");
+        roundtrip(&symbols, 256);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let symbols: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let mut enc = encode_symbols(symbols.iter().copied(), 7);
+        enc.len_bits /= 2;
+        assert!(decode_symbols(&enc).is_err());
+    }
+
+    #[test]
+    fn block_index_stats_are_consistent() {
+        use crate::{Compressor, Config, Strategy};
+        let n = 20_000;
+        let prev: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        // 90% tiny changes (index 0), 10% at a common ratio.
+        let curr: Vec<f64> = prev
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if i % 10 == 0 { v * 1.05 } else { v * 1.0001 })
+            .collect();
+        let config = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let (block, _) = Compressor::new(config).compress(&prev, &curr).unwrap();
+        let stats = index_entropy_stats(&block);
+        assert_eq!(stats.fixed_bits, 8.0);
+        assert!(stats.entropy_bits < 1.0, "two-spike distribution: H = {}", stats.entropy_bits);
+        assert!(stats.huffman_bits < stats.fixed_bits / 4.0);
+        assert!(stats.huffman_bits >= stats.entropy_bits - 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn roundtrip_random_streams(
+                symbols in proptest::collection::vec(0u32..50, 0..2000)
+            ) {
+                roundtrip(&symbols, 50);
+            }
+
+            #[test]
+            fn roundtrip_highly_skewed(
+                runs in proptest::collection::vec((0u32..4, 1usize..100), 0..50)
+            ) {
+                let symbols: Vec<u32> = runs
+                    .iter()
+                    .flat_map(|&(s, n)| std::iter::repeat_n(s, n))
+                    .collect();
+                roundtrip(&symbols, 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Evaluation metrics (paper §III-B and §III-F).
+//!
+//! * incompressible ratio `γ` and the Eq. 3 compression ratio live on
+//!   [`crate::encode::CompressedIteration`];
+//! * this module provides the *accuracy* metrics used for the baseline
+//!   comparison (Table II): root-mean-square error `ξ` (Eq. 4) and
+//!   Pearson's correlation coefficient `ρ` between original and
+//!   decompressed data.
+
+use numarck_par::reduce::{par_moments, par_zip_sum};
+
+/// Root-mean-square error between `original` and `decompressed` (Eq. 4).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn rmse(original: &[f64], decompressed: &[f64]) -> f64 {
+    assert_eq!(original.len(), decompressed.len(), "rmse needs equal lengths");
+    if original.is_empty() {
+        return 0.0;
+    }
+    let ss = par_zip_sum(original, decompressed, |a, b| (a - b) * (a - b));
+    (ss / original.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient between `original` and `decompressed`.
+///
+/// Returns 1.0 when both inputs are constant and identical-up-to-shift
+/// (zero variance on both sides is treated as perfect correlation when
+/// the RMSE is 0, and 0.0 otherwise — the conventional guard for
+/// degenerate inputs).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn pearson(original: &[f64], decompressed: &[f64]) -> f64 {
+    assert_eq!(original.len(), decompressed.len(), "pearson needs equal lengths");
+    if original.is_empty() {
+        return 0.0;
+    }
+    let n = original.len() as f64;
+    let ma = par_moments(original);
+    let mb = par_moments(decompressed);
+    let cov = par_zip_sum(original, decompressed, |a, b| a * b) / n - ma.mean() * mb.mean();
+    let denom = ma.std_dev() * mb.std_dev();
+    if denom == 0.0 {
+        return if rmse(original, decompressed) == 0.0 { 1.0 } else { 0.0 };
+    }
+    (cov / denom).clamp(-1.0, 1.0)
+}
+
+/// Mean absolute relative error `mean(|a − b| / |a|)`, skipping points
+/// where `a == 0`. Used for the restart-error figures (Fig. 8).
+pub fn mean_relative_error(original: &[f64], decompressed: &[f64]) -> f64 {
+    assert_eq!(original.len(), decompressed.len());
+    if original.is_empty() {
+        return 0.0;
+    }
+    let sum = par_zip_sum(original, decompressed, |a, b| {
+        if a == 0.0 {
+            0.0
+        } else {
+            ((a - b) / a).abs()
+        }
+    });
+    let nonzero = original.iter().filter(|&&a| a != 0.0).count();
+    if nonzero == 0 {
+        0.0
+    } else {
+        sum / nonzero as f64
+    }
+}
+
+/// Maximum absolute relative error, skipping points where `a == 0`.
+pub fn max_relative_error(original: &[f64], decompressed: &[f64]) -> f64 {
+    assert_eq!(original.len(), decompressed.len());
+    original
+        .iter()
+        .zip(decompressed)
+        .filter(|(a, _)| **a != 0.0)
+        .map(|(a, b)| ((a - b) / a).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rmse_hand_computed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 6.0];
+        // sqrt(4/4) = 1
+        assert!((rmse(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        let a: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761_usize) % 1000) as f64).collect();
+        let b: Vec<f64> = (0..10_000).map(|i| ((i * 40503_usize + 7) % 997) as f64).collect();
+        assert!(pearson(&a, &b).abs() < 0.05);
+    }
+
+    #[test]
+    fn pearson_degenerate_constant_inputs() {
+        let a = vec![5.0; 10];
+        assert_eq!(pearson(&a, &a), 1.0);
+        let b = vec![6.0; 10];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn relative_errors_skip_zero_reference() {
+        let a = [0.0, 2.0, 4.0];
+        let b = [9.0, 2.2, 4.0];
+        assert!((mean_relative_error(&a, &b) - 0.05).abs() < 1e-12);
+        assert!((max_relative_error(&a, &b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(mean_relative_error(&[], &[]), 0.0);
+        assert_eq!(max_relative_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn all_zero_reference() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 2.0];
+        assert_eq!(mean_relative_error(&a, &b), 0.0);
+        assert_eq!(max_relative_error(&a, &b), 0.0);
+    }
+}

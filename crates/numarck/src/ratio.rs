@@ -1,0 +1,254 @@
+//! Forward predictive coding: the change-ratio transform (paper §II-B,
+//! Eq. 1).
+//!
+//! `Δ_ij = (D_i,j − D_{i−1,j}) / D_{i−1,j}` maps two raw snapshots into a
+//! stream where common patterns exist: two points moving from 10→11 and
+//! 100→110 both become the single ratio 0.10. Points whose previous value
+//! is exactly zero have no defined ratio and are marked incompressible
+//! (their current value will be stored exactly), per the paper.
+
+use rayon::prelude::*;
+
+use numarck_par::chunk::chunk_size_for;
+
+use crate::error::NumarckError;
+
+/// Per-point classification of a change ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatioClass {
+    /// `|Δ| < E`: representable by index 0 (approximate change of zero).
+    Small,
+    /// `|Δ| ≥ E`: needs a representative from the learned table.
+    Large(f64),
+    /// Previous value was zero (or the ratio is non-finite): must be
+    /// stored exactly.
+    Undefined,
+}
+
+/// The change-ratio transform of one iteration pair.
+#[derive(Debug, Clone)]
+pub struct ChangeRatios {
+    /// Per-point class.
+    pub classes: Vec<RatioClass>,
+    /// The subset of ratios with `|Δ| ≥ E`, in point order — the sample the
+    /// approximation strategies learn from.
+    pub fit_sample: Vec<f64>,
+}
+
+impl ChangeRatios {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Count of points in each class: `(small, large, undefined)`.
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let mut small = 0;
+        let mut large = 0;
+        let mut undef = 0;
+        for c in &self.classes {
+            match c {
+                RatioClass::Small => small += 1,
+                RatioClass::Large(_) => large += 1,
+                RatioClass::Undefined => undef += 1,
+            }
+        }
+        (small, large, undef)
+    }
+}
+
+/// The raw change ratio for one point, or `None` when it is undefined
+/// (zero previous value or non-finite result).
+#[inline]
+pub fn change_ratio(prev: f64, curr: f64) -> Option<f64> {
+    if prev == 0.0 {
+        return None;
+    }
+    let r = (curr - prev) / prev;
+    r.is_finite().then_some(r)
+}
+
+/// Compute the change-ratio transform for an iteration pair.
+///
+/// Inputs must be the same length and finite ([`NumarckError::LengthMismatch`]
+/// / [`NumarckError::NonFiniteInput`] otherwise). The computation is
+/// chunk-parallel; output ordering is point order regardless of thread
+/// count.
+pub fn compute(prev: &[f64], curr: &[f64], tolerance: f64) -> Result<ChangeRatios, NumarckError> {
+    if prev.len() != curr.len() {
+        return Err(NumarckError::LengthMismatch { prev: prev.len(), curr: curr.len() });
+    }
+    if let Some(idx) = first_non_finite(prev).or_else(|| first_non_finite(curr)) {
+        return Err(NumarckError::NonFiniteInput { index: idx });
+    }
+    if prev.is_empty() {
+        return Ok(ChangeRatios { classes: Vec::new(), fit_sample: Vec::new() });
+    }
+
+    let chunk = chunk_size_for(prev.len());
+    // Per-chunk pass producing classes and the local fit sample; chunks are
+    // concatenated in order so the result is deterministic.
+    let parts: Vec<(Vec<RatioClass>, Vec<f64>)> = prev
+        .par_chunks(chunk)
+        .zip(curr.par_chunks(chunk))
+        .map(|(p, c)| {
+            let mut classes = Vec::with_capacity(p.len());
+            let mut sample = Vec::new();
+            for (&pv, &cv) in p.iter().zip(c) {
+                match change_ratio(pv, cv) {
+                    None => classes.push(RatioClass::Undefined),
+                    Some(r) if r.abs() < tolerance => classes.push(RatioClass::Small),
+                    Some(r) => {
+                        classes.push(RatioClass::Large(r));
+                        sample.push(r);
+                    }
+                }
+            }
+            (classes, sample)
+        })
+        .collect();
+
+    let mut classes = Vec::with_capacity(prev.len());
+    let mut fit_sample = Vec::new();
+    for (c, s) in parts {
+        classes.extend(c);
+        fit_sample.extend(s);
+    }
+    Ok(ChangeRatios { classes, fit_sample })
+}
+
+fn first_non_finite(data: &[f64]) -> Option<usize> {
+    let chunk = chunk_size_for(data.len());
+    data.par_chunks(chunk)
+        .enumerate()
+        .filter_map(|(ci, c)| {
+            c.iter().position(|x| !x.is_finite()).map(|j| ci * chunk + j)
+        })
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_ten_percent_growth() {
+        // The paper's motivating example: 10→11 and 100→110 share the
+        // single representative ratio 0.10.
+        let a = change_ratio(10.0, 11.0).unwrap();
+        let b = change_ratio(100.0, 110.0).unwrap();
+        assert!((a - 0.1).abs() < 1e-15);
+        assert!((b - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_prev_is_undefined() {
+        assert_eq!(change_ratio(0.0, 5.0), None);
+        assert_eq!(change_ratio(-0.0, 5.0), None);
+    }
+
+    #[test]
+    fn identical_values_give_zero_ratio() {
+        assert_eq!(change_ratio(3.5, 3.5), Some(0.0));
+    }
+
+    #[test]
+    fn overflow_to_infinity_is_undefined() {
+        // Tiny prev with huge curr overflows the division.
+        assert_eq!(change_ratio(f64::MIN_POSITIVE, f64::MAX), None);
+    }
+
+    #[test]
+    fn classes_are_assigned_correctly() {
+        let prev = [1.0, 2.0, 0.0, 4.0];
+        let curr = [1.0005, 2.5, 7.0, 4.0];
+        let r = compute(&prev, &curr, 0.001).unwrap();
+        assert_eq!(r.classes[0], RatioClass::Small); // 0.05% < 0.1%
+        assert_eq!(r.classes[1], RatioClass::Large(0.25));
+        assert_eq!(r.classes[2], RatioClass::Undefined);
+        assert_eq!(r.classes[3], RatioClass::Small); // exactly zero change
+        assert_eq!(r.fit_sample, vec![0.25]);
+        assert_eq!(r.class_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let e = compute(&[1.0], &[1.0, 2.0], 0.001).unwrap_err();
+        assert_eq!(e, NumarckError::LengthMismatch { prev: 1, curr: 2 });
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error_with_first_index() {
+        let prev = [1.0, f64::NAN, f64::INFINITY];
+        let curr = [1.0, 1.0, 1.0];
+        let e = compute(&prev, &curr, 0.001).unwrap_err();
+        assert_eq!(e, NumarckError::NonFiniteInput { index: 1 });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let r = compute(&[], &[], 0.001).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fit_sample_preserves_point_order() {
+        let prev = vec![1.0; 6];
+        let curr = vec![1.1, 1.0, 1.2, 1.0, 1.3, 1.4];
+        let r = compute(&prev, &curr, 0.001).unwrap();
+        let expected: Vec<f64> = vec![0.1, 0.2, 0.3, 0.4];
+        for (a, b) in r.fit_sample.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_changes_are_captured() {
+        let r = compute(&[10.0], &[9.0], 0.001).unwrap();
+        assert_eq!(r.classes[0], RatioClass::Large(-0.1));
+    }
+
+    #[test]
+    fn large_input_parallel_matches_sequential_semantics() {
+        let n = 300_000;
+        let prev: Vec<f64> = (0..n).map(|i| 1.0 + (i % 97) as f64).collect();
+        let curr: Vec<f64> = prev.iter().enumerate().map(|(i, v)| v * (1.0 + 0.002 * ((i % 5) as f64))).collect();
+        let r = compute(&prev, &curr, 0.001).unwrap();
+        assert_eq!(r.len(), n);
+        // i % 5 == 0 -> ratio 0 (small); others large.
+        let (small, large, undef) = r.class_counts();
+        assert_eq!(undef, 0);
+        assert_eq!(small, n / 5);
+        assert_eq!(large, n - n / 5);
+        assert_eq!(r.fit_sample.len(), large);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn class_partition_is_total(
+                pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..500),
+                tol in 1e-6f64..0.1
+            ) {
+                let prev: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let curr: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let r = compute(&prev, &curr, tol).unwrap();
+                let (s, l, u) = r.class_counts();
+                prop_assert_eq!(s + l + u, prev.len());
+                prop_assert_eq!(l, r.fit_sample.len());
+                // Every fit-sample entry is at least tol in magnitude.
+                for &x in &r.fit_sample {
+                    prop_assert!(x.abs() >= tol);
+                }
+            }
+        }
+    }
+}

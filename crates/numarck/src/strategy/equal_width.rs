@@ -1,0 +1,70 @@
+//! Equal-width binning (paper §II-C.1).
+//!
+//! Partition `[min, max]` of the fit sample into `k` equal bins and use
+//! the bin centres as representatives. The paper's analysis: with bin
+//! width `W = range/k`, compression is perfect when `W ≤ 2E` (every point
+//! is within `E` of its bin centre); when a long tail stretches the range
+//! so that `W > 2E`, points near bin edges exceed the tolerance and fall
+//! back to exact storage — the strategy's characteristic failure mode.
+
+use numarck_par::reduce::par_min_max;
+
+/// Representatives: the `k` equal-width bin centres over the sample range.
+///
+/// A degenerate sample (all values identical) yields that single value.
+pub fn representatives(sample: &[f64], k: usize) -> Vec<f64> {
+    debug_assert!(!sample.is_empty());
+    let mm = par_min_max(sample);
+    if mm.range() == 0.0 {
+        return vec![mm.min];
+    }
+    let width = mm.range() / k as f64;
+    (0..k).map(|i| mm.min + (i as f64 + 0.5) * width).collect()
+}
+
+/// The bin width `W` this strategy would use — exposed so callers can
+/// check the paper's `W ≤ 2E` perfect-compression criterion.
+pub fn bin_width(sample: &[f64], k: usize) -> f64 {
+    par_min_max(sample).range() / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centers_tile_the_range() {
+        let sample = vec![0.0, 10.0];
+        let reps = representatives(&sample, 5);
+        assert_eq!(reps, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn degenerate_sample() {
+        let reps = representatives(&[0.42, 0.42, 0.42], 255);
+        assert_eq!(reps, vec![0.42]);
+    }
+
+    #[test]
+    fn every_sample_point_within_half_width_of_some_center() {
+        let sample: Vec<f64> = (0..1000).map(|i| -3.0 + 0.006 * i as f64).collect();
+        let k = 64;
+        let reps = representatives(&sample, k);
+        let w = bin_width(&sample, k);
+        for &x in &sample {
+            let best = reps.iter().map(|r| (r - x).abs()).fold(f64::INFINITY, f64::min);
+            assert!(best <= w / 2.0 + 1e-12, "x={x} best={best} w={w}");
+        }
+    }
+
+    #[test]
+    fn outlier_stretches_bins() {
+        // 999 points in [0, 0.001], one outlier at 1000.0: bin width becomes
+        // ~ 1000/k, far above 2E for E = 0.1% — the failure mode in the
+        // paper's §II-C.1.
+        let mut sample: Vec<f64> = (0..999).map(|i| i as f64 * 1e-6).collect();
+        sample.push(1000.0);
+        let w = bin_width(&sample, 255);
+        assert!(w > 2.0 * 0.001, "width {w} should exceed 2E");
+    }
+}

@@ -1,0 +1,152 @@
+//! Log-scale binning (paper §II-C.2).
+//!
+//! Bin the *magnitudes* of the change ratios on an e-based logarithmic
+//! axis: narrow bins near the tolerance `E` where most ratios concentrate,
+//! exponentially wider bins toward the tail. Because change ratios are
+//! signed, the `k` representatives are split between the negative and
+//! positive sides proportionally to their populations (each populated
+//! side gets at least one bin).
+
+use rayon::prelude::*;
+
+/// Representatives: log-spaced bin centres per sign.
+pub fn representatives(sample: &[f64], k: usize) -> Vec<f64> {
+    debug_assert!(!sample.is_empty());
+    // Partition magnitudes by sign. Zero cannot occur (|Δ| ≥ E > 0).
+    let (neg, pos): (Vec<f64>, Vec<f64>) = sample.par_iter().partition_map(|&x| {
+        if x < 0.0 {
+            rayon::iter::Either::Left(-x)
+        } else {
+            rayon::iter::Either::Right(x)
+        }
+    });
+
+    let (k_neg, k_pos) = split_bins(neg.len(), pos.len(), k);
+    let mut reps = Vec::with_capacity(k);
+    // Negative side: centres computed on magnitudes then negated; negate
+    // preserves set semantics (BinTable sorts afterwards).
+    for c in log_centers(&neg, k_neg) {
+        reps.push(-c);
+    }
+    reps.extend(log_centers(&pos, k_pos));
+    reps
+}
+
+/// Allocate `k` bins between the two signs proportionally to population,
+/// guaranteeing at least one bin per populated sign.
+fn split_bins(n_neg: usize, n_pos: usize, k: usize) -> (usize, usize) {
+    match (n_neg, n_pos) {
+        (0, 0) => (0, 0),
+        (0, _) => (0, k),
+        (_, 0) => (k, 0),
+        _ => {
+            if k == 1 {
+                // Only one bin: give it to the bigger side.
+                return if n_neg > n_pos { (1, 0) } else { (0, 1) };
+            }
+            let total = (n_neg + n_pos) as f64;
+            let raw = (k as f64 * n_neg as f64 / total).round() as usize;
+            let k_neg = raw.clamp(1, k - 1);
+            (k_neg, k - k_neg)
+        }
+    }
+}
+
+/// Log-spaced bin centres over the magnitudes `m` (all > 0): `bins` bins
+/// between `ln(min)` and `ln(max)`, centres exponentiated back.
+fn log_centers(magnitudes: &[f64], bins: usize) -> Vec<f64> {
+    if magnitudes.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let mm = numarck_par::reduce::par_min_max(magnitudes);
+    debug_assert!(mm.min > 0.0, "magnitudes must be positive for log binning");
+    if mm.range() == 0.0 {
+        return vec![mm.min];
+    }
+    let lo = mm.min.ln();
+    let hi = mm.max.ln();
+    let w = (hi - lo) / bins as f64;
+    (0..bins).map(|i| (lo + (i as f64 + 0.5) * w).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_only_sample() {
+        let sample: Vec<f64> = (0..100).map(|i| 0.001 * 1.05f64.powi(i)).collect();
+        let reps = representatives(&sample, 16);
+        assert_eq!(reps.len(), 16);
+        assert!(reps.iter().all(|&r| r > 0.0));
+        // Centres grow geometrically: successive ratios are constant.
+        let r1 = reps[1] / reps[0];
+        let r2 = reps[10] / reps[9];
+        assert!((r1 - r2).abs() < 1e-9, "geometric spacing: {r1} vs {r2}");
+    }
+
+    #[test]
+    fn mixed_signs_get_bins_on_both_sides() {
+        let mut sample: Vec<f64> = (1..=500).map(|i| i as f64 * 1e-3).collect();
+        sample.extend((1..=500).map(|i| -(i as f64) * 1e-3));
+        let reps = representatives(&sample, 10);
+        let neg = reps.iter().filter(|&&r| r < 0.0).count();
+        let pos = reps.iter().filter(|&&r| r > 0.0).count();
+        assert_eq!(neg + pos, 10);
+        assert_eq!(neg, 5, "balanced populations split evenly: {reps:?}");
+    }
+
+    #[test]
+    fn skewed_populations_skew_the_split() {
+        let mut sample: Vec<f64> = (1..=900).map(|i| i as f64 * 1e-3).collect();
+        sample.extend((1..=100).map(|i| -(i as f64) * 1e-3));
+        let reps = representatives(&sample, 10);
+        let neg = reps.iter().filter(|&&r| r < 0.0).count();
+        assert_eq!(neg, 1, "10% negative population gets 1 of 10 bins");
+    }
+
+    #[test]
+    fn minority_sign_still_gets_a_bin() {
+        let mut sample = vec![0.5; 10_000];
+        sample.push(-0.5);
+        let reps = representatives(&sample, 8);
+        assert!(reps.iter().any(|&r| r < 0.0), "lone negative must get a representative");
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let sample = vec![-0.1, -0.2, -0.3, 0.4];
+        let reps = representatives(&sample, 1);
+        assert_eq!(reps.len(), 1);
+        assert!(reps[0] < 0.0, "majority sign wins the single bin");
+    }
+
+    #[test]
+    fn small_changes_get_finer_bins_than_large() {
+        // Sample spanning three decades; adjacent-centre spacing must grow
+        // with magnitude (the whole point of log binning).
+        let sample: Vec<f64> = (0..3000).map(|i| 0.001 * 10f64.powf(i as f64 / 1000.0)).collect();
+        let reps = representatives(&sample, 32);
+        let first_gap = reps[1] - reps[0];
+        let last_gap = reps[31] - reps[30];
+        assert!(
+            last_gap > first_gap * 10.0,
+            "coarse tail bins: first={first_gap} last={last_gap}"
+        );
+    }
+
+    #[test]
+    fn split_bins_edge_cases() {
+        assert_eq!(split_bins(0, 0, 8), (0, 0));
+        assert_eq!(split_bins(5, 0, 8), (8, 0));
+        assert_eq!(split_bins(0, 5, 8), (0, 8));
+        assert_eq!(split_bins(1, 1_000_000, 8), (1, 7));
+        assert_eq!(split_bins(7, 3, 1), (1, 0));
+    }
+
+    #[test]
+    fn degenerate_magnitudes() {
+        let reps = representatives(&[0.25, 0.25, 0.25], 255);
+        assert_eq!(reps, vec![0.25]);
+    }
+}

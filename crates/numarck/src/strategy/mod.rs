@@ -1,0 +1,143 @@
+//! The three data-approximation strategies (paper §II-C).
+//!
+//! Each strategy consumes the *fit sample* — the change ratios with
+//! `|Δ| ≥ E` — and produces at most `k = 2^B − 1` representative ratios.
+//! The encoder then quantizes every large ratio to its nearest
+//! representative, escaping to exact storage whenever the representative
+//! misses by more than `E`.
+//!
+//! * [`equal_width`] — histogram bin centres over `[min, max]`. Perfect
+//!   when the bin width `W ≤ 2E`; degrades badly when a few outliers
+//!   stretch the range (§II-C.1).
+//! * [`log_scale`] — e-based log-spaced bins over the magnitudes, sign
+//!   aware. Narrow bins for small changes, wide for large — covers big
+//!   dynamic ranges (§II-C.2).
+//! * [`clustering`] — 1-D K-means seeded from the equal-width histogram;
+//!   adapts to arbitrary multi-modal distributions and is the paper's
+//!   best performer (§II-C.3).
+
+pub mod clustering;
+pub mod equal_width;
+pub mod log_scale;
+
+use crate::config::ClusteringOptions;
+use crate::table::BinTable;
+
+/// Which approximation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Equal-width binning over the ratio range.
+    EqualWidth,
+    /// Log-scale (e-based) binning over ratio magnitudes.
+    LogScale,
+    /// K-means clustering seeded from the equal-width histogram
+    /// (the paper's recommended strategy).
+    #[default]
+    Clustering,
+}
+
+impl Strategy {
+    /// Short lowercase name used in reports and file headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::EqualWidth => "equal-width",
+            Self::LogScale => "log-scale",
+            Self::Clustering => "clustering",
+        }
+    }
+
+    /// All strategies, in the order the paper presents them.
+    pub fn all() -> [Strategy; 3] {
+        [Self::EqualWidth, Self::LogScale, Self::Clustering]
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Learn a representative table from the fit sample.
+///
+/// `sample` holds the ratios with `|Δ| ≥ E` (any order); `k` is the table
+/// capacity `2^B − 1`. An empty sample yields an empty table.
+pub fn fit_table(
+    strategy: Strategy,
+    sample: &[f64],
+    k: usize,
+    clustering_opts: &ClusteringOptions,
+) -> BinTable {
+    assert!(k >= 1, "table capacity must be at least 1");
+    if sample.is_empty() {
+        return BinTable::new(Vec::new());
+    }
+    let reps = match strategy {
+        Strategy::EqualWidth => equal_width::representatives(sample, k),
+        Strategy::LogScale => log_scale::representatives(sample, k),
+        Strategy::Clustering => clustering::representatives(sample, k, clustering_opts),
+    };
+    debug_assert!(reps.len() <= k, "{strategy}: produced {} > k={k} representatives", reps.len());
+    BinTable::new(reps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ClusteringOptions {
+        ClusteringOptions::default()
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Strategy::EqualWidth.name(), "equal-width");
+        assert_eq!(Strategy::LogScale.name(), "log-scale");
+        assert_eq!(Strategy::Clustering.name(), "clustering");
+        assert_eq!(Strategy::all().len(), 3);
+    }
+
+    #[test]
+    fn empty_sample_gives_empty_table_for_all_strategies() {
+        for s in Strategy::all() {
+            assert!(fit_table(s, &[], 255, &opts()).is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    fn table_capacity_is_respected() {
+        let sample: Vec<f64> = (0..10_000).map(|i| 0.001 * (1.0 + (i % 997) as f64)).collect();
+        for s in Strategy::all() {
+            for k in [1usize, 3, 15, 255] {
+                let t = fit_table(s, &sample, k, &opts());
+                assert!(t.len() <= k, "{s} k={k} -> {}", t.len());
+                assert!(!t.is_empty(), "{s} k={k} produced empty table");
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_sample() {
+        for s in Strategy::all() {
+            let t = fit_table(s, &[0.25], 255, &opts());
+            assert_eq!(t.len(), 1, "{s}");
+            assert!((t.representative(0) - 0.25).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn all_representatives_are_finite() {
+        let sample: Vec<f64> = (1..5000)
+            .map(|i| {
+                let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+                sign * 0.001 * (i as f64).powf(1.3)
+            })
+            .collect();
+        for s in Strategy::all() {
+            let t = fit_table(s, &sample, 127, &opts());
+            for &r in t.representatives() {
+                assert!(r.is_finite(), "{s}");
+            }
+        }
+    }
+}

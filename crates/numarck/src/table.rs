@@ -1,0 +1,115 @@
+//! The representative-ratio table (the paper's "index table of size
+//! `2^B`").
+//!
+//! Every approximation strategy reduces to the same artefact: a sorted set
+//! of at most `2^B − 1` representative change ratios. A point's index is
+//! the nearest representative; index 0 is reserved by the encoder for
+//! "change below tolerance", so table entry `t` is addressed by the stored
+//! index `t + 1`.
+//!
+//! Assignment uses the same sorted-midpoint binary search as the K-means
+//! substrate ([`numarck_kmeans::lloyd1d::SortedCenters`]): for the
+//! equal-width and log-scale strategies, nearest-representative assignment
+//! dominates (never loses to) the "containing bin" rule the paper
+//! describes, while keeping all three strategies on one encoder path.
+
+use numarck_kmeans::lloyd1d::SortedCenters;
+
+/// A learned table of representative change ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinTable {
+    centers: SortedCenters,
+}
+
+impl BinTable {
+    /// Build from representative ratios (sorted/deduplicated internally).
+    ///
+    /// # Panics
+    /// Panics if any representative is non-finite.
+    pub fn new(representatives: Vec<f64>) -> Self {
+        Self { centers: SortedCenters::new(representatives) }
+    }
+
+    /// The sorted representatives.
+    #[inline]
+    pub fn representatives(&self) -> &[f64] {
+        self.centers.centers()
+    }
+
+    /// Number of representatives.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True when the table is empty (no large changes existed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Index of the representative nearest to `ratio`, or `None` for an
+    /// empty table.
+    #[inline]
+    pub fn nearest(&self, ratio: f64) -> Option<usize> {
+        if self.centers.is_empty() {
+            None
+        } else {
+            Some(self.centers.nearest(ratio))
+        }
+    }
+
+    /// Nearest representative and its approximation error, or `None` for
+    /// an empty table.
+    #[inline]
+    pub fn quantize(&self, ratio: f64) -> Option<(usize, f64, f64)> {
+        let idx = self.nearest(ratio)?;
+        let rep = self.centers.centers()[idx];
+        Some((idx, rep, (rep - ratio).abs()))
+    }
+
+    /// Representative at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn representative(&self, idx: usize) -> f64 {
+        self.centers.centers()[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_returns_nearest_and_error() {
+        let t = BinTable::new(vec![-0.1, 0.0, 0.1]);
+        let (idx, rep, err) = t.quantize(0.08).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(rep, 0.1);
+        assert!((err - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_table_quantizes_nothing() {
+        let t = BinTable::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.nearest(0.5), None);
+        assert_eq!(t.quantize(0.5), None);
+    }
+
+    #[test]
+    fn representatives_are_sorted_unique() {
+        let t = BinTable::new(vec![0.3, -0.2, 0.3, 0.0]);
+        assert_eq!(t.representatives(), &[-0.2, 0.0, 0.3]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn extreme_ratios_clamp_to_end_representatives() {
+        let t = BinTable::new(vec![-0.5, 0.5]);
+        assert_eq!(t.nearest(-100.0), Some(0));
+        assert_eq!(t.nearest(100.0), Some(1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Checkpoint a running FLASH-style hydrodynamics simulation through the
+//! full manager/store pipeline, then restart mid-chain and compare
+//! storage cost against raw checkpointing.
+//!
+//! Run with: `cargo run --release --example flash_checkpointing`
+
+use flash_sim::{FlashSimulation, Problem};
+use numarck::{Config, Strategy};
+use numarck_checkpoint::{
+    CheckpointManager, CheckpointStore, ManagerPolicy, RestartEngine, VariableSet,
+};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("numarck-flash-example-{}", std::process::id()));
+    let store = CheckpointStore::open(&dir).expect("temp dir is writable");
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("valid parameters");
+    let mut manager =
+        CheckpointManager::new(store.clone(), config, ManagerPolicy::fixed(8));
+
+    // Run the blast problem, checkpointing every 2 solver steps.
+    let mut sim = FlashSimulation::paper_default(Problem::SedovBlast, 4, 4);
+    sim.run_steps(40); // past the launch transient
+    let mut truth: Vec<VariableSet> = Vec::new();
+    for iteration in 0..16u64 {
+        if iteration > 0 {
+            sim.run_steps(2);
+        }
+        let vars: VariableSet =
+            sim.checkpoint().into_iter().map(|(v, data)| (v.name().to_string(), data)).collect();
+        match manager.checkpoint(iteration, &vars).expect("checkpoint write") {
+            numarck_checkpoint::manager::CheckpointOutcome::Full
+            | numarck_checkpoint::manager::CheckpointOutcome::FullOnDrift { .. } => {
+                println!("iteration {iteration:2}: FULL checkpoint");
+            }
+            numarck_checkpoint::manager::CheckpointOutcome::Delta(stats) => {
+                let gamma = stats.values().map(|s| s.incompressible_ratio).sum::<f64>()
+                    / stats.len() as f64;
+                let ratio = stats.values().map(|s| s.compression_ratio_actual).sum::<f64>()
+                    / stats.len() as f64;
+                println!(
+                    "iteration {iteration:2}: delta  (mean γ {:5.2}%, on-disk compression {:5.2}%)",
+                    gamma * 100.0,
+                    ratio * 100.0
+                );
+            }
+        }
+        truth.push(vars);
+    }
+
+    // Storage accounting.
+    let mut stored: u64 = 0;
+    for entry in store.list().expect("list") {
+        stored += std::fs::metadata(store.path_of(entry.iteration, entry.is_full))
+            .expect("file exists")
+            .len();
+    }
+    let raw: u64 = truth
+        .iter()
+        .map(|vars| vars.values().map(|v| v.len() as u64 * 8).sum::<u64>())
+        .sum();
+    println!("\nstored {stored} bytes vs {raw} raw ({:.1}% saved)", (1.0 - stored as f64 / raw as f64) * 100.0);
+
+    // Restart mid-chain and verify the error bound chain-compounds.
+    let engine = RestartEngine::new(store);
+    let target = 13u64;
+    let restart = engine.restart_at(target).expect("restartable");
+    println!(
+        "\nrestarted at iteration {target}: base full = {}, deltas applied = {}",
+        restart.base_iteration, restart.deltas_applied
+    );
+    let mut worst: f64 = 0.0;
+    for (name, exact) in &truth[target as usize] {
+        for (a, b) in exact.iter().zip(&restart.vars[name]) {
+            if *a != 0.0 {
+                worst = worst.max(((a - b) / a).abs());
+            }
+        }
+    }
+    let budget = (1.0 + config.tolerance()).powi(restart.deltas_applied as i32) - 1.0;
+    println!("worst restart error {:.6}% (chain budget {:.6}%)", worst * 100.0, budget * 100.0);
+    assert!(worst <= budget + 1e-9);
+    println!("restart within the accumulated error budget ✓");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,52 @@
+//! Quickstart: compress one checkpoint transition, inspect the stats,
+//! reconstruct, and verify the per-point error bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use numarck::{decode, serialize, Compressor, Config, Strategy};
+
+fn main() {
+    // Two consecutive "checkpoints" of a synthetic variable: a smooth
+    // field where most points drift by ~0.2% and a few jump by ~5%.
+    let n = 100_000;
+    let prev: Vec<f64> = (0..n).map(|i| 50.0 + (i as f64 * 0.001).sin() * 10.0).collect();
+    let curr: Vec<f64> = prev
+        .iter()
+        .enumerate()
+        .map(|(i, v)| if i % 97 == 0 { v * 1.05 } else { v * 1.002 })
+        .collect();
+
+    // The paper's two user parameters: B index bits and tolerance E.
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("valid parameters");
+    let compressor = Compressor::new(config);
+    let (block, stats) = compressor.compress(&prev, &curr).expect("finite input");
+
+    println!("points                 : {}", stats.num_points);
+    println!("compressible           : {}", stats.num_compressible);
+    println!("stored exact (escaped) : {}", stats.num_incompressible);
+    println!("representatives learned: {}", stats.table_len);
+    println!("incompressible ratio γ : {:.4}%", stats.incompressible_ratio * 100.0);
+    println!("compression (Eq. 3)    : {:.2}%", stats.compression_ratio_eq3 * 100.0);
+    println!("compression (on disk)  : {:.2}%", stats.compression_ratio_actual * 100.0);
+    println!("mean |Δ' − Δ|          : {:.6}%", stats.mean_error_rate * 100.0);
+    println!("max  |Δ' − Δ|          : {:.6}%", stats.max_error_rate * 100.0);
+
+    // Serialise to bytes (what a checkpoint file would store)...
+    let bytes = serialize::to_bytes(&block);
+    println!("serialized bytes       : {} ({} raw)", bytes.len(), n * 8);
+
+    // ...read back and reconstruct.
+    let wire = serialize::from_bytes(&bytes).expect("round trip");
+    let restored = decode::reconstruct(&prev, &wire).expect("valid block");
+
+    // The guarantee: every point's change ratio is within E.
+    let mut worst: f64 = 0.0;
+    for ((&p, &c), &r) in prev.iter().zip(&curr).zip(&restored) {
+        let true_ratio = (c - p) / p;
+        let approx_ratio = (r - p) / p;
+        worst = worst.max((true_ratio - approx_ratio).abs());
+    }
+    println!("worst change-ratio error: {:.8} (bound {})", worst, config.tolerance());
+    assert!(worst <= config.tolerance() + 1e-12);
+    println!("error bound holds ✓");
+}

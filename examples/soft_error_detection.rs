@@ -1,0 +1,81 @@
+//! Soft-error detection in a running simulation (the paper's §V
+//! future-work direction, implemented): a FLASH run is checkpointed every
+//! few steps; before each checkpoint is written, the change-ratio
+//! anomaly detector screens the transition for silent data corruption.
+//! Mid-run we flip a bit in the state (a simulated cosmic-ray strike) and
+//! watch the screen catch it before the corruption reaches storage.
+//!
+//! Run with: `cargo run --release --example soft_error_detection`
+
+use flash_sim::{FlashSimulation, FlashVar, Problem};
+use numarck::anomaly::{detect, AnomalyConfig, StreamingDetector};
+
+fn main() {
+    let mut sim = FlashSimulation::paper_default(Problem::SedovBlast, 4, 4);
+    sim.run_steps(30);
+    let config = AnomalyConfig::default();
+
+    let mut previous = sim.checkpoint();
+    let mut streaming = StreamingDetector::new(config);
+    println!("screening 10 checkpoints of {} points each...\n", sim.num_cells());
+
+    for ckpt in 1..=10u32 {
+        sim.run_steps(2);
+        let mut current = sim.checkpoint();
+
+        // Checkpoint 6 suffers a cosmic-ray strike: one exponent bit of
+        // one pres value flips between solve and write (the exponent MSB:
+        // the value teleports by hundreds of orders of magnitude).
+        let mut strike: Option<usize> = None;
+        if ckpt == 6 {
+            let victim = 1_234;
+            let pres = current.get_mut(&FlashVar::Pres).expect("pres exists");
+            pres[victim] = f64::from_bits(pres[victim].to_bits() ^ (1u64 << 62));
+            strike = Some(victim);
+        }
+
+        // Batch screen over the pres transition.
+        let report = detect(
+            &previous[&FlashVar::Pres],
+            &current[&FlashVar::Pres],
+            &config,
+        )
+        .expect("same shapes");
+
+        // Streaming screen sees the same points one at a time.
+        let mut stream_hits = 0usize;
+        for (&p, &c) in previous[&FlashVar::Pres].iter().zip(&current[&FlashVar::Pres]) {
+            if streaming.observe(p, c) {
+                stream_hits += 1;
+            }
+        }
+
+        match (report.is_clean(), strike) {
+            (true, None) => {
+                println!("checkpoint {ckpt:2}: clean (batch ✓, streaming hits: {stream_hits})");
+            }
+            (false, Some(victim)) => {
+                let caught = report.anomalies.iter().any(|a| a.index == victim);
+                println!(
+                    "checkpoint {ckpt:2}: CORRUPTION caught at point {} (score {:.0}) — \
+                     checkpoint quarantined, not written",
+                    report.anomalies[0].index, report.anomalies[0].score
+                );
+                assert!(caught, "detector missed the strike");
+                assert!(stream_hits >= 1, "streaming screen missed the strike");
+                // Recover: recompute the checkpoint from the (uncorrupted)
+                // solver state — here, simply re-extract.
+                current = sim.checkpoint();
+                let recheck =
+                    detect(&previous[&FlashVar::Pres], &current[&FlashVar::Pres], &config)
+                        .expect("same shapes");
+                assert!(recheck.is_clean());
+                println!("              re-extracted checkpoint is clean — writing that instead");
+            }
+            (false, None) => panic!("false positive on a clean checkpoint"),
+            (true, Some(_)) => panic!("detector missed an injected strike"),
+        }
+        previous = current;
+    }
+    println!("\nall corruption caught, zero false positives ✓");
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella crate: examples and integration tests live here.

@@ -1,0 +1,127 @@
+//! Cross-crate checks of the paper's headline claims on the climate
+//! substrate: strategy ordering, error bounds, and order-of-magnitude
+//! reduction.
+
+use climate_sim::{ClimateModel, ClimateVar, Grid};
+use numarck::{decode, serialize, Compressor, Config, Strategy};
+
+fn sequence(var: ClimateVar, iters: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut model = ClimateModel::with_grid(var, Grid::new(96, 60), seed);
+    let mut out = vec![model.current().to_vec()];
+    for _ in 1..iters {
+        out.push(model.step().to_vec());
+    }
+    out
+}
+
+fn mean_gamma(seq: &[Vec<f64>], strategy: Strategy, bits: u8, tol: f64) -> f64 {
+    let compressor = Compressor::new(Config::new(bits, tol, strategy).expect("valid"));
+    let mut total = 0.0;
+    for w in seq.windows(2) {
+        let (_, stats) = compressor.compress(&w[0], &w[1]).expect("finite");
+        total += stats.incompressible_ratio;
+    }
+    total / (seq.len() - 1) as f64
+}
+
+#[test]
+fn clustering_dominates_on_the_hard_variable() {
+    // Paper §III-C: clustering best, log-scale second, equal-width worst
+    // on irregular distributions. abs550aer is the designated hard case.
+    let seq = sequence(ClimateVar::Abs550aer, 10, 1);
+    let ew = mean_gamma(&seq, Strategy::EqualWidth, 8, 0.001);
+    let ls = mean_gamma(&seq, Strategy::LogScale, 8, 0.001);
+    let cl = mean_gamma(&seq, Strategy::Clustering, 8, 0.001);
+    assert!(cl < ls, "clustering {cl} should beat log-scale {ls}");
+    assert!(ls < ew, "log-scale {ls} should beat equal-width {ew}");
+}
+
+#[test]
+fn error_bound_holds_for_every_variable_and_strategy() {
+    for var in ClimateVar::all() {
+        let seq = sequence(var, 4, 2);
+        for strategy in Strategy::all() {
+            let compressor =
+                Compressor::new(Config::new(8, 0.002, strategy).expect("valid"));
+            for w in seq.windows(2) {
+                let (_, stats) = compressor.compress(&w[0], &w[1]).expect("finite");
+                assert!(
+                    stats.max_error_rate <= 0.002 + 1e-12,
+                    "{var}/{strategy}: {}",
+                    stats.max_error_rate
+                );
+                assert!(stats.mean_error_rate <= stats.max_error_rate + 1e-18);
+            }
+        }
+    }
+}
+
+#[test]
+fn order_of_magnitude_reduction_on_easy_data() {
+    // The abstract's claim: "an order of magnitude data reduction" —
+    // on the easy variable at B = 8 the delta stream must be under ~16%
+    // of raw size on disk (Eq. 3 says 8x before bitmap/table overhead;
+    // the fixed table overhead needs the full-size grid to amortise).
+    let seq = {
+        let mut model = ClimateModel::with_grid(ClimateVar::Rlus, Grid::cmip5(), 3);
+        let mut out = vec![model.current().to_vec()];
+        for _ in 1..10 {
+            out.push(model.step().to_vec());
+        }
+        out
+    };
+    let compressor =
+        Compressor::new(Config::new(8, 0.001, Strategy::Clustering).expect("valid"));
+    let mut compressed_bytes = 0usize;
+    let mut raw_bytes = 0usize;
+    for w in seq.windows(2) {
+        let (block, _) = compressor.compress(&w[0], &w[1]).expect("finite");
+        compressed_bytes += serialize::serialized_len(&block);
+        raw_bytes += w[1].len() * 8;
+    }
+    let fraction = compressed_bytes as f64 / raw_bytes as f64;
+    assert!(fraction < 0.165, "delta stream is {:.1}% of raw", fraction * 100.0);
+}
+
+#[test]
+fn wire_roundtrip_preserves_reconstruction() {
+    let seq = sequence(ClimateVar::Mc, 3, 4);
+    let compressor =
+        Compressor::new(Config::new(9, 0.005, Strategy::Clustering).expect("valid"));
+    let (block, _) = compressor.compress(&seq[0], &seq[1]).expect("finite");
+    let direct = decode::reconstruct(&seq[0], &block).expect("valid");
+    let wire = serialize::from_bytes(&serialize::to_bytes(&block)).expect("round trip");
+    let via_wire = decode::reconstruct(&seq[0], &wire).expect("valid");
+    assert_eq!(direct, via_wire);
+}
+
+#[test]
+fn higher_precision_never_hurts_compressibility() {
+    // More index bits = more representatives = fewer escapes. γ must be
+    // non-increasing in B (Fig. 6's mechanism).
+    let seq = sequence(ClimateVar::Rlds, 6, 5);
+    let mut prev_gamma = f64::INFINITY;
+    for bits in [6u8, 8, 10, 12] {
+        let g = mean_gamma(&seq, Strategy::Clustering, bits, 0.001);
+        assert!(
+            g <= prev_gamma + 1e-9,
+            "gamma increased from {prev_gamma} to {g} at B={bits}"
+        );
+        prev_gamma = g;
+    }
+}
+
+#[test]
+fn larger_tolerance_never_hurts_compressibility() {
+    // Fig. 7's mechanism: γ non-increasing in E.
+    let seq = sequence(ClimateVar::Abs550aer, 6, 6);
+    let mut prev_gamma = f64::INFINITY;
+    for tol in [0.001, 0.002, 0.003, 0.005] {
+        let g = mean_gamma(&seq, Strategy::Clustering, 8, tol);
+        assert!(
+            g <= prev_gamma + 0.01,
+            "gamma rose from {prev_gamma} to {g} at E={tol}"
+        );
+        prev_gamma = g;
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based, cross-crate verification of the central guarantee:
+//! for every compressed point, the approximated change ratio is within
+//! the user tolerance of the true change ratio — regardless of data,
+//! strategy, precision, or tolerance.
+
+use proptest::prelude::*;
+
+use numarck::ratio::change_ratio;
+use numarck::{decode, Compressor, Config};
+
+fn strategy_strategy() -> impl Strategy<Value = numarck::Strategy> {
+    prop_oneof![
+        Just(numarck::Strategy::EqualWidth),
+        Just(numarck::Strategy::LogScale),
+        Just(numarck::Strategy::Clustering),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn change_ratio_error_is_bounded(
+        prev in proptest::collection::vec(
+            prop_oneof![Just(0.0f64), -100.0f64..100.0, 1e-6f64..1e-3, 1e3f64..1e9],
+            1..400
+        ),
+        rates in proptest::collection::vec(-0.9f64..2.0, 1..400),
+        bits in 2u8..12,
+        tol in 1e-5f64..0.02,
+        strategy in strategy_strategy(),
+    ) {
+        let n = prev.len().min(rates.len());
+        let prev = &prev[..n];
+        let curr: Vec<f64> = (0..n).map(|i| prev[i] * (1.0 + rates[i])).collect();
+        let compressor = Compressor::new(Config::new(bits, tol, strategy).expect("valid"));
+        let (block, stats) = compressor.compress(prev, &curr).expect("finite input");
+        prop_assert!(stats.max_error_rate <= tol + 1e-12);
+
+        // Verify the bound point-by-point on the reconstruction too.
+        let restored = decode::reconstruct(prev, &block).expect("self-produced");
+        for j in 0..n {
+            if let Some(true_ratio) = change_ratio(prev[j], curr[j]) {
+                if prev[j] != 0.0 {
+                    let approx_ratio = (restored[j] - prev[j]) / prev[j];
+                    if block.is_compressible(j) {
+                        prop_assert!(
+                            (true_ratio - approx_ratio).abs() <= tol + 1e-9,
+                            "point {j}: |{true_ratio} - {approx_ratio}| > {tol}"
+                        );
+                    } else {
+                        // Escaped points are bit-exact.
+                        prop_assert_eq!(restored[j].to_bits(), curr[j].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_never_changes_semantics(
+        prev in proptest::collection::vec(0.1f64..1e3, 1..300),
+        rates in proptest::collection::vec(-0.4f64..0.4, 1..300),
+        bits in 2u8..11,
+        strategy in strategy_strategy(),
+    ) {
+        let n = prev.len().min(rates.len());
+        let prev = &prev[..n];
+        let curr: Vec<f64> = (0..n).map(|i| prev[i] * (1.0 + rates[i])).collect();
+        let compressor =
+            Compressor::new(Config::new(bits, 0.003, strategy).expect("valid"));
+        let (block, _) = compressor.compress(prev, &curr).expect("finite");
+        let bytes = numarck::serialize::to_bytes(&block);
+        let back = numarck::serialize::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&back, &block);
+        prop_assert_eq!(
+            decode::reconstruct(prev, &back).expect("valid"),
+            decode::reconstruct(prev, &block).expect("valid")
+        );
+    }
+
+    #[test]
+    fn chained_reconstruction_respects_compound_budget(
+        base in proptest::collection::vec(1.0f64..100.0, 10..150),
+        steps in 1usize..6,
+        tol in 1e-4f64..0.005,
+    ) {
+        let config = Config::new(8, tol, numarck::Strategy::Clustering).expect("valid");
+        let mut chain = numarck::DeltaChain::new(base.clone(), config);
+        let mut truth = vec![base];
+        for s in 0..steps {
+            let next: Vec<f64> = truth
+                .last()
+                .expect("non-empty")
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (1.0 + 0.002 * (((i + s) % 5) as f64 - 2.0)))
+                .collect();
+            chain.append(&next).expect("finite");
+            truth.push(next);
+        }
+        let rec = chain.reconstruct(steps).expect("in range");
+        // Worst case per step in value space: tol scaled by prev/curr
+        // (≤ 1/(1 − 0.004) here), compounded over the chain.
+        let per_step = tol / (1.0 - 0.005);
+        let budget = (1.0 + per_step).powi(steps as i32) - 1.0 + 1e-9;
+        for (r, t) in rec.iter().zip(&truth[steps]) {
+            prop_assert!(((r - t) / t).abs() <= budget);
+        }
+    }
+}
