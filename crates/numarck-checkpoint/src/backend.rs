@@ -1,0 +1,316 @@
+//! Storage backends: the syscall boundary of the checkpoint store.
+//!
+//! [`CheckpointStore`](crate::store::CheckpointStore) performs every
+//! filesystem operation through a [`StorageBackend`], so recovery tests
+//! can inject faults *at the I/O layer* — ENOSPC on the Nth write, a
+//! write torn at byte K, bit rot on a read — instead of mutating files
+//! after the fact. [`FsBackend`] is the real thing; [`FaultyBackend`]
+//! wraps it with a deterministic [`FaultSchedule`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The set of filesystem operations the checkpoint store needs.
+///
+/// Implementations must be usable from `&self` (the store is cloned
+/// freely), hence the interior counters in [`FaultyBackend`].
+pub trait StorageBackend: std::fmt::Debug + Send + Sync {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Create (truncating) `path`, write all of `bytes`, fsync the file.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Fsync the directory itself so a completed rename survives a
+    /// crash (a rename is only durable once its directory entry is).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Delete the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// File names (not paths) of the entries in `dir`.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsBackend;
+
+impl StorageBackend for FsBackend {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directories can be opened and fsynced on unix; elsewhere the
+        // rename discipline alone is the best available.
+        #[cfg(unix)]
+        {
+            fs::File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// A way for a backend write to go wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Fail with this error kind; nothing reaches the disk.
+    Error(io::ErrorKind),
+    /// Write only the first `keep` bytes, then report failure — the
+    /// partial temp file is left behind for a retry to overwrite.
+    Torn {
+        /// Bytes that reach the disk before the failure.
+        keep: usize,
+    },
+    /// Write only the first `keep` bytes but *report success*: a torn
+    /// write below the rename discipline. The resulting file survives
+    /// the rename and is only caught later by CRC validation (scrub).
+    SilentTorn {
+        /// Bytes that reach the disk.
+        keep: usize,
+    },
+}
+
+/// A way for a backend read to go wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Fail with this error kind.
+    Error(io::ErrorKind),
+    /// XOR `mask` into the byte at `offset` (clamped to the file) of the
+    /// data returned — bit rot between the platters and the caller.
+    BitRot {
+        /// Byte offset to damage.
+        offset: usize,
+        /// Mask XORed into that byte (0 is a no-op).
+        mask: u8,
+    },
+}
+
+/// Deterministic fault plan: which write/read operation (1-based, in
+/// order of issue) misbehaves, and how.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    write_faults: BTreeMap<u64, WriteFault>,
+    read_faults: BTreeMap<u64, ReadFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (behaves exactly like [`FsBackend`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make the `nth` write (1-based) suffer `fault`.
+    pub fn fail_write(mut self, nth: u64, fault: WriteFault) -> Self {
+        self.write_faults.insert(nth, fault);
+        self
+    }
+
+    /// Make the `nth` read (1-based) suffer `fault`.
+    pub fn fail_read(mut self, nth: u64, fault: ReadFault) -> Self {
+        self.read_faults.insert(nth, fault);
+        self
+    }
+}
+
+/// An [`FsBackend`] that misbehaves on schedule.
+///
+/// Only `write` and `read` are faultable — they carry the payload bytes,
+/// which is where ENOSPC, torn writes and bit rot live. Metadata
+/// operations pass straight through.
+#[derive(Debug, Default)]
+pub struct FaultyBackend {
+    inner: FsBackend,
+    schedule: FaultSchedule,
+    writes: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl FaultyBackend {
+    /// Backend over the real filesystem following `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        Self { inner: FsBackend, schedule, writes: AtomicU64::new(0), reads: AtomicU64::new(0) }
+    }
+
+    /// Number of write operations issued so far.
+    pub fn writes_attempted(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of read operations issued so far.
+    pub fn reads_attempted(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
+    io::Error::new(kind, format!("injected fault: {what}"))
+}
+
+impl StorageBackend for FaultyBackend {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let nth = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.schedule.write_faults.get(&nth) {
+            None => self.inner.write(path, bytes),
+            Some(WriteFault::Error(kind)) => Err(injected(*kind, "write error")),
+            Some(WriteFault::Torn { keep }) => {
+                self.inner.write(path, &bytes[..(*keep).min(bytes.len())])?;
+                Err(injected(io::ErrorKind::Other, "torn write"))
+            }
+            Some(WriteFault::SilentTorn { keep }) => {
+                self.inner.write(path, &bytes[..(*keep).min(bytes.len())])
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.inner.sync_dir(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let nth = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.schedule.read_faults.get(&nth) {
+            None => self.inner.read(path),
+            Some(ReadFault::Error(kind)) => Err(injected(*kind, "read error")),
+            Some(ReadFault::BitRot { offset, mask }) => {
+                let mut data = self.inner.read(path)?;
+                if !data.is_empty() {
+                    let o = (*offset).min(data.len() - 1);
+                    data[o] ^= mask;
+                }
+                Ok(data)
+            }
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list_dir(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::testutil::TempDir;
+
+    #[test]
+    fn fs_backend_roundtrip_and_listing() {
+        let tmp = TempDir::new("backend-fs");
+        let b = FsBackend;
+        let p = tmp.0.join("a.bin");
+        b.write(&p, b"hello").unwrap();
+        assert_eq!(b.read(&p).unwrap(), b"hello");
+        let q = tmp.0.join("b.bin");
+        b.rename(&p, &q).unwrap();
+        b.sync_dir(&tmp.0).unwrap();
+        let mut names = b.list_dir(&tmp.0).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["b.bin"]);
+        b.remove_file(&q).unwrap();
+        assert!(b.list_dir(&tmp.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn faulty_backend_fails_the_scheduled_write_only() {
+        let tmp = TempDir::new("backend-nth");
+        let b = FaultyBackend::new(
+            FaultSchedule::new().fail_write(2, WriteFault::Error(io::ErrorKind::StorageFull)),
+        );
+        let p = tmp.0.join("x");
+        b.write(&p, b"one").unwrap();
+        let err = b.write(&p, b"two").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Third attempt (the retry) succeeds.
+        b.write(&p, b"two").unwrap();
+        assert_eq!(b.read(&p).unwrap(), b"two");
+        assert_eq!(b.writes_attempted(), 3);
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_bytes_and_errors() {
+        let tmp = TempDir::new("backend-torn");
+        let b = FaultyBackend::new(FaultSchedule::new().fail_write(1, WriteFault::Torn { keep: 3 }));
+        let p = tmp.0.join("x");
+        assert!(b.write(&p, b"abcdef").is_err());
+        assert_eq!(b.read(&p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn silent_torn_write_reports_success() {
+        let tmp = TempDir::new("backend-silent");
+        let b = FaultyBackend::new(
+            FaultSchedule::new().fail_write(1, WriteFault::SilentTorn { keep: 2 }),
+        );
+        let p = tmp.0.join("x");
+        b.write(&p, b"abcdef").unwrap();
+        assert_eq!(b.read(&p).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn bit_rot_damages_one_read_not_the_file() {
+        let tmp = TempDir::new("backend-rot");
+        let b = FaultyBackend::new(
+            FaultSchedule::new().fail_read(1, ReadFault::BitRot { offset: 1, mask: 0xFF }),
+        );
+        let p = tmp.0.join("x");
+        b.write(&p, b"abc").unwrap();
+        let rotted = b.read(&p).unwrap();
+        assert_eq!(rotted, vec![b'a', b'b' ^ 0xFF, b'c']);
+        // The file on disk is intact; the next read is clean.
+        assert_eq!(b.read(&p).unwrap(), b"abc");
+    }
+}

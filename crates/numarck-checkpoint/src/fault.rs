@@ -64,13 +64,36 @@ pub struct IterationHealth {
 /// later iteration (up to the next full) unrestartable, which this
 /// report makes visible.
 pub fn verify_store(store: &CheckpointStore) -> std::io::Result<Vec<IterationHealth>> {
+    Ok(diagnose_store(store)?
+        .into_iter()
+        .map(|d| IterationHealth { iteration: d.iteration, restartable: d.error.is_none() })
+        .collect())
+}
+
+/// [`IterationHealth`] with the *reason* an iteration is broken — what
+/// the CLI's `verify --store` prints so an operator knows whether to
+/// reach for `scrub`/`repair` or for the backups.
+#[derive(Debug, Clone)]
+pub struct IterationDiagnosis {
+    /// Iteration number.
+    pub iteration: u64,
+    /// Whether this iteration's own file is a full checkpoint.
+    pub is_full: bool,
+    /// `None` when the iteration restarts cleanly; otherwise the error
+    /// that stops it.
+    pub error: Option<String>,
+}
+
+/// Like [`verify_store`], but keeps the error text per broken iteration.
+pub fn diagnose_store(store: &CheckpointStore) -> std::io::Result<Vec<IterationDiagnosis>> {
     let engine = RestartEngine::new(store.clone());
     Ok(store
         .list()?
         .into_iter()
-        .map(|e| IterationHealth {
+        .map(|e| IterationDiagnosis {
             iteration: e.iteration,
-            restartable: engine.restart_at(e.iteration).is_ok(),
+            is_full: e.is_full,
+            error: engine.restart_at(e.iteration).err().map(|err| err.to_string()),
         })
         .collect())
 }
@@ -156,6 +179,22 @@ mod tests {
         inject(&store.path_of(0, true), Fault::Delete).unwrap();
         let health = verify_store(&store).unwrap();
         assert!(health.iter().all(|h| !h.restartable));
+    }
+
+    #[test]
+    fn diagnosis_carries_the_reason() {
+        let tmp = TempDir::new("fault-diagnose");
+        let store = build(&tmp, 6, 10);
+        inject(&store.path_of(2, false), Fault::Truncate { keep: 10 }).unwrap();
+        let report = diagnose_store(&store).unwrap();
+        assert_eq!(report.len(), 6);
+        assert!(report[0].is_full && report[0].error.is_none());
+        assert!(report[1].error.is_none());
+        for d in &report[2..] {
+            let err = d.error.as_ref().expect("chain through truncated delta is broken");
+            assert!(!err.is_empty());
+            assert!(!d.is_full);
+        }
     }
 
     #[test]

@@ -6,27 +6,46 @@
 //!   *full* checkpoint (raw `f64` arrays per variable, the paper's `D_0`)
 //!   or a *delta* checkpoint (one NUMARCK-compressed block per
 //!   variable). CRC-protected, length-validated.
-//! * [`store`] — a directory of checkpoint files indexed by iteration.
+//! * [`backend`] — the syscall boundary: every filesystem operation the
+//!   store performs goes through a [`backend::StorageBackend`], so tests
+//!   inject faults (ENOSPC on the Nth write, torn writes, read bit rot)
+//!   exactly where real hardware would produce them.
+//! * [`store`] — a directory of checkpoint files indexed by iteration,
+//!   with atomic writes (temp file + rename + directory fsync) and a
+//!   `quarantine/` area for damaged files.
 //! * [`manager`] — the write-side policy: a full checkpoint every `K`
 //!   iterations, NUMARCK deltas in between (change ratios computed
-//!   against the *exact* previous iteration, as in the paper).
+//!   against the *exact* previous iteration, as in the paper), plus
+//!   bounded exponential-backoff retry for transient write faults.
 //! * [`restart`] — the read side: locate the newest full checkpoint at or
 //!   before the requested iteration and replay the delta chain on top,
 //!   reproducing the paper's restart equation (including its error
-//!   accumulation behaviour).
+//!   accumulation behaviour). Degraded restart
+//!   ([`restart::RestartEngine::restart_at_or_before`]) falls back to
+//!   the newest intact iteration when the requested one is damaged.
+//! * [`scrub`] — offline integrity pass: CRC-verify every stored file,
+//!   quarantine the damaged ones, and repair the chain by re-anchoring a
+//!   fresh full checkpoint at the newest restartable iteration.
 //! * [`fault`] — fault injection used by the recovery tests: truncate or
 //!   bit-flip stored files and assert the reader degrades loudly, never
 //!   silently.
 
+pub mod backend;
 pub mod fault;
 pub mod format;
 pub mod manager;
 pub mod restart;
+pub mod scrub;
 pub mod store;
 
+pub use backend::{FaultSchedule, FaultyBackend, FsBackend, ReadFault, StorageBackend, WriteFault};
 pub use format::{CheckpointFile, CheckpointKind};
-pub use manager::{AdaptivePolicy, CheckpointManager, CheckpointOutcome, ManagerPolicy};
-pub use restart::RestartEngine;
+pub use manager::{
+    AdaptivePolicy, CheckpointManager, CheckpointOutcome, CheckpointReport, Clock, ManagerPolicy,
+    RetryPolicy, SystemClock,
+};
+pub use restart::{DegradedRestart, LostIteration, RestartEngine};
+pub use scrub::{repair, scrub, RepairReport, ScrubFinding, ScrubReport};
 pub use store::CheckpointStore;
 
 /// Variables are keyed by name; every variable is an `f64` array of the

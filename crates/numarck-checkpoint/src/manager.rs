@@ -8,6 +8,8 @@
 //! the encoder.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use numarck::drift::{ChangeDistribution, DriftTracker};
 use numarck::encode::IterationStats;
@@ -17,6 +19,87 @@ use numarck::{Compressor, Config};
 use crate::format::{CheckpointFile, CheckpointKind};
 use crate::store::CheckpointStore;
 use crate::VariableSet;
+
+/// Time source for retry backoff. Production uses [`SystemClock`]; tests
+/// inject a recording clock so backoff is asserted, not slept.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Block the caller for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real wall clock ([`std::thread::sleep`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Bounded exponential-backoff retry for transient checkpoint-write
+/// faults (ENOSPC while a reaper frees space, EIO blips, interrupted
+/// syscalls). Attempt `n` (0-based) sleeps `base_backoff * 2^n`, capped
+/// at `max_backoff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: no retries, no sleeping.
+    pub fn none() -> Self {
+        Self { max_retries: 0, base_backoff: Duration::ZERO, max_backoff: Duration::ZERO }
+    }
+
+    /// Backoff before retry number `retry` (0-based): exponential from
+    /// `base_backoff`, saturating at `max_backoff`.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry.min(20)).unwrap_or(u32::MAX);
+        self.base_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// Is this I/O error worth retrying? Permanent conditions (permission
+/// denied, read-only filesystem, invalid path) are not; conditions that
+/// plausibly clear on their own are.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::StorageFull
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::Other
+    ) || e.raw_os_error() == Some(5) // EIO
+}
+
+/// What one checkpoint call actually cost: the policy outcome plus how
+/// hard the storage layer had to be pushed to land it.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// The policy-level outcome (full / drift full / delta).
+    pub outcome: CheckpointOutcome,
+    /// Write retries that were needed (0 = first attempt succeeded).
+    pub retries: u32,
+    /// Total backoff slept across those retries.
+    pub backoff: Duration,
+}
 
 /// Adaptive full-checkpoint triggering (the paper's §V future-work item:
 /// "determining dynamic checkpointing frequency based on how evolving
@@ -93,21 +176,41 @@ pub struct CheckpointManager {
     store: CheckpointStore,
     compressor: Compressor,
     policy: ManagerPolicy,
+    retry: RetryPolicy,
+    clock: Arc<dyn Clock>,
     previous: Option<(u64, VariableSet)>,
     drift_trackers: BTreeMap<String, DriftTracker>,
 }
 
 impl CheckpointManager {
-    /// Create over `store`, compressing deltas with `config`.
+    /// Create over `store`, compressing deltas with `config`, with the
+    /// default [`RetryPolicy`] on the system clock.
     ///
     /// # Panics
     /// Panics if `policy.full_interval == 0`.
     pub fn new(store: CheckpointStore, config: Config, policy: ManagerPolicy) -> Self {
+        Self::with_retry(store, config, policy, RetryPolicy::default(), Arc::new(SystemClock))
+    }
+
+    /// Create with an explicit retry policy and clock (tests pass a
+    /// recording clock so no real time is slept).
+    ///
+    /// # Panics
+    /// Panics if `policy.full_interval == 0`.
+    pub fn with_retry(
+        store: CheckpointStore,
+        config: Config,
+        policy: ManagerPolicy,
+        retry: RetryPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(policy.full_interval >= 1, "full_interval must be >= 1");
         Self {
             store,
             compressor: Compressor::new(config),
             policy,
+            retry,
+            clock,
             previous: None,
             drift_trackers: BTreeMap::new(),
         }
@@ -128,6 +231,16 @@ impl CheckpointManager {
         iteration: u64,
         vars: &VariableSet,
     ) -> Result<CheckpointOutcome, NumarckError> {
+        self.checkpoint_with_report(iteration, vars).map(|r| r.outcome)
+    }
+
+    /// Like [`Self::checkpoint`], but also reports how many write
+    /// retries (and how much backoff) the storage layer needed.
+    pub fn checkpoint_with_report(
+        &mut self,
+        iteration: u64,
+        vars: &VariableSet,
+    ) -> Result<CheckpointReport, NumarckError> {
         let needs_full = match &self.previous {
             None => true,
             Some((prev_iter, prev_vars)) => {
@@ -171,14 +284,14 @@ impl CheckpointManager {
                 self.drift_trackers.clear();
             }
         }
+        let mut retries = 0;
+        let mut backoff = Duration::ZERO;
         let outcome = if needs_full || drift_trigger.is_some() {
             let file = CheckpointFile {
                 iteration,
                 kind: CheckpointKind::Full(vars.clone()),
             };
-            self.store
-                .write(&file)
-                .map_err(|e| NumarckError::Corrupt(format!("write failed: {e}")))?;
+            self.write_with_retry(&file, &mut retries, &mut backoff)?;
             match (needs_full, drift_trigger) {
                 (false, Some((variable, drift_l1))) => {
                     // The regime changed; drop the distribution history
@@ -201,13 +314,42 @@ impl CheckpointManager {
                 stats.insert(name.clone(), st);
             }
             let file = CheckpointFile { iteration, kind: CheckpointKind::Delta(blocks) };
-            self.store
-                .write(&file)
-                .map_err(|e| NumarckError::Corrupt(format!("write failed: {e}")))?;
+            self.write_with_retry(&file, &mut retries, &mut backoff)?;
             CheckpointOutcome::Delta(stats)
         };
         self.previous = Some((iteration, vars.clone()));
-        Ok(outcome)
+        Ok(CheckpointReport { outcome, retries, backoff })
+    }
+
+    /// Write `file` to the store, retrying transient I/O errors with
+    /// exponential backoff per the manager's [`RetryPolicy`]. Permanent
+    /// errors and exhausted retries surface as [`NumarckError::Io`].
+    fn write_with_retry(
+        &self,
+        file: &CheckpointFile,
+        retries: &mut u32,
+        backoff: &mut Duration,
+    ) -> Result<(), NumarckError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.store.write(file) {
+                Ok(_) => return Ok(()),
+                Err(e) if is_transient(&e) && attempt < self.retry.max_retries => {
+                    let delay = self.retry.backoff_for(attempt);
+                    self.clock.sleep(delay);
+                    *backoff = backoff.saturating_add(delay);
+                    attempt += 1;
+                    *retries = attempt;
+                }
+                Err(e) => {
+                    return Err(NumarckError::Io(format!(
+                        "checkpoint {} write failed after {} attempt(s): {e}",
+                        file.iteration,
+                        attempt + 1
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -360,6 +502,123 @@ mod tests {
         vars = grow(&vars, 0.004);
         let out = mgr.checkpoint(9, &vars).unwrap();
         assert!(matches!(out, CheckpointOutcome::Delta(_)), "steady regime resumes deltas");
+    }
+
+    /// A clock that records requested sleeps instead of performing them.
+    #[derive(Debug, Default)]
+    struct RecordingClock(std::sync::Mutex<Vec<Duration>>);
+
+    impl Clock for RecordingClock {
+        fn sleep(&self, d: Duration) {
+            self.0.lock().unwrap().push(d);
+        }
+    }
+
+    fn retrying_manager(
+        tmp: &TempDir,
+        schedule: crate::backend::FaultSchedule,
+        retry: RetryPolicy,
+    ) -> (CheckpointManager, Arc<RecordingClock>, Arc<crate::backend::FaultyBackend>) {
+        let backend = Arc::new(crate::backend::FaultyBackend::new(schedule));
+        let store = CheckpointStore::open_with(&tmp.0, backend.clone()).unwrap();
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let clock = Arc::new(RecordingClock::default());
+        let mgr = CheckpointManager::with_retry(
+            store,
+            cfg,
+            ManagerPolicy::fixed(10),
+            retry,
+            clock.clone(),
+        );
+        (mgr, clock, backend)
+    }
+
+    #[test]
+    fn transient_enospc_is_retried_with_exponential_backoff() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-retry-enospc");
+        // Writes 1 and 2 fail with ENOSPC; write 3 (second retry) lands.
+        let schedule = FaultSchedule::new()
+            .fail_write(1, WriteFault::Error(std::io::ErrorKind::StorageFull))
+            .fail_write(2, WriteFault::Error(std::io::ErrorKind::StorageFull));
+        let (mut mgr, clock, backend) =
+            retrying_manager(&tmp, schedule, RetryPolicy::default());
+        let report = mgr.checkpoint_with_report(1, &vars_at(1, 100)).unwrap();
+        assert!(matches!(report.outcome, CheckpointOutcome::Full));
+        assert_eq!(report.retries, 2);
+        assert_eq!(backend.writes_attempted(), 3);
+        // Backoff doubled: 10ms then 20ms, recorded not slept.
+        let sleeps = clock.0.lock().unwrap().clone();
+        assert_eq!(sleeps, vec![Duration::from_millis(10), Duration::from_millis(20)]);
+        assert_eq!(report.backoff, Duration::from_millis(30));
+        // The checkpoint is genuinely on disk and readable.
+        assert!(mgr.store().read(1, true).is_ok());
+    }
+
+    #[test]
+    fn torn_write_is_retried_and_the_retry_overwrites_the_partial() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-retry-torn");
+        let schedule = FaultSchedule::new().fail_write(1, WriteFault::Torn { keep: 7 });
+        let (mut mgr, _clock, _backend) =
+            retrying_manager(&tmp, schedule, RetryPolicy::default());
+        let report = mgr.checkpoint_with_report(1, &vars_at(1, 100)).unwrap();
+        assert_eq!(report.retries, 1);
+        assert!(mgr.store().read(1, true).is_ok());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_io_error() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-retry-exhausted");
+        let schedule = (1..=4).fold(FaultSchedule::new(), |s, n| {
+            s.fail_write(n, WriteFault::Error(std::io::ErrorKind::StorageFull))
+        });
+        let (mut mgr, clock, _backend) =
+            retrying_manager(&tmp, schedule, RetryPolicy::default());
+        let err = mgr.checkpoint_with_report(1, &vars_at(1, 100)).unwrap_err();
+        assert!(matches!(err, NumarckError::Io(_)), "got {err:?}");
+        assert!(err.to_string().contains("4 attempt(s)"), "got: {err}");
+        assert_eq!(clock.0.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast_without_sleeping() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-retry-permanent");
+        let schedule = FaultSchedule::new()
+            .fail_write(1, WriteFault::Error(std::io::ErrorKind::PermissionDenied));
+        let (mut mgr, clock, backend) =
+            retrying_manager(&tmp, schedule, RetryPolicy::default());
+        let err = mgr.checkpoint_with_report(1, &vars_at(1, 100)).unwrap_err();
+        assert!(matches!(err, NumarckError::Io(_)));
+        assert_eq!(backend.writes_attempted(), 1, "no retry on permanent error");
+        assert!(clock.0.lock().unwrap().is_empty(), "no backoff slept");
+    }
+
+    #[test]
+    fn retry_none_fails_on_first_transient_error() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-retry-none");
+        let schedule = FaultSchedule::new()
+            .fail_write(1, WriteFault::Error(std::io::ErrorKind::StorageFull));
+        let (mut mgr, clock, _backend) = retrying_manager(&tmp, schedule, RetryPolicy::none());
+        assert!(mgr.checkpoint_with_report(1, &vars_at(1, 100)).is_err());
+        assert!(clock.0.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn backoff_is_capped_at_max_backoff() {
+        let policy = RetryPolicy {
+            max_retries: 40,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(2),
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_millis(100));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(800));
+        assert_eq!(policy.backoff_for(10), Duration::from_secs(2));
+        // Shift amounts far past the cap don't overflow.
+        assert_eq!(policy.backoff_for(39), Duration::from_secs(2));
     }
 
     #[test]

@@ -31,6 +31,42 @@ pub struct RestartResult {
     pub deltas_applied: u64,
 }
 
+/// An iteration that could not be recovered during a degraded restart,
+/// and why.
+#[derive(Debug, Clone)]
+pub struct LostIteration {
+    /// The unrecoverable iteration.
+    pub iteration: u64,
+    /// The error that made it unrecoverable.
+    pub reason: String,
+}
+
+/// Outcome of [`RestartEngine::restart_at_or_before`]: the best
+/// recoverable state, plus an account of what was given up to get it.
+#[derive(Debug, Clone)]
+pub struct DegradedRestart {
+    /// The iteration originally asked for.
+    pub requested: u64,
+    /// The restart that actually succeeded (its iteration is
+    /// `base_iteration + deltas_applied`).
+    pub result: RestartResult,
+    /// Iterations between `requested` and the achieved one (inclusive of
+    /// `requested` when it failed), newest first, with reasons.
+    pub lost: Vec<LostIteration>,
+}
+
+impl DegradedRestart {
+    /// The iteration actually recovered.
+    pub fn achieved(&self) -> u64 {
+        self.result.base_iteration + self.result.deltas_applied
+    }
+
+    /// True when the requested iteration itself was recovered.
+    pub fn is_exact(&self) -> bool {
+        self.lost.is_empty()
+    }
+}
+
 impl RestartEngine {
     /// Engine over `store`.
     pub fn new(store: CheckpointStore) -> Self {
@@ -87,6 +123,44 @@ impl RestartEngine {
             deltas_applied += 1;
         }
         Ok(RestartResult { vars, base_iteration, deltas_applied })
+    }
+
+    /// Degraded restart: recover the newest intact iteration at or
+    /// before `target`.
+    ///
+    /// Tries `target` first; on failure walks backwards through the
+    /// stored iterations, recording each unrecoverable one with the
+    /// error that disqualified it. Succeeds with a [`DegradedRestart`]
+    /// describing what was achieved and what was lost; errs only when
+    /// *no* iteration at or before `target` can be rebuilt.
+    pub fn restart_at_or_before(&self, target: u64) -> Result<DegradedRestart, NumarckError> {
+        let mut candidates: Vec<u64> = self
+            .store
+            .list()
+            .map_err(|e| NumarckError::Io(format!("store listing failed: {e}")))?
+            .into_iter()
+            .map(|e| e.iteration)
+            .filter(|&it| it <= target)
+            .collect();
+        candidates.dedup();
+        candidates.reverse();
+        let mut lost = Vec::new();
+        if candidates.first() != Some(&target) {
+            lost.push(LostIteration {
+                iteration: target,
+                reason: "no checkpoint file stored for this iteration".into(),
+            });
+        }
+        for it in candidates {
+            match self.restart_at(it) {
+                Ok(result) => return Ok(DegradedRestart { requested: target, result, lost }),
+                Err(e) => lost.push(LostIteration { iteration: it, reason: e.to_string() }),
+            }
+        }
+        Err(NumarckError::Io(format!(
+            "no restartable iteration at or before {target}: {} candidate(s) failed",
+            lost.len()
+        )))
     }
 }
 
@@ -187,5 +261,61 @@ mod tests {
         assert!(engine.restart_at(5).is_err());
         // Targets before the hole still work.
         assert!(engine.restart_at(2).is_ok());
+    }
+
+    #[test]
+    fn degraded_restart_on_healthy_store_is_exact() {
+        let tmp = TempDir::new("restart-degraded-clean");
+        let truth = truth_sequence(10, 100);
+        let store = build_store(&tmp, &truth, 4);
+        let engine = RestartEngine::new(store);
+        let d = engine.restart_at_or_before(7).unwrap();
+        assert!(d.is_exact());
+        assert_eq!(d.achieved(), 7);
+        assert_eq!(d.requested, 7);
+    }
+
+    #[test]
+    fn degraded_restart_falls_back_past_a_broken_delta() {
+        let tmp = TempDir::new("restart-degraded-hole");
+        let truth = truth_sequence(10, 100);
+        // Fulls at 0, 4, 8.
+        let store = build_store(&tmp, &truth, 4);
+        // Destroy delta 5: every chain through it breaks.
+        std::fs::write(store.path_of(5, false), b"garbage").unwrap();
+        let engine = RestartEngine::new(store);
+        let d = engine.restart_at_or_before(7).unwrap();
+        assert_eq!(d.achieved(), 4, "newest intact iteration <= 7 is the full at 4");
+        assert!(!d.is_exact());
+        let lost: Vec<u64> = d.lost.iter().map(|l| l.iteration).collect();
+        assert_eq!(lost, vec![7, 6, 5]);
+        assert!(d.lost.iter().all(|l| !l.reason.is_empty()));
+        // Targets past the next full are unaffected.
+        assert!(engine.restart_at_or_before(9).unwrap().is_exact());
+    }
+
+    #[test]
+    fn degraded_restart_beyond_newest_checkpoint_reports_the_gap() {
+        let tmp = TempDir::new("restart-degraded-beyond");
+        let truth = truth_sequence(6, 100);
+        let store = build_store(&tmp, &truth, 4);
+        let engine = RestartEngine::new(store);
+        // Newest stored iteration is 5; ask for 100.
+        let d = engine.restart_at_or_before(100).unwrap();
+        assert_eq!(d.achieved(), 5);
+        assert_eq!(d.lost.len(), 1);
+        assert_eq!(d.lost[0].iteration, 100);
+    }
+
+    #[test]
+    fn degraded_restart_with_nothing_recoverable_is_loud() {
+        let tmp = TempDir::new("restart-degraded-empty");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let engine = RestartEngine::new(store.clone());
+        assert!(engine.restart_at_or_before(5).is_err());
+        // A store with only a corrupt full is just as unrecoverable.
+        std::fs::write(store.path_of(0, true), b"junk").unwrap();
+        let err = engine.restart_at_or_before(5).unwrap_err();
+        assert!(matches!(err, NumarckError::Io(_)));
     }
 }

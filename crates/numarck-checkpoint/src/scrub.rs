@@ -1,0 +1,301 @@
+//! Offline integrity scrubbing and chain repair.
+//!
+//! [`scrub`] is the detector: it re-reads every stored file, validates
+//! it end to end (CRC, header, iteration/extension agreement) and moves
+//! anything damaged into the store's `quarantine/` directory — never
+//! deleting, so post-mortems keep their evidence.
+//!
+//! [`repair`] is the responder: after scrubbing it quarantines the
+//! now-orphaned chain segments (intact deltas whose base or predecessor
+//! is gone), then *re-anchors* the store by materializing a fresh full
+//! checkpoint at the newest restartable iteration, so future deltas and
+//! prunes have a sound base. The materialized full is built by chain
+//! replay, so it carries the chain's accumulated (tolerance-bounded)
+//! error — see DESIGN.md's failure-model section.
+
+use std::path::PathBuf;
+
+use numarck::error::NumarckError;
+
+use crate::fault::diagnose_store;
+use crate::format::{CheckpointFile, CheckpointKind};
+use crate::restart::{LostIteration, RestartEngine};
+use crate::store::{CheckpointStore, StoreEntry};
+
+/// One file the scrubber pulled out of service.
+#[derive(Debug, Clone)]
+pub struct ScrubFinding {
+    /// The damaged entry.
+    pub entry: StoreEntry,
+    /// What the validation failure was.
+    pub reason: String,
+    /// Where the file now lives.
+    pub quarantined_to: PathBuf,
+}
+
+/// Result of a [`scrub`] pass.
+#[derive(Debug, Clone)]
+pub struct ScrubReport {
+    /// Files examined.
+    pub checked: usize,
+    /// Files that failed validation and were quarantined.
+    pub quarantined: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// True when every stored file validated.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// Validate every stored checkpoint file; quarantine the ones that fail.
+///
+/// A file fails when its bytes don't parse (bad magic, bad CRC, torn
+/// tail), when its header claims a different iteration than its name, or
+/// when its payload kind contradicts its extension. Damaged files are
+/// *moved* to `quarantine/`, not deleted.
+pub fn scrub(store: &CheckpointStore) -> Result<ScrubReport, NumarckError> {
+    let entries = store
+        .list()
+        .map_err(|e| NumarckError::Io(format!("store listing failed: {e}")))?;
+    let checked = entries.len();
+    let mut quarantined = Vec::new();
+    for entry in entries {
+        let Some(reason) = validate(store, entry) else { continue };
+        let quarantined_to = store
+            .quarantine(entry.iteration, entry.is_full)
+            .map_err(|e| NumarckError::Io(format!("quarantine failed: {e}")))?;
+        quarantined.push(ScrubFinding { entry, reason, quarantined_to });
+    }
+    Ok(ScrubReport { checked, quarantined })
+}
+
+/// `None` when the entry validates; otherwise why it doesn't.
+fn validate(store: &CheckpointStore, entry: StoreEntry) -> Option<String> {
+    let bytes = match store.read_raw(entry.iteration, entry.is_full) {
+        Ok(bytes) => bytes,
+        Err(e) => return Some(format!("unreadable: {e}")),
+    };
+    let file = match CheckpointFile::from_bytes(&bytes) {
+        Ok(file) => file,
+        Err(e) => return Some(e.to_string()),
+    };
+    if file.iteration != entry.iteration {
+        return Some(format!(
+            "header claims iteration {}, file name says {}",
+            file.iteration, entry.iteration
+        ));
+    }
+    let is_full_payload = matches!(file.kind, CheckpointKind::Full(_));
+    if is_full_payload != entry.is_full {
+        return Some(format!(
+            "payload kind ({}) contradicts extension ({})",
+            if is_full_payload { "full" } else { "delta" },
+            if entry.is_full { "full" } else { "delta" },
+        ));
+    }
+    None
+}
+
+/// Result of a [`repair`] pass.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// The scrub that ran first.
+    pub scrub: ScrubReport,
+    /// The iteration the store was re-anchored at (newest restartable),
+    /// or `None` when nothing in the store is restartable.
+    pub anchored_at: Option<u64>,
+    /// Whether a fresh full checkpoint was materialized at the anchor
+    /// (false when the anchor already was a full checkpoint).
+    pub wrote_full: bool,
+    /// Iterations given up during repair: their files were intact but
+    /// their restart chains ran through quarantined data.
+    pub lost: Vec<LostIteration>,
+}
+
+/// Scrub, then put the store back into a fully-restartable state.
+///
+/// After the scrub pass, intact files can still be unrestartable — a
+/// delta whose base full or predecessor delta got quarantined is an
+/// orphan. `repair` quarantines those orphans (recording them in
+/// `lost`), then writes a fresh full checkpoint at the newest
+/// restartable iteration if that iteration only had a delta, so the
+/// store ends with every listed iteration restartable and a full
+/// checkpoint at its head.
+pub fn repair(store: &CheckpointStore) -> Result<RepairReport, NumarckError> {
+    let scrub_report = scrub(store)?;
+    let diagnosis = diagnose_store(store)
+        .map_err(|e| NumarckError::Io(format!("diagnosis failed: {e}")))?;
+    let mut lost = Vec::new();
+    let mut anchored_at = None;
+    for d in &diagnosis {
+        match &d.error {
+            None => anchored_at = Some(anchored_at.map_or(d.iteration, |a: u64| a.max(d.iteration))),
+            Some(reason) => {
+                store
+                    .quarantine(d.iteration, d.is_full)
+                    .map_err(|e| NumarckError::Io(format!("quarantine failed: {e}")))?;
+                lost.push(LostIteration { iteration: d.iteration, reason: reason.clone() });
+            }
+        }
+    }
+    // Newest-first reads better in reports (mirrors degraded restart).
+    lost.sort_by_key(|l| std::cmp::Reverse(l.iteration));
+    let mut wrote_full = false;
+    if let Some(anchor) = anchored_at {
+        let already_full = diagnosis
+            .iter()
+            .any(|d| d.iteration == anchor && d.is_full && d.error.is_none());
+        if !already_full {
+            let result = RestartEngine::new(store.clone()).restart_at(anchor)?;
+            let file =
+                CheckpointFile { iteration: anchor, kind: CheckpointKind::Full(result.vars) };
+            store
+                .write(&file)
+                .map_err(|e| NumarckError::Io(format!("anchor write failed: {e}")))?;
+            wrote_full = true;
+        }
+    }
+    Ok(RepairReport { scrub: scrub_report, anchored_at, wrote_full, lost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject, verify_store, Fault};
+    use crate::manager::{CheckpointManager, ManagerPolicy};
+    use crate::store::testutil::TempDir;
+    use crate::VariableSet;
+    use numarck::{Config, Strategy};
+
+    fn build(tmp: &TempDir, iters: u64, full_interval: u64) -> CheckpointStore {
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let mut mgr =
+            CheckpointManager::new(store.clone(), cfg, ManagerPolicy::fixed(full_interval));
+        let mut state: Vec<f64> = (0..150).map(|i| 1.0 + (i % 9) as f64).collect();
+        for it in 0..iters {
+            if it > 0 {
+                for v in state.iter_mut() {
+                    *v *= 1.002;
+                }
+            }
+            let mut vars = VariableSet::new();
+            vars.insert("x".into(), state.clone());
+            mgr.checkpoint(it, &vars).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn scrub_of_healthy_store_is_clean_and_touches_nothing() {
+        let tmp = TempDir::new("scrub-clean");
+        let store = build(&tmp, 10, 4);
+        let report = scrub(&store).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.checked, 10);
+        assert_eq!(store.list().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn scrub_quarantines_exactly_the_damaged_files() {
+        let tmp = TempDir::new("scrub-quarantine");
+        let store = build(&tmp, 12, 4);
+        inject(&store.path_of(5, false), Fault::BitFlip { offset: 33, mask: 0x40 }).unwrap();
+        inject(&store.path_of(9, false), Fault::Truncate { keep: 12 }).unwrap();
+        let report = scrub(&store).unwrap();
+        assert_eq!(report.checked, 12);
+        let bad: Vec<u64> = report.quarantined.iter().map(|f| f.entry.iteration).collect();
+        assert_eq!(bad, vec![5, 9]);
+        for f in &report.quarantined {
+            assert!(f.quarantined_to.starts_with(store.quarantine_dir()));
+            assert!(std::fs::metadata(&f.quarantined_to).unwrap().is_file());
+            assert!(!f.reason.is_empty());
+        }
+        // The ten healthy files are still in service.
+        assert_eq!(store.list().unwrap().len(), 10);
+        // A second scrub finds nothing left to do.
+        assert!(scrub(&store).unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_catches_name_header_mismatch() {
+        let tmp = TempDir::new("scrub-mismatch");
+        let store = build(&tmp, 2, 10);
+        // Copy iteration 0's full under iteration 7's name: valid CRC,
+        // lying name.
+        let bytes = store.read_raw(0, true).unwrap();
+        std::fs::write(store.path_of(7, true), bytes).unwrap();
+        let report = scrub(&store).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].entry.iteration, 7);
+        assert!(report.quarantined[0].reason.contains("claims iteration 0"));
+    }
+
+    #[test]
+    fn repair_reanchors_after_mid_chain_damage() {
+        let tmp = TempDir::new("repair-anchor");
+        // Fulls at 0, 4, 8; deltas to 10.
+        let store = build(&tmp, 11, 4);
+        inject(&store.path_of(9, false), Fault::BitFlip { offset: 50, mask: 0x02 }).unwrap();
+        let report = repair(&store).unwrap();
+        assert_eq!(report.scrub.quarantined.len(), 1);
+        // Iteration 10's file was intact but orphaned by losing 9.
+        let lost: Vec<u64> = report.lost.iter().map(|l| l.iteration).collect();
+        assert_eq!(lost, vec![10]);
+        // Newest restartable was 8 — already a full, so nothing written.
+        assert_eq!(report.anchored_at, Some(8));
+        assert!(!report.wrote_full);
+        // The store is fully restartable again.
+        assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+    }
+
+    #[test]
+    fn repair_materializes_a_full_when_the_anchor_was_a_delta() {
+        let tmp = TempDir::new("repair-full");
+        // Fulls at 0, 4, 8; deltas to 10; newest restartable (10) is a
+        // delta, so repair must write a full there.
+        let store = build(&tmp, 11, 4);
+        inject(&store.path_of(2, false), Fault::Truncate { keep: 8 }).unwrap();
+        let report = repair(&store).unwrap();
+        assert_eq!(report.anchored_at, Some(10));
+        assert!(report.wrote_full);
+        // Iterations 2 and 3 rode on the truncated delta.
+        let lost: Vec<u64> = report.lost.iter().map(|l| l.iteration).collect();
+        assert_eq!(lost, vec![3]);
+        assert!(std::fs::metadata(store.path_of(10, true)).unwrap().is_file());
+        assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+        // The materialized full carries only the chain's bounded error:
+        // restarting at 10 is now a zero-delta read of it.
+        let r = RestartEngine::new(store.clone()).restart_at(10).unwrap();
+        assert_eq!(r.base_iteration, 10);
+        assert_eq!(r.deltas_applied, 0);
+    }
+
+    #[test]
+    fn repair_of_unrecoverable_store_reports_no_anchor() {
+        let tmp = TempDir::new("repair-empty");
+        let store = build(&tmp, 3, 10);
+        // Destroy the only full: nothing restarts.
+        inject(&store.path_of(0, true), Fault::Truncate { keep: 4 }).unwrap();
+        let report = repair(&store).unwrap();
+        assert_eq!(report.anchored_at, None);
+        assert!(!report.wrote_full);
+        assert_eq!(report.lost.len(), 2, "both orphan deltas recorded");
+        assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_of_healthy_store_is_a_noop() {
+        let tmp = TempDir::new("repair-noop");
+        let store = build(&tmp, 9, 4);
+        let report = repair(&store).unwrap();
+        assert!(report.scrub.is_clean());
+        assert!(report.lost.is_empty());
+        // Fulls land at 0, 4, 8, so the anchor is already a full.
+        assert_eq!(report.anchored_at, Some(8));
+        assert!(!report.wrote_full);
+        assert_eq!(store.list().unwrap().len(), 9);
+    }
+}

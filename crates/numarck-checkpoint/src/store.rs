@@ -1,22 +1,33 @@
 //! A directory of checkpoint files.
 //!
 //! Files are named `ckpt_<iteration>.<full|delta>`. Writes go through a
-//! temp file + rename so a crash mid-write never leaves a plausible but
-//! corrupt checkpoint (the CRC catches torn writes that survive the
-//! rename discipline anyway).
+//! temp file + rename + parent-directory fsync so a crash mid-write (or
+//! just after the rename) never loses or half-applies an entry; the CRC
+//! catches torn writes that slip below the rename discipline anyway.
+//!
+//! All filesystem traffic goes through a
+//! [`StorageBackend`](crate::backend::StorageBackend), so tests inject
+//! faults at the syscall boundary instead of mutating files after the
+//! fact. Files that fail validation can be moved into a `quarantine/`
+//! subdirectory (see [`crate::scrub`]) rather than deleted, so no byte
+//! of operator data is ever destroyed by the recovery machinery.
 
-use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use numarck::error::NumarckError;
 
+use crate::backend::{FsBackend, StorageBackend};
 use crate::format::{CheckpointFile, CheckpointKind};
+
+/// Name of the subdirectory corrupt files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Directory-backed checkpoint store.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
 }
 
 /// A store listing entry.
@@ -29,15 +40,29 @@ pub struct StoreEntry {
 }
 
 impl CheckpointStore {
-    /// Open (creating if needed) a store at `dir`.
+    /// Open (creating if needed) a store at `dir` on the real filesystem.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
-        fs::create_dir_all(&dir)?;
-        Ok(Self { dir: dir.as_ref().to_path_buf() })
+        Self::open_with(dir, Arc::new(FsBackend))
+    }
+
+    /// Open (creating if needed) a store at `dir` over an explicit
+    /// backend — the fault-injection entry point.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> std::io::Result<Self> {
+        backend.create_dir_all(dir.as_ref())?;
+        Ok(Self { dir: dir.as_ref().to_path_buf(), backend })
     }
 
     /// The backing directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The storage backend.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 
     /// Path of the file for `iteration`.
@@ -46,26 +71,37 @@ impl CheckpointStore {
         self.dir.join(format!("ckpt_{iteration:010}.{ext}"))
     }
 
-    /// Write a checkpoint atomically (temp file + rename).
+    /// The quarantine subdirectory.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// Write a checkpoint atomically (temp file + rename + dir fsync).
     pub fn write(&self, file: &CheckpointFile) -> std::io::Result<PathBuf> {
         let is_full = matches!(file.kind, CheckpointKind::Full(_));
         let path = self.path_of(file.iteration, is_full);
         let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&file.to_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &path)?;
+        self.backend.write(&tmp, &file.to_bytes())?;
+        self.backend.rename(&tmp, &path)?;
+        // A rename is only durable once the directory entry is; without
+        // this a crash just after the rename can lose the checkpoint.
+        self.backend.sync_dir(&self.dir)?;
         Ok(path)
+    }
+
+    /// Read the raw bytes of the checkpoint for `iteration`, without
+    /// validation (the scrubber's entry point).
+    pub fn read_raw(&self, iteration: u64, is_full: bool) -> std::io::Result<Vec<u8>> {
+        self.backend.read(&self.path_of(iteration, is_full))
     }
 
     /// Read and validate the checkpoint for `iteration`.
     pub fn read(&self, iteration: u64, is_full: bool) -> Result<CheckpointFile, NumarckError> {
         let path = self.path_of(iteration, is_full);
-        let bytes = fs::read(&path).map_err(|e| {
-            NumarckError::Corrupt(format!("cannot read {}: {e}", path.display()))
-        })?;
+        let bytes = self
+            .backend
+            .read(&path)
+            .map_err(|e| NumarckError::Io(format!("cannot read {}: {e}", path.display())))?;
         let file = CheckpointFile::from_bytes(&bytes)?;
         if file.iteration != iteration {
             return Err(NumarckError::Corrupt(format!(
@@ -78,13 +114,10 @@ impl CheckpointStore {
     }
 
     /// List all checkpoints, sorted by iteration (fulls before deltas at
-    /// the same iteration).
+    /// the same iteration). Quarantined files are not listed.
     pub fn list(&self) -> std::io::Result<Vec<StoreEntry>> {
         let mut entries = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for name in self.backend.list_dir(&self.dir)? {
             let Some(rest) = name.strip_prefix("ckpt_") else { continue };
             let (digits, ext) = match rest.split_once('.') {
                 Some(parts) => parts,
@@ -112,10 +145,28 @@ impl CheckpointStore {
             .max())
     }
 
+    /// Delete the file for `iteration`.
+    pub fn remove(&self, iteration: u64, is_full: bool) -> std::io::Result<()> {
+        self.backend.remove_file(&self.path_of(iteration, is_full))
+    }
+
+    /// Move the file for `iteration` into the quarantine subdirectory
+    /// (creating it if needed) and return its new path. The file keeps
+    /// its name, so a later post-mortem can tell exactly what it was.
+    pub fn quarantine(&self, iteration: u64, is_full: bool) -> std::io::Result<PathBuf> {
+        let from = self.path_of(iteration, is_full);
+        let qdir = self.quarantine_dir();
+        self.backend.create_dir_all(&qdir)?;
+        let to = qdir.join(from.file_name().expect("checkpoint paths have file names"));
+        self.backend.rename(&from, &to)?;
+        self.backend.sync_dir(&self.dir)?;
+        Ok(to)
+    }
+
     /// Delete everything in the store (test hygiene).
     pub fn clear(&self) -> std::io::Result<()> {
         for e in self.list()? {
-            let _ = fs::remove_file(self.path_of(e.iteration, e.is_full));
+            let _ = self.remove(e.iteration, e.is_full);
         }
         Ok(())
     }
@@ -143,7 +194,7 @@ impl CheckpointStore {
         let mut removed = 0;
         for e in entries {
             if e.iteration < cutoff {
-                fs::remove_file(self.path_of(e.iteration, e.is_full))?;
+                self.remove(e.iteration, e.is_full)?;
                 removed += 1;
             }
         }
@@ -185,6 +236,7 @@ pub(crate) mod testutil {
 mod tests {
     use super::testutil::TempDir;
     use super::*;
+    use crate::backend::{FaultSchedule, FaultyBackend, WriteFault};
     use crate::VariableSet;
 
     fn full(iter: u64) -> CheckpointFile {
@@ -248,6 +300,38 @@ mod tests {
         let f = full(7);
         std::fs::write(store.path_of(9, true), f.to_bytes()).unwrap();
         assert!(store.read(9, true).is_err());
+    }
+
+    #[test]
+    fn write_through_faulty_backend_surfaces_the_injected_error() {
+        let tmp = TempDir::new("store-faulty");
+        let backend = Arc::new(FaultyBackend::new(
+            FaultSchedule::new()
+                .fail_write(1, WriteFault::Error(std::io::ErrorKind::StorageFull)),
+        ));
+        let store = CheckpointStore::open_with(&tmp.0, backend).unwrap();
+        let err = store.write(&full(1)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        // Nothing was renamed into place.
+        assert!(store.list().unwrap().is_empty());
+        // The next write (no fault scheduled) succeeds.
+        store.write(&full(1)).unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn quarantine_moves_the_file_aside() {
+        let tmp = TempDir::new("store-quarantine");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        store.write(&full(2)).unwrap();
+        store.write(&full(5)).unwrap();
+        let to = store.quarantine(2, true).unwrap();
+        assert!(to.starts_with(store.quarantine_dir()));
+        assert!(to.ends_with("ckpt_0000000002.full"));
+        assert!(std::fs::metadata(&to).unwrap().is_file());
+        // Listing no longer sees it; the healthy file remains.
+        let iters: Vec<u64> = store.list().unwrap().iter().map(|e| e.iteration).collect();
+        assert_eq!(iters, vec![5]);
     }
 
     #[test]

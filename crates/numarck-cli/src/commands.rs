@@ -1,4 +1,4 @@
-//! The five CLI commands.
+//! The CLI commands.
 
 use std::path::Path;
 
@@ -69,7 +69,10 @@ pub fn gen(raw: &[String]) -> CliResult {
                 if i > 0 {
                     sim.run_steps(2);
                 }
-                seq.push(sim.checkpoint().remove(&var).expect("var exists"));
+                let field = sim.checkpoint().remove(&var).ok_or_else(|| {
+                    format!("FLASH checkpoint does not contain variable '{var_name}'")
+                })?;
+                seq.push(field);
             }
             seq
         }
@@ -257,9 +260,15 @@ pub fn drift(raw: &[String]) -> CliResult {
     Ok(out)
 }
 
-/// `numarck verify`: compare two sequences point-wise.
+/// `numarck verify`: compare two sequences point-wise, or — with
+/// `--store` — check every iteration of a checkpoint store for
+/// restartability.
 pub fn verify(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &["tolerance"], &[])?;
+    let p = args::parse(raw, &["tolerance", "store"], &[])?;
+    if let Some(dir) = p.get("store") {
+        p.expect_positionals(0, "")?;
+        return verify_store(dir);
+    }
     let pos = p.expect_positionals(2, "reference .f64s, candidate .f64s")?;
     let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
     let a = seqfile::read(Path::new(&pos[0]))?;
@@ -300,4 +309,117 @@ pub fn verify(raw: &[String]) -> CliResult {
             "{report}FAIL: worst relative error {worst_overall:.3e} exceeds chain budget {budget:.3e}"
         ))
     }
+}
+
+/// `numarck verify --store`: restartability report for a checkpoint
+/// store directory.
+fn verify_store(dir: &str) -> CliResult {
+    let store = open_store(dir)?;
+    let diagnosis = numarck_checkpoint::fault::diagnose_store(&store)
+        .map_err(|e| format!("cannot scan {dir}: {e}"))?;
+    if diagnosis.is_empty() {
+        return Err(format!("FAIL: {dir} contains no checkpoint files"));
+    }
+    let mut report = String::new();
+    let mut broken = 0usize;
+    for d in &diagnosis {
+        match &d.error {
+            None => report.push_str(&format!(
+                "iteration {:3} ({}): restartable\n",
+                d.iteration,
+                kind_name(d.is_full)
+            )),
+            Some(err) => {
+                broken += 1;
+                report.push_str(&format!(
+                    "iteration {:3} ({}): BROKEN — {err}\n",
+                    d.iteration,
+                    kind_name(d.is_full)
+                ));
+            }
+        }
+    }
+    if broken == 0 {
+        Ok(format!("{report}PASS: all {} iteration(s) restartable", diagnosis.len()))
+    } else {
+        Err(format!(
+            "{report}FAIL: {broken} of {} iteration(s) not restartable (try 'numarck scrub' then 'numarck repair')",
+            diagnosis.len()
+        ))
+    }
+}
+
+fn kind_name(is_full: bool) -> &'static str {
+    if is_full {
+        "full"
+    } else {
+        "delta"
+    }
+}
+
+fn open_store(dir: &str) -> Result<numarck_checkpoint::CheckpointStore, String> {
+    if !Path::new(dir).is_dir() {
+        return Err(format!("store directory '{dir}' does not exist"));
+    }
+    numarck_checkpoint::CheckpointStore::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))
+}
+
+/// `numarck scrub`: CRC-verify every file of a checkpoint store, moving
+/// damaged ones to its `quarantine/` directory.
+pub fn scrub(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &[], &[])?;
+    let dir = &p.expect_positionals(1, "checkpoint store directory")?[0];
+    let store = open_store(dir)?;
+    let report = numarck_checkpoint::scrub(&store).map_err(|e| e.to_string())?;
+    let mut out = format!("scrubbed {dir}: {} file(s) checked\n", report.checked);
+    for f in &report.quarantined {
+        out.push_str(&format!(
+            "quarantined iteration {} ({}): {} -> {}\n",
+            f.entry.iteration,
+            kind_name(f.entry.is_full),
+            f.reason,
+            f.quarantined_to.display()
+        ));
+    }
+    if report.is_clean() {
+        out.push_str("clean: no damage found\n");
+    } else {
+        out.push_str(&format!(
+            "{} file(s) quarantined; run 'numarck repair {dir}' to re-anchor the chain\n",
+            report.quarantined.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// `numarck repair`: scrub, quarantine orphaned chain segments, and
+/// re-anchor the store with a fresh full checkpoint at the newest
+/// restartable iteration.
+pub fn repair(raw: &[String]) -> CliResult {
+    let p = args::parse(raw, &[], &[])?;
+    let dir = &p.expect_positionals(1, "checkpoint store directory")?[0];
+    let store = open_store(dir)?;
+    let report = numarck_checkpoint::repair(&store).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "repaired {dir}: {} file(s) checked, {} quarantined by scrub\n",
+        report.scrub.checked,
+        report.scrub.quarantined.len()
+    );
+    for l in &report.lost {
+        out.push_str(&format!("lost iteration {}: {}\n", l.iteration, l.reason));
+    }
+    match report.anchored_at {
+        Some(anchor) if report.wrote_full => out.push_str(&format!(
+            "re-anchored: fresh full checkpoint materialized at iteration {anchor}\n"
+        )),
+        Some(anchor) => {
+            out.push_str(&format!("anchor intact: full checkpoint at iteration {anchor}\n"))
+        }
+        None => {
+            return Err(format!(
+                "{out}FAIL: no restartable iteration remains in {dir}"
+            ))
+        }
+    }
+    Ok(out)
 }

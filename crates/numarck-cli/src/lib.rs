@@ -38,6 +38,8 @@ pub fn run(args: &[String]) -> CliResult {
         "verify" => commands::verify(&args[1..]),
         "anomaly-scan" => commands::anomaly_scan(&args[1..]),
         "drift" => commands::drift(&args[1..]),
+        "scrub" => commands::scrub(&args[1..]),
+        "repair" => commands::repair(&args[1..]),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -54,10 +56,16 @@ USAGE:
   numarck decompress <in.nmkc>  --out <file.f64s>
   numarck inspect    <in.nmkc>
   numarck verify     <a.f64s> <b.f64s> [--tolerance E]
+  numarck verify     --store <ckpt-dir>
   numarck anomaly-scan <in.f64s> [--fence-multiplier K]
   numarck drift        <in.f64s> [--tolerance E] [--cap C]
+  numarck scrub      <ckpt-dir>
+  numarck repair     <ckpt-dir>
 
-Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering."
+Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering.
+Recovery: 'verify --store' reports restartability per iteration; 'scrub'
+quarantines files that fail CRC validation; 'repair' additionally drops
+orphaned chain segments and re-anchors with a fresh full checkpoint."
         .to_string()
 }
 
@@ -228,5 +236,90 @@ mod tests {
     fn missing_file_is_a_clean_error() {
         let err = run(&argv(&["inspect", "/nonexistent/x.nmkc"])).unwrap_err();
         assert!(err.contains("cannot"), "{err}");
+    }
+
+    #[test]
+    fn gen_unknown_flash_variable_is_a_clean_error() {
+        let tmp = TempDir::new("gen-badvar");
+        let out = tmp.path("x.f64s");
+        let err = run(&argv(&[
+            "gen", "--source", "flash:nosuchvar", "--iterations", "2", "--out", &out,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("nosuchvar"), "{err}");
+    }
+
+    /// Build a small checkpoint store for the recovery-command tests.
+    fn build_store(dir: &std::path::Path, iters: u64) -> numarck_checkpoint::CheckpointStore {
+        use numarck_checkpoint::{CheckpointManager, CheckpointStore, ManagerPolicy};
+        let store = CheckpointStore::open(dir).unwrap();
+        let cfg = numarck::Config::new(8, 0.001, numarck::Strategy::Clustering).unwrap();
+        let mut mgr = CheckpointManager::new(store.clone(), cfg, ManagerPolicy::fixed(4));
+        let mut state: Vec<f64> = (0..120).map(|i| 1.0 + (i % 7) as f64).collect();
+        for it in 0..iters {
+            if it > 0 {
+                for v in state.iter_mut() {
+                    *v *= 1.002;
+                }
+            }
+            let mut vars = std::collections::BTreeMap::new();
+            vars.insert("x".to_string(), state.clone());
+            mgr.checkpoint(it, &vars).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn verify_store_reports_health() {
+        let tmp = TempDir::new("verify-store");
+        let store = build_store(&tmp.0, 6);
+        let dir = tmp.0.display().to_string();
+        let out = run(&argv(&["verify", "--store", &dir])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        // Break a delta: verify now fails and points at scrub/repair.
+        numarck_checkpoint::fault::inject(
+            &store.path_of(5, false),
+            numarck_checkpoint::fault::Fault::Truncate { keep: 10 },
+        )
+        .unwrap();
+        let err = run(&argv(&["verify", "--store", &dir])).unwrap_err();
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("scrub"), "{err}");
+    }
+
+    #[test]
+    fn scrub_then_repair_restores_the_store() {
+        let tmp = TempDir::new("scrub-repair");
+        let store = build_store(&tmp.0, 7);
+        numarck_checkpoint::fault::inject(
+            &store.path_of(5, false),
+            numarck_checkpoint::fault::Fault::BitFlip { offset: 30, mask: 0x10 },
+        )
+        .unwrap();
+        let dir = tmp.0.display().to_string();
+        let out = run(&argv(&["scrub", &dir])).unwrap();
+        assert!(out.contains("quarantined iteration 5"), "{out}");
+        let out = run(&argv(&["repair", &dir])).unwrap();
+        assert!(out.contains("lost iteration 6"), "{out}");
+        let out = run(&argv(&["verify", "--store", &dir])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn scrub_of_clean_store_says_so() {
+        let tmp = TempDir::new("scrub-clean-cli");
+        build_store(&tmp.0, 4);
+        let out = run(&argv(&["scrub", &tmp.0.display().to_string()])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn recovery_commands_reject_missing_directory() {
+        for cmd in ["scrub", "repair"] {
+            let err = run(&argv(&[cmd, "/nonexistent/store"])).unwrap_err();
+            assert!(err.contains("does not exist"), "{cmd}: {err}");
+        }
+        let err = run(&argv(&["verify", "--store", "/nonexistent/store"])).unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
     }
 }

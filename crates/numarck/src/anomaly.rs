@@ -126,7 +126,9 @@ fn approx_quantile(data: &[f64], q: f64) -> f64 {
         mass_below_lo += below;
         lo = bin_lo;
         hi = bin_hi;
-        if !(lo < hi) {
+        // Degenerate or non-finite bounds (lo not strictly below hi)
+        // cannot be zoomed further.
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
             return lo;
         }
     }

@@ -22,6 +22,10 @@ pub enum NumarckError {
     },
     /// A serialised blob failed structural validation.
     Corrupt(String),
+    /// An I/O operation failed (for retryable faults, after retries were
+    /// exhausted). Distinct from [`Self::Corrupt`]: the data may be fine,
+    /// the storage underneath it was not.
+    Io(String),
     /// A serialised blob was produced by an incompatible format version.
     VersionMismatch {
         /// Version found in the header.
@@ -42,6 +46,7 @@ impl fmt::Display for NumarckError {
                 write!(f, "non-finite input value at index {index}")
             }
             Self::Corrupt(msg) => write!(f, "corrupt compressed data: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
             Self::VersionMismatch { found, expected } => {
                 write!(f, "format version mismatch: found {found}, expected {expected}")
             }

@@ -213,6 +213,13 @@ pub fn encode_symbols(symbols: impl Iterator<Item = u32> + Clone, num_symbols: u
 
 /// Decode an entropy-coded stream.
 pub fn decode_symbols(encoded: &HuffmanEncoded) -> Result<Vec<u32>, NumarckError> {
+    if encoded.len_bits > encoded.words.len() * 64 {
+        return Err(NumarckError::Corrupt(format!(
+            "huffman stream claims {} bits but buffer holds only {}",
+            encoded.len_bits,
+            encoded.words.len() * 64
+        )));
+    }
     let lengths = encoded.code.lengths();
     // Canonical decode tables: for each length, the first code value and
     // the symbols of that length in canonical order.

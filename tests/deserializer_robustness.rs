@@ -50,13 +50,35 @@ proptest! {
             let p = pos % bytes.len();
             bytes[p] ^= 1 << bit;
         }
-        match numarck::serialize::from_bytes(&bytes) {
-            // A flip pair that cancels out reproduces the original; any
-            // accepted result must decode cleanly.
-            Ok(b) => {
-                let _ = numarck::decode::reconstruct(&prev, &b);
-            }
-            Err(_) => {}
+        // A flip pair that cancels out reproduces the original; any
+        // accepted result must decode cleanly.
+        if let Ok(b) = numarck::serialize::from_bytes(&bytes) {
+            let _ = numarck::decode::reconstruct(&prev, &b);
+        }
+    }
+
+    #[test]
+    fn huffman_from_lengths_never_panics(
+        lengths in proptest::collection::vec(0u8..64, 0..300)
+    ) {
+        // Arbitrary code-length tables: invalid ones (Kraft violation,
+        // overlong codes) must come back as Err, not a crash.
+        let _ = numarck::huffman::HuffmanCode::from_lengths(lengths);
+    }
+
+    #[test]
+    fn huffman_decode_never_panics_on_arbitrary_streams(
+        lengths in proptest::collection::vec(0u8..16, 1..40),
+        words in proptest::collection::vec(any::<u64>(), 0..64),
+        len_bits in 0usize..8192,
+        count in 0usize..2000,
+    ) {
+        // Only structurally valid codes can reach the decoder in real
+        // use, so pair a valid code with a completely arbitrary bit
+        // stream (including len_bits lying past the buffer).
+        if let Ok(code) = numarck::huffman::HuffmanCode::from_lengths(lengths) {
+            let encoded = numarck::huffman::HuffmanEncoded { code, words, len_bits, count };
+            let _ = numarck::huffman::decode_symbols(&encoded);
         }
     }
 

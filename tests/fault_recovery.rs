@@ -1,0 +1,287 @@
+//! Acceptance tests for the self-healing checkpoint store.
+//!
+//! Faults are injected at the storage backend (the syscall boundary):
+//! ENOSPC on the Nth write, torn writes, silent torn writes that survive
+//! the rename, and read bit rot. The system under test must complete
+//! checkpointing via bounded retries, quarantine exactly the damaged
+//! files, re-anchor the chain, and degrade restarts loudly — and must
+//! never panic, whatever the damage.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use numarck_checkpoint::backend::{FaultSchedule, FaultyBackend, ReadFault, WriteFault};
+use numarck_checkpoint::fault::{inject, verify_store, Fault};
+use numarck_checkpoint::{
+    repair, scrub, CheckpointManager, CheckpointStore, Clock, ManagerPolicy, RestartEngine,
+    RetryPolicy, VariableSet,
+};
+
+/// Self-cleaning unique temp directory.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "numarck-faultrec-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("after epoch")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&path).expect("mkdir");
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Records requested sleeps instead of performing them — retry tests run
+/// in microseconds of wall time.
+#[derive(Debug, Default)]
+struct RecordingClock(Mutex<Vec<Duration>>);
+
+impl Clock for RecordingClock {
+    fn sleep(&self, d: Duration) {
+        self.0.lock().unwrap().push(d);
+    }
+}
+
+fn vars_at(state: &[f64]) -> VariableSet {
+    let mut vars = VariableSet::new();
+    vars.insert("x".into(), state.to_vec());
+    vars
+}
+
+fn evolve(state: &mut [f64]) {
+    for (i, v) in state.iter_mut().enumerate() {
+        *v *= 1.0 + 0.002 * (((i % 5) as f64) - 2.0) / 2.0;
+    }
+}
+
+fn config() -> numarck::Config {
+    numarck::Config::new(8, 0.001, numarck::Strategy::Clustering).expect("valid config")
+}
+
+/// Drive `iters` iterations through a manager over a faulty backend,
+/// recording backoff instead of sleeping. Returns everything a scenario
+/// needs to assert on.
+fn run_simulation(
+    tmp: &TempDir,
+    schedule: FaultSchedule,
+    iters: u64,
+    points: usize,
+) -> (CheckpointStore, Arc<FaultyBackend>, Arc<RecordingClock>, Vec<VariableSet>, u32) {
+    let backend = Arc::new(FaultyBackend::new(schedule));
+    let store = CheckpointStore::open_with(&tmp.0, backend.clone()).expect("open store");
+    let clock = Arc::new(RecordingClock::default());
+    let mut mgr = CheckpointManager::with_retry(
+        store.clone(),
+        config(),
+        ManagerPolicy::fixed(4),
+        RetryPolicy::default(),
+        clock.clone(),
+    );
+    let mut state: Vec<f64> = (0..points).map(|i| 1.0 + (i % 11) as f64).collect();
+    let mut truth = Vec::new();
+    let mut total_retries = 0;
+    for it in 0..iters {
+        if it > 0 {
+            evolve(&mut state);
+        }
+        let vars = vars_at(&state);
+        let report = mgr.checkpoint_with_report(it, &vars).expect("checkpoint survives faults");
+        total_retries += report.retries;
+        truth.push(vars);
+    }
+    (store, backend, clock, truth, total_retries)
+}
+
+#[test]
+fn enospc_on_nth_write_is_absorbed_by_retries() {
+    let tmp = TempDir::new("enospc");
+    // The 3rd and (shifted by its retry) 6th write attempts hit ENOSPC.
+    let schedule = FaultSchedule::new()
+        .fail_write(3, WriteFault::Error(std::io::ErrorKind::StorageFull))
+        .fail_write(6, WriteFault::Error(std::io::ErrorKind::StorageFull));
+    let (store, backend, clock, truth, retries) = run_simulation(&tmp, schedule, 8, 100);
+    assert_eq!(retries, 2, "each ENOSPC absorbed by exactly one retry");
+    assert_eq!(backend.writes_attempted(), 10, "8 checkpoints + 2 retries");
+    // Backoff was recorded, not slept, and used the base delay each time
+    // (each fault cleared on the first retry).
+    let sleeps = clock.0.lock().unwrap().clone();
+    assert_eq!(sleeps, vec![Duration::from_millis(10); 2]);
+    // The store is complete and every iteration restarts exactly within
+    // budget (spot-check the fulls as exact).
+    assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+    let engine = RestartEngine::new(store);
+    assert_eq!(engine.restart_at(4).unwrap().vars["x"], truth[4]["x"]);
+}
+
+#[test]
+fn torn_write_is_retried_and_leaves_no_damage() {
+    let tmp = TempDir::new("torn");
+    let schedule = FaultSchedule::new().fail_write(2, WriteFault::Torn { keep: 20 });
+    let (store, _backend, _clock, truth, retries) = run_simulation(&tmp, schedule, 6, 80);
+    assert_eq!(retries, 1);
+    // The retry overwrote the partial temp file; scrub finds nothing.
+    assert!(scrub(&store).unwrap().is_clean());
+    let engine = RestartEngine::new(store);
+    let r = engine.restart_at_or_before(5).unwrap();
+    assert!(r.is_exact());
+    assert_eq!(r.result.base_iteration, 4);
+    let budget = 0.0011;
+    for (a, b) in truth[5]["x"].iter().zip(&r.result.vars["x"]) {
+        assert!(((a - b) / a).abs() <= budget);
+    }
+}
+
+#[test]
+fn silent_torn_write_is_caught_by_scrub_and_repaired() {
+    let tmp = TempDir::new("silent-torn");
+    // Write ordinals: it0→1, it1→2, it2→3 (ENOSPC) + 4 (retry), it3→5,
+    // it4→6, it5→7 — so iteration 5's delta is silently torn: the write
+    // reports success, the rename happens, the file is garbage.
+    let schedule = FaultSchedule::new()
+        .fail_write(3, WriteFault::Error(std::io::ErrorKind::StorageFull))
+        .fail_write(7, WriteFault::SilentTorn { keep: 64 });
+    let (store, _backend, _clock, truth, _retries) = run_simulation(&tmp, schedule, 12, 100);
+    // The manager couldn't see the tear; the store looks complete.
+    assert_eq!(store.list().unwrap().len(), 12);
+    // Scrub quarantines exactly the torn file.
+    let report = scrub(&store).unwrap();
+    assert_eq!(report.checked, 12);
+    let bad: Vec<u64> = report.quarantined.iter().map(|f| f.entry.iteration).collect();
+    assert_eq!(bad, vec![5], "exactly the silently-torn delta");
+    // Repair drops the orphaned 6 and 7 (their chain ran through 5) and
+    // re-anchors with a fresh full at the newest restartable iteration.
+    let rep = repair(&store).unwrap();
+    let lost: Vec<u64> = rep.lost.iter().map(|l| l.iteration).collect();
+    assert_eq!(lost, vec![7, 6]);
+    assert_eq!(rep.anchored_at, Some(11));
+    assert!(rep.wrote_full, "11 was a delta; repair materialized a full there");
+    assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+    // Degraded restart around the crater: asking for 7 lands on 4.
+    let engine = RestartEngine::new(store);
+    let d = engine.restart_at_or_before(7).unwrap();
+    assert_eq!(d.achieved(), 4);
+    assert_eq!(d.result.vars["x"], truth[4]["x"], "full checkpoint restores exactly");
+    assert!(!d.is_exact());
+    assert!(d.lost.iter().any(|l| l.iteration == 7));
+}
+
+#[test]
+fn read_bit_rot_fails_one_restart_then_clears() {
+    let tmp = TempDir::new("bit-rot");
+    let backend = Arc::new(FaultyBackend::new(
+        // The first read of any file returns a flipped byte; the file on
+        // disk stays intact, so the next read is clean.
+        FaultSchedule::new().fail_read(1, ReadFault::BitRot { offset: 37, mask: 0x20 }),
+    ));
+    let store = CheckpointStore::open_with(&tmp.0, backend).expect("open store");
+    let mut mgr = CheckpointManager::new(store.clone(), config(), ManagerPolicy::fixed(4));
+    let mut state: Vec<f64> = (0..90).map(|i| 2.0 + (i % 7) as f64).collect();
+    for it in 0..6u64 {
+        if it > 0 {
+            evolve(&mut state);
+        }
+        mgr.checkpoint(it, &vars_at(&state)).unwrap();
+    }
+    let engine = RestartEngine::new(store);
+    // First attempt reads rotted bytes: the CRC rejects them loudly.
+    let err = engine.restart_at(0).unwrap_err();
+    assert!(matches!(err, numarck::error::NumarckError::Corrupt(_)), "got {err:?}");
+    // The rot was transient (a bad DMA, not a bad disk): retry succeeds.
+    assert!(engine.restart_at(0).is_ok());
+}
+
+#[test]
+fn exhaustive_single_bit_flip_sweep_never_panics_or_lies() {
+    let tmp = TempDir::new("bit-sweep");
+    let store = CheckpointStore::open(&tmp.0).expect("open store");
+    let mut mgr = CheckpointManager::new(store.clone(), config(), ManagerPolicy::fixed(4));
+    // Small variables keep the delta file small enough to sweep fully.
+    let mut state: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64).collect();
+    for it in 0..8u64 {
+        if it > 0 {
+            evolve(&mut state);
+        }
+        mgr.checkpoint(it, &vars_at(&state)).unwrap();
+    }
+    let engine = RestartEngine::new(store.clone());
+    // Expected reconstructions on the healthy store. Replay is
+    // deterministic, so a degraded restart that lands on iteration i
+    // must reproduce these bytes exactly.
+    let expected: Vec<VariableSet> =
+        (0..8u64).map(|it| engine.restart_at(it).unwrap().vars).collect();
+    let target_path = store.path_of(5, false);
+    let pristine = std::fs::read(&target_path).unwrap();
+    let mut flips = 0usize;
+    for offset in 0..pristine.len() {
+        for bit in 0..8u8 {
+            inject(&target_path, Fault::BitFlip { offset, mask: 1 << bit }).unwrap();
+            // CRC32 catches every single-bit flip: chains through the
+            // damaged delta must fail loudly, never return wrong data.
+            for t in 5..8u64 {
+                assert!(
+                    engine.restart_at(t).is_err(),
+                    "flip at byte {offset} bit {bit}: restart_at({t}) accepted corrupt data"
+                );
+            }
+            // Degraded restart must recover the newest intact iteration
+            // (4, the full) with byte-exact data and a full loss report.
+            let d = engine
+                .restart_at_or_before(7)
+                .unwrap_or_else(|e| panic!("flip at byte {offset} bit {bit}: {e}"));
+            assert_eq!(d.achieved(), 4);
+            assert_eq!(d.result.vars, expected[4]);
+            let lost: Vec<u64> = d.lost.iter().map(|l| l.iteration).collect();
+            assert_eq!(lost, vec![7, 6, 5]);
+            // Undo the flip; the store must be whole again.
+            std::fs::write(&target_path, &pristine).unwrap();
+            flips += 1;
+        }
+    }
+    assert_eq!(flips, pristine.len() * 8);
+    assert!(engine.restart_at(7).is_ok(), "sweep left the store damaged");
+}
+
+#[test]
+fn combined_fault_storm_end_to_end() {
+    let tmp = TempDir::new("storm");
+    // One simulated run that sees everything at once: a transient
+    // ENOSPC, a torn-and-retried write, and a silent tear.
+    let schedule = FaultSchedule::new()
+        .fail_write(2, WriteFault::Error(std::io::ErrorKind::StorageFull))
+        .fail_write(5, WriteFault::Torn { keep: 16 })
+        // Ordinals shift once per consumed retry: write 10 is iteration 7.
+        .fail_write(10, WriteFault::SilentTorn { keep: 40 });
+    let (store, _backend, _clock, truth, retries) = run_simulation(&tmp, schedule, 12, 60);
+    assert_eq!(retries, 2, "ENOSPC and the torn write each cost one retry");
+    // After-the-fact damage on top: delete one delta, bit-flip another.
+    inject(&store.path_of(2, false), Fault::Delete).unwrap();
+    inject(&store.path_of(10, false), Fault::BitFlip { offset: 25, mask: 0x04 }).unwrap();
+    // Repair: scrub quarantines the silent tear (7) and the bit-flip
+    // (10); the deletion of 2 orphans iteration 3.
+    let rep = repair(&store).unwrap();
+    let quarantined: Vec<u64> =
+        rep.scrub.quarantined.iter().map(|f| f.entry.iteration).collect();
+    assert_eq!(quarantined, vec![7, 10]);
+    let lost: Vec<u64> = rep.lost.iter().map(|l| l.iteration).collect();
+    assert_eq!(lost, vec![11, 3]);
+    assert_eq!(rep.anchored_at, Some(9));
+    assert!(rep.wrote_full);
+    // Whatever survives restarts cleanly, and degraded restarts land on
+    // the documented fallbacks with exact full-checkpoint data.
+    assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+    let engine = RestartEngine::new(store);
+    assert_eq!(engine.restart_at_or_before(3).unwrap().achieved(), 1);
+    let d = engine.restart_at_or_before(11).unwrap();
+    assert_eq!(d.achieved(), 9);
+    assert_eq!(engine.restart_at(8).unwrap().vars["x"], truth[8]["x"]);
+}
