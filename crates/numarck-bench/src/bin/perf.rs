@@ -1,0 +1,214 @@
+//! `perf` — the reproducible encode/decode throughput harness.
+//!
+//! Times the three stages of the compression path — change-ratio
+//! transform, full encode (transform + table fit + rank-partitioned
+//! packing), and parallel decode — over FLASH- and climate-shaped
+//! workloads at thread counts 1, 2, and all available cores, then emits
+//! `BENCH_encode.json` (transform + encode rows) and `BENCH_decode.json`
+//! (decode rows) so every future change has a throughput trajectory to
+//! regress against.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--smoke] [--out-dir DIR]
+//! ```
+//!
+//! `--smoke` shrinks the workloads to a few thousand points so CI can run
+//! the harness end-to-end in seconds; the JSON schema is identical.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use climate_sim::ClimateVar;
+use flash_sim::FlashVar;
+
+use numarck::{decode, encode, ratio, Config, Strategy};
+use numarck_bench::data::{climate_sequence, flash_sequence, tile_to, FlashConfig};
+use numarck_bench::report::print_table;
+use numarck_par::pool::{available_threads, build_pool};
+
+/// One timed measurement.
+struct Sample {
+    workload: &'static str,
+    stage: &'static str,
+    points: usize,
+    threads: usize,
+    secs: f64,
+    speedup_vs_1t: f64,
+}
+
+impl Sample {
+    fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.secs
+    }
+
+    fn mb_per_sec(&self) -> f64 {
+        // 8-byte doubles; MB/s of raw input processed.
+        self.points as f64 * 8.0 / self.secs / 1e6
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => {
+                out_dir = args.next().unwrap_or_else(|| usage("--out-dir needs a value"))
+            }
+            "--help" | "-h" => usage("perf [--smoke] [--out-dir DIR]"),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let points = if smoke { 8_192 } else { 2 << 20 };
+    let reps = if smoke { 2 } else { 5 };
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("paper-default config");
+
+    // Thread counts 1, 2, all — deduplicated (a 1- or 2-core host runs
+    // fewer columns rather than timing the same pool twice).
+    let mut threads = vec![1usize, 2, available_threads()];
+    threads.sort_unstable();
+    threads.dedup();
+
+    println!(
+        "perf: {points} points/workload, {reps} reps (best-of), threads {threads:?}{}",
+        if smoke { ", SMOKE" } else { "" }
+    );
+
+    // FLASH-shaped: a Sedov blast density checkpoint pair, tiled to size.
+    // Climate-shaped: a CMIP5-like radiation field on the 144×90 grid.
+    let flash = tile_to(
+        &flash_sequence(
+            FlashConfig { blocks: 4, warmup_steps: if smoke { 4 } else { 20 }, ..Default::default() },
+            FlashVar::Dens,
+            2,
+        ),
+        points,
+    );
+    let climate = tile_to(&climate_sequence(ClimateVar::Rlus, 2), points);
+    let workloads: [(&'static str, &Vec<Vec<f64>>); 2] =
+        [("flash_sedov_dens", &flash), ("climate_rlus", &climate)];
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for (name, seq) in workloads {
+        let (prev, curr) = (&seq[0], &seq[1]);
+        for &t in &threads {
+            let pool = build_pool(t);
+
+            let transform_secs = best_of(reps, || {
+                let r = pool.install(|| ratio::compute(prev, curr, config.tolerance()));
+                std::hint::black_box(r.expect("finite bench data"));
+            });
+            let encode_secs = best_of(reps, || {
+                let r = pool.install(|| encode::encode(prev, curr, &config));
+                std::hint::black_box(r.expect("finite bench data"));
+            });
+            let (block, _) = encode::encode(prev, curr, &config).expect("finite bench data");
+            let decode_secs = best_of(reps, || {
+                let r = pool.install(|| decode::reconstruct(prev, &block));
+                std::hint::black_box(r.expect("self-produced block decodes"));
+            });
+
+            for (stage, secs) in
+                [("transform", transform_secs), ("encode", encode_secs), ("decode", decode_secs)]
+            {
+                let base = samples
+                    .iter()
+                    .find(|s| s.workload == name && s.stage == stage && s.threads == 1)
+                    .map_or(secs, |s| s.secs);
+                samples.push(Sample {
+                    workload: name,
+                    stage,
+                    points,
+                    threads: t,
+                    secs,
+                    speedup_vs_1t: base / secs,
+                });
+            }
+        }
+    }
+
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "stage".to_string(),
+        "threads".to_string(),
+        "ms".to_string(),
+        "Mpoints/s".to_string(),
+        "MB/s".to_string(),
+        "speedup".to_string(),
+    ]];
+    for s in &samples {
+        rows.push(vec![
+            s.workload.to_string(),
+            s.stage.to_string(),
+            s.threads.to_string(),
+            format!("{:.2}", s.secs * 1e3),
+            format!("{:.2}", s.points_per_sec() / 1e6),
+            format!("{:.1}", s.mb_per_sec()),
+            format!("{:.2}x", s.speedup_vs_1t),
+        ]);
+    }
+    print_table(&rows);
+
+    let encode_rows: Vec<&Sample> =
+        samples.iter().filter(|s| s.stage != "decode").collect();
+    let decode_rows: Vec<&Sample> =
+        samples.iter().filter(|s| s.stage == "decode").collect();
+    for (file, rows) in
+        [("BENCH_encode.json", &encode_rows), ("BENCH_decode.json", &decode_rows)]
+    {
+        let path = format!("{out_dir}/{file}");
+        std::fs::create_dir_all(&out_dir).expect("create output directory");
+        std::fs::write(&path, render_json(rows, smoke)).expect("write benchmark JSON");
+        println!("wrote {path}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+/// Best (minimum) wall time of `reps` runs — the standard noise filter
+/// for throughput numbers.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no JSON dependency):
+/// a flat, line-per-result layout that stays trivially diffable.
+fn render_json(samples: &[&Sample], smoke: bool) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"harness\": \"numarck-bench perf\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"stage\": \"{}\", \"points\": {}, \"threads\": {}, \
+             \"secs\": {:.6}, \"points_per_sec\": {:.1}, \"mb_per_sec\": {:.3}, \
+             \"speedup_vs_1t\": {:.3}}}{comma}",
+            r.workload,
+            r.stage,
+            r.points,
+            r.threads,
+            r.secs,
+            r.points_per_sec(),
+            r.mb_per_sec(),
+            r.speedup_vs_1t,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -70,6 +70,26 @@ pub fn climate_sequence(var: ClimateVar, n_iterations: usize) -> Sequence {
     out
 }
 
+/// Tile every iteration of a sequence up to exactly `n` points by
+/// repeating it. The change-ratio transform is pointwise, so tiling
+/// preserves the ratio distribution (and therefore the learned table and
+/// escape rate) while scaling the workload to benchmark-sized inputs.
+pub fn tile_to(seq: &Sequence, n: usize) -> Sequence {
+    seq.iter()
+        .map(|it| {
+            if it.is_empty() {
+                return Vec::new();
+            }
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let take = (n - out.len()).min(it.len());
+                out.extend_from_slice(&it[..take]);
+            }
+            out
+        })
+        .collect()
+}
+
 /// The five FLASH variables the paper's evaluation tables use
 /// (`dens, pres, temp, ener, eint`). The velocity components cross zero
 /// on the blast problems, which makes *relative* change coding blow up
@@ -102,6 +122,18 @@ mod tests {
         let cfg = FlashConfig { blocks: 2, warmup_steps: 5, steps_per_checkpoint: 2, ..Default::default() };
         let seq = flash_sequence(cfg, FlashVar::Dens, 2);
         assert_ne!(seq[0], seq[1]);
+    }
+
+    #[test]
+    fn tile_to_repeats_each_iteration() {
+        let seq: Sequence = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let tiled = tile_to(&seq, 7);
+        assert_eq!(tiled.len(), 2);
+        assert_eq!(tiled[0], vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+        assert_eq!(tiled[1], vec![4.0, 5.0, 6.0, 4.0, 5.0, 6.0, 4.0]);
+        // Shrinking and empty inputs are fine too.
+        assert_eq!(tile_to(&seq, 2)[0], vec![1.0, 2.0]);
+        assert!(tile_to(&vec![Vec::new()], 5)[0].is_empty());
     }
 
     #[test]

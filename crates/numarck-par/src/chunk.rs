@@ -33,6 +33,35 @@ pub fn chunk_size_with_threads(len: usize, threads: usize) -> usize {
     by_threads.clamp(1, len.max(1)).max(MIN_CHUNK.min(len.max(1)))
 }
 
+/// [`chunk_size_for`] rounded up to a multiple of `align`.
+///
+/// The encoder's rank-partitioned packer chunks points in multiples of 64
+/// so every chunk owns whole bitmap words and chunks can write the bitmap
+/// concurrently without sharing a word; the decoder aligns the same way so
+/// its per-chunk start ranks fall on word boundaries.
+pub fn chunk_size_aligned(len: usize, align: usize) -> usize {
+    let align = align.max(1);
+    chunk_size_for(len).div_ceil(align) * align
+}
+
+/// Split `buf` into consecutive disjoint mutable windows of the given
+/// lengths — the bridge between an exclusive scan over per-chunk output
+/// counts and handing each parallel chunk its exact output range (escape
+/// slots, pooled fit-sample ranges, …).
+///
+/// # Panics
+/// Panics if the counts do not sum to exactly `buf.len()`.
+pub fn partition_mut<T>(mut buf: &mut [T], counts: impl IntoIterator<Item = usize>) -> Vec<&mut [T]> {
+    let mut out = Vec::new();
+    for c in counts {
+        let (head, tail) = buf.split_at_mut(c);
+        out.push(head);
+        buf = tail;
+    }
+    assert!(buf.is_empty(), "partition counts must cover the buffer exactly");
+    out
+}
+
 /// Iterator over `(start, end)` half-open ranges covering `0..len` in
 /// chunks of `chunk`. Used where index arithmetic is needed alongside the
 /// slice data (e.g. writing bin IDs back at the right offsets).
@@ -66,6 +95,37 @@ mod tests {
         // Inputs below MIN_CHUNK should not be split at all.
         let c = chunk_size_with_threads(100, 16);
         assert_eq!(c, 100);
+    }
+
+    #[test]
+    fn aligned_chunk_is_aligned_and_covers() {
+        for len in [1usize, 63, 64, 100, 4096, 5000, 1 << 20] {
+            let c = chunk_size_aligned(len, 64);
+            assert_eq!(c % 64, 0, "len={len}");
+            assert!(c >= 1);
+            // The aligned point-chunking and word-chunking agree: splitting
+            // `len` points into chunks of `c` yields exactly as many pieces
+            // as splitting `ceil(len/64)` words into chunks of `c/64`.
+            assert_eq!(len.div_ceil(c), len.div_ceil(64).div_ceil(c / 64), "len={len}");
+        }
+    }
+
+    #[test]
+    fn partition_mut_hands_out_disjoint_windows() {
+        let mut buf: Vec<u32> = (0..10).collect();
+        let parts = partition_mut(&mut buf, [3usize, 0, 5, 2]);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2], &[3, 4, 5, 6, 7]);
+        assert_eq!(parts[3], &[8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the buffer exactly")]
+    fn partition_mut_rejects_short_counts() {
+        let mut buf = [0u8; 4];
+        let _ = partition_mut(&mut buf, [1usize, 2]);
     }
 
     #[test]

@@ -69,6 +69,38 @@ pub fn popcount_ranks(bitmap: &[u64]) -> (Vec<u64>, u64) {
     exclusive_scan(bitmap, |w| w.count_ones() as u64)
 }
 
+/// Exclusive prefix popcount at block granularity: `ranks[c]` = set bits
+/// in words `0..c*words_per_block`. This is the decoder's rank index when
+/// it decodes one block of points per parallel task — it needs only the
+/// rank at each block start (O(blocks) memory), not at every word
+/// (O(words) memory like [`popcount_ranks`]). Block popcounts run in
+/// parallel; the scan over the (few) block sums is sequential.
+pub fn chunked_popcount_ranks(bitmap: &[u64], words_per_block: usize) -> (Vec<u64>, u64) {
+    let ranges: Vec<(usize, usize)> = chunk_ranges(bitmap.len(), words_per_block).collect();
+    let sums: Vec<u64> = ranges
+        .par_iter()
+        .map(|&(s, e)| bitmap[s..e].iter().map(|w| w.count_ones() as u64).sum())
+        .collect();
+    exclusive_scan_seq(&sums, |&x| x)
+}
+
+/// Exclusive scan over `(u64, u64)` tally pairs, scanning both components
+/// independently. The encoder's rank-partitioned packer feeds it per-chunk
+/// `(num_compressible, num_escaped)` counts; the result gives every chunk
+/// its exact start rank in the bit-packed index stream and in the escaped
+/// exact-value array. Sequential on purpose: the input has one entry per
+/// parallel chunk, so its length is O(threads), not O(points).
+pub fn exclusive_scan_pairs(input: &[(u64, u64)]) -> (Vec<(u64, u64)>, (u64, u64)) {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = (0u64, 0u64);
+    for &(a, b) in input {
+        out.push(acc);
+        acc.0 += a;
+        acc.1 += b;
+    }
+    (out, acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +134,38 @@ mod tests {
         let (ranks, total) = popcount_ranks(&bitmap);
         assert_eq!(ranks, vec![0, 3, 3, 67]);
         assert_eq!(total, 68);
+    }
+
+    #[test]
+    fn chunked_popcount_ranks_matches_per_word_ranks() {
+        let bitmap: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let (word_ranks, word_total) = popcount_ranks(&bitmap);
+        for wpb in [1usize, 3, 7, 64, 1000, 5000] {
+            let (block_ranks, total) = chunked_popcount_ranks(&bitmap, wpb);
+            assert_eq!(total, word_total, "wpb={wpb}");
+            assert_eq!(block_ranks.len(), bitmap.len().div_ceil(wpb), "wpb={wpb}");
+            for (c, &r) in block_ranks.iter().enumerate() {
+                assert_eq!(r, word_ranks[c * wpb], "wpb={wpb} block={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_popcount_ranks_empty_bitmap() {
+        let (ranks, total) = chunked_popcount_ranks(&[], 64);
+        assert!(ranks.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn pair_scan_scans_components_independently() {
+        let input = [(1u64, 10u64), (2, 0), (0, 5), (7, 7)];
+        let (scan, total) = exclusive_scan_pairs(&input);
+        assert_eq!(scan, vec![(0, 0), (1, 10), (3, 10), (3, 15)]);
+        assert_eq!(total, (10, 22));
+        let (empty, zero) = exclusive_scan_pairs(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(zero, (0, 0));
     }
 
     #[test]

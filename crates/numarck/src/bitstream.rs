@@ -5,6 +5,8 @@
 //! point, so the index stream must be packed with no per-point overhead.
 //! Values are packed LSB-first into little-endian `u64` words.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Append-only bit writer.
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
@@ -48,6 +50,66 @@ impl BitWriter {
             }
         }
         self.len_bits += bits as usize;
+    }
+
+    /// Bulk variant of [`BitWriter::push`] for parallel packers: write
+    /// `values` as consecutive `bits`-wide fields starting at the absolute
+    /// bit offset `start_bit` of the shared word buffer `words`.
+    ///
+    /// `words` must be zero in the target bit range. Words fully covered by
+    /// this call's bit range are written with plain (relaxed) stores; the
+    /// first and last touched words may be shared with writers of the
+    /// adjacent bit ranges, so they are merged with a relaxed `fetch_or`.
+    /// Because OR of disjoint bit fields commutes, concurrent calls over
+    /// disjoint bit ranges produce exactly the words a sequential
+    /// [`BitWriter::push`] loop would, regardless of thread interleaving.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or > 32, or (in debug builds) if a value does
+    /// not fit or the bit range overruns `words`.
+    pub fn write_packed_at(words: &[AtomicU64], start_bit: usize, values: &[u32], bits: u8) {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        if values.is_empty() {
+            return;
+        }
+        let end_bit = start_bit + values.len() * bits as usize;
+        debug_assert!(end_bit <= words.len() * 64, "bit range overruns the word buffer");
+        let first_word = start_bit / 64;
+        let last_word = (end_bit - 1) / 64;
+        let flush = |wi: usize, word: u64| {
+            if wi == first_word || wi == last_word {
+                words[wi].fetch_or(word, Ordering::Relaxed);
+            } else {
+                words[wi].store(word, Ordering::Relaxed);
+            }
+        };
+        // Accumulate each output word locally and flush it once complete;
+        // every word is flushed exactly once.
+        let mut acc = 0u64;
+        let mut acc_word = first_word;
+        let mut pos = start_bit;
+        for &v in values {
+            debug_assert!(
+                bits == 32 || v < (1u32 << bits),
+                "value {v} does not fit in {bits} bits"
+            );
+            let wi = pos / 64;
+            let bit = pos % 64;
+            if wi != acc_word {
+                flush(acc_word, acc);
+                acc = 0;
+                acc_word = wi;
+            }
+            acc |= (v as u64) << bit;
+            let spill = bit + bits as usize;
+            if spill > 64 {
+                flush(acc_word, acc);
+                acc_word = wi + 1;
+                acc = (v as u64) >> (64 - bit);
+            }
+            pos += bits as usize;
+        }
+        flush(acc_word, acc);
     }
 
     /// Number of bits written so far.
@@ -199,6 +261,64 @@ mod tests {
             w.push(0, 9);
         }
         assert_eq!(w.words().len(), 9000usize.div_ceil(64));
+    }
+
+    /// Serial reference for the bulk writer tests: push everything through
+    /// one `BitWriter` and return the words.
+    fn pushed_words(values: &[u32], bits: u8) -> Vec<u64> {
+        let mut w = BitWriter::with_capacity(values.len(), bits);
+        for &v in values {
+            w.push(v, bits);
+        }
+        w.into_words()
+    }
+
+    fn atomic_buffer(len: usize) -> Vec<AtomicU64> {
+        (0..len).map(|_| AtomicU64::new(0)).collect()
+    }
+
+    fn into_plain(words: Vec<AtomicU64>) -> Vec<u64> {
+        words.into_iter().map(AtomicU64::into_inner).collect()
+    }
+
+    #[test]
+    fn write_packed_at_matches_push_for_any_split() {
+        // Split the value stream at every position; the two bulk writes
+        // (second at a word-unaligned offset) must stitch boundary words
+        // back into exactly the serial packing.
+        for bits in [1u8, 3, 7, 9, 13, 16] {
+            let max = (1u32 << bits) - 1;
+            let values: Vec<u32> = (0..150u32).map(|i| i.wrapping_mul(2654435761) & max).collect();
+            let expected = pushed_words(&values, bits);
+            for split in 0..=values.len() {
+                let words = atomic_buffer(expected.len());
+                let (a, b) = values.split_at(split);
+                BitWriter::write_packed_at(&words, 0, a, bits);
+                BitWriter::write_packed_at(&words, split * bits as usize, b, bits);
+                assert_eq!(into_plain(words), expected, "bits={bits} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_packed_at_concurrent_chunks_match_serial() {
+        use rayon::prelude::*;
+        let bits = 11u8;
+        let values: Vec<u32> = (0..10_000u32).map(|i| i.wrapping_mul(40503) & ((1 << 11) - 1)).collect();
+        let expected = pushed_words(&values, bits);
+        let words = atomic_buffer(expected.len());
+        // Deliberately word-misaligned chunk size (97 values × 11 bits).
+        values.par_chunks(97).enumerate().for_each(|(c, chunk)| {
+            BitWriter::write_packed_at(&words, c * 97 * bits as usize, chunk, bits);
+        });
+        assert_eq!(into_plain(words), expected);
+    }
+
+    #[test]
+    fn write_packed_at_empty_is_a_noop() {
+        let words = atomic_buffer(2);
+        BitWriter::write_packed_at(&words, 37, &[], 9);
+        assert_eq!(into_plain(words), vec![0, 0]);
     }
 
     mod properties {

@@ -9,10 +9,16 @@
 //!      = D'_{i−1,j} · (1 + Δ'_ij)  otherwise
 //! ```
 //!
-//! Decoding is chunk-parallel: the bitmap is rank-indexed per 64-point
-//! word so each chunk knows where its indices and exact values start.
+//! Decoding is chunk-parallel and mirrors the encoder's rank-partitioned
+//! packer: chunks are aligned to 64 points so each owns whole bitmap
+//! words, and a block-granularity rank index (prefix popcount at chunk
+//! starts only — O(chunks) memory, not O(words)) tells each chunk where
+//! its indices and exact values start.
 
 use rayon::prelude::*;
+
+use numarck_par::chunk::{chunk_ranges, chunk_size_aligned, chunk_size_for};
+use numarck_par::scan::chunked_popcount_ranks;
 
 use crate::bitstream::read_at;
 use crate::encode::CompressedIteration;
@@ -29,36 +35,41 @@ pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>
         return Ok(Vec::new());
     }
 
-    // Rank index: for each 64-point word, how many compressible points
-    // precede it (parallel prefix popcount for large bitmaps).
-    let (comp_before, _) = numarck_par::scan::popcount_ranks(&block.bitmap);
+    // Chunk decomposition mirrors the encoder's packer: chunks aligned
+    // to 64 points own whole bitmap words, and the block-granularity rank
+    // index gives each chunk the number of compressible points before it.
+    let chunk = chunk_size_aligned(n, 64);
+    let (chunk_ranks, _) = chunked_popcount_ranks(&block.bitmap, chunk / 64);
 
     let mut out = vec![0.0f64; n];
-    // One parallel task per bitmap word (64 points): big enough to
-    // amortize, small enough to balance.
-    out.par_chunks_mut(64).enumerate().for_each(|(wi, chunk)| {
-        let word = block.bitmap[wi];
-        let mut comp_rank = comp_before[wi] as usize;
-        let base = wi * 64;
-        // Exact rank: points before this word minus compressible before.
-        let mut exact_rank = base.min(n) - comp_rank;
-        for (b, slot) in chunk.iter_mut().enumerate() {
-            let j = base + b;
-            if (word >> b) & 1 == 1 {
-                let code = read_at(&block.index_words, block.bits, comp_rank);
-                comp_rank += 1;
-                *slot = if code == 0 {
-                    prev[j]
-                } else {
-                    let rep = block.table.representative(code as usize - 1);
-                    prev[j] * (1.0 + rep)
-                };
-            } else {
-                *slot = block.exact_values[exact_rank];
-                exact_rank += 1;
+    out.par_chunks_mut(chunk).zip(chunk_ranks.par_iter()).enumerate().for_each(
+        |(ci, (points, &rank))| {
+            let base = ci * chunk;
+            let mut comp_rank = rank as usize;
+            // Exact rank: points before this chunk minus compressible
+            // before it.
+            let mut exact_rank = base - comp_rank;
+            for (w, pts) in points.chunks_mut(64).enumerate() {
+                let word = block.bitmap[base / 64 + w];
+                for (b, slot) in pts.iter_mut().enumerate() {
+                    let j = base + w * 64 + b;
+                    if (word >> b) & 1 == 1 {
+                        let code = read_at(&block.index_words, block.bits, comp_rank);
+                        comp_rank += 1;
+                        *slot = if code == 0 {
+                            prev[j]
+                        } else {
+                            let rep = block.table.representative(code as usize - 1);
+                            prev[j] * (1.0 + rep)
+                        };
+                    } else {
+                        *slot = block.exact_values[exact_rank];
+                        exact_rank += 1;
+                    }
+                }
             }
-        }
-    });
+        },
+    );
     Ok(out)
 }
 
@@ -111,9 +122,15 @@ fn validate(prev: &[f64], block: &CompressedIteration) -> Result<(), NumarckErro
             "compressible + exact counts do not cover all points".into(),
         ));
     }
-    // Indices must address the table; cheap scan via max code.
-    let max_code = (0..block.num_compressible)
-        .map(|i| read_at(&block.index_words, block.bits, i))
+    // Indices must address the table; parallel max-code scan over the
+    // bit-packed stream.
+    let nc = block.num_compressible;
+    let ranges: Vec<(usize, usize)> = chunk_ranges(nc, chunk_size_for(nc)).collect();
+    let max_code = ranges
+        .par_iter()
+        .map(|&(s, e)| {
+            (s..e).map(|i| read_at(&block.index_words, block.bits, i)).max().unwrap_or(0)
+        })
         .max()
         .unwrap_or(0);
     if max_code as usize > block.table.len() {

@@ -52,7 +52,7 @@ impl ChangeDistribution {
         let mut large = 0usize;
         for class in &ratios.classes {
             match *class {
-                RatioClass::Small => small += 1,
+                RatioClass::Small(_) => small += 1,
                 RatioClass::Undefined => undefined += 1,
                 RatioClass::Large(r) => {
                     large += 1;

@@ -15,10 +15,13 @@
 //! more than the tolerance `E` — which is what makes the per-point error
 //! bound unconditional.
 
+use std::sync::atomic::AtomicU64;
+
 use rayon::prelude::*;
 
-use numarck_par::chunk::chunk_size_for;
+use numarck_par::chunk::{chunk_size_aligned, partition_mut};
 use numarck_par::reduce::Neumaier;
+use numarck_par::scan::exclusive_scan_pairs;
 
 use crate::bitstream::BitWriter;
 use crate::config::Config;
@@ -28,7 +31,10 @@ use crate::strategy;
 use crate::table::BinTable;
 
 /// Sentinel in the intermediate code array marking an escaped point.
-const ESCAPE: u32 = u32::MAX;
+///
+/// Collides with a real code only at an index width of 32 bits; the
+/// compressor caps `B` at 16, so any code `!= ESCAPE` is a packable value.
+pub const ESCAPE: u32 = u32::MAX;
 
 /// One variable's compressed delta between two consecutive iterations.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,15 +135,15 @@ pub fn encode(
         config.max_table_len(),
         &config.clustering(),
     );
-    encode_prepared(prev, curr, &ratios, table, config)
+    encode_prepared(curr, &ratios, table, config)
 }
 
 /// Encode with an externally supplied representative table (used by the
 /// shared-table group encoder, [`crate::group`]). `ratios` must be the
-/// change-ratio transform of exactly this `prev`/`curr` pair at the
-/// config's tolerance.
+/// change-ratio transform at the config's tolerance of the iteration pair
+/// that produced `curr`; `prev` itself is no longer needed — small-change
+/// errors ride along inside [`RatioClass::Small`].
 pub(crate) fn encode_prepared(
-    prev: &[f64],
     curr: &[f64],
     ratios: &ratio::ChangeRatios,
     table: BinTable,
@@ -149,118 +155,79 @@ pub(crate) fn encode_prepared(
         "table larger than the index space"
     );
     let n = ratios.len();
-    // Phase 1 (parallel): per-point code + error contribution.
-    // Code: 0 = small change, t+1 = table entry t, ESCAPE = exact.
-    let chunk = chunk_size_for(n.max(1));
-    let parts: Vec<(Vec<u32>, Neumaier, f64)> = ratios
-        .classes
-        .par_chunks(chunk.max(1))
-        .map(|cls| {
-            let mut codes = Vec::with_capacity(cls.len());
+    let bits = config.bits();
+
+    // Phase 1 (parallel, fused): one traversal assigning every point its
+    // code — 0 = small change, t+1 = table entry t, ESCAPE = exact — and
+    // accumulating the complete error partials in the same pass. Small
+    // changes carry their true |Δ| in the class itself, so the old second
+    // sweep over `prev`/`curr` that re-derived them is gone. Codes land in
+    // one preallocated array via disjoint per-chunk windows.
+    let chunk = chunk_size_aligned(n.max(1), 64);
+    let mut codes = vec![0u32; n];
+    let parts: Vec<(Neumaier, f64)> = codes
+        .par_chunks_mut(chunk)
+        .zip(ratios.classes.par_chunks(chunk))
+        .map(|(out, cls)| {
             let mut err_sum = Neumaier::new();
             let mut err_max = 0.0f64;
-            for c in cls {
-                match *c {
-                    RatioClass::Small => {
+            for (slot, c) in out.iter_mut().zip(cls) {
+                *slot = match *c {
+                    RatioClass::Small(d) => {
                         // Approximated change of zero; the true |Δ| < E is
                         // the incurred error.
-                        codes.push(0);
+                        let a = d.abs();
+                        err_sum.add(a);
+                        if a > err_max {
+                            err_max = a;
+                        }
+                        0
                     }
-                    RatioClass::Undefined => codes.push(ESCAPE),
+                    RatioClass::Undefined => ESCAPE,
                     RatioClass::Large(r) => match table.quantize(r) {
                         Some((idx, _, err)) if err <= tolerance => {
-                            codes.push(idx as u32 + 1);
                             err_sum.add(err);
                             if err > err_max {
                                 err_max = err;
                             }
+                            idx as u32 + 1
                         }
-                        _ => codes.push(ESCAPE),
+                        _ => ESCAPE,
                     },
-                }
+                };
             }
-            (codes, err_sum, err_max)
+            (err_sum, err_max)
         })
         .collect();
 
-    // Phase 1b (parallel): error of the "small change" points needs the
-    // actual small |Δ| values; recompute them cheaply from the classes.
-    // (Stored as approximate-zero, so the error is |Δ| itself.)
-    let small_err: Vec<(Neumaier, f64)> = prev
-        .par_chunks(chunk.max(1))
-        .zip(curr.par_chunks(chunk.max(1)))
-        .map(|(p, c)| {
-            let mut s = Neumaier::new();
-            let mut mx = 0.0f64;
-            for (&pv, &cv) in p.iter().zip(c) {
-                if let Some(r) = ratio::change_ratio(pv, cv) {
-                    let a = r.abs();
-                    if a < tolerance {
-                        s.add(a);
-                        if a > mx {
-                            mx = a;
-                        }
-                    }
-                }
-            }
-            (s, mx)
-        })
-        .collect();
-
-    // Phase 2 (sequential): pack bitmap + index stream + exact values.
-    let bits = config.bits();
-    let mut bitmap = vec![0u64; n.div_ceil(64)];
-    let mut writer = BitWriter::with_capacity(n, bits);
-    let mut exact_values = Vec::new();
-    let mut num_compressible = 0usize;
-    let mut num_small = 0usize;
-    {
-        let mut j = 0usize;
-        for (codes, _, _) in &parts {
-            for &code in codes {
-                if code == ESCAPE {
-                    exact_values.push(curr[j]);
-                } else {
-                    bitmap[j / 64] |= 1u64 << (j % 64);
-                    writer.push(code, bits);
-                    num_compressible += 1;
-                    if code == 0 {
-                        num_small += 1;
-                    }
-                }
-                j += 1;
-            }
-        }
-        debug_assert_eq!(j, n);
-    }
+    // Phase 2 (parallel): rank-partitioned packing of bitmap + index
+    // stream + exact values.
+    let packed = pack_codes_parallel(&codes, curr, bits);
 
     // Merge error partials (chunk order: deterministic).
     let mut err_sum = Neumaier::new();
     let mut err_max = 0.0f64;
-    for (_, s, m) in &parts {
+    for (s, m) in &parts {
         err_sum.merge(s);
         err_max = err_max.max(*m);
     }
-    for (s, m) in &small_err {
-        err_sum.merge(s);
-        err_max = err_max.max(*m);
-    }
+    let num_small = packed.num_small;
 
     let compressed = CompressedIteration {
         bits,
         tolerance,
         num_points: n,
         table,
-        bitmap,
-        index_words: writer.into_words(),
-        num_compressible,
-        exact_values,
+        bitmap: packed.bitmap,
+        index_words: packed.index_words,
+        num_compressible: packed.num_compressible,
+        exact_values: packed.exact_values,
     };
 
     let actual = crate::serialize::actual_compression_ratio(&compressed);
     let stats = IterationStats {
         num_points: n,
-        num_compressible,
+        num_compressible: compressed.num_compressible,
         num_incompressible: compressed.exact_values.len(),
         num_small_change: num_small,
         incompressible_ratio: compressed.incompressible_ratio(),
@@ -271,6 +238,144 @@ pub(crate) fn encode_prepared(
         table_len: compressed.table.len(),
     };
     Ok((compressed, stats))
+}
+
+/// The three storage sections produced by packing a per-point code array
+/// (plus the counts the stats need). `codes` uses the encoder's
+/// convention: [`ESCAPE`] marks an escaped point, anything else is a
+/// `bits`-wide index value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedSections {
+    /// Compressibility bitmap: bit `j` set ⇔ `codes[j] != ESCAPE`.
+    pub bitmap: Vec<u64>,
+    /// Bit-packed `bits`-wide indices of the non-escaped points, in point
+    /// order.
+    pub index_words: Vec<u64>,
+    /// Number of non-escaped points (values in `index_words`).
+    pub num_compressible: usize,
+    /// Number of zero codes (small-change points).
+    pub num_small: usize,
+    /// `curr` values of the escaped points, in point order.
+    pub exact_values: Vec<f64>,
+}
+
+/// Sequential reference packer — the oracle the parallel packer is tested
+/// against (bit-identical output is a hard requirement, enforced by
+/// `tests/pack_parallel_oracle.rs`).
+pub fn pack_codes_serial(codes: &[u32], curr: &[f64], bits: u8) -> PackedSections {
+    assert_eq!(codes.len(), curr.len(), "codes and curr must align");
+    let n = codes.len();
+    let mut bitmap = vec![0u64; n.div_ceil(64)];
+    let mut writer = BitWriter::with_capacity(n, bits);
+    let mut exact_values = Vec::new();
+    let mut num_compressible = 0usize;
+    let mut num_small = 0usize;
+    for (j, (&code, &cv)) in codes.iter().zip(curr).enumerate() {
+        if code == ESCAPE {
+            exact_values.push(cv);
+        } else {
+            bitmap[j / 64] |= 1u64 << (j % 64);
+            writer.push(code, bits);
+            num_compressible += 1;
+            if code == 0 {
+                num_small += 1;
+            }
+        }
+    }
+    PackedSections {
+        bitmap,
+        index_words: writer.into_words(),
+        num_compressible,
+        num_small,
+        exact_values,
+    }
+}
+
+/// Rank-partitioned parallel packer, bit-identical to
+/// [`pack_codes_serial`].
+///
+/// Points are chunked in multiples of 64 so every chunk owns whole bitmap
+/// words. A first cheap pass tallies each chunk's `(compressible,
+/// escaped)` counts; an exclusive scan over those pairs gives every chunk
+/// its exact bit offset into the index stream and its slot range in
+/// `exact_values`. Chunks then write all three sections concurrently:
+/// bitmap words and escape slots into disjoint windows, and bit-packed
+/// indices via [`BitWriter::write_packed_at`], which OR-stitches the one
+/// word each pair of adjacent chunks may share. Output is deterministic
+/// for any thread count.
+pub fn pack_codes_parallel(codes: &[u32], curr: &[f64], bits: u8) -> PackedSections {
+    assert_eq!(codes.len(), curr.len(), "codes and curr must align");
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+    let n = codes.len();
+    if n == 0 {
+        return PackedSections {
+            bitmap: Vec::new(),
+            index_words: Vec::new(),
+            num_compressible: 0,
+            num_small: 0,
+            exact_values: Vec::new(),
+        };
+    }
+    let chunk = chunk_size_aligned(n, 64);
+    let words_per_chunk = chunk / 64;
+
+    // Per-chunk (compressible, escaped) tallies → scan → offsets.
+    let counts: Vec<(u64, u64)> = codes
+        .par_chunks(chunk)
+        .map(|c| {
+            let escaped = c.iter().filter(|&&code| code == ESCAPE).count();
+            ((c.len() - escaped) as u64, escaped as u64)
+        })
+        .collect();
+    let (offsets, (total_comp, total_esc)) = exclusive_scan_pairs(&counts);
+    let num_compressible = total_comp as usize;
+
+    let mut bitmap = vec![0u64; n.div_ceil(64)];
+    let index_words: Vec<AtomicU64> = (0..(num_compressible * bits as usize).div_ceil(64))
+        .map(|_| AtomicU64::new(0))
+        .collect();
+    let mut exact_values = vec![0.0f64; total_esc as usize];
+    let exact_windows = partition_mut(&mut exact_values, counts.iter().map(|&(_, e)| e as usize));
+
+    let smalls: Vec<usize> = codes
+        .par_chunks(chunk)
+        .zip(curr.par_chunks(chunk))
+        .zip(bitmap.par_chunks_mut(words_per_chunk))
+        .zip(exact_windows.into_par_iter())
+        .zip(offsets.par_iter())
+        .map(|((((codes, curr), bitmap), exacts), &(comp_before, _))| {
+            let mut packable = Vec::with_capacity(codes.len());
+            let mut escaped = 0usize;
+            let mut num_small = 0usize;
+            for (b, (&code, &cv)) in codes.iter().zip(curr).enumerate() {
+                if code == ESCAPE {
+                    exacts[escaped] = cv;
+                    escaped += 1;
+                } else {
+                    bitmap[b / 64] |= 1u64 << (b % 64);
+                    if code == 0 {
+                        num_small += 1;
+                    }
+                    packable.push(code);
+                }
+            }
+            BitWriter::write_packed_at(
+                &index_words,
+                comp_before as usize * bits as usize,
+                &packable,
+                bits,
+            );
+            num_small
+        })
+        .collect();
+
+    PackedSections {
+        bitmap,
+        index_words: index_words.into_iter().map(AtomicU64::into_inner).collect(),
+        num_compressible,
+        num_small: smalls.into_iter().sum(),
+        exact_values,
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +487,129 @@ mod tests {
             assert!(st.mean_error_rate <= st.max_error_rate + 1e-18, "{s}");
             assert!(st.max_error_rate <= 0.001 + 1e-15, "{s}");
         }
+    }
+
+    /// Satellite check: the fused single-pass error accounting must agree
+    /// with the retired two-pass computation (quantization errors from the
+    /// classify pass, small-change |Δ| from a second sweep over the raw
+    /// data) on a fixed seeded dataset.
+    #[test]
+    fn fused_error_accounting_matches_two_pass_reference() {
+        // Deterministic pseudo-random mix of small changes, clusterable
+        // large changes, and escapes (zero prev).
+        let n = 30_000;
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let prev: Vec<f64> = (0..n)
+            .map(|_| if next() % 19 == 0 { 0.0 } else { 1.0 + (next() % 1000) as f64 / 100.0 })
+            .collect();
+        let curr: Vec<f64> = prev
+            .iter()
+            .map(|&v| {
+                if v == 0.0 {
+                    7.5
+                } else {
+                    let r = match next() % 3 {
+                        0 => (next() % 900) as f64 * 1e-6, // below E
+                        1 => 0.01 + (next() % 500) as f64 * 1e-6,
+                        _ => -0.02 - (next() % 500) as f64 * 1e-6,
+                    };
+                    v * (1.0 + r)
+                }
+            })
+            .collect();
+
+        for s in Strategy::all() {
+            let config = cfg(s);
+            let tol = config.tolerance();
+            let (_, st) = encode(&prev, &curr, &config).unwrap();
+
+            // Old two-pass reference, sequential: pass 1 sums quantization
+            // errors of the coded large changes against the same table;
+            // pass 2 re-derives each small |Δ| from the raw data.
+            let ratios = ratio::compute(&prev, &curr, tol).unwrap();
+            let table = strategy::fit_table(
+                config.strategy(),
+                &ratios.fit_sample,
+                config.max_table_len(),
+                &config.clustering(),
+            );
+            let mut sum = Neumaier::new();
+            let mut max = 0.0f64;
+            for c in &ratios.classes {
+                if let RatioClass::Large(r) = *c {
+                    if let Some((_, _, err)) = table.quantize(r) {
+                        if err <= tol {
+                            sum.add(err);
+                            max = max.max(err);
+                        }
+                    }
+                }
+            }
+            for (&pv, &cv) in prev.iter().zip(&curr) {
+                if let Some(r) = ratio::change_ratio(pv, cv) {
+                    let a = r.abs();
+                    if a < tol {
+                        sum.add(a);
+                        max = max.max(a);
+                    }
+                }
+            }
+            let ref_mean = sum.value() / n as f64;
+
+            assert_eq!(st.max_error_rate, max, "{s}: max error must be order-independent");
+            let denom = ref_mean.abs().max(1e-300);
+            assert!(
+                ((st.mean_error_rate - ref_mean) / denom).abs() < 1e-12,
+                "{s}: fused mean {} vs two-pass mean {}",
+                st.mean_error_rate,
+                ref_mean
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_packer_matches_serial_on_encoder_output() {
+        // Direct serial-vs-parallel check on codes the encoder actually
+        // produces (the exhaustive sweep lives in
+        // tests/pack_parallel_oracle.rs).
+        let n = 20_000;
+        let prev: Vec<f64> =
+            (0..n).map(|i| if i % 11 == 0 { 0.0 } else { 1.0 + (i % 23) as f64 }).collect();
+        let curr: Vec<f64> = prev
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if *v == 0.0 { 1.5 } else { v * (1.0 + 0.01 * ((i % 5) as f64)) })
+            .collect();
+        let config = cfg(Strategy::Clustering);
+        let ratios = ratio::compute(&prev, &curr, config.tolerance()).unwrap();
+        let table = strategy::fit_table(
+            config.strategy(),
+            &ratios.fit_sample,
+            config.max_table_len(),
+            &config.clustering(),
+        );
+        let codes: Vec<u32> = ratios
+            .classes
+            .iter()
+            .map(|c| match *c {
+                RatioClass::Small(_) => 0,
+                RatioClass::Undefined => ESCAPE,
+                RatioClass::Large(r) => match table.quantize(r) {
+                    Some((idx, _, err)) if err <= config.tolerance() => idx as u32 + 1,
+                    _ => ESCAPE,
+                },
+            })
+            .collect();
+        let serial = pack_codes_serial(&codes, &curr, config.bits());
+        let parallel = pack_codes_parallel(&codes, &curr, config.bits());
+        assert_eq!(serial, parallel);
+        assert!(serial.exact_values.len() > 0 && serial.num_compressible > 0);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! guards every point individually). This is the "design of functions /
 //! local computations" future-work direction of §V made concrete.
 
+use rayon::prelude::*;
+
+use numarck_par::chunk::partition_mut;
+
 use crate::config::Config;
 use crate::encode::{self, CompressedIteration, IterationStats};
 use crate::error::NumarckError;
@@ -47,14 +51,22 @@ pub fn encode_group(
 ) -> Result<(Vec<CompressedIteration>, GroupStats), NumarckError> {
     let tolerance = config.tolerance();
     // Transform every variable first (so validation errors surface
-    // before any work), pooling the fit samples.
+    // before any work). Each transform is internally parallel.
     let mut transforms = Vec::with_capacity(pairs.len());
-    let mut pooled = Vec::new();
     for (prev, curr) in pairs {
-        let r = ratio::compute(prev, curr, tolerance)?;
-        pooled.extend_from_slice(&r.fit_sample);
-        transforms.push(r);
+        transforms.push(ratio::compute(prev, curr, tolerance)?);
     }
+    // Pool the fit samples the same way the encoder's packer partitions
+    // its output: per-variable sample lengths (known O(1) from the
+    // transform's class counts) carve one preallocated buffer into
+    // disjoint windows, and every variable copies its sample in parallel.
+    let pooled_len: usize = transforms.iter().map(|r| r.counts.large).sum();
+    let mut pooled = vec![0.0f64; pooled_len];
+    let windows = partition_mut(&mut pooled, transforms.iter().map(|r| r.fit_sample.len()));
+    windows
+        .into_par_iter()
+        .zip(transforms.par_iter())
+        .for_each(|(dst, r)| dst.copy_from_slice(&r.fit_sample));
     let table = strategy::fit_table(
         config.strategy(),
         &pooled,
@@ -64,9 +76,8 @@ pub fn encode_group(
 
     let mut blocks = Vec::with_capacity(pairs.len());
     let mut per_variable = Vec::with_capacity(pairs.len());
-    for ((prev, curr), ratios) in pairs.iter().zip(&transforms) {
-        let (block, stats) =
-            encode::encode_prepared(prev, curr, ratios, table.clone(), config)?;
+    for ((_, curr), ratios) in pairs.iter().zip(&transforms) {
+        let (block, stats) = encode::encode_prepared(curr, ratios, table.clone(), config)?;
         blocks.push(block);
         per_variable.push(stats);
     }

@@ -9,7 +9,7 @@
 
 use rayon::prelude::*;
 
-use numarck_par::chunk::chunk_size_for;
+use numarck_par::chunk::{chunk_size_for, partition_mut};
 
 use crate::error::NumarckError;
 
@@ -17,12 +17,34 @@ use crate::error::NumarckError;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RatioClass {
     /// `|Δ| < E`: representable by index 0 (approximate change of zero).
-    Small,
+    /// Carries the actual small ratio so the encoder can account the
+    /// incurred error (the change is stored as zero, so the error is
+    /// `|Δ|` itself) without re-deriving it from the raw data.
+    Small(f64),
     /// `|Δ| ≥ E`: needs a representative from the learned table.
     Large(f64),
     /// Previous value was zero (or the ratio is non-finite): must be
     /// stored exactly.
     Undefined,
+}
+
+/// Per-class tallies produced by the transform pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    /// Points with `|Δ| < E`.
+    pub small: usize,
+    /// Points with `|Δ| ≥ E`.
+    pub large: usize,
+    /// Points with no defined ratio.
+    pub undefined: usize,
+}
+
+impl ClassCounts {
+    fn merge(&mut self, other: &ClassCounts) {
+        self.small += other.small;
+        self.large += other.large;
+        self.undefined += other.undefined;
+    }
 }
 
 /// The change-ratio transform of one iteration pair.
@@ -33,6 +55,8 @@ pub struct ChangeRatios {
     /// The subset of ratios with `|Δ| ≥ E`, in point order — the sample the
     /// approximation strategies learn from.
     pub fit_sample: Vec<f64>,
+    /// Class tallies, computed during the transform pass itself.
+    pub counts: ClassCounts,
 }
 
 impl ChangeRatios {
@@ -47,18 +71,11 @@ impl ChangeRatios {
     }
 
     /// Count of points in each class: `(small, large, undefined)`.
+    ///
+    /// O(1): the tallies are accumulated by the parallel transform pass
+    /// in [`compute`], not re-derived by walking `classes`.
     pub fn class_counts(&self) -> (usize, usize, usize) {
-        let mut small = 0;
-        let mut large = 0;
-        let mut undef = 0;
-        for c in &self.classes {
-            match c {
-                RatioClass::Small => small += 1,
-                RatioClass::Large(_) => large += 1,
-                RatioClass::Undefined => undef += 1,
-            }
-        }
-        (small, large, undef)
+        (self.counts.small, self.counts.large, self.counts.undefined)
     }
 }
 
@@ -87,39 +104,62 @@ pub fn compute(prev: &[f64], curr: &[f64], tolerance: f64) -> Result<ChangeRatio
         return Err(NumarckError::NonFiniteInput { index: idx });
     }
     if prev.is_empty() {
-        return Ok(ChangeRatios { classes: Vec::new(), fit_sample: Vec::new() });
+        return Ok(ChangeRatios {
+            classes: Vec::new(),
+            fit_sample: Vec::new(),
+            counts: ClassCounts::default(),
+        });
     }
 
-    let chunk = chunk_size_for(prev.len());
-    // Per-chunk pass producing classes and the local fit sample; chunks are
-    // concatenated in order so the result is deterministic.
-    let parts: Vec<(Vec<RatioClass>, Vec<f64>)> = prev
-        .par_chunks(chunk)
-        .zip(curr.par_chunks(chunk))
-        .map(|(p, c)| {
-            let mut classes = Vec::with_capacity(p.len());
+    let n = prev.len();
+    let chunk = chunk_size_for(n);
+    // Single fused pass: classes are written straight into one
+    // preallocated vector (no per-chunk Vec + serial concatenation), and
+    // each chunk also tallies its class counts and collects its local fit
+    // sample. Chunk decomposition is fixed, so the result is deterministic
+    // for any thread count.
+    let mut classes = vec![RatioClass::Undefined; n];
+    let parts: Vec<(Vec<f64>, ClassCounts)> = classes
+        .par_chunks_mut(chunk)
+        .zip(prev.par_chunks(chunk).zip(curr.par_chunks(chunk)))
+        .map(|(out, (p, c))| {
             let mut sample = Vec::new();
-            for (&pv, &cv) in p.iter().zip(c) {
-                match change_ratio(pv, cv) {
-                    None => classes.push(RatioClass::Undefined),
-                    Some(r) if r.abs() < tolerance => classes.push(RatioClass::Small),
-                    Some(r) => {
-                        classes.push(RatioClass::Large(r));
-                        sample.push(r);
+            let mut counts = ClassCounts::default();
+            for (slot, (&pv, &cv)) in out.iter_mut().zip(p.iter().zip(c)) {
+                *slot = match change_ratio(pv, cv) {
+                    None => {
+                        counts.undefined += 1;
+                        RatioClass::Undefined
                     }
-                }
+                    Some(r) if r.abs() < tolerance => {
+                        counts.small += 1;
+                        RatioClass::Small(r)
+                    }
+                    Some(r) => {
+                        counts.large += 1;
+                        sample.push(r);
+                        RatioClass::Large(r)
+                    }
+                };
             }
-            (classes, sample)
+            (sample, counts)
         })
         .collect();
 
-    let mut classes = Vec::with_capacity(prev.len());
-    let mut fit_sample = Vec::new();
-    for (c, s) in parts {
-        classes.extend(c);
-        fit_sample.extend(s);
+    // Assemble the pooled fit sample into one preallocated vector: the
+    // per-chunk sample lengths partition the output exactly, so every
+    // chunk's sample is copied in parallel into its own disjoint window.
+    let mut counts = ClassCounts::default();
+    for (_, c) in &parts {
+        counts.merge(c);
     }
-    Ok(ChangeRatios { classes, fit_sample })
+    let mut fit_sample = vec![0.0f64; counts.large];
+    let windows = partition_mut(&mut fit_sample, parts.iter().map(|(s, _)| s.len()));
+    windows
+        .into_par_iter()
+        .zip(parts.par_iter())
+        .for_each(|(dst, (src, _))| dst.copy_from_slice(src));
+    Ok(ChangeRatios { classes, fit_sample, counts })
 }
 
 fn first_non_finite(data: &[f64]) -> Option<usize> {
@@ -168,10 +208,11 @@ mod tests {
         let prev = [1.0, 2.0, 0.0, 4.0];
         let curr = [1.0005, 2.5, 7.0, 4.0];
         let r = compute(&prev, &curr, 0.001).unwrap();
-        assert_eq!(r.classes[0], RatioClass::Small); // 0.05% < 0.1%
+        // 0.05% < 0.1%: small, carrying the actual ratio.
+        assert!(matches!(r.classes[0], RatioClass::Small(d) if (d - 0.0005).abs() < 1e-12));
         assert_eq!(r.classes[1], RatioClass::Large(0.25));
         assert_eq!(r.classes[2], RatioClass::Undefined);
-        assert_eq!(r.classes[3], RatioClass::Small); // exactly zero change
+        assert_eq!(r.classes[3], RatioClass::Small(0.0)); // exactly zero change
         assert_eq!(r.fit_sample, vec![0.25]);
         assert_eq!(r.class_counts(), (2, 1, 1));
     }
@@ -204,6 +245,37 @@ mod tests {
         let expected: Vec<f64> = vec![0.1, 0.2, 0.3, 0.4];
         for (a, b) in r.fit_sample.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stored_counts_match_a_manual_walk() {
+        let n = 10_000;
+        let prev: Vec<f64> =
+            (0..n).map(|i| if i % 13 == 0 { 0.0 } else { 1.0 + (i % 7) as f64 }).collect();
+        let curr: Vec<f64> = prev
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if *v == 0.0 { 2.0 } else { v * (1.0 + 0.002 * ((i % 3) as f64)) })
+            .collect();
+        let r = compute(&prev, &curr, 0.001).unwrap();
+        let mut manual = (0usize, 0usize, 0usize);
+        for c in &r.classes {
+            match c {
+                RatioClass::Small(_) => manual.0 += 1,
+                RatioClass::Large(_) => manual.1 += 1,
+                RatioClass::Undefined => manual.2 += 1,
+            }
+        }
+        assert_eq!(r.class_counts(), manual);
+    }
+
+    #[test]
+    fn small_class_carries_the_actual_ratio() {
+        let r = compute(&[10.0], &[10.005], 0.001).unwrap();
+        match r.classes[0] {
+            RatioClass::Small(d) => assert!((d - 0.0005).abs() < 1e-12),
+            other => panic!("expected Small, got {other:?}"),
         }
     }
 

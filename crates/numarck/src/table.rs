@@ -7,8 +7,10 @@
 //! "change below tolerance", so table entry `t` is addressed by the stored
 //! index `t + 1`.
 //!
-//! Assignment uses the same sorted-midpoint binary search as the K-means
-//! substrate ([`numarck_kmeans::lloyd1d::SortedCenters`]): for the
+//! Assignment is a single `partition_point` binary search over the sorted
+//! representatives followed by a branchless pick between the two
+//! enclosing neighbours (ties at bin midpoints resolve to the lower
+//! index, matching [`numarck_kmeans::lloyd1d::SortedCenters`]): for the
 //! equal-width and log-scale strategies, nearest-representative assignment
 //! dominates (never loses to) the "containing bin" rule the paper
 //! describes, while keeping all three strategies on one encoder path.
@@ -52,19 +54,29 @@ impl BinTable {
     /// empty table.
     #[inline]
     pub fn nearest(&self, ratio: f64) -> Option<usize> {
-        if self.centers.is_empty() {
-            None
-        } else {
-            Some(self.centers.nearest(ratio))
-        }
+        self.quantize(ratio).map(|(idx, _, _)| idx)
     }
 
     /// Nearest representative and its approximation error, or `None` for
     /// an empty table.
+    ///
+    /// This is the encoder's per-point hot path: one `partition_point`
+    /// over the representatives, then a branchless pick between the two
+    /// enclosing neighbours. A ratio exactly at the midpoint of two
+    /// representatives resolves to the lower index.
     #[inline]
     pub fn quantize(&self, ratio: f64) -> Option<(usize, f64, f64)> {
-        let idx = self.nearest(ratio)?;
-        let rep = self.centers.centers()[idx];
+        let reps = self.centers.centers();
+        if reps.is_empty() {
+            return None;
+        }
+        let pp = reps.partition_point(|&r| r < ratio);
+        let lo = pp.saturating_sub(1);
+        let hi = pp.min(reps.len() - 1);
+        // Ties (d_hi == d_lo) keep the lower index; ends clamp because
+        // lo == hi there.
+        let idx = lo + usize::from((reps[hi] - ratio).abs() < (ratio - reps[lo]).abs()) * (hi - lo);
+        let rep = reps[idx];
         Some((idx, rep, (rep - ratio).abs()))
     }
 
@@ -111,5 +123,47 @@ mod tests {
         let t = BinTable::new(vec![-0.5, 0.5]);
         assert_eq!(t.nearest(-100.0), Some(0));
         assert_eq!(t.nearest(100.0), Some(1));
+    }
+
+    #[test]
+    fn midpoint_ties_resolve_to_the_lower_index() {
+        // 2.0 is exactly halfway between 1.0 and 3.0: the lower
+        // representative wins, matching SortedCenters::nearest.
+        let t = BinTable::new(vec![1.0, 3.0]);
+        let (idx, rep, err) = t.quantize(2.0).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(rep, 1.0);
+        assert_eq!(err, 1.0);
+        // Same at interior midpoints of a longer table, including
+        // negative ones (dyadic values so the midpoints are exact in
+        // binary floating point).
+        let t = BinTable::new(vec![-0.5, -0.25, 0.25, 0.75]);
+        assert_eq!(t.nearest(-0.375), Some(0));
+        assert_eq!(t.nearest(0.0), Some(1));
+        assert_eq!(t.nearest(0.5), Some(2));
+        // A nudge above the midpoint flips to the upper neighbour.
+        assert_eq!(t.nearest(0.5 + 1e-9), Some(3));
+    }
+
+    #[test]
+    fn quantize_matches_linear_scan_and_sorted_centers() {
+        let reps = vec![-3.0, -1.0, 0.5, 2.0, 8.0, 8.5];
+        let t = BinTable::new(reps.clone());
+        let sc = SortedCenters::new(reps.clone());
+        for i in -100..200 {
+            let x = i as f64 * 0.1;
+            let (idx, rep, err) = t.quantize(x).unwrap();
+            // Linear scan with ties to the lower index.
+            let mut best = 0;
+            for (j, &r) in reps.iter().enumerate() {
+                if (r - x).abs() < (reps[best] - x).abs() {
+                    best = j;
+                }
+            }
+            assert_eq!(idx, best, "x = {x}");
+            assert_eq!(rep, reps[best]);
+            assert!((err - (reps[best] - x).abs()).abs() < 1e-15);
+            assert_eq!(idx, sc.nearest(x), "x = {x} disagrees with midpoint search");
+        }
     }
 }

@@ -1,0 +1,166 @@
+//! Oracle tests for the rank-partitioned parallel packer.
+//!
+//! The hard requirement: [`numarck::encode::pack_codes_parallel`] must
+//! produce sections *bit-identical* to the sequential reference packer
+//! [`numarck::encode::pack_codes_serial`] — for any input length, any
+//! index width `B ∈ 1..=16`, any escape density, and any thread count.
+//! The deterministic sweeps below enforce it exhaustively over a seeded
+//! grid (and run everywhere); the proptest widens the net on hosts with a
+//! real proptest.
+
+use numarck::config::Config;
+use numarck::decode;
+use numarck::encode::{self, pack_codes_parallel, pack_codes_serial, PackedSections, ESCAPE};
+use numarck::strategy::Strategy;
+use numarck_par::pool::build_pool;
+
+/// Deterministic xorshift64* generator (no external RNG dependencies).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Random code array of length `n`: escaped with probability
+/// `escape_per_mille / 1000`, otherwise a uniform `bits`-wide value.
+/// `curr` values are distinct per point so misplaced exacts are caught.
+fn gen_input(n: usize, bits: u8, escape_per_mille: u64, seed: u64) -> (Vec<u32>, Vec<f64>) {
+    let mut rng = Rng(seed | 1);
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let codes: Vec<u32> = (0..n)
+        .map(|_| {
+            if rng.next() % 1000 < escape_per_mille {
+                ESCAPE
+            } else {
+                (rng.next() as u32) & mask
+            }
+        })
+        .collect();
+    let curr: Vec<f64> = (0..n).map(|j| j as f64 + 0.25).collect();
+    (codes, curr)
+}
+
+fn assert_sections_identical(serial: &PackedSections, parallel: &PackedSections, ctx: &str) {
+    assert_eq!(serial.bitmap, parallel.bitmap, "{ctx}: bitmap");
+    assert_eq!(serial.index_words, parallel.index_words, "{ctx}: index words");
+    assert_eq!(serial.exact_values, parallel.exact_values, "{ctx}: exact values");
+    assert_eq!(serial.num_compressible, parallel.num_compressible, "{ctx}: compressible count");
+    assert_eq!(serial.num_small, parallel.num_small, "{ctx}: small count");
+}
+
+/// The headline sweep: every B, the three escape densities named by the
+/// acceptance criteria (0%, 50%, 100%), awkward lengths around word and
+/// chunk boundaries, under forced 1-thread and 8-thread pools.
+#[test]
+fn parallel_packer_is_bit_identical_to_serial_across_the_grid() {
+    let lens = [0usize, 1, 63, 64, 65, 127, 1000, 4096, 4097, 20_000];
+    let densities = [0u64, 500, 1000]; // per-mille: 0%, 50%, 100%
+    let pools = [build_pool(1), build_pool(8)];
+    for &n in &lens {
+        for bits in 1u8..=16 {
+            for &density in &densities {
+                let seed = (n as u64) << 20 | (bits as u64) << 12 | density;
+                let (codes, curr) = gen_input(n, bits, density, seed ^ 0x9E37_79B9);
+                let serial = pack_codes_serial(&codes, &curr, bits);
+                for pool in &pools {
+                    let parallel = pool.install(|| pack_codes_parallel(&codes, &curr, bits));
+                    let ctx = format!(
+                        "n={n} bits={bits} density={density}‰ threads={}",
+                        pool.current_num_threads()
+                    );
+                    assert_sections_identical(&serial, &parallel, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// All-escape and no-escape edges with every code equal (degenerate
+/// streams stress the rank arithmetic at the extremes).
+#[test]
+fn degenerate_streams_match() {
+    for &n in &[1usize, 64, 65, 4097] {
+        for bits in [1u8, 7, 16] {
+            let curr: Vec<f64> = (0..n).map(|j| -(j as f64)).collect();
+            for codes in [vec![0u32; n], vec![(1u32 << bits) - 1; n], vec![ESCAPE; n]] {
+                let serial = pack_codes_serial(&codes, &curr, bits);
+                let parallel = build_pool(8).install(|| pack_codes_parallel(&codes, &curr, bits));
+                assert_sections_identical(&serial, &parallel, &format!("n={n} bits={bits}"));
+            }
+        }
+    }
+}
+
+/// End-to-end determinism: the full encoder must emit byte-identical
+/// blocks under 1 and 8 threads, and both must decode to the same values.
+#[test]
+fn encoder_output_is_thread_count_invariant() {
+    let n = 50_000;
+    let mut rng = Rng(0xBEEF_CAFE_F00D_D00D);
+    let prev: Vec<f64> = (0..n)
+        .map(|_| if rng.next() % 31 == 0 { 0.0 } else { 1.0 + (rng.next() % 512) as f64 / 64.0 })
+        .collect();
+    let curr: Vec<f64> = prev
+        .iter()
+        .map(|&v| {
+            if v == 0.0 {
+                3.5
+            } else {
+                let r = match rng.next() % 4 {
+                    0 => (rng.next() % 800) as f64 * 1e-6, // below E
+                    1 => 0.015 + (rng.next() % 400) as f64 * 1e-6,
+                    2 => -0.008 - (rng.next() % 400) as f64 * 1e-6,
+                    _ => 2.0 + (rng.next() % 100) as f64, // likely escape
+                };
+                v * (1.0 + r)
+            }
+        })
+        .collect();
+    for s in Strategy::all() {
+        let cfg = Config::new(8, 0.001, s).unwrap();
+        let (block1, stats1) = build_pool(1).install(|| encode::encode(&prev, &curr, &cfg)).unwrap();
+        let (block8, stats8) = build_pool(8).install(|| encode::encode(&prev, &curr, &cfg)).unwrap();
+        assert_eq!(block1, block8, "{s}: blocks differ across thread counts");
+        assert_eq!(stats1.max_error_rate, stats8.max_error_rate, "{s}");
+        assert_eq!(stats1.num_compressible, stats8.num_compressible, "{s}");
+        let dec1 = build_pool(1).install(|| decode::reconstruct(&prev, &block1)).unwrap();
+        let dec8 = build_pool(8).install(|| decode::reconstruct(&prev, &block8)).unwrap();
+        assert_eq!(dec1, dec8, "{s}: decodes differ across thread counts");
+        let seq = decode::reconstruct_seq(&prev, &block1).unwrap();
+        assert_eq!(dec1, seq, "{s}: parallel decode differs from sequential oracle");
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random lengths, widths, and per-case escape densities drawn
+        /// from {0%, 50%, 100%}, checked under forced 1- and 8-thread
+        /// pools.
+        #[test]
+        fn packer_oracle_property(
+            n in 0usize..6000,
+            bits in 1u8..=16,
+            density_pick in 0usize..3,
+            seed in any::<u64>()
+        ) {
+            let density = [0u64, 500, 1000][density_pick];
+            let (codes, curr) = gen_input(n, bits, density, seed);
+            let serial = pack_codes_serial(&codes, &curr, bits);
+            for threads in [1usize, 8] {
+                let parallel =
+                    build_pool(threads).install(|| pack_codes_parallel(&codes, &curr, bits));
+                prop_assert_eq!(&serial, &parallel);
+            }
+        }
+    }
+}
