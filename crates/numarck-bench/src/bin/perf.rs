@@ -25,7 +25,7 @@ use flash_sim::FlashVar;
 
 use numarck::{decode, encode, ratio, Config, Strategy};
 use numarck_bench::data::{climate_sequence, flash_sequence, tile_to, FlashConfig};
-use numarck_bench::report::print_table;
+use numarck_bench::report::{host_meta_json, print_table};
 use numarck_par::pool::{available_threads, build_pool};
 
 /// One timed measurement.
@@ -191,6 +191,7 @@ fn render_json(samples: &[&Sample], smoke: bool) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"harness\": \"numarck-bench perf\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"host\": {},", host_meta_json());
     let _ = writeln!(s, "  \"results\": [");
     for (i, r) in samples.iter().enumerate() {
         let comma = if i + 1 == samples.len() { "" } else { "," };

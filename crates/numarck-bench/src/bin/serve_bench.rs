@@ -1,0 +1,281 @@
+//! `serve_bench` — load generator for the `numarck-serve` checkpoint
+//! service.
+//!
+//! Spawns a server on an ephemeral port (or targets `--addr`), drives it
+//! with N concurrent clients ingesting M iterations each, then hammers
+//! the restart path, and emits `BENCH_serve.json` with requests/sec,
+//! ingest MB/s, and p50/p99 request latency per stage.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_bench [--smoke] [--out-dir DIR] [--clients N] [--iters M]
+//!             [--points P] [--addr HOST:PORT]
+//! ```
+//!
+//! `--smoke` shrinks the workload so CI can run the harness end-to-end
+//! in seconds; the JSON schema is identical.
+
+use std::fmt::Write as _;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use numarck::{Config, Strategy};
+use numarck_bench::report::{host_meta_json, print_table};
+use numarck_checkpoint::VariableSet;
+use numarck_serve::{Client, Server, ServerConfig, ServerHandle};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+const BUSY_ATTEMPTS: u32 = 20;
+const BUSY_BACKOFF: Duration = Duration::from_millis(20);
+
+/// One measured stage: aggregate wall time plus per-request latencies.
+struct StageResult {
+    stage: &'static str,
+    clients: usize,
+    requests: usize,
+    /// Raw f64 payload bytes moved (ingested or reconstructed).
+    bytes: u64,
+    wall_secs: f64,
+    /// Per-request latencies, seconds (unsorted).
+    latencies: Vec<f64>,
+}
+
+impl StageResult {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.wall_secs
+    }
+
+    fn mb_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.wall_secs / 1e6
+    }
+
+    fn percentile_ms(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[idx] * 1e3
+    }
+}
+
+/// Deterministic per-client iteration data: a smooth multiplicative
+/// evolution so deltas compress like real checkpoint traffic.
+fn iteration_data(client: usize, points: usize, iters: u64) -> Vec<Vec<f64>> {
+    let mut x: Vec<f64> =
+        (0..points).map(|j| (1.0 + client as f64 * 0.3) * (1.0 + (j % 17) as f64)).collect();
+    let mut out = Vec::with_capacity(iters as usize);
+    for it in 0..iters {
+        if it > 0 {
+            for (j, v) in x.iter_mut().enumerate() {
+                *v *= 1.0 + 0.004 * (((j as u64 + 5 * it) % 11) as f64 - 5.0) / 5.0;
+            }
+        }
+        out.push(x.clone());
+    }
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = ".".to_string();
+    let mut clients = 0usize;
+    let mut iters = 0u64;
+    let mut points = 0usize;
+    let mut external: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => out_dir = value("--out-dir"),
+            "--clients" => clients = value("--clients").parse().unwrap_or_else(|_| usage("bad --clients")),
+            "--iters" => iters = value("--iters").parse().unwrap_or_else(|_| usage("bad --iters")),
+            "--points" => points = value("--points").parse().unwrap_or_else(|_| usage("bad --points")),
+            "--addr" => external = Some(value("--addr")),
+            "--help" | "-h" => usage(
+                "serve_bench [--smoke] [--out-dir DIR] [--clients N] [--iters M] [--points P] [--addr HOST:PORT]",
+            ),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if clients == 0 {
+        clients = if smoke { 2 } else { 4 };
+    }
+    if iters == 0 {
+        iters = if smoke { 8 } else { 32 };
+    }
+    if points == 0 {
+        points = if smoke { 2_048 } else { 65_536 };
+    }
+
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("paper-default config");
+
+    // Own server on an ephemeral port unless --addr targets one already
+    // running. The in-process server keeps the harness self-contained
+    // (and the temp store is removed afterwards).
+    let root = std::env::temp_dir().join(format!("numarck-serve-bench-{}", std::process::id()));
+    let handle: Option<ServerHandle> = match &external {
+        Some(_) => None,
+        None => {
+            let mut server_config = ServerConfig::new(&root, config);
+            server_config.workers = clients + 1;
+            server_config.queue_depth = 2 * clients.max(8);
+            Some(Server::spawn("127.0.0.1:0", server_config).expect("spawn bench server"))
+        }
+    };
+    let addr = external
+        .clone()
+        .unwrap_or_else(|| handle.as_ref().expect("own server").addr().to_string());
+
+    println!(
+        "serve_bench: {clients} clients × {iters} iterations × {points} points → {addr}{}",
+        if smoke { ", SMOKE" } else { "" }
+    );
+
+    let data: Vec<Vec<Vec<f64>>> =
+        (0..clients).map(|c| iteration_data(c, points, iters)).collect();
+
+    // Stage 1: concurrent ingest, one session per client.
+    let ingest = run_stage("ingest", clients, &data, &addr, move |client, session, seq, lat| {
+        let mut bytes = 0u64;
+        for (it, values) in seq.iter().enumerate() {
+            let mut vars = VariableSet::new();
+            vars.insert("x".to_string(), values.clone());
+            let t0 = Instant::now();
+            client.put_iteration(session, it as u64, &vars).expect("put");
+            lat.push(t0.elapsed().as_secs_f64());
+            bytes += values.len() as u64 * 8;
+        }
+        bytes
+    });
+
+    // Stage 2: concurrent restarts cycling over every stored iteration.
+    let restart = run_stage("restart", clients, &data, &addr, move |client, session, seq, lat| {
+        let mut bytes = 0u64;
+        for it in 0..seq.len() as u64 {
+            let t0 = Instant::now();
+            let reply = client.restart(session, it).expect("restart");
+            lat.push(t0.elapsed().as_secs_f64());
+            assert_eq!(reply.achieved, it, "bench store must be fully restartable");
+            bytes += reply.vars.values().map(|v| v.len() as u64 * 8).sum::<u64>();
+        }
+        bytes
+    });
+
+    let results = [ingest, restart];
+    let mut rows = vec![vec![
+        "stage".to_string(),
+        "clients".to_string(),
+        "requests".to_string(),
+        "req/s".to_string(),
+        "MB/s".to_string(),
+        "p50 ms".to_string(),
+        "p99 ms".to_string(),
+    ]];
+    for r in &results {
+        rows.push(vec![
+            r.stage.to_string(),
+            r.clients.to_string(),
+            r.requests.to_string(),
+            format!("{:.1}", r.requests_per_sec()),
+            format!("{:.2}", r.mb_per_sec()),
+            format!("{:.2}", r.percentile_ms(50.0)),
+            format!("{:.2}", r.percentile_ms(99.0)),
+        ]);
+    }
+    print_table(&rows);
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    let path = format!("{out_dir}/BENCH_serve.json");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    std::fs::write(&path, render_json(&results, smoke, points)).expect("write benchmark JSON");
+    println!("wrote {path}");
+}
+
+/// Run one stage: `clients` threads, each with its own connection and
+/// session, all started together; wall time is the slowest thread.
+fn run_stage(
+    stage: &'static str,
+    clients: usize,
+    data: &[Vec<Vec<f64>>],
+    addr: &str,
+    work: impl Fn(&mut Client, u64, &[Vec<f64>], &mut Vec<f64>) -> u64 + Send + Copy + 'static,
+) -> StageResult {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let seq = data[c].clone();
+            let addr = addr.to_string();
+            thread::spawn(move || {
+                let (mut client, session) = Client::connect_session(
+                    &addr as &str,
+                    TIMEOUT,
+                    &format!("bench-{c}"),
+                    BUSY_ATTEMPTS,
+                    BUSY_BACKOFF,
+                )
+                .expect("connect");
+                let mut latencies = Vec::with_capacity(seq.len());
+                let bytes = work(&mut client, session, &seq, &mut latencies);
+                (bytes, latencies)
+            })
+        })
+        .collect();
+    let mut bytes = 0u64;
+    let mut latencies = Vec::new();
+    for h in handles {
+        let (b, l) = h.join().expect("bench client thread");
+        bytes += b;
+        latencies.extend(l);
+    }
+    StageResult {
+        stage,
+        clients,
+        requests: latencies.len(),
+        bytes,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        latencies,
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+/// Hand-rolled JSON, same conventions as `perf`: flat and diffable,
+/// stamped with host metadata.
+fn render_json(results: &[StageResult], smoke: bool, points: usize) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"harness\": \"numarck-bench serve_bench\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"points_per_iteration\": {points},");
+    let _ = writeln!(s, "  \"host\": {},", host_meta_json());
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"stage\": \"{}\", \"clients\": {}, \"requests\": {}, \"secs\": {:.6}, \
+             \"requests_per_sec\": {:.1}, \"mb_per_sec\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
+            r.stage,
+            r.clients,
+            r.requests,
+            r.wall_secs,
+            r.requests_per_sec(),
+            r.mb_per_sec(),
+            r.percentile_ms(50.0),
+            r.percentile_ms(99.0),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -45,6 +45,26 @@ pub fn write_csv(dir: &str, name: &str, rows: &[Vec<String>]) -> std::io::Result
     Ok(path.display().to_string())
 }
 
+/// Host metadata as a one-line JSON object, stamped into every
+/// `BENCH_*.json` so throughput numbers carry the machine and revision
+/// they were measured on.
+pub fn host_meta_json() -> String {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let rayon_threads = numarck_par::pool::available_threads();
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    format!(
+        "{{\"cores\": {cores}, \"rayon_threads\": {rayon_threads}, \
+         \"git_rev\": \"{git_rev}\", \"os\": \"{}\"}}",
+        std::env::consts::OS
+    )
+}
+
 /// Format a fraction as a percent with `dp` decimals.
 pub fn pct(x: f64, dp: usize) -> String {
     format!("{:.dp$}", x * 100.0)
@@ -81,5 +101,13 @@ mod tests {
     #[test]
     fn print_table_handles_empty() {
         print_table(&[]); // must not panic
+    }
+
+    #[test]
+    fn host_meta_has_all_fields() {
+        let meta = host_meta_json();
+        for key in ["\"cores\":", "\"rayon_threads\":", "\"git_rev\":", "\"os\":"] {
+            assert!(meta.contains(key), "{meta}");
+        }
     }
 }

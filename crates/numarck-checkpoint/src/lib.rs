@@ -46,7 +46,7 @@ pub use manager::{
 };
 pub use restart::{DegradedRestart, LostIteration, RestartEngine};
 pub use scrub::{repair, scrub, RepairReport, ScrubFinding, ScrubReport};
-pub use store::CheckpointStore;
+pub use store::{CheckpointStore, StoreEntry};
 
 /// Variables are keyed by name; every variable is an `f64` array of the
 /// same length within one checkpoint stream.

@@ -8,26 +8,36 @@ use numarck::{decode, Config, DeltaChain, ReferenceMode, Strategy};
 use crate::args;
 use crate::chainfile::ChainFile;
 use crate::seqfile;
-use crate::CliResult;
+use crate::{CliError, CliResult};
 
-fn parse_strategy(name: &str) -> Result<Strategy, String> {
+pub(crate) fn parse_strategy(name: &str) -> Result<Strategy, String> {
     Strategy::all()
         .into_iter()
         .find(|s| s.name() == name)
         .ok_or_else(|| format!("unknown strategy '{name}' (equal-width|log-scale|clustering)"))
 }
 
+/// Argument-structure problems (unknown flag, missing value, wrong
+/// positional count) exit with [`crate::exit_code::USAGE`].
+pub(crate) fn parse_args(
+    raw: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<args::Parsed, CliError> {
+    args::parse(raw, value_flags, switch_flags).map_err(CliError::usage)
+}
+
 /// `numarck gen`: produce a `.f64s` sequence from one of the built-in
 /// simulators.
 pub fn gen(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &["source", "iterations", "out", "grid", "seed"], &[])?;
-    p.expect_positionals(0, "")?;
-    let source = p.require("source")?;
+    let p = parse_args(raw, &["source", "iterations", "out", "grid", "seed"], &[])?;
+    p.expect_positionals(0, "").map_err(CliError::usage)?;
+    let source = p.require("source").map_err(CliError::usage)?;
     let iterations: usize = p.get_parsed("iterations", 10)?;
     let seed: u64 = p.get_parsed("seed", 42)?;
-    let out = p.require("out")?.to_string();
+    let out = p.require("out").map_err(CliError::usage)?.to_string();
     if iterations == 0 {
-        return Err("--iterations must be at least 1".to_string());
+        return Err("--iterations must be at least 1".into());
     }
 
     let seq: Vec<Vec<f64>> = match source.split_once(':') {
@@ -43,7 +53,7 @@ pub fn gen(raw: &[String]) -> CliResult {
                     let w: usize = w.parse().map_err(|_| format!("bad grid width '{w}'"))?;
                     let h: usize = h.parse().map_err(|_| format!("bad grid height '{h}'"))?;
                     if w == 0 || h == 0 {
-                        return Err("grid dimensions must be positive".to_string());
+                        return Err("grid dimensions must be positive".into());
                     }
                     climate_sim::Grid::new(w, h)
                 }
@@ -79,7 +89,8 @@ pub fn gen(raw: &[String]) -> CliResult {
         _ => {
             return Err(format!(
                 "--source must be climate:<var> or flash:<var>, got '{source}'"
-            ))
+            )
+            .into())
         }
     };
     seqfile::write(Path::new(&out), &seq)?;
@@ -93,9 +104,9 @@ pub fn gen(raw: &[String]) -> CliResult {
 /// `numarck compress`: `.f64s` → `.nmkc`.
 pub fn compress(raw: &[String]) -> CliResult {
     let p =
-        args::parse(raw, &["out", "bits", "tolerance", "strategy"], &["closed-loop", "entropy"])?;
-    let input = &p.expect_positionals(1, "input .f64s")?[0];
-    let out = p.require("out")?.to_string();
+        parse_args(raw, &["out", "bits", "tolerance", "strategy"], &["closed-loop", "entropy"])?;
+    let input = &p.expect_positionals(1, "input .f64s").map_err(CliError::usage)?[0];
+    let out = p.require("out").map_err(CliError::usage)?.to_string();
     let bits: u8 = p.get_parsed("bits", 8)?;
     let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
     let strategy = parse_strategy(p.get("strategy").unwrap_or("clustering"))?;
@@ -107,7 +118,7 @@ pub fn compress(raw: &[String]) -> CliResult {
 
     let seq = seqfile::read(Path::new(input))?;
     if seq.is_empty() {
-        return Err("input sequence is empty".to_string());
+        return Err("input sequence is empty".into());
     }
     let config = Config::new(bits, tolerance, strategy).map_err(|e| e.to_string())?;
     let mut chain = DeltaChain::with_mode(seq[0].clone(), config, mode);
@@ -143,9 +154,9 @@ pub fn compress(raw: &[String]) -> CliResult {
 /// `numarck decompress`: `.nmkc` → `.f64s` (base + every reconstructed
 /// iteration).
 pub fn decompress(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &["out"], &[])?;
-    let input = &p.expect_positionals(1, "input .nmkc")?[0];
-    let out = p.require("out")?.to_string();
+    let p = parse_args(raw, &["out"], &[])?;
+    let input = &p.expect_positionals(1, "input .nmkc").map_err(CliError::usage)?[0];
+    let out = p.require("out").map_err(CliError::usage)?.to_string();
     let chain = ChainFile::load(Path::new(input))?;
     let mut iterations = Vec::with_capacity(chain.deltas.len() + 1);
     let mut state = chain.base.clone();
@@ -165,8 +176,8 @@ pub fn decompress(raw: &[String]) -> CliResult {
 
 /// `numarck inspect`: human-readable summary of a chain file.
 pub fn inspect(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &[], &[])?;
-    let input = &p.expect_positionals(1, "input .nmkc")?[0];
+    let p = parse_args(raw, &[], &[])?;
+    let input = &p.expect_positionals(1, "input .nmkc").map_err(CliError::usage)?[0];
     let chain = ChainFile::load(Path::new(input))?;
     let mut out = String::new();
     out.push_str(&format!(
@@ -195,12 +206,12 @@ pub fn inspect(raw: &[String]) -> CliResult {
 /// `numarck anomaly-scan`: scan every transition of a sequence for
 /// soft-error outliers.
 pub fn anomaly_scan(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &["fence-multiplier"], &[])?;
-    let input = &p.expect_positionals(1, "input .f64s")?[0];
+    let p = parse_args(raw, &["fence-multiplier"], &[])?;
+    let input = &p.expect_positionals(1, "input .f64s").map_err(CliError::usage)?[0];
     let fence: f64 = p.get_parsed("fence-multiplier", 3.0)?;
     let seq = seqfile::read(Path::new(input))?;
     if seq.len() < 2 {
-        return Err("anomaly scan needs at least two iterations".to_string());
+        return Err("anomaly scan needs at least two iterations".into());
     }
     let config = numarck::anomaly::AnomalyConfig {
         fence_multiplier: fence,
@@ -236,13 +247,13 @@ pub fn anomaly_scan(raw: &[String]) -> CliResult {
 /// `numarck drift`: print the change-distribution drift series of a
 /// sequence (the signal the adaptive checkpoint policy consumes).
 pub fn drift(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &["tolerance", "cap"], &[])?;
-    let input = &p.expect_positionals(1, "input .f64s")?[0];
+    let p = parse_args(raw, &["tolerance", "cap"], &[])?;
+    let input = &p.expect_positionals(1, "input .f64s").map_err(CliError::usage)?[0];
     let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
     let cap: f64 = p.get_parsed("cap", 0.5)?;
     let seq = seqfile::read(Path::new(input))?;
     if seq.len() < 3 {
-        return Err("drift needs at least three iterations".to_string());
+        return Err("drift needs at least three iterations".into());
     }
     let mut tracker = numarck::drift::DriftTracker::new();
     let mut out = String::from("transition   L1      KL      EMD\n");
@@ -264,27 +275,27 @@ pub fn drift(raw: &[String]) -> CliResult {
 /// `--store` — check every iteration of a checkpoint store for
 /// restartability.
 pub fn verify(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &["tolerance", "store"], &[])?;
+    let p = parse_args(raw, &["tolerance", "store"], &[])?;
     if let Some(dir) = p.get("store") {
-        p.expect_positionals(0, "")?;
+        p.expect_positionals(0, "").map_err(CliError::usage)?;
         return verify_store(dir);
     }
-    let pos = p.expect_positionals(2, "reference .f64s, candidate .f64s")?;
+    let pos = p.expect_positionals(2, "reference .f64s, candidate .f64s").map_err(CliError::usage)?;
     let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
     let a = seqfile::read(Path::new(&pos[0]))?;
     let b = seqfile::read(Path::new(&pos[1]))?;
     if a.len() != b.len() {
-        return Err(format!(
+        return Err(CliError::corrupt(format!(
             "FAIL: iteration counts differ ({} vs {})",
             a.len(),
             b.len()
-        ));
+        )));
     }
     let mut report = String::new();
     let mut worst_overall = 0.0f64;
     for (i, (x, y)) in a.iter().zip(&b).enumerate() {
         if x.len() != y.len() {
-            return Err(format!("FAIL: iteration {i} lengths differ"));
+            return Err(CliError::corrupt(format!("FAIL: iteration {i} lengths differ")));
         }
         let max = max_relative_error(x, y);
         let mean = mean_relative_error(x, y);
@@ -305,9 +316,9 @@ pub fn verify(raw: &[String]) -> CliResult {
             "{report}PASS: worst relative error {worst_overall:.3e} within chain budget {budget:.3e}"
         ))
     } else {
-        Err(format!(
+        Err(CliError::corrupt(format!(
             "{report}FAIL: worst relative error {worst_overall:.3e} exceeds chain budget {budget:.3e}"
-        ))
+        )))
     }
 }
 
@@ -318,7 +329,7 @@ fn verify_store(dir: &str) -> CliResult {
     let diagnosis = numarck_checkpoint::fault::diagnose_store(&store)
         .map_err(|e| format!("cannot scan {dir}: {e}"))?;
     if diagnosis.is_empty() {
-        return Err(format!("FAIL: {dir} contains no checkpoint files"));
+        return Err(CliError::missing(format!("FAIL: {dir} contains no checkpoint files")));
     }
     let mut report = String::new();
     let mut broken = 0usize;
@@ -342,10 +353,10 @@ fn verify_store(dir: &str) -> CliResult {
     if broken == 0 {
         Ok(format!("{report}PASS: all {} iteration(s) restartable", diagnosis.len()))
     } else {
-        Err(format!(
+        Err(CliError::corrupt(format!(
             "{report}FAIL: {broken} of {} iteration(s) not restartable (try 'numarck scrub' then 'numarck repair')",
             diagnosis.len()
-        ))
+        )))
     }
 }
 
@@ -357,18 +368,19 @@ fn kind_name(is_full: bool) -> &'static str {
     }
 }
 
-fn open_store(dir: &str) -> Result<numarck_checkpoint::CheckpointStore, String> {
+fn open_store(dir: &str) -> Result<numarck_checkpoint::CheckpointStore, CliError> {
     if !Path::new(dir).is_dir() {
-        return Err(format!("store directory '{dir}' does not exist"));
+        return Err(CliError::missing(format!("store directory '{dir}' does not exist")));
     }
-    numarck_checkpoint::CheckpointStore::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))
+    numarck_checkpoint::CheckpointStore::open(dir)
+        .map_err(|e| format!("cannot open {dir}: {e}").into())
 }
 
 /// `numarck scrub`: CRC-verify every file of a checkpoint store, moving
 /// damaged ones to its `quarantine/` directory.
 pub fn scrub(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &[], &[])?;
-    let dir = &p.expect_positionals(1, "checkpoint store directory")?[0];
+    let p = parse_args(raw, &[], &[])?;
+    let dir = &p.expect_positionals(1, "checkpoint store directory").map_err(CliError::usage)?[0];
     let store = open_store(dir)?;
     let report = numarck_checkpoint::scrub(&store).map_err(|e| e.to_string())?;
     let mut out = format!("scrubbed {dir}: {} file(s) checked\n", report.checked);
@@ -383,21 +395,23 @@ pub fn scrub(raw: &[String]) -> CliResult {
     }
     if report.is_clean() {
         out.push_str("clean: no damage found\n");
+        Ok(out)
     } else {
         out.push_str(&format!(
             "{} file(s) quarantined; run 'numarck repair {dir}' to re-anchor the chain\n",
             report.quarantined.len()
         ));
+        // Damage found (and set aside) is a distinct, scriptable outcome.
+        Err(CliError::quarantined(out))
     }
-    Ok(out)
 }
 
 /// `numarck repair`: scrub, quarantine orphaned chain segments, and
 /// re-anchor the store with a fresh full checkpoint at the newest
 /// restartable iteration.
 pub fn repair(raw: &[String]) -> CliResult {
-    let p = args::parse(raw, &[], &[])?;
-    let dir = &p.expect_positionals(1, "checkpoint store directory")?[0];
+    let p = parse_args(raw, &[], &[])?;
+    let dir = &p.expect_positionals(1, "checkpoint store directory").map_err(CliError::usage)?[0];
     let store = open_store(dir)?;
     let report = numarck_checkpoint::repair(&store).map_err(|e| e.to_string())?;
     let mut out = format!(
@@ -416,9 +430,9 @@ pub fn repair(raw: &[String]) -> CliResult {
             out.push_str(&format!("anchor intact: full checkpoint at iteration {anchor}\n"))
         }
         None => {
-            return Err(format!(
+            return Err(CliError::missing(format!(
                 "{out}FAIL: no restartable iteration remains in {dir}"
-            ))
+            )))
         }
     }
     Ok(out)

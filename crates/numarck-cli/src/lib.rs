@@ -20,15 +20,92 @@ pub mod args;
 pub mod chainfile;
 pub mod commands;
 pub mod seqfile;
+pub mod serve_cmd;
+
+/// Process exit codes, stable for scripts and CI to branch on.
+pub mod exit_code {
+    /// Unclassified failure (I/O, compression internals, ...).
+    pub const GENERIC: i32 = 1;
+    /// Bad invocation: unknown command, unknown flag, malformed value.
+    pub const USAGE: i32 = 2;
+    /// The thing asked about is absent: store directory or input file
+    /// missing, store empty, no restartable iteration, unknown session.
+    pub const MISSING: i32 = 3;
+    /// Data exists but is damaged: verify FAIL, CRC/parse corruption.
+    pub const CORRUPT: i32 = 4;
+    /// A scrub quarantined files (damage was found *and* acted on).
+    pub const QUARANTINED: i32 = 5;
+    /// The server's bounded queue rejected the request; retry later.
+    pub const BUSY: i32 = 6;
+}
+
+/// A CLI failure: the message for stderr plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Process exit code (see [`exit_code`]).
+    pub code: i32,
+    /// Message printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// Bad invocation ([`exit_code::USAGE`]).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self { code: exit_code::USAGE, message: message.into() }
+    }
+
+    /// Absent target ([`exit_code::MISSING`]).
+    pub fn missing(message: impl Into<String>) -> Self {
+        Self { code: exit_code::MISSING, message: message.into() }
+    }
+
+    /// Damaged data ([`exit_code::CORRUPT`]).
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        Self { code: exit_code::CORRUPT, message: message.into() }
+    }
+
+    /// Damage found and quarantined ([`exit_code::QUARANTINED`]).
+    pub fn quarantined(message: impl Into<String>) -> Self {
+        Self { code: exit_code::QUARANTINED, message: message.into() }
+    }
+
+    /// Server backpressure ([`exit_code::BUSY`]).
+    pub fn busy(message: impl Into<String>) -> Self {
+        Self { code: exit_code::BUSY, message: message.into() }
+    }
+
+    /// Shorthand used all over the tests.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { code: exit_code::GENERIC, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self { code: exit_code::GENERIC, message: message.to_string() }
+    }
+}
 
 /// Exit status for the binary: `Ok(report)` printed to stdout, `Err`
-/// printed to stderr with exit code 1.
-pub type CliResult = Result<String, String>;
+/// printed to stderr with its [`CliError::code`] as the exit code.
+pub type CliResult = Result<String, CliError>;
 
 /// Entry point shared by `main.rs` and the tests.
 pub fn run(args: &[String]) -> CliResult {
     let Some(command) = args.first() else {
-        return Err(usage());
+        return Err(CliError::usage(usage()));
     };
     match command.as_str() {
         "gen" => commands::gen(&args[1..]),
@@ -40,8 +117,10 @@ pub fn run(args: &[String]) -> CliResult {
         "drift" => commands::drift(&args[1..]),
         "scrub" => commands::scrub(&args[1..]),
         "repair" => commands::repair(&args[1..]),
+        "serve" => serve_cmd::serve(&args[1..]),
+        "client" => serve_cmd::client(&args[1..]),
         "--help" | "-h" | "help" => Ok(usage()),
-        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+        other => Err(CliError::usage(format!("unknown command '{other}'\n\n{}", usage()))),
     }
 }
 
@@ -61,11 +140,21 @@ USAGE:
   numarck drift        <in.f64s> [--tolerance E] [--cap C]
   numarck scrub      <ckpt-dir>
   numarck repair     <ckpt-dir>
+  numarck serve      --root <dir> [--addr HOST:PORT] [--workers N] [--queue N]
+                     [--bits B] [--tolerance E] [--full-interval K]
+  numarck client     ingest   --addr HOST:PORT --session NAME <in.f64s>
+  numarck client     replay   --addr HOST:PORT --session NAME --out <file.f64s>
+  numarck client     restart  --addr HOST:PORT --session NAME [--at N] --out <file.f64s>
+  numarck client     stats    --addr HOST:PORT
+  numarck client     scrub    --addr HOST:PORT --session NAME [--repair]
+  numarck client     shutdown --addr HOST:PORT
 
 Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering.
 Recovery: 'verify --store' reports restartability per iteration; 'scrub'
 quarantines files that fail CRC validation; 'repair' additionally drops
-orphaned chain segments and re-anchors with a fresh full checkpoint."
+orphaned chain segments and re-anchors with a fresh full checkpoint.
+Exit codes: 0 ok · 1 error · 2 usage · 3 missing · 4 corrupt ·
+5 quarantined-by-scrub · 6 server-busy."
         .to_string()
 }
 
@@ -125,6 +214,23 @@ mod tests {
         let err = run(&argv(&["frobnicate"])).unwrap_err();
         assert!(err.contains("unknown command"));
         assert!(err.contains("USAGE"));
+        assert_eq!(err.code, exit_code::USAGE);
+    }
+
+    #[test]
+    fn usage_errors_carry_the_usage_exit_code() {
+        // Unknown flag.
+        let err = run(&argv(&["inspect", "--bogus", "x"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE, "{err}");
+        // Wrong positional count.
+        let err = run(&argv(&["verify", "only-one.f64s"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE, "{err}");
+        // Missing required flag.
+        let err = run(&argv(&["gen", "--source", "climate:rlus"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE, "{err}");
+        // A malformed *value* is a generic error, not a usage error.
+        let err = run(&argv(&["gen", "--source", "nope", "--out", "/tmp/x"])).unwrap_err();
+        assert_eq!(err.code, exit_code::GENERIC, "{err}");
     }
 
     #[test]
@@ -200,6 +306,7 @@ mod tests {
         run(&argv(&["gen", "--source", "climate:mrro", "--iterations", "3", "--grid", "16x8", "--out", &b])).unwrap();
         let err = run(&argv(&["verify", &a, &b, "--tolerance", "0.001"])).unwrap_err();
         assert!(err.contains("FAIL"), "{err}");
+        assert_eq!(err.code, exit_code::CORRUPT);
     }
 
     #[test]
@@ -285,6 +392,7 @@ mod tests {
         let err = run(&argv(&["verify", "--store", &dir])).unwrap_err();
         assert!(err.contains("FAIL"), "{err}");
         assert!(err.contains("scrub"), "{err}");
+        assert_eq!(err.code, exit_code::CORRUPT);
     }
 
     #[test]
@@ -297,8 +405,11 @@ mod tests {
         )
         .unwrap();
         let dir = tmp.0.display().to_string();
-        let out = run(&argv(&["scrub", &dir])).unwrap();
-        assert!(out.contains("quarantined iteration 5"), "{out}");
+        // A scrub that quarantines exits with the dedicated code so
+        // operators/CI can distinguish "found damage" from "clean".
+        let err = run(&argv(&["scrub", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::QUARANTINED, "{err}");
+        assert!(err.contains("quarantined iteration 5"), "{err}");
         let out = run(&argv(&["repair", &dir])).unwrap();
         assert!(out.contains("lost iteration 6"), "{out}");
         let out = run(&argv(&["verify", "--store", &dir])).unwrap();
@@ -318,8 +429,10 @@ mod tests {
         for cmd in ["scrub", "repair"] {
             let err = run(&argv(&[cmd, "/nonexistent/store"])).unwrap_err();
             assert!(err.contains("does not exist"), "{cmd}: {err}");
+            assert_eq!(err.code, exit_code::MISSING, "{cmd}: {err}");
         }
         let err = run(&argv(&["verify", "--store", "/nonexistent/store"])).unwrap_err();
         assert!(err.contains("does not exist"), "{err}");
+        assert_eq!(err.code, exit_code::MISSING);
     }
 }

@@ -4,9 +4,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match numarck_cli::run(&args) {
         Ok(report) => println!("{report}"),
-        Err(message) => {
-            eprintln!("{message}");
-            std::process::exit(1);
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(err.code);
         }
     }
 }

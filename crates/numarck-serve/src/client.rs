@@ -1,0 +1,258 @@
+//! Blocking client for the `numarck-serve` protocol.
+//!
+//! One [`Client`] wraps one TCP connection. Requests are strictly
+//! request→response (no pipelining); the client stamps each request with
+//! a fresh id and verifies the echo, so a desynchronised stream is an
+//! error rather than silent cross-talk. [`ClientError::Busy`] surfaces
+//! the server's typed backpressure so callers (the load generator, the
+//! CLI) can back off and retry.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use numarck_checkpoint::VariableSet;
+
+use crate::wire::{self, ErrorCode, PutOutcome, Request, Response, StatsReply};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server's work queue was full; retry after a backoff.
+    Busy,
+    /// The server answered with a typed error.
+    Server {
+        /// Failure class from the wire.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The transport failed (connect, read, write, deadline).
+    Io(io::Error),
+    /// The server broke protocol (bad frame, wrong opcode, id mismatch).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Busy => write!(f, "server busy: bounded queue is full"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        // The framing layer reports corrupt frames as InvalidData; that
+        // is a protocol failure, not a transport one.
+        if e.kind() == io::ErrorKind::InvalidData {
+            ClientError::Protocol(e.to_string())
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking connection to a checkpoint server.
+pub struct Client {
+    stream: TcpStream,
+    next_req_id: u64,
+}
+
+impl Client {
+    /// Connect with a timeout applied to connect, reads, and writes.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> ClientResult<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream, next_req_id: 1 })
+    }
+
+    /// Connect and open `session` in one go, retrying `Busy` rejections
+    /// with a linear backoff. A `Busy` verdict arrives on the first
+    /// round-trip and kills the connection (the acceptor never queued
+    /// it), so each retry reconnects from scratch. Returns the client
+    /// and the session id.
+    pub fn connect_session(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+        session: &str,
+        attempts: u32,
+        backoff: Duration,
+    ) -> ClientResult<(Self, u64)> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff.saturating_mul(attempt));
+            }
+            let mut client = match Client::connect(addr, timeout) {
+                Ok(client) => client,
+                Err(e @ ClientError::Io(_)) => {
+                    last = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match client.open_session(session) {
+                Ok(id) => return Ok((client, id)),
+                Err(e @ ClientError::Busy) | Err(e @ ClientError::Io(_)) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Busy))
+    }
+
+    /// One request→response round trip.
+    fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        wire::write_frame(&mut self.stream, req.opcode(), req_id, &req.payload())?;
+        let frame = wire::read_frame(&mut self.stream)?;
+        let resp = Response::from_frame(&frame)?;
+        // Busy is sent by the acceptor with id 0 before it ever sees our
+        // request, so exempt it from the echo check.
+        if frame.req_id != req_id && !matches!(resp, Response::Busy) {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {req_id}",
+                frame.req_id
+            )));
+        }
+        match resp {
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected<T>(resp: Response) -> ClientResult<T> {
+        Err(ClientError::Protocol(format!("unexpected response {resp:?}")))
+    }
+
+    /// Open (or re-attach to) the named session; returns its id.
+    pub fn open_session(&mut self, name: &str) -> ClientResult<u64> {
+        match self.call(&Request::OpenSession { name: name.to_string() })? {
+            Response::SessionOpened { session } => Ok(session),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Ingest one iteration.
+    pub fn put_iteration(
+        &mut self,
+        session: u64,
+        iteration: u64,
+        vars: &VariableSet,
+    ) -> ClientResult<PutOutcome> {
+        let outcomes = self.put_iterations(session, vec![(iteration, vars.clone())])?;
+        outcomes
+            .into_iter()
+            .next()
+            .ok_or_else(|| ClientError::Protocol("PutDone with no outcomes".into()))
+    }
+
+    /// Ingest a batch of iterations in order; returns one outcome each.
+    pub fn put_iterations(
+        &mut self,
+        session: u64,
+        iterations: Vec<(u64, VariableSet)>,
+    ) -> ClientResult<Vec<PutOutcome>> {
+        let sent = iterations.len();
+        match self.call(&Request::PutIterations { session, iterations })? {
+            Response::PutDone { outcomes } => {
+                if outcomes.len() != sent {
+                    return Err(ClientError::Protocol(format!(
+                        "sent {sent} iterations, got {} outcomes",
+                        outcomes.len()
+                    )));
+                }
+                Ok(outcomes)
+            }
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Recover the newest restartable state at or before `at_or_before`.
+    pub fn restart(&mut self, session: u64, at_or_before: u64) -> ClientResult<RestartReply> {
+        match self.call(&Request::Restart { session, at_or_before })? {
+            Response::RestartData { achieved, base, deltas_applied, lost, vars } => {
+                Ok(RestartReply { achieved, base, deltas_applied, lost, vars })
+            }
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Scrub (and optionally repair) the session's store.
+    pub fn scrub(&mut self, session: u64, repair: bool) -> ClientResult<ScrubReply> {
+        match self.call(&Request::Scrub { session, repair })? {
+            Response::ScrubDone { checked, quarantined, anchored_at, lost } => {
+                Ok(ScrubReply { checked, quarantined, anchored_at, lost })
+            }
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Server counters and per-session summaries.
+    pub fn stats(&mut self) -> ClientResult<StatsReply> {
+        match self.call(&Request::Stats)? {
+            Response::StatsData(stats) => Ok(stats),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Close a session (its on-disk store remains).
+    pub fn close_session(&mut self, session: u64) -> ClientResult<()> {
+        match self.call(&Request::CloseSession { session })? {
+            Response::SessionClosed => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+}
+
+/// Decoded `RestartData` response.
+#[derive(Debug, Clone)]
+pub struct RestartReply {
+    /// The iteration actually recovered.
+    pub achieved: u64,
+    /// The full checkpoint the replay started from.
+    pub base: u64,
+    /// Deltas applied on top of the base.
+    pub deltas_applied: u64,
+    /// Iterations that could not be recovered on the way down.
+    pub lost: u32,
+    /// The reconstructed variables.
+    pub vars: VariableSet,
+}
+
+/// Decoded `ScrubDone` response.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubReply {
+    /// Files examined.
+    pub checked: u32,
+    /// Files quarantined.
+    pub quarantined: u32,
+    /// Where the store was re-anchored (repair only).
+    pub anchored_at: Option<u64>,
+    /// Intact-but-orphaned iterations given up (repair only).
+    pub lost: u32,
+}

@@ -1,0 +1,30 @@
+//! Checkpointing as a service: a concurrent ingest/restart server over
+//! the NUMARCK checkpoint store, plus the matching blocking client.
+//!
+//! The crate is deliberately std-only (`std::net` + threads — no async
+//! runtime, no external networking deps) and splits into three layers:
+//!
+//! * [`wire`] — the length-prefixed, CRC-protected binary protocol:
+//!   frame layout, request/response enums, encode/decode.
+//! * [`server`] — acceptor thread + bounded hand-off queue + fixed
+//!   worker pool. A full queue is answered with a typed
+//!   [`wire::Response::Busy`] instead of an unbounded backlog; drain
+//!   (shutdown request or SIGTERM) finishes in-flight work and stops.
+//!   Every session is a [`numarck_checkpoint::CheckpointManager`] over
+//!   its own store directory, so ingest inherits retry/backoff and the
+//!   scrub→quarantine→repair machinery.
+//! * [`client`] — a small blocking client used by the CLI subcommands
+//!   and the load generator in `numarck-bench`.
+//!
+//! See DESIGN.md ("numarck-serve wire protocol") for the normative
+//! protocol description.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, ClientResult, RestartReply, ScrubReply};
+pub use server::{
+    install_signal_handlers, signal_drain_requested, Server, ServerConfig, ServerHandle,
+};
+pub use wire::{ErrorCode, PutOutcome, Request, Response, SessionStat, StatsReply, WrittenKind};

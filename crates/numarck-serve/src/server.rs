@@ -1,0 +1,641 @@
+//! The checkpoint service: acceptor + bounded queue + worker pool.
+//!
+//! One acceptor thread polls a non-blocking listener and hands accepted
+//! connections to a fixed worker pool over a bounded
+//! [`std::sync::mpsc::sync_channel`]. When the queue is full the
+//! acceptor answers the connection with a single [`Response::Busy`]
+//! frame and drops it — typed backpressure instead of an ever-growing
+//! accept backlog. Each worker serves one connection at a time, request
+//! after request, until the peer closes (so a connection has session
+//! affinity for free; concurrency across sessions comes from the pool).
+//!
+//! Sessions are named; each maps to a subdirectory of the server root
+//! and is backed by a [`CheckpointManager`], so every ingest inherits
+//! the store's retry/backoff and quarantine machinery. Per-session locks
+//! let distinct sessions ingest in parallel while serialising writes
+//! within one session (the delta chain is inherently ordered).
+//!
+//! Drain (`Shutdown` request or SIGTERM/SIGINT) flips one flag: the
+//! acceptor closes the listener and stops feeding the queue, workers
+//! finish the request they are on, answer anything further with
+//! `Error { Draining }`, and exit once their connection goes idle. State
+//! is all on disk already (every `Put` is durable before it is acked),
+//! so drain has nothing to flush — it only has to stop cleanly.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use numarck::error::NumarckError;
+use numarck::Config;
+use numarck_checkpoint::backend::StorageBackend;
+use numarck_checkpoint::{
+    scrub, CheckpointManager, CheckpointOutcome, CheckpointStore, FsBackend, ManagerPolicy,
+    RestartEngine, RetryPolicy, SystemClock,
+};
+
+use crate::wire::{
+    self, ErrorCode, PutOutcome, ReadOutcome, Request, Response, SessionStat, StatsReply,
+    WrittenKind,
+};
+
+/// How long the acceptor sleeps between accept polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory under which each session gets a checkpoint store.
+    pub root: PathBuf,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded hand-off queue depth between acceptor and workers; a full
+    /// queue makes the acceptor answer [`Response::Busy`].
+    pub queue_depth: usize,
+    /// Per-request socket deadline: the longest a worker will wait for
+    /// the rest of a started frame (or for a response write to make
+    /// progress) before failing the connection. Doubles as the idle poll
+    /// interval between requests.
+    pub io_timeout: Duration,
+    /// NUMARCK compression config for delta checkpoints.
+    pub compression: Config,
+    /// Full-checkpoint interval for every session.
+    pub full_interval: u64,
+    /// Storage retry policy (inherited by every session's manager).
+    pub retry: RetryPolicy,
+    /// Storage backend for every session store (tests inject faults).
+    pub backend: Arc<dyn StorageBackend>,
+}
+
+impl ServerConfig {
+    /// Defaults: 4 workers, queue depth 16, 5s deadline, fulls every 16
+    /// iterations, default retry policy, real filesystem.
+    pub fn new(root: impl Into<PathBuf>, compression: Config) -> Self {
+        Self {
+            root: root.into(),
+            workers: 4,
+            queue_depth: 16,
+            io_timeout: Duration::from_secs(5),
+            compression,
+            full_interval: 16,
+            retry: RetryPolicy::default(),
+            backend: Arc::new(FsBackend),
+        }
+    }
+}
+
+/// One open session.
+struct SessionState {
+    id: u64,
+    name: String,
+    manager: CheckpointManager,
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    config: ServerConfig,
+    draining: AtomicBool,
+    // Counters (see `StatsReply` for meanings).
+    accepted: AtomicU64,
+    served: AtomicU64,
+    busy_rejected: AtomicU64,
+    iterations_ingested: AtomicU64,
+    bytes_ingested: AtomicU64,
+    write_retries: AtomicU64,
+    next_session_id: AtomicU64,
+    /// name → id for idempotent `OpenSession`.
+    by_name: Mutex<HashMap<String, u64>>,
+    /// id → session. Per-session mutexes so sessions proceed in
+    /// parallel; this outer map lock is only held to look up the `Arc`.
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsReply {
+        let mut sessions: Vec<SessionStat> = Vec::new();
+        let handles: Vec<Arc<Mutex<SessionState>>> =
+            self.sessions.lock().expect("sessions lock").values().cloned().collect();
+        for handle in handles {
+            let sess = handle.lock().expect("session lock");
+            let files =
+                sess.manager.list_iterations().map(|l| l.len() as u32).unwrap_or(0);
+            sessions.push(SessionStat {
+                id: sess.id,
+                name: sess.name.clone(),
+                files,
+                latest_restartable: sess.manager.latest_restartable(),
+            });
+        }
+        sessions.sort_by_key(|s| s.id);
+        StatsReply {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+            iterations_ingested: self.iterations_ingested.load(Ordering::Relaxed),
+            bytes_ingested: self.bytes_ingested.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+            sessions,
+        }
+    }
+}
+
+/// Running server: the acceptor/worker threads plus control surface.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener is bound to (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin draining: stop accepting, let in-flight work finish.
+    /// Idempotent; returns immediately.
+    pub fn trigger_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been triggered (by request, signal, or
+    /// [`Self::trigger_drain`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Block until the acceptor and every worker have exited. Only
+    /// returns after a drain has been triggered somehow.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Drain and wait: [`Self::trigger_drain`] + [`Self::join`].
+    pub fn shutdown(self) {
+        self.trigger_drain();
+        self.join();
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that flip [`signal_drain_requested`].
+///
+/// Uses the raw libc `signal(2)` symbol so the crate stays free of
+/// external dependencies. Safe to call more than once.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_DRAIN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// No-op off unix.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// True once a SIGTERM/SIGINT has been received (after
+/// [`install_signal_handlers`]). The acceptor polls this.
+pub fn signal_drain_requested() -> bool {
+    SIGNAL_DRAIN.load(Ordering::SeqCst)
+}
+
+/// The server. Construct with [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start the acceptor and worker threads. Returns once the listener
+    /// is live; the returned handle controls shutdown.
+    pub fn spawn(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_depth >= 1, "need at least one queue slot");
+        config.backend.create_dir_all(&config.root)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            draining: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            iterations_ingested: AtomicU64::new(0),
+            bytes_ingested: AtomicU64::new(0),
+            write_retries: AtomicU64::new(0),
+            next_session_id: AtomicU64::new(1),
+            by_name: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+        });
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("nsrv-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker"),
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("nsrv-acceptor".into())
+                .spawn(move || acceptor_loop(listener, tx, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle { addr: local, shared, acceptor: Some(acceptor), workers })
+    }
+}
+
+/// Accept until drain; full queue ⇒ Busy + drop.
+fn acceptor_loop(listener: TcpListener, tx: SyncSender<TcpStream>, shared: &Shared) {
+    loop {
+        if signal_drain_requested() {
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => match tx.try_send(stream) {
+                Ok(()) => {
+                    shared.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(stream)) => {
+                    shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_busy(stream, shared.config.io_timeout);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping `tx` here wakes every idle worker with Disconnected.
+}
+
+/// Tell an over-quota connection it lost, without blocking the acceptor
+/// for long.
+fn reject_busy(stream: TcpStream, timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut stream = stream;
+    let _ = wire::write_frame(&mut stream, Response::Busy.opcode(), 0, &Response::Busy.payload());
+}
+
+/// Pull connections off the queue and serve each to completion.
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        // Hold the receiver lock only for the poll itself so workers
+        // take turns; poll with a timeout so drain is noticed even with
+        // no traffic.
+        let conn = {
+            let rx = rx.lock().expect("receiver lock");
+            rx.recv_timeout(ACCEPT_POLL)
+        };
+        match conn {
+            Ok(stream) => serve_connection(stream, shared),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// How often an idle connection re-checks the drain flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Serve one connection: read frames, dispatch, respond, until the peer
+/// closes, the deadline is violated, or drain finishes the conversation.
+///
+/// Two timescales: *between* requests the socket is polled every
+/// [`IDLE_POLL`] so drain is noticed promptly on quiet connections;
+/// once a frame's first byte arrives, the socket timeout widens to the
+/// per-request `io_timeout` deadline — a peer that starts a frame and
+/// stalls past the deadline loses the connection.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let timeout = shared.config.io_timeout;
+    if stream.set_write_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    let mut stream = stream;
+    loop {
+        let outcome = read_next_frame(&mut stream, timeout);
+        let frame = match outcome {
+            Ok(ReadOutcome::Frame(frame)) => frame,
+            Ok(ReadOutcome::Idle) => {
+                // Idle tick: keep waiting unless the server is draining,
+                // in which case the conversation is over.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Err(_) => {
+                // Deadline violation or garbage: the stream may not be
+                // frame-aligned any more, so answer (best-effort) and
+                // hang up.
+                let resp = Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: "unreadable frame; closing connection".into(),
+                };
+                let _ = wire::write_frame(&mut stream, resp.opcode(), 0, &resp.payload());
+                return;
+            }
+        };
+        let req_id = frame.req_id;
+        let (resp, close_after) = match Request::from_frame(&frame) {
+            Ok(req) => dispatch(req, shared),
+            Err(e) => (
+                Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                true,
+            ),
+        };
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        if wire::write_frame(&mut stream, resp.opcode(), req_id, &resp.payload()).is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// One idle-aware frame read: poll for the first byte at [`IDLE_POLL`],
+/// then read the rest of the frame under the full `deadline`.
+fn read_next_frame(stream: &mut TcpStream, deadline: Duration) -> io::Result<ReadOutcome> {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return Ok(ReadOutcome::Closed);
+    }
+    let mut first = [0u8; 1];
+    loop {
+        match io::Read::read(stream, &mut first) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(_) => break,
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                return Ok(ReadOutcome::Idle)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    stream.set_read_timeout(Some(deadline))?;
+    wire::read_frame_rest(first[0], stream).map(ReadOutcome::Frame)
+}
+
+/// Handle one request. Returns the response and whether the connection
+/// should close afterwards.
+fn dispatch(req: Request, shared: &Shared) -> (Response, bool) {
+    // Draining: only `Stats` (observability) still answers normally.
+    if shared.draining.load(Ordering::SeqCst) && !matches!(req, Request::Stats) {
+        return (
+            Response::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining; not accepting new work".into(),
+            },
+            true,
+        );
+    }
+    match req {
+        Request::OpenSession { name } => (open_session(&name, shared), false),
+        Request::PutIterations { session, iterations } => {
+            (put_iterations(session, iterations, shared), false)
+        }
+        Request::Restart { session, at_or_before } => {
+            (restart(session, at_or_before, shared), false)
+        }
+        Request::Scrub { session, repair } => (run_scrub(session, repair, shared), false),
+        Request::Stats => (Response::StatsData(shared.stats()), false),
+        Request::CloseSession { session } => (close_session(session, shared), false),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            (Response::ShuttingDown, true)
+        }
+    }
+}
+
+/// Session names double as directory names; keep them boring.
+fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        && name != "."
+        && name != ".."
+}
+
+fn open_session(name: &str, shared: &Shared) -> Response {
+    if !valid_session_name(name) {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "invalid session name {name:?}: need 1-64 chars of [A-Za-z0-9._-]"
+            ),
+        };
+    }
+    // Idempotent: re-opening a name returns the existing id.
+    let mut by_name = shared.by_name.lock().expect("by_name lock");
+    if let Some(&id) = by_name.get(name) {
+        return Response::SessionOpened { session: id };
+    }
+    let store = match CheckpointStore::open_with(
+        shared.config.root.join(name),
+        Arc::clone(&shared.config.backend),
+    ) {
+        Ok(store) => store,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Io,
+                message: format!("cannot open session store: {e}"),
+            }
+        }
+    };
+    let manager = CheckpointManager::with_retry(
+        store,
+        shared.config.compression,
+        ManagerPolicy::fixed(shared.config.full_interval),
+        shared.config.retry,
+        Arc::new(SystemClock),
+    );
+    let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+    by_name.insert(name.to_string(), id);
+    shared
+        .sessions
+        .lock()
+        .expect("sessions lock")
+        .insert(id, Arc::new(Mutex::new(SessionState { id, name: name.to_string(), manager })));
+    Response::SessionOpened { session: id }
+}
+
+fn session_handle(id: u64, shared: &Shared) -> Result<Arc<Mutex<SessionState>>, Response> {
+    shared.sessions.lock().expect("sessions lock").get(&id).cloned().ok_or_else(|| {
+        Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: format!("session {id} is not open"),
+        }
+    })
+}
+
+fn put_iterations(
+    id: u64,
+    iterations: Vec<(u64, numarck_checkpoint::VariableSet)>,
+    shared: &Shared,
+) -> Response {
+    if iterations.is_empty() {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "empty iteration batch".into(),
+        };
+    }
+    let handle = match session_handle(id, shared) {
+        Ok(h) => h,
+        Err(resp) => return resp,
+    };
+    // One lock per batch: iterations within a batch are ordered by the
+    // chain anyway, and the per-session lock is what lets *other*
+    // sessions make progress meanwhile.
+    let mut sess = handle.lock().expect("session lock");
+    let mut outcomes = Vec::with_capacity(iterations.len());
+    for (iteration, vars) in &iterations {
+        let bytes: u64 = vars.values().map(|v| v.len() as u64 * 8).sum();
+        match sess.manager.checkpoint_with_report(*iteration, vars) {
+            Ok(report) => {
+                shared.iterations_ingested.fetch_add(1, Ordering::Relaxed);
+                shared.bytes_ingested.fetch_add(bytes, Ordering::Relaxed);
+                shared.write_retries.fetch_add(u64::from(report.retries), Ordering::Relaxed);
+                let kind = match report.outcome {
+                    CheckpointOutcome::Full => WrittenKind::Full,
+                    CheckpointOutcome::FullOnDrift { .. } => WrittenKind::FullOnDrift,
+                    CheckpointOutcome::Delta(_) => WrittenKind::Delta,
+                };
+                outcomes.push(PutOutcome { iteration: *iteration, kind, retries: report.retries });
+            }
+            Err(e) => {
+                // Partial batches are reported as errors: the client
+                // cannot tell which prefix landed from a PutDone, and
+                // the next Put will re-anchor with a forced full anyway.
+                let code = match &e {
+                    NumarckError::Io(_) => ErrorCode::Io,
+                    _ => ErrorCode::Compress,
+                };
+                return Response::Error {
+                    code,
+                    message: format!(
+                        "iteration {iteration} failed after {} of {} landed: {e}",
+                        outcomes.len(),
+                        iterations.len()
+                    ),
+                };
+            }
+        }
+    }
+    Response::PutDone { outcomes }
+}
+
+fn restart(id: u64, at_or_before: u64, shared: &Shared) -> Response {
+    let handle = match session_handle(id, shared) {
+        Ok(h) => h,
+        Err(resp) => return resp,
+    };
+    let store = {
+        let sess = handle.lock().expect("session lock");
+        sess.manager.store().clone()
+    };
+    // The chain replay runs on a clone of the store *outside* the
+    // session lock: restarts are reads and must not stall ingest.
+    match RestartEngine::new(store).restart_at_or_before(at_or_before) {
+        Ok(degraded) => Response::RestartData {
+            achieved: degraded.achieved(),
+            base: degraded.result.base_iteration,
+            deltas_applied: degraded.result.deltas_applied,
+            lost: degraded.lost.len() as u32,
+            vars: degraded.result.vars,
+        },
+        Err(e) => Response::Error {
+            code: ErrorCode::NotFound,
+            message: format!("nothing restartable at or before {at_or_before}: {e}"),
+        },
+    }
+}
+
+fn run_scrub(id: u64, repair: bool, shared: &Shared) -> Response {
+    let handle = match session_handle(id, shared) {
+        Ok(h) => h,
+        Err(resp) => return resp,
+    };
+    // Scrub holds the session lock: it may quarantine and rewrite files,
+    // which must not race the session's own ingest.
+    let sess = handle.lock().expect("session lock");
+    let store = sess.manager.store();
+    if repair {
+        match scrub::repair(store) {
+            Ok(report) => Response::ScrubDone {
+                checked: report.scrub.checked as u32,
+                quarantined: report.scrub.quarantined.len() as u32,
+                anchored_at: report.anchored_at,
+                lost: report.lost.len() as u32,
+            },
+            Err(e) => Response::Error { code: ErrorCode::Io, message: format!("repair failed: {e}") },
+        }
+    } else {
+        match scrub::scrub(store) {
+            Ok(report) => Response::ScrubDone {
+                checked: report.checked as u32,
+                quarantined: report.quarantined.len() as u32,
+                anchored_at: None,
+                lost: 0,
+            },
+            Err(e) => Response::Error { code: ErrorCode::Io, message: format!("scrub failed: {e}") },
+        }
+    }
+}
+
+fn close_session(id: u64, shared: &Shared) -> Response {
+    let removed = shared.sessions.lock().expect("sessions lock").remove(&id);
+    match removed {
+        Some(handle) => {
+            let name = handle.lock().expect("session lock").name.clone();
+            shared.by_name.lock().expect("by_name lock").remove(&name);
+            Response::SessionClosed
+        }
+        None => Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: format!("session {id} is not open"),
+        },
+    }
+}

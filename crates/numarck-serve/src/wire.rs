@@ -1,0 +1,906 @@
+//! The `numarck-serve` wire protocol.
+//!
+//! Length-prefixed binary frames over a byte stream, following the same
+//! conventions as `numarck-checkpoint/format.rs` (little-endian fields,
+//! u16-length-prefixed UTF-8 names, trailing CRC-32 over everything that
+//! precedes it):
+//!
+//! ```text
+//! [0..4)   magic b"NSRV"
+//! [4..6)   protocol version (u16)
+//! [6]      opcode (u8)
+//! [7]      reserved (0)
+//! [8..16)  request id (u64) — echoed verbatim in the response
+//! [16..20) payload length (u32)
+//! [20..)   payload (opcode-specific)
+//! [..+4)   crc32 of every byte above (u32)
+//! ```
+//!
+//! Requests use opcodes `0x01..=0x07`; responses set the high bit
+//! (`0x81..`), plus two out-of-band replies: [`Response::Busy`] (`0xBB`,
+//! sent by the acceptor when the work queue is full — the typed
+//! backpressure signal) and [`Response::Error`] (`0xEE`). A frame that
+//! fails CRC or structural validation is answered with
+//! `Error { code: Malformed }` and the connection is closed, since the
+//! stream can no longer be trusted to be frame-aligned.
+
+use std::io::{self, Read, Write};
+
+use numarck::serialize as nser;
+use numarck_checkpoint::VariableSet;
+
+/// Magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"NSRV";
+/// Current protocol version. Bumped on any incompatible change; a server
+/// answers a version it does not speak with `Error { Malformed }`.
+pub const VERSION: u16 = 1;
+/// Frame header length (magic + version + opcode + reserved + request id
+/// + payload length).
+pub const HEADER_LEN: usize = 20;
+/// Hard ceiling on a single frame's payload, so a corrupt or hostile
+/// length field cannot make either side allocate unboundedly.
+pub const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+mod opcode {
+    pub const OPEN_SESSION: u8 = 0x01;
+    pub const PUT_ITERATIONS: u8 = 0x02;
+    pub const RESTART: u8 = 0x03;
+    pub const SCRUB: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const CLOSE_SESSION: u8 = 0x06;
+    pub const SHUTDOWN: u8 = 0x07;
+
+    pub const SESSION_OPENED: u8 = 0x81;
+    pub const PUT_DONE: u8 = 0x82;
+    pub const RESTART_DATA: u8 = 0x83;
+    pub const SCRUB_DONE: u8 = 0x84;
+    pub const STATS_DATA: u8 = 0x85;
+    pub const SESSION_CLOSED: u8 = 0x86;
+    pub const SHUTTING_DOWN: u8 = 0x87;
+    pub const BUSY: u8 = 0xBB;
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Why a request failed, as carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame or payload did not parse (bad magic/version/CRC/shape).
+    Malformed,
+    /// The request named a session id the server does not have open.
+    UnknownSession,
+    /// Compression or reconstruction failed (NUMARCK-level error).
+    Compress,
+    /// Storage I/O failed after the retry policy was exhausted.
+    Io,
+    /// The server is draining and no longer accepts new work.
+    Draining,
+    /// The request was structurally valid but semantically rejected
+    /// (bad session name, zero-count batch, ...).
+    BadRequest,
+    /// Nothing satisfies the request (no restartable iteration, ...).
+    NotFound,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::UnknownSession => 2,
+            ErrorCode::Compress => 3,
+            ErrorCode::Io => 4,
+            ErrorCode::Draining => 5,
+            ErrorCode::BadRequest => 6,
+            ErrorCode::NotFound => 7,
+        }
+    }
+
+    fn from_u16(v: u16) -> io::Result<Self> {
+        Ok(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownSession,
+            3 => ErrorCode::Compress,
+            4 => ErrorCode::Io,
+            5 => ErrorCode::Draining,
+            6 => ErrorCode::BadRequest,
+            7 => ErrorCode::NotFound,
+            other => return Err(corrupt(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::Compress => "compress",
+            ErrorCode::Io => "io",
+            ErrorCode::Draining => "draining",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::NotFound => "not-found",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What kind of checkpoint a `PutIterations` entry produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrittenKind {
+    /// A full checkpoint (scheduled, first-in-session, or forced).
+    Full,
+    /// A NUMARCK delta against the session's previous iteration.
+    Delta,
+    /// A full checkpoint forced by change-distribution drift.
+    FullOnDrift,
+}
+
+impl WrittenKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            WrittenKind::Full => 0,
+            WrittenKind::Delta => 1,
+            WrittenKind::FullOnDrift => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Self> {
+        Ok(match v {
+            0 => WrittenKind::Full,
+            1 => WrittenKind::Delta,
+            2 => WrittenKind::FullOnDrift,
+            other => return Err(corrupt(format!("unknown written kind {other}"))),
+        })
+    }
+}
+
+/// Per-iteration outcome of an ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// The iteration that was checkpointed.
+    pub iteration: u64,
+    /// What was written for it.
+    pub kind: WrittenKind,
+    /// Storage-write retries the retry policy had to spend.
+    pub retries: u32,
+}
+
+/// Per-session summary inside a [`StatsReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStat {
+    /// Server-assigned session id.
+    pub id: u64,
+    /// The name the session was opened under.
+    pub name: String,
+    /// Checkpoint files currently stored for the session.
+    pub files: u32,
+    /// Newest iteration that restarts cleanly, if any.
+    pub latest_restartable: Option<u64>,
+}
+
+/// Payload of [`Response::StatsData`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Connections accepted into service (excludes Busy rejections).
+    pub accepted: u64,
+    /// Requests answered (any response kind except Busy).
+    pub served: u64,
+    /// Connections rejected with [`Response::Busy`] by the acceptor.
+    pub busy_rejected: u64,
+    /// Iterations ingested across all sessions.
+    pub iterations_ingested: u64,
+    /// Raw payload bytes ingested (sum of `8 × points` over variables).
+    pub bytes_ingested: u64,
+    /// Storage-write retries spent across all sessions.
+    pub write_retries: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Per-session summaries, ordered by id.
+    pub sessions: Vec<SessionStat>,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open (or re-attach to) the named session.
+    OpenSession {
+        /// Session name; `[A-Za-z0-9._-]{1,64}`, doubles as the store
+        /// subdirectory name.
+        name: String,
+    },
+    /// Ingest a batch of iterations, in order, into a session.
+    PutIterations {
+        /// Session id from [`Response::SessionOpened`].
+        session: u64,
+        /// `(iteration, variables)` pairs; must be non-empty.
+        iterations: Vec<(u64, VariableSet)>,
+    },
+    /// Rebuild the newest restartable state at or before an iteration.
+    Restart {
+        /// Session id.
+        session: u64,
+        /// Upper bound on the iteration to recover.
+        at_or_before: u64,
+    },
+    /// Integrity-scrub a session's store (optionally repairing it).
+    Scrub {
+        /// Session id.
+        session: u64,
+        /// Also quarantine orphans and re-anchor (the repair pass).
+        repair: bool,
+    },
+    /// Server and per-session counters.
+    Stats,
+    /// Close a session (its store stays on disk; the name can be
+    /// reopened later).
+    CloseSession {
+        /// Session id.
+        session: u64,
+    },
+    /// Ask the server to drain: finish in-flight work, refuse new work,
+    /// close the listener, exit.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session is open under this id.
+    SessionOpened {
+        /// Server-assigned id, stable for the life of the session.
+        session: u64,
+    },
+    /// The batch was ingested; one outcome per iteration, in order.
+    PutDone {
+        /// Per-iteration outcomes.
+        outcomes: Vec<PutOutcome>,
+    },
+    /// A restart result.
+    RestartData {
+        /// The iteration actually recovered.
+        achieved: u64,
+        /// The full checkpoint the replay started from.
+        base: u64,
+        /// Deltas applied on top of the base.
+        deltas_applied: u64,
+        /// Iterations between the request and `achieved` that could not
+        /// be recovered.
+        lost: u32,
+        /// The reconstructed variables.
+        vars: VariableSet,
+    },
+    /// A scrub (or scrub+repair) finished.
+    ScrubDone {
+        /// Files examined.
+        checked: u32,
+        /// Files quarantined.
+        quarantined: u32,
+        /// Where the store was re-anchored (repair only).
+        anchored_at: Option<u64>,
+        /// Intact-but-orphaned iterations given up (repair only).
+        lost: u32,
+    },
+    /// Counters.
+    StatsData(StatsReply),
+    /// The session is closed.
+    SessionClosed,
+    /// Drain has begun; this connection will be closed.
+    ShuttingDown,
+    /// The bounded work queue is full — retry later. Sent by the
+    /// acceptor before the connection is dropped.
+    Busy,
+    /// The request failed.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One decoded frame: opcode + request id + raw payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The opcode byte.
+    pub opcode: u8,
+    /// Request id (echoed between request and response).
+    pub req_id: u64,
+    /// Opcode-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of a server-side frame read with an idle timeout.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// No bytes arrived within the socket timeout — the connection is
+    /// idle (not an error; poll again, or close if draining).
+    Idle,
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+fn corrupt(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serialise a frame and write it out, flushing.
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: u8,
+    req_id: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    assert!(payload.len() <= MAX_PAYLOAD as usize, "payload exceeds MAX_PAYLOAD");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(opcode);
+    buf.push(0);
+    buf.extend_from_slice(&req_id.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = nser::crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame, blocking until it fully arrives.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    finish_frame(r, header)
+}
+
+/// Read one frame with idle detection: a timeout before the *first* byte
+/// is [`ReadOutcome::Idle`]; a timeout after it is a deadline violation
+/// (the peer started a frame and stalled) and surfaces as an error.
+pub fn read_frame_or_idle(r: &mut impl Read) -> io::Result<ReadOutcome> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(ReadOutcome::Closed)
+                } else {
+                    Err(corrupt("connection closed mid-frame".into()))
+                }
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(ReadOutcome::Idle)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    finish_frame(r, header).map(ReadOutcome::Frame)
+}
+
+/// Read the rest of a frame whose first header byte has already been
+/// consumed (the server's idle poll reads one byte at a fast poll
+/// interval, then widens the socket timeout to the per-request deadline
+/// and hands the byte here).
+pub fn read_frame_rest(first: u8, r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    r.read_exact(&mut header[1..])?;
+    finish_frame(r, header)
+}
+
+/// Validate a header, read the payload + CRC, and check the CRC.
+fn finish_frame(r: &mut impl Read, header: [u8; HEADER_LEN]) -> io::Result<Frame> {
+    if header[0..4] != MAGIC {
+        return Err(corrupt("bad frame magic".into()));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported protocol version {version}")));
+    }
+    let opcode = header[6];
+    let req_id = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(corrupt(format!("payload length {payload_len} exceeds limit")));
+    }
+    let mut rest = vec![0u8; payload_len as usize + 4];
+    r.read_exact(&mut rest)?;
+    let (payload, crc_bytes) = rest.split_at(payload_len as usize);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let mut crc_input = Vec::with_capacity(HEADER_LEN + payload.len());
+    crc_input.extend_from_slice(&header);
+    crc_input.extend_from_slice(payload);
+    let computed = nser::crc32(&crc_input);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "frame crc mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    Ok(Frame { opcode, req_id, payload: payload.to_vec() })
+}
+
+// ---------------------------------------------------------------------
+// Payload cursor
+// ---------------------------------------------------------------------
+
+/// Checked little-endian reader over a payload slice.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(corrupt(format!("payload truncated: want {n}, have {}", self.0.len())));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string not UTF-8".into()))
+    }
+
+    fn vars(&mut self) -> io::Result<VariableSet> {
+        let count = self.u32()? as usize;
+        let mut vars = VariableSet::new();
+        for _ in 0..count {
+            let name = self.string()?;
+            let byte_len = self.u64()? as usize;
+            if !byte_len.is_multiple_of(8) {
+                return Err(corrupt(format!(
+                    "variable '{name}' payload not a multiple of 8 bytes"
+                )));
+            }
+            let bytes = self.take(byte_len)?;
+            let values: Vec<f64> = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            vars.insert(name, values);
+        }
+        Ok(vars)
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(corrupt(format!("{} trailing payload bytes", self.0.len())))
+        }
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string too long for wire");
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_vars(buf: &mut Vec<u8>, vars: &VariableSet) {
+    buf.extend_from_slice(&(vars.len() as u32).to_le_bytes());
+    for (name, data) in vars {
+        put_string(buf, name);
+        buf.extend_from_slice(&((data.len() * 8) as u64).to_le_bytes());
+        for &v in data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request encode/decode
+// ---------------------------------------------------------------------
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::OpenSession { .. } => opcode::OPEN_SESSION,
+            Request::PutIterations { .. } => opcode::PUT_ITERATIONS,
+            Request::Restart { .. } => opcode::RESTART,
+            Request::Scrub { .. } => opcode::SCRUB,
+            Request::Stats => opcode::STATS,
+            Request::CloseSession { .. } => opcode::CLOSE_SESSION,
+            Request::Shutdown => opcode::SHUTDOWN,
+        }
+    }
+
+    /// Serialise the payload (header and CRC are the framing layer's).
+    pub fn payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::OpenSession { name } => put_string(&mut buf, name),
+            Request::PutIterations { session, iterations } => {
+                buf.extend_from_slice(&session.to_le_bytes());
+                buf.extend_from_slice(&(iterations.len() as u32).to_le_bytes());
+                for (iteration, vars) in iterations {
+                    buf.extend_from_slice(&iteration.to_le_bytes());
+                    put_vars(&mut buf, vars);
+                }
+            }
+            Request::Restart { session, at_or_before } => {
+                buf.extend_from_slice(&session.to_le_bytes());
+                buf.extend_from_slice(&at_or_before.to_le_bytes());
+            }
+            Request::Scrub { session, repair } => {
+                buf.extend_from_slice(&session.to_le_bytes());
+                buf.push(u8::from(*repair));
+            }
+            Request::Stats | Request::Shutdown => {}
+            Request::CloseSession { session } => {
+                buf.extend_from_slice(&session.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decode a request from a frame.
+    pub fn from_frame(frame: &Frame) -> io::Result<Self> {
+        let mut cur = Cursor(&frame.payload);
+        let req = match frame.opcode {
+            opcode::OPEN_SESSION => Request::OpenSession { name: cur.string()? },
+            opcode::PUT_ITERATIONS => {
+                let session = cur.u64()?;
+                let count = cur.u32()? as usize;
+                let mut iterations = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let iteration = cur.u64()?;
+                    iterations.push((iteration, cur.vars()?));
+                }
+                Request::PutIterations { session, iterations }
+            }
+            opcode::RESTART => {
+                Request::Restart { session: cur.u64()?, at_or_before: cur.u64()? }
+            }
+            opcode::SCRUB => Request::Scrub { session: cur.u64()?, repair: cur.u8()? != 0 },
+            opcode::STATS => Request::Stats,
+            opcode::CLOSE_SESSION => Request::CloseSession { session: cur.u64()? },
+            opcode::SHUTDOWN => Request::Shutdown,
+            other => return Err(corrupt(format!("unknown request opcode {other:#x}"))),
+        };
+        cur.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response encode/decode
+// ---------------------------------------------------------------------
+
+impl Response {
+    /// The opcode this response travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::SessionOpened { .. } => opcode::SESSION_OPENED,
+            Response::PutDone { .. } => opcode::PUT_DONE,
+            Response::RestartData { .. } => opcode::RESTART_DATA,
+            Response::ScrubDone { .. } => opcode::SCRUB_DONE,
+            Response::StatsData(_) => opcode::STATS_DATA,
+            Response::SessionClosed => opcode::SESSION_CLOSED,
+            Response::ShuttingDown => opcode::SHUTTING_DOWN,
+            Response::Busy => opcode::BUSY,
+            Response::Error { .. } => opcode::ERROR,
+        }
+    }
+
+    /// Serialise the payload (header and CRC are the framing layer's).
+    pub fn payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::SessionOpened { session } => {
+                buf.extend_from_slice(&session.to_le_bytes());
+            }
+            Response::PutDone { outcomes } => {
+                buf.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+                for o in outcomes {
+                    buf.extend_from_slice(&o.iteration.to_le_bytes());
+                    buf.push(o.kind.to_u8());
+                    buf.extend_from_slice(&o.retries.to_le_bytes());
+                }
+            }
+            Response::RestartData { achieved, base, deltas_applied, lost, vars } => {
+                buf.extend_from_slice(&achieved.to_le_bytes());
+                buf.extend_from_slice(&base.to_le_bytes());
+                buf.extend_from_slice(&deltas_applied.to_le_bytes());
+                buf.extend_from_slice(&lost.to_le_bytes());
+                put_vars(&mut buf, vars);
+            }
+            Response::ScrubDone { checked, quarantined, anchored_at, lost } => {
+                buf.extend_from_slice(&checked.to_le_bytes());
+                buf.extend_from_slice(&quarantined.to_le_bytes());
+                buf.push(u8::from(anchored_at.is_some()));
+                buf.extend_from_slice(&anchored_at.unwrap_or(0).to_le_bytes());
+                buf.extend_from_slice(&lost.to_le_bytes());
+            }
+            Response::StatsData(s) => {
+                for v in [
+                    s.accepted,
+                    s.served,
+                    s.busy_rejected,
+                    s.iterations_ingested,
+                    s.bytes_ingested,
+                    s.write_retries,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                buf.push(u8::from(s.draining));
+                buf.extend_from_slice(&(s.sessions.len() as u32).to_le_bytes());
+                for sess in &s.sessions {
+                    buf.extend_from_slice(&sess.id.to_le_bytes());
+                    put_string(&mut buf, &sess.name);
+                    buf.extend_from_slice(&sess.files.to_le_bytes());
+                    buf.push(u8::from(sess.latest_restartable.is_some()));
+                    buf.extend_from_slice(&sess.latest_restartable.unwrap_or(0).to_le_bytes());
+                }
+            }
+            Response::SessionClosed | Response::ShuttingDown | Response::Busy => {}
+            Response::Error { code, message } => {
+                buf.extend_from_slice(&code.to_u16().to_le_bytes());
+                put_string(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Decode a response from a frame.
+    pub fn from_frame(frame: &Frame) -> io::Result<Self> {
+        let mut cur = Cursor(&frame.payload);
+        let resp = match frame.opcode {
+            opcode::SESSION_OPENED => Response::SessionOpened { session: cur.u64()? },
+            opcode::PUT_DONE => {
+                let count = cur.u32()? as usize;
+                let mut outcomes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    outcomes.push(PutOutcome {
+                        iteration: cur.u64()?,
+                        kind: WrittenKind::from_u8(cur.u8()?)?,
+                        retries: cur.u32()?,
+                    });
+                }
+                Response::PutDone { outcomes }
+            }
+            opcode::RESTART_DATA => Response::RestartData {
+                achieved: cur.u64()?,
+                base: cur.u64()?,
+                deltas_applied: cur.u64()?,
+                lost: cur.u32()?,
+                vars: cur.vars()?,
+            },
+            opcode::SCRUB_DONE => {
+                let checked = cur.u32()?;
+                let quarantined = cur.u32()?;
+                let has_anchor = cur.u8()? != 0;
+                let anchor = cur.u64()?;
+                let lost = cur.u32()?;
+                Response::ScrubDone {
+                    checked,
+                    quarantined,
+                    anchored_at: has_anchor.then_some(anchor),
+                    lost,
+                }
+            }
+            opcode::STATS_DATA => {
+                let mut s = StatsReply {
+                    accepted: cur.u64()?,
+                    served: cur.u64()?,
+                    busy_rejected: cur.u64()?,
+                    iterations_ingested: cur.u64()?,
+                    bytes_ingested: cur.u64()?,
+                    write_retries: cur.u64()?,
+                    draining: cur.u8()? != 0,
+                    sessions: Vec::new(),
+                };
+                let count = cur.u32()? as usize;
+                for _ in 0..count {
+                    let id = cur.u64()?;
+                    let name = cur.string()?;
+                    let files = cur.u32()?;
+                    let has_latest = cur.u8()? != 0;
+                    let latest = cur.u64()?;
+                    s.sessions.push(SessionStat {
+                        id,
+                        name,
+                        files,
+                        latest_restartable: has_latest.then_some(latest),
+                    });
+                }
+                Response::StatsData(s)
+            }
+            opcode::SESSION_CLOSED => Response::SessionClosed,
+            opcode::SHUTTING_DOWN => Response::ShuttingDown,
+            opcode::BUSY => Response::Busy,
+            opcode::ERROR => Response::Error {
+                code: ErrorCode::from_u16(cur.u16()?)?,
+                message: cur.string()?,
+            },
+            other => return Err(corrupt(format!("unknown response opcode {other:#x}"))),
+        };
+        cur.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_vars() -> VariableSet {
+        let mut vars = VariableSet::new();
+        vars.insert("dens".into(), (0..64).map(|i| 1.0 + i as f64 * 0.5).collect());
+        vars.insert("ρ".into(), vec![-1.5, 0.0, f64::MAX, f64::MIN_POSITIVE]);
+        vars
+    }
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req.opcode(), 7, &req.payload()).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.req_id, 7);
+        assert_eq!(Request::from_frame(&frame).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, resp.opcode(), 99, &resp.payload()).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.req_id, 99);
+        assert_eq!(Response::from_frame(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::OpenSession { name: "sim-0".into() });
+        roundtrip_request(Request::PutIterations {
+            session: 3,
+            iterations: vec![(0, sample_vars()), (1, sample_vars())],
+        });
+        roundtrip_request(Request::Restart { session: 3, at_or_before: u64::MAX });
+        roundtrip_request(Request::Scrub { session: 1, repair: true });
+        roundtrip_request(Request::Scrub { session: 1, repair: false });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::CloseSession { session: 8 });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::SessionOpened { session: 12 });
+        roundtrip_response(Response::PutDone {
+            outcomes: vec![
+                PutOutcome { iteration: 0, kind: WrittenKind::Full, retries: 0 },
+                PutOutcome { iteration: 1, kind: WrittenKind::Delta, retries: 2 },
+                PutOutcome { iteration: 2, kind: WrittenKind::FullOnDrift, retries: 0 },
+            ],
+        });
+        roundtrip_response(Response::RestartData {
+            achieved: 9,
+            base: 8,
+            deltas_applied: 1,
+            lost: 2,
+            vars: sample_vars(),
+        });
+        roundtrip_response(Response::ScrubDone {
+            checked: 10,
+            quarantined: 2,
+            anchored_at: Some(7),
+            lost: 1,
+        });
+        roundtrip_response(Response::ScrubDone {
+            checked: 4,
+            quarantined: 0,
+            anchored_at: None,
+            lost: 0,
+        });
+        roundtrip_response(Response::StatsData(StatsReply {
+            accepted: 5,
+            served: 40,
+            busy_rejected: 2,
+            iterations_ingested: 64,
+            bytes_ingested: 1 << 20,
+            write_retries: 3,
+            draining: true,
+            sessions: vec![
+                SessionStat { id: 1, name: "a".into(), files: 16, latest_restartable: Some(15) },
+                SessionStat { id: 2, name: "b".into(), files: 0, latest_restartable: None },
+            ],
+        }));
+        roundtrip_response(Response::SessionClosed);
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: "session 9 is not open".into(),
+        });
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected() {
+        let req = Request::PutIterations { session: 1, iterations: vec![(0, sample_vars())] };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req.opcode(), 1, &req.payload()).unwrap();
+        // Flip one bit at several positions: magic, version, opcode,
+        // length, payload, crc.
+        for pos in [0usize, 4, 6, 17, HEADER_LEN + 3, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x20;
+            assert!(read_frame(&mut bad.as_slice()).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let req = Request::Restart { session: 1, at_or_before: 5 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req.opcode(), 1, &req.payload()).unwrap();
+        for cut in [0usize, 5, HEADER_LEN - 1, HEADER_LEN + 2, buf.len() - 1] {
+            assert!(read_frame(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_payload_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(opcode::STATS);
+        buf.push(0);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let mut payload = Request::Stats.payload();
+        payload.push(0xAB);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, opcode::STATS, 1, &payload).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(Request::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn read_or_idle_sees_closed_and_frames() {
+        // A closed (empty) stream reads as Closed.
+        match read_frame_or_idle(&mut io::empty()).unwrap() {
+            ReadOutcome::Closed => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // A full frame reads as Frame.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, opcode::SHUTDOWN, 2, &[]).unwrap();
+        match read_frame_or_idle(&mut buf.as_slice()).unwrap() {
+            ReadOutcome::Frame(f) => assert_eq!(f.opcode, opcode::SHUTDOWN),
+            other => panic!("expected Frame, got {other:?}"),
+        }
+        // A stream that dies mid-frame is an error, not Idle.
+        assert!(read_frame_or_idle(&mut &buf[..7]).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Satellite coverage: multi-threaded `PutIteration` traffic through a
+//! `FaultyBackend` schedule while scrub→quarantine→repair cycles run,
+//! asserting every session chain still restarts bit-exactly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use numarck::{Config, DeltaChain, Strategy};
+use numarck_checkpoint::fault::{inject, Fault};
+use numarck_checkpoint::{
+    CheckpointStore, FaultSchedule, FaultyBackend, VariableSet, WriteFault,
+};
+use numarck_serve::{Client, ClientError, Server, ServerConfig, WrittenKind};
+
+mod util;
+use util::TempDir;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+const SESSIONS: usize = 4;
+const ITERS: u64 = 20;
+const POINTS: usize = 200;
+
+fn truth(session: usize, iters: u64) -> Vec<VariableSet> {
+    let mut out = Vec::new();
+    let mut x: Vec<f64> =
+        (0..POINTS).map(|j| (1.0 + session as f64 * 0.25) * (1.0 + (j % 11) as f64)).collect();
+    for it in 0..iters {
+        if it > 0 {
+            for (j, v) in x.iter_mut().enumerate() {
+                *v *= 1.0 + 0.005 * (((j as u64 + 3 * it) % 13) as f64 - 6.0) / 6.0;
+            }
+        }
+        let mut vars = VariableSet::new();
+        vars.insert("x".into(), x.clone());
+        out.push(vars);
+    }
+    out
+}
+
+/// Open-loop DeltaChain reference from the last acked full ≤ `target`.
+fn expected_at(
+    exact: &[VariableSet],
+    kinds: &BTreeMap<u64, WrittenKind>,
+    target: u64,
+    config: Config,
+) -> VariableSet {
+    let base_iter = kinds
+        .iter()
+        .filter(|(it, kind)| **it <= target && !matches!(kind, WrittenKind::Delta))
+        .map(|(it, _)| *it)
+        .max()
+        .expect("a full checkpoint at or before the target");
+    let mut out = VariableSet::new();
+    for (name, base) in &exact[base_iter as usize] {
+        let mut chain = DeltaChain::new(base.clone(), config);
+        for it in base_iter + 1..=target {
+            chain.append(&exact[it as usize][name]).unwrap();
+        }
+        out.insert(name.clone(), chain.reconstruct(chain.len()).unwrap());
+    }
+    out
+}
+
+#[test]
+fn concurrent_ingest_with_faults_and_scrub_repair_stays_bit_exact() {
+    let tmp = TempDir::new("scrub-race");
+    let config = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+
+    // Transient storage faults sprinkled through the run. Write #1 is
+    // necessarily a session's ingest write (a repair can only write
+    // after some ingest has landed), so at least that fault provably
+    // costs a manager retry; the later ones land on whichever writer
+    // (ingest, which retries, or a repair anchor write, whose scrub
+    // cycle tolerates the failure and runs again).
+    let schedule = FaultSchedule::new()
+        .fail_write(1, WriteFault::Error(std::io::ErrorKind::StorageFull))
+        .fail_write(11, WriteFault::Error(std::io::ErrorKind::Interrupted))
+        .fail_write(23, WriteFault::Torn { keep: 9 })
+        .fail_write(41, WriteFault::Error(std::io::ErrorKind::StorageFull));
+    let backend = Arc::new(FaultyBackend::new(schedule));
+
+    let mut server_config = ServerConfig::new(tmp.0.join("root"), config);
+    server_config.full_interval = 6;
+    server_config.io_timeout = TIMEOUT;
+    server_config.backend = backend;
+    // Enough workers that the scrubber and every ingest thread hold a
+    // connection simultaneously — the race is the point of the test.
+    server_config.workers = SESSIONS + 2;
+    // Keep the default RetryPolicy (with real but tiny backoff): the
+    // schedule's transient faults must be absorbed, not surfaced.
+    let server = Server::spawn("127.0.0.1:0", server_config).unwrap();
+    let addr = server.addr();
+
+    let data: Vec<Vec<VariableSet>> = (0..SESSIONS).map(|s| truth(s, ITERS)).collect();
+    let data = Arc::new(data);
+
+    // A scrubber thread runs scrub→repair cycles across all sessions
+    // for the whole ingest window. Repair may materialize anchor fulls
+    // mid-chain; those hold exactly the open-loop replay state, so they
+    // must not perturb bit-exactness. Transient backend faults can fail
+    // a repair's anchor write — that is fine, the next cycle retries.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrubber = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut client = Client::connect(addr, TIMEOUT).unwrap();
+            let ids: Vec<u64> = (0..SESSIONS)
+                .map(|s| client.open_session(&format!("sess-{s}")).unwrap())
+                .collect();
+            let mut cycles = 0u32;
+            while !stop.load(Ordering::SeqCst) {
+                for &id in &ids {
+                    match client.scrub(id, true) {
+                        Ok(_) | Err(ClientError::Server { .. }) => {}
+                        Err(e) => panic!("scrub transport failure: {e}"),
+                    }
+                }
+                cycles += 1;
+                thread::sleep(Duration::from_millis(5));
+            }
+            cycles
+        })
+    };
+
+    // Concurrent ingest, one thread per session.
+    let ingest: Vec<_> = (0..SESSIONS)
+        .map(|s| {
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr, TIMEOUT).unwrap();
+                let session = client.open_session(&format!("sess-{s}")).unwrap();
+                let mut kinds = BTreeMap::new();
+                for it in 0..ITERS {
+                    let outcome =
+                        client.put_iteration(session, it, &data[s][it as usize]).unwrap();
+                    kinds.insert(it, outcome.kind);
+                }
+                kinds
+            })
+        })
+        .collect();
+    let kinds_per_session: Vec<BTreeMap<u64, WrittenKind>> =
+        ingest.into_iter().map(|h| h.join().unwrap()).collect();
+    stop.store(true, Ordering::SeqCst);
+    let scrub_cycles = scrubber.join().unwrap();
+    assert!(scrub_cycles >= 1, "the scrubber must have run against live ingest");
+
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.iterations_ingested, SESSIONS as u64 * ITERS);
+    assert!(
+        stats.write_retries >= 1,
+        "the first scheduled fault hits an ingest write and must cost a retry"
+    );
+
+    // Every chain restarts bit-exactly despite faults + live repair.
+    for s in 0..SESSIONS {
+        let session = client.open_session(&format!("sess-{s}")).unwrap();
+        let reply = client.restart(session, ITERS - 1).unwrap();
+        assert_eq!(reply.achieved, ITERS - 1, "session {s}");
+        let want = expected_at(&data[s], &kinds_per_session[s], ITERS - 1, config);
+        assert_eq!(reply.vars.len(), want.len());
+        for (name, want_vals) in &want {
+            for (j, (g, w)) in reply.vars[name].iter().zip(want_vals).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "sess-{s}/{name}[{j}]");
+            }
+        }
+    }
+
+    // Now a *real* corruption: bit-flip the newest delta of session 0
+    // on disk, scrub it out, repair, and confirm the degraded restart
+    // is bit-exact. If one of the live repair cycles happened to anchor
+    // a full at the same iteration, the flip only costs the redundant
+    // delta and restart still achieves the victim; otherwise it falls
+    // back one iteration. Both recoveries must be bit-exact.
+    let store0 = CheckpointStore::open(tmp.0.join("root").join("sess-0")).unwrap();
+    let victim = ITERS - 1;
+    assert!(
+        !matches!(kinds_per_session[0][&victim], WrittenKind::Full),
+        "newest iteration should be a delta under full_interval=6"
+    );
+    inject(&store0.path_of(victim, false), Fault::BitFlip { offset: 40, mask: 0x08 }).unwrap();
+
+    let session = client.open_session("sess-0").unwrap();
+    let scrub_reply = client.scrub(session, false).unwrap();
+    assert_eq!(scrub_reply.quarantined, 1, "the flipped delta must be quarantined");
+    let repair_reply = client.scrub(session, true).unwrap();
+
+    let reply = client.restart(session, victim).unwrap();
+    assert!(
+        reply.achieved == victim || reply.achieved == victim - 1,
+        "achieved {} after losing the newest delta",
+        reply.achieved
+    );
+    assert_eq!(repair_reply.anchored_at, Some(reply.achieved));
+    let want = expected_at(&data[0], &kinds_per_session[0], reply.achieved, config);
+    for (name, want_vals) in &want {
+        for (j, (g, w)) in reply.vars[name].iter().zip(want_vals).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "degraded sess-0/{name}[{j}]");
+        }
+    }
+    server.shutdown();
+}

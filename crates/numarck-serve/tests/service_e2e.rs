@@ -1,0 +1,323 @@
+//! End-to-end service tests: concurrent sessions, drain + restart with
+//! bit-exact recovery, and provable bounded-queue backpressure.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use numarck::{Config, DeltaChain, Strategy};
+use numarck_checkpoint::VariableSet;
+use numarck_serve::{Client, ClientError, Server, ServerConfig, WrittenKind};
+
+mod util;
+use util::TempDir;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config() -> Config {
+    Config::new(8, 0.001, Strategy::Clustering).unwrap()
+}
+
+/// Deterministic per-session truth data: `iters` iterations of two
+/// smoothly-evolving variables.
+fn truth(session: usize, iters: u64, points: usize) -> Vec<VariableSet> {
+    let mut out = Vec::new();
+    let mut u: Vec<f64> =
+        (0..points).map(|j| (1.0 + session as f64 * 0.1) * (1.0 + (j % 7) as f64)).collect();
+    let mut v: Vec<f64> =
+        (0..points).map(|j| (2.0 + session as f64 * 0.2) * (1.0 + (j % 5) as f64)).collect();
+    for it in 0..iters {
+        if it > 0 {
+            for (j, x) in u.iter_mut().enumerate() {
+                *x *= 1.0 + 0.004 * (((j as u64 + it) % 9) as f64 - 4.0) / 4.0;
+            }
+            for (j, x) in v.iter_mut().enumerate() {
+                *x *= 1.0 - 0.003 * (((j as u64 + 2 * it) % 5) as f64 - 2.0) / 2.0;
+            }
+        }
+        let mut vars = VariableSet::new();
+        vars.insert("u".into(), u.clone());
+        vars.insert("v".into(), v.clone());
+        out.push(vars);
+    }
+    out
+}
+
+/// The local reference the acceptance criteria call for: a [`DeltaChain`]
+/// per variable, based at the exact data of the last server-acked full
+/// checkpoint at or before `target`, replayed open-loop — exactly the
+/// manager's encode discipline and the restart engine's replay.
+fn expected_at(
+    exact: &[VariableSet],
+    kinds: &BTreeMap<u64, WrittenKind>,
+    target: u64,
+    config: Config,
+) -> VariableSet {
+    let base_iter = kinds
+        .iter()
+        .filter(|(it, kind)| **it <= target && !matches!(kind, WrittenKind::Delta))
+        .map(|(it, _)| *it)
+        .max()
+        .expect("at least one full checkpoint acked");
+    let mut out = VariableSet::new();
+    for (name, base) in &exact[base_iter as usize] {
+        let mut chain = DeltaChain::new(base.clone(), config);
+        for it in base_iter + 1..=target {
+            chain.append(&exact[it as usize][name]).unwrap();
+        }
+        out.insert(name.clone(), chain.reconstruct(chain.len()).unwrap());
+    }
+    out
+}
+
+fn assert_bit_exact(got: &VariableSet, want: &VariableSet, context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: variable sets differ");
+    for (name, want_vals) in want {
+        let got_vals = &got[name];
+        assert_eq!(got_vals.len(), want_vals.len(), "{context}/{name}: length");
+        for (j, (g, w)) in got_vals.iter().zip(want_vals).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{context}/{name}[{j}]: {g} != {w} (not bit-exact)"
+            );
+        }
+    }
+}
+
+/// The tentpole acceptance scenario: 4 concurrent clients ingest 16
+/// iterations each into separate sessions, the server is drained halfway
+/// through and restarted, and every session's restart is bit-identical
+/// to the local DeltaChain reference.
+#[test]
+fn concurrent_sessions_survive_drain_and_restart_bit_exact() {
+    const SESSIONS: usize = 4;
+    const ITERS: u64 = 16;
+    const SPLIT: u64 = 8; // server is drained after this many iterations
+    const POINTS: usize = 256;
+
+    let tmp = TempDir::new("serve-e2e");
+    let config = test_config();
+    let mut server_config = ServerConfig::new(tmp.0.join("root"), config);
+    server_config.full_interval = 5;
+    server_config.io_timeout = TIMEOUT;
+
+    let data: Vec<Vec<VariableSet>> =
+        (0..SESSIONS).map(|s| truth(s, ITERS, POINTS)).collect();
+    let data = Arc::new(data);
+
+    // Runs one client thread per session, ingesting iterations
+    // `range` and returning the acked per-iteration outcome kinds.
+    let ingest_phase = |addr: std::net::SocketAddr,
+                        range: std::ops::Range<u64>|
+     -> Vec<BTreeMap<u64, WrittenKind>> {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|s| {
+                let data = Arc::clone(&data);
+                let range = range.clone();
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+                    let session = client.open_session(&format!("sess-{s}")).unwrap();
+                    let mut kinds = BTreeMap::new();
+                    for it in range {
+                        let outcome =
+                            client.put_iteration(session, it, &data[s][it as usize]).unwrap();
+                        assert_eq!(outcome.iteration, it);
+                        kinds.insert(it, outcome.kind);
+                    }
+                    kinds
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+
+    // Phase 1: first half of every session's run.
+    let server = Server::spawn("127.0.0.1:0", server_config.clone()).unwrap();
+    let addr = server.addr();
+    let mut kinds_per_session = ingest_phase(addr, 0..SPLIT);
+    for kinds in &kinds_per_session {
+        assert_eq!(kinds[&0], WrittenKind::Full, "first checkpoint must be full");
+    }
+
+    // Drain mid-run via the protocol, then wait for a full stop.
+    let mut control = Client::connect(addr, TIMEOUT).unwrap();
+    control.shutdown().unwrap();
+    server.join();
+    assert!(
+        Client::connect(addr, Duration::from_millis(500)).is_err(),
+        "drained server must not accept connections"
+    );
+
+    // Phase 2: a fresh server process over the same root; sessions are
+    // re-opened by name and the runs continue where they left off.
+    let server = Server::spawn("127.0.0.1:0", server_config).unwrap();
+    let addr = server.addr();
+    for (s, kinds) in ingest_phase(addr, SPLIT..ITERS).into_iter().enumerate() {
+        assert_eq!(
+            kinds[&SPLIT],
+            WrittenKind::Full,
+            "first post-restart checkpoint must re-anchor with a full"
+        );
+        kinds_per_session[s].extend(kinds);
+    }
+
+    // Every session restarts bit-exactly at the final iteration and at
+    // an arbitrary mid-chain one.
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    for s in 0..SESSIONS {
+        let session = client.open_session(&format!("sess-{s}")).unwrap();
+        for target in [ITERS - 1, SPLIT + 1, 3] {
+            let reply = client.restart(session, target).unwrap();
+            assert_eq!(reply.achieved, target, "session {s}: restart must be exact");
+            assert_eq!(reply.lost, 0);
+            let want = expected_at(&data[s], &kinds_per_session[s], target, config);
+            assert_bit_exact(&reply.vars, &want, &format!("sess-{s}@{target}"));
+        }
+    }
+
+    // Stats sees all sessions with their full chains restartable.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions.len(), SESSIONS);
+    for sess in &stats.sessions {
+        assert_eq!(sess.latest_restartable, Some(ITERS - 1), "{}", sess.name);
+        assert_eq!(sess.files, ITERS as u32, "{}: files from both phases", sess.name);
+    }
+    assert_eq!(stats.iterations_ingested, SESSIONS as u64 * SPLIT);
+    server.shutdown();
+}
+
+/// Overloading the bounded hand-off queue returns a typed `Busy`
+/// response instead of stalling or deadlocking. Deterministic setup:
+/// one worker (pinned by a connection it is actively serving) + a
+/// one-slot queue (filled by a second idle connection) means a third
+/// connection must be rejected.
+#[test]
+fn bounded_queue_overload_returns_busy() {
+    let tmp = TempDir::new("serve-busy");
+    let mut config = ServerConfig::new(tmp.0.join("root"), test_config());
+    config.workers = 1;
+    config.queue_depth = 1;
+    config.io_timeout = TIMEOUT;
+    let server = Server::spawn("127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    // Conn A: a completed round-trip proves the single worker has taken
+    // this connection off the queue and is now parked serving it.
+    let mut conn_a = Client::connect(addr, TIMEOUT).unwrap();
+    conn_a.stats().unwrap();
+
+    // Conn B: accepted into the single queue slot (never served while
+    // the worker is on A). Give the acceptor a beat to enqueue it.
+    let _conn_b = Client::connect(addr, TIMEOUT).unwrap();
+    thread::sleep(Duration::from_millis(100));
+
+    // Conn C: queue full — the acceptor must answer Busy, promptly.
+    let mut conn_c = Client::connect(addr, TIMEOUT).unwrap();
+    match conn_c.stats() {
+        Err(ClientError::Busy) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // The rejection is counted, and the server is still fully alive:
+    // conn A keeps working.
+    let stats = conn_a.stats().unwrap();
+    assert_eq!(stats.busy_rejected, 1);
+    assert_eq!(stats.accepted, 2, "A and B accepted, C rejected");
+    server.shutdown();
+}
+
+/// Session lifecycle and error surfaces: idempotent open, unknown ids,
+/// invalid names, close semantics, and restart on an empty session.
+#[test]
+fn session_lifecycle_and_typed_errors() {
+    let tmp = TempDir::new("serve-session");
+    let mut config = ServerConfig::new(tmp.0.join("root"), test_config());
+    config.io_timeout = TIMEOUT;
+    let server = Server::spawn("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+
+    let id = client.open_session("alpha").unwrap();
+    assert_eq!(client.open_session("alpha").unwrap(), id, "open is idempotent");
+    let other = client.open_session("beta").unwrap();
+    assert_ne!(id, other);
+
+    // Invalid names are rejected, not created.
+    for bad in ["", "..", "a/b", "x".repeat(65).as_str()] {
+        match client.open_session(bad) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, numarck_serve::ErrorCode::BadRequest, "{bad:?}")
+            }
+            other => panic!("open({bad:?}): expected BadRequest, got {other:?}"),
+        }
+    }
+
+    // Unknown session ids are typed errors.
+    match client.restart(9999, 0) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, numarck_serve::ErrorCode::UnknownSession)
+        }
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    // Restarting an empty (but open) session: nothing restartable.
+    match client.restart(id, u64::MAX) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, numarck_serve::ErrorCode::NotFound)
+        }
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+
+    // Empty batches are rejected.
+    match client.put_iterations(id, Vec::new()) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, numarck_serve::ErrorCode::BadRequest)
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // Close, then the id is gone; the name can be re-opened (new id).
+    client.close_session(id).unwrap();
+    match client.close_session(id) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, numarck_serve::ErrorCode::UnknownSession)
+        }
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    let reopened = client.open_session("alpha").unwrap();
+    assert_ne!(reopened, id, "closed ids are not recycled");
+    server.shutdown();
+}
+
+/// Batched ingest equals one-at-a-time ingest: same outcome kinds, same
+/// bit-exact restart.
+#[test]
+fn batched_ingest_matches_single_puts() {
+    let tmp = TempDir::new("serve-batch");
+    let config = test_config();
+    let mut server_config = ServerConfig::new(tmp.0.join("root"), config);
+    server_config.full_interval = 4;
+    server_config.io_timeout = TIMEOUT;
+    let server = Server::spawn("127.0.0.1:0", server_config).unwrap();
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+
+    let data = truth(0, 10, 128);
+    let session = client.open_session("batched").unwrap();
+    let batch: Vec<(u64, VariableSet)> =
+        data.iter().enumerate().map(|(it, vars)| (it as u64, vars.clone())).collect();
+    let outcomes = client.put_iterations(session, batch).unwrap();
+    assert_eq!(outcomes.len(), 10);
+    let kinds: BTreeMap<u64, WrittenKind> =
+        outcomes.iter().map(|o| (o.iteration, o.kind)).collect();
+    assert_eq!(kinds[&0], WrittenKind::Full);
+    assert_eq!(kinds[&4], WrittenKind::Full);
+    assert_eq!(kinds[&8], WrittenKind::Full);
+    assert_eq!(kinds[&7], WrittenKind::Delta);
+
+    let reply = client.restart(session, 9).unwrap();
+    assert_eq!(reply.achieved, 9);
+    let want = expected_at(&data, &kinds, 9, config);
+    assert_bit_exact(&reply.vars, &want, "batched@9");
+    server.shutdown();
+}

@@ -609,7 +609,7 @@ mod tests {
         let serial = pack_codes_serial(&codes, &curr, config.bits());
         let parallel = pack_codes_parallel(&codes, &curr, config.bits());
         assert_eq!(serial, parallel);
-        assert!(serial.exact_values.len() > 0 && serial.num_compressible > 0);
+        assert!(!serial.exact_values.is_empty() && serial.num_compressible > 0);
     }
 
     #[test]

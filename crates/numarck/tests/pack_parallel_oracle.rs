@@ -103,7 +103,7 @@ fn encoder_output_is_thread_count_invariant() {
     let n = 50_000;
     let mut rng = Rng(0xBEEF_CAFE_F00D_D00D);
     let prev: Vec<f64> = (0..n)
-        .map(|_| if rng.next() % 31 == 0 { 0.0 } else { 1.0 + (rng.next() % 512) as f64 / 64.0 })
+        .map(|_| if rng.next().is_multiple_of(31) { 0.0 } else { 1.0 + (rng.next() % 512) as f64 / 64.0 })
         .collect();
     let curr: Vec<f64> = prev
         .iter()
