@@ -26,6 +26,7 @@ use flash_sim::FlashVar;
 use numarck::{decode, encode, ratio, Config, Strategy};
 use numarck_bench::data::{climate_sequence, flash_sequence, tile_to, FlashConfig};
 use numarck_bench::report::{host_meta_json, print_table};
+use numarck_obs::{render_json as obs_metrics_json, set_timing_enabled, Registry};
 use numarck_par::pool::{available_threads, build_pool};
 
 /// One timed measurement.
@@ -154,17 +155,66 @@ fn main() {
     }
     print_table(&rows);
 
+    // Observability overhead: the same encode workload with span timing
+    // globally disabled vs enabled (counters stay on in both runs, so
+    // the delta isolates the clock reads in the phase spans). The
+    // budget in DESIGN.md §7 is < 2% on the encode path.
+    let overhead = {
+        let (prev, curr) = (&flash[0], &flash[1]);
+        let t = *threads.last().expect("non-empty thread list");
+        let pool = build_pool(t);
+        set_timing_enabled(false);
+        let secs_off = best_of(reps, || {
+            let r = pool.install(|| encode::encode(prev, curr, &config));
+            std::hint::black_box(r.expect("finite bench data"));
+        });
+        set_timing_enabled(true);
+        let secs_on = best_of(reps, || {
+            let r = pool.install(|| encode::encode(prev, curr, &config));
+            std::hint::black_box(r.expect("finite bench data"));
+        });
+        let o = ObsOverhead { secs_off, secs_on, threads: t };
+        println!(
+            "obs overhead (flash_sedov_dens encode, {t} threads): \
+             timing off {:.2} ms, on {:.2} ms, delta {:+.2}%",
+            secs_off * 1e3,
+            secs_on * 1e3,
+            o.delta_pct()
+        );
+        o
+    };
+
+    // Point-in-time metrics snapshot of everything the harness itself
+    // drove through the instrumented encoder/decoder.
+    let metrics = obs_metrics_json(&Registry::global().snapshot());
+
     let encode_rows: Vec<&Sample> =
         samples.iter().filter(|s| s.stage != "decode").collect();
     let decode_rows: Vec<&Sample> =
         samples.iter().filter(|s| s.stage == "decode").collect();
-    for (file, rows) in
-        [("BENCH_encode.json", &encode_rows), ("BENCH_decode.json", &decode_rows)]
-    {
+    for (file, rows, overhead) in [
+        ("BENCH_encode.json", &encode_rows, Some(&overhead)),
+        ("BENCH_decode.json", &decode_rows, None),
+    ] {
         let path = format!("{out_dir}/{file}");
         std::fs::create_dir_all(&out_dir).expect("create output directory");
-        std::fs::write(&path, render_json(rows, smoke)).expect("write benchmark JSON");
+        std::fs::write(&path, render_json(rows, smoke, overhead, &metrics))
+            .expect("write benchmark JSON");
         println!("wrote {path}");
+    }
+}
+
+/// Timing-off vs timing-on encode wall time for the instrumentation
+/// overhead line in `BENCH_encode.json`.
+struct ObsOverhead {
+    secs_off: f64,
+    secs_on: f64,
+    threads: usize,
+}
+
+impl ObsOverhead {
+    fn delta_pct(&self) -> f64 {
+        (self.secs_on / self.secs_off - 1.0) * 100.0
     }
 }
 
@@ -187,11 +237,26 @@ fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
 
 /// Hand-rolled JSON (the workspace deliberately has no JSON dependency):
 /// a flat, line-per-result layout that stays trivially diffable.
-fn render_json(samples: &[&Sample], smoke: bool) -> String {
+fn render_json(
+    samples: &[&Sample],
+    smoke: bool,
+    overhead: Option<&ObsOverhead>,
+    metrics: &str,
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"harness\": \"numarck-bench perf\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"host\": {},", host_meta_json());
+    if let Some(o) = overhead {
+        let _ = writeln!(
+            s,
+            "  \"obs_overhead\": {{\"stage\": \"encode\", \"threads\": {}, \
+             \"secs_timing_off\": {:.6}, \"secs_timing_on\": {:.6}, \"delta_pct\": {:.3}}},",
+            o.threads, o.secs_off, o.secs_on,
+            o.delta_pct(),
+        );
+    }
+    let _ = writeln!(s, "  \"metrics\": {metrics},");
     let _ = writeln!(s, "  \"results\": [");
     for (i, r) in samples.iter().enumerate() {
         let comma = if i + 1 == samples.len() { "" } else { "," };

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use numarck::{Config, Strategy};
 use numarck_bench::report::{host_meta_json, print_table};
 use numarck_checkpoint::VariableSet;
-use numarck_serve::{Client, Server, ServerConfig, ServerHandle};
+use numarck_serve::{Client, Server, ServerConfig, ServerHandle, StatsReply};
 
 const TIMEOUT: Duration = Duration::from_secs(30);
 const BUSY_ATTEMPTS: u32 = 20;
@@ -188,6 +188,13 @@ fn main() {
     }
     print_table(&rows);
 
+    // Server-side view of the same run: the extended stats reply carries
+    // the service's own request-latency histograms and queue depth, so
+    // the JSON records both client-observed and server-observed numbers.
+    let server_stats = Client::connect(&addr as &str, TIMEOUT)
+        .and_then(|mut c| c.stats())
+        .expect("stats after load");
+
     if let Some(handle) = handle {
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&root);
@@ -195,7 +202,8 @@ fn main() {
 
     let path = format!("{out_dir}/BENCH_serve.json");
     std::fs::create_dir_all(&out_dir).expect("create output directory");
-    std::fs::write(&path, render_json(&results, smoke, points)).expect("write benchmark JSON");
+    std::fs::write(&path, render_json(&results, smoke, points, &server_stats))
+        .expect("write benchmark JSON");
     println!("wrote {path}");
 }
 
@@ -252,12 +260,18 @@ fn usage(msg: &str) -> ! {
 
 /// Hand-rolled JSON, same conventions as `perf`: flat and diffable,
 /// stamped with host metadata.
-fn render_json(results: &[StageResult], smoke: bool, points: usize) -> String {
+fn render_json(
+    results: &[StageResult],
+    smoke: bool,
+    points: usize,
+    server_stats: &StatsReply,
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"harness\": \"numarck-bench serve_bench\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"points_per_iteration\": {points},");
     let _ = writeln!(s, "  \"host\": {},", host_meta_json());
+    let _ = writeln!(s, "  \"server_metrics\": {},", server_metrics_json(server_stats));
     let _ = writeln!(s, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -277,5 +291,40 @@ fn render_json(results: &[StageResult], smoke: bool, points: usize) -> String {
         );
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// The server's extended stats reply as one JSON object: lifetime
+/// counters, queue depth, and per-request-type latency summaries
+/// (nanoseconds, from the server's own log-bucketed histograms).
+fn server_metrics_json(stats: &StatsReply) -> String {
+    let mut s = String::from("{");
+    let _ = write!(
+        s,
+        "\"accepted\": {}, \"served\": {}, \"busy_rejected\": {}, \
+         \"iterations_ingested\": {}, \"bytes_ingested\": {}, \"write_retries\": {}, \
+         \"queue_depth\": {}, \"latencies\": {{",
+        stats.accepted,
+        stats.served,
+        stats.busy_rejected,
+        stats.iterations_ingested,
+        stats.bytes_ingested,
+        stats.write_retries,
+        stats.queue_depth,
+    );
+    for (i, lat) in stats.latencies.iter().enumerate() {
+        let comma = if i + 1 == stats.latencies.len() { "" } else { ", " };
+        let _ = write!(
+            s,
+            "\"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{comma}",
+            lat.name,
+            lat.summary.count,
+            lat.summary.sum,
+            lat.summary.p50,
+            lat.summary.p90,
+            lat.summary.p99,
+        );
+    }
+    s.push_str("}}");
     s
 }

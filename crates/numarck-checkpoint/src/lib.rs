@@ -34,6 +34,7 @@ pub mod backend;
 pub mod fault;
 pub mod format;
 pub mod manager;
+pub mod obs;
 pub mod restart;
 pub mod scrub;
 pub mod store;
@@ -42,7 +43,7 @@ pub use backend::{FaultSchedule, FaultyBackend, FsBackend, ReadFault, StorageBac
 pub use format::{CheckpointFile, CheckpointKind};
 pub use manager::{
     AdaptivePolicy, CheckpointManager, CheckpointOutcome, CheckpointReport, Clock, ManagerPolicy,
-    RetryPolicy, SystemClock,
+    RetryPolicy, RetryTotals, SystemClock,
 };
 pub use restart::{DegradedRestart, LostIteration, RestartEngine};
 pub use scrub::{repair, scrub, RepairReport, ScrubFinding, ScrubReport};

@@ -180,6 +180,20 @@ pub struct CheckpointManager {
     clock: Arc<dyn Clock>,
     previous: Option<(u64, VariableSet)>,
     drift_trackers: BTreeMap<String, DriftTracker>,
+    lifetime_retries: u64,
+    lifetime_backoff: Duration,
+}
+
+/// Lifetime write-retry totals accumulated by a [`CheckpointManager`]
+/// across every checkpoint it has written (satellite of the PR 1 retry
+/// machinery: visible even through the plain [`CheckpointManager::checkpoint`]
+/// API that discards per-call reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryTotals {
+    /// Write retries across the manager's lifetime.
+    pub retries: u64,
+    /// Total backoff slept across those retries.
+    pub backoff: Duration,
 }
 
 impl CheckpointManager {
@@ -213,7 +227,16 @@ impl CheckpointManager {
             clock,
             previous: None,
             drift_trackers: BTreeMap::new(),
+            lifetime_retries: 0,
+            lifetime_backoff: Duration::ZERO,
         }
+    }
+
+    /// Lifetime write-retry totals: every retry and backoff this manager
+    /// has accumulated, including calls made through the plain
+    /// [`Self::checkpoint`] API that discards per-call reports.
+    pub fn retry_totals(&self) -> RetryTotals {
+        RetryTotals { retries: self.lifetime_retries, backoff: self.lifetime_backoff }
     }
 
     /// The underlying store.
@@ -342,6 +365,11 @@ impl CheckpointManager {
             self.write_with_retry(&file, &mut retries, &mut backoff)?;
             CheckpointOutcome::Delta(stats)
         };
+        match &outcome {
+            CheckpointOutcome::Full => crate::obs::fulls_total().inc(),
+            CheckpointOutcome::FullOnDrift { .. } => crate::obs::drift_fulls_total().inc(),
+            CheckpointOutcome::Delta(_) => crate::obs::deltas_total().inc(),
+        }
         self.previous = Some((iteration, vars.clone()));
         Ok(CheckpointReport { outcome, retries, backoff })
     }
@@ -349,15 +377,22 @@ impl CheckpointManager {
     /// Write `file` to the store, retrying transient I/O errors with
     /// exponential backoff per the manager's [`RetryPolicy`]. Permanent
     /// errors and exhausted retries surface as [`NumarckError::Io`].
+    /// Every retry lands in the manager's lifetime totals and the global
+    /// registry — including those of calls that ultimately fail.
     fn write_with_retry(
-        &self,
+        &mut self,
         file: &CheckpointFile,
         retries: &mut u32,
         backoff: &mut Duration,
     ) -> Result<(), NumarckError> {
         let mut attempt: u32 = 0;
         loop {
-            match self.store.write(file) {
+            crate::obs::write_attempts_total().inc();
+            let result = {
+                let _span = crate::obs::write_ns().span();
+                self.store.write(file)
+            };
+            match result {
                 Ok(_) => return Ok(()),
                 Err(e) if is_transient(&e) && attempt < self.retry.max_retries => {
                     let delay = self.retry.backoff_for(attempt);
@@ -365,8 +400,25 @@ impl CheckpointManager {
                     *backoff = backoff.saturating_add(delay);
                     attempt += 1;
                     *retries = attempt;
+                    self.lifetime_retries += 1;
+                    self.lifetime_backoff = self.lifetime_backoff.saturating_add(delay);
+                    crate::obs::write_retries_total().inc();
+                    crate::obs::backoff_ns_total()
+                        .add(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
+                    numarck_obs::Registry::global().events().push(
+                        numarck_obs::Level::Warn,
+                        format!("ckpt write retry #{attempt} iter={}: {e}", file.iteration),
+                    );
                 }
                 Err(e) => {
+                    numarck_obs::Registry::global().events().push(
+                        numarck_obs::Level::Error,
+                        format!(
+                            "ckpt write failed iter={} after {} attempt(s): {e}",
+                            file.iteration,
+                            attempt + 1
+                        ),
+                    );
                     return Err(NumarckError::Io(format!(
                         "checkpoint {} write failed after {} attempt(s): {e}",
                         file.iteration,
@@ -652,6 +704,48 @@ mod tests {
         let (mut mgr, clock, _backend) = retrying_manager(&tmp, schedule, RetryPolicy::none());
         assert!(mgr.checkpoint_with_report(1, &vars_at(1, 100)).is_err());
         assert!(clock.0.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lifetime_retry_totals_accumulate_across_plain_checkpoint_calls() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-lifetime-totals");
+        // Write 1 fails once; write 3 (iteration 2's first attempt) fails
+        // once more — both land through the plain checkpoint() API that
+        // discards per-call reports.
+        let schedule = FaultSchedule::new()
+            .fail_write(1, WriteFault::Error(std::io::ErrorKind::StorageFull))
+            .fail_write(3, WriteFault::Error(std::io::ErrorKind::StorageFull));
+        let (mut mgr, _clock, _backend) =
+            retrying_manager(&tmp, schedule, RetryPolicy::default());
+        assert_eq!(mgr.retry_totals(), RetryTotals::default());
+        let global_retries_before =
+            numarck_obs::Registry::global().counter("ckpt_write_retries_total").get();
+        mgr.checkpoint(1, &vars_at(1, 100)).unwrap();
+        mgr.checkpoint(2, &vars_at(2, 100)).unwrap();
+        let totals = mgr.retry_totals();
+        assert_eq!(totals.retries, 2);
+        // Both were first retries: 10ms backoff each.
+        assert_eq!(totals.backoff, Duration::from_millis(20));
+        // The same retries are visible in the global registry.
+        let global_retries =
+            numarck_obs::Registry::global().counter("ckpt_write_retries_total").get();
+        assert!(global_retries >= global_retries_before + 2);
+    }
+
+    #[test]
+    fn failed_checkpoint_still_accumulates_its_retries() {
+        use crate::backend::{FaultSchedule, WriteFault};
+        let tmp = TempDir::new("mgr-lifetime-failed");
+        let schedule = (1..=4).fold(FaultSchedule::new(), |s, n| {
+            s.fail_write(n, WriteFault::Error(std::io::ErrorKind::StorageFull))
+        });
+        let (mut mgr, _clock, _backend) =
+            retrying_manager(&tmp, schedule, RetryPolicy::default());
+        assert!(mgr.checkpoint(1, &vars_at(1, 100)).is_err());
+        // 3 retries were spent even though the call failed.
+        assert_eq!(mgr.retry_totals().retries, 3);
+        assert_eq!(mgr.retry_totals().backoff, Duration::from_millis(10 + 20 + 40));
     }
 
     #[test]

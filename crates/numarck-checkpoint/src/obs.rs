@@ -1,0 +1,69 @@
+//! Observability hooks for the checkpoint store.
+//!
+//! PR 1's retry/scrub machinery computed rich reports
+//! ([`crate::CheckpointReport`], [`crate::ScrubReport`]) but kept them
+//! caller-local; this module mirrors those outcomes into the
+//! process-wide [`numarck_obs::Registry`] so they are visible through
+//! `/metrics` and the stats wire reply without threading report values
+//! through every call site. Handles are cached in `OnceLock`s — the
+//! per-event cost is relaxed atomics only.
+//!
+//! Metric names (see DESIGN.md §7):
+//! * `ckpt_write_attempts_total` — store write attempts, including
+//!   retried ones;
+//! * `ckpt_write_retries_total`, `ckpt_backoff_ns_total` — lifetime
+//!   retry count and nanoseconds of backoff slept;
+//! * `ckpt_fulls_total`, `ckpt_drift_fulls_total`, `ckpt_deltas_total`
+//!   — checkpoint outcomes by kind;
+//! * `ckpt_write_ns` — per-attempt store write latency;
+//! * `ckpt_scrub_runs_total`, `ckpt_scrub_checked_total`,
+//!   `ckpt_quarantined_total`, `ckpt_repairs_total`,
+//!   `ckpt_repair_lost_total` — scrub → quarantine → repair outcomes.
+//!
+//! Retries and quarantines additionally land in the global registry's
+//! event ring, so the most recent degradations are inspectable even
+//! after counters have blurred together.
+
+use std::sync::{Arc, OnceLock};
+
+use numarck_obs::{Counter, Histogram, Registry};
+
+macro_rules! cached {
+    ($fn_name:ident, $kind:ident, $ty:ty, $metric:literal) => {
+        /// Cached handle to the global-registry instrument `
+        #[doc = $metric]
+        /// `.
+        pub fn $fn_name() -> &'static Arc<$ty> {
+            static CELL: OnceLock<Arc<$ty>> = OnceLock::new();
+            CELL.get_or_init(|| Registry::global().$kind($metric))
+        }
+    };
+}
+
+cached!(write_attempts_total, counter, Counter, "ckpt_write_attempts_total");
+cached!(write_retries_total, counter, Counter, "ckpt_write_retries_total");
+cached!(backoff_ns_total, counter, Counter, "ckpt_backoff_ns_total");
+cached!(fulls_total, counter, Counter, "ckpt_fulls_total");
+cached!(drift_fulls_total, counter, Counter, "ckpt_drift_fulls_total");
+cached!(deltas_total, counter, Counter, "ckpt_deltas_total");
+cached!(write_ns, histogram, Histogram, "ckpt_write_ns");
+cached!(scrub_runs_total, counter, Counter, "ckpt_scrub_runs_total");
+cached!(scrub_checked_total, counter, Counter, "ckpt_scrub_checked_total");
+cached!(quarantined_total, counter, Counter, "ckpt_quarantined_total");
+cached!(repairs_total, counter, Counter, "ckpt_repairs_total");
+cached!(repair_lost_total, counter, Counter, "ckpt_repair_lost_total");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_the_global_registry() {
+        let h = write_attempts_total();
+        assert!(Arc::ptr_eq(
+            h,
+            &Registry::global().counter("ckpt_write_attempts_total")
+        ));
+        assert!(Arc::ptr_eq(write_ns(), &Registry::global().histogram("ckpt_write_ns")));
+    }
+}

@@ -60,12 +60,19 @@ pub fn scrub(store: &CheckpointStore) -> Result<ScrubReport, NumarckError> {
         .list()
         .map_err(|e| NumarckError::Io(format!("store listing failed: {e}")))?;
     let checked = entries.len();
+    crate::obs::scrub_runs_total().inc();
+    crate::obs::scrub_checked_total().add(checked as u64);
     let mut quarantined = Vec::new();
     for entry in entries {
         let Some(reason) = validate(store, entry) else { continue };
         let quarantined_to = store
             .quarantine(entry.iteration, entry.is_full)
             .map_err(|e| NumarckError::Io(format!("quarantine failed: {e}")))?;
+        crate::obs::quarantined_total().inc();
+        numarck_obs::Registry::global().events().push(
+            numarck_obs::Level::Error,
+            format!("ckpt scrub quarantined iter={}: {reason}", entry.iteration),
+        );
         quarantined.push(ScrubFinding { entry, reason, quarantined_to });
     }
     Ok(ScrubReport { checked, quarantined })
@@ -156,6 +163,17 @@ pub fn repair(store: &CheckpointStore) -> Result<RepairReport, NumarckError> {
                 .map_err(|e| NumarckError::Io(format!("anchor write failed: {e}")))?;
             wrote_full = true;
         }
+    }
+    crate::obs::repairs_total().inc();
+    crate::obs::repair_lost_total().add(lost.len() as u64);
+    if !lost.is_empty() || wrote_full {
+        numarck_obs::Registry::global().events().push(
+            numarck_obs::Level::Info,
+            format!(
+                "ckpt repair anchored_at={anchored_at:?} wrote_full={wrote_full} lost={}",
+                lost.len()
+            ),
+        );
     }
     Ok(RepairReport { scrub: scrub_report, anchored_at, wrote_full, lost })
 }

@@ -118,6 +118,7 @@ pub fn run(args: &[String]) -> CliResult {
         "scrub" => commands::scrub(&args[1..]),
         "repair" => commands::repair(&args[1..]),
         "serve" => serve_cmd::serve(&args[1..]),
+        "stats" => serve_cmd::stats(&args[1..]),
         "client" => serve_cmd::client(&args[1..]),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(CliError::usage(format!("unknown command '{other}'\n\n{}", usage()))),
@@ -142,10 +143,12 @@ USAGE:
   numarck repair     <ckpt-dir>
   numarck serve      --root <dir> [--addr HOST:PORT] [--workers N] [--queue N]
                      [--bits B] [--tolerance E] [--full-interval K]
+                     [--metrics-addr HOST:PORT]
+  numarck stats      --addr HOST:PORT [--prometheus | --json]
   numarck client     ingest   --addr HOST:PORT --session NAME <in.f64s>
   numarck client     replay   --addr HOST:PORT --session NAME --out <file.f64s>
   numarck client     restart  --addr HOST:PORT --session NAME [--at N] --out <file.f64s>
-  numarck client     stats    --addr HOST:PORT
+  numarck client     stats    --addr HOST:PORT [--prometheus | --json]
   numarck client     scrub    --addr HOST:PORT --session NAME [--repair]
   numarck client     shutdown --addr HOST:PORT
 
@@ -153,6 +156,9 @@ Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering.
 Recovery: 'verify --store' reports restartability per iteration; 'scrub'
 quarantines files that fail CRC validation; 'repair' additionally drops
 orphaned chain segments and re-anchors with a fresh full checkpoint.
+Observability: 'serve --metrics-addr' exposes a plain-HTTP GET /metrics
+endpoint (Prometheus text); 'stats --prometheus|--json' renders the wire
+stats reply in the same formats.
 Exit codes: 0 ok · 1 error · 2 usage · 3 missing · 4 corrupt ·
 5 quarantined-by-scrub · 6 server-busy."
         .to_string()

@@ -12,8 +12,9 @@ use std::path::Path;
 use std::time::Duration;
 
 use numarck_checkpoint::VariableSet;
+use numarck_obs::{render_json, render_prometheus, MetricsServer, Snapshot};
 use numarck_serve::{
-    install_signal_handlers, Client, ClientError, ErrorCode, Server, ServerConfig,
+    install_signal_handlers, Client, ClientError, ErrorCode, Server, ServerConfig, StatsReply,
 };
 
 use crate::commands::{parse_args, parse_strategy};
@@ -43,12 +44,23 @@ fn map_client_err(e: ClientError) -> CliError {
 pub fn serve(raw: &[String]) -> CliResult {
     let p = parse_args(
         raw,
-        &["root", "addr", "workers", "queue", "bits", "tolerance", "strategy", "full-interval"],
+        &[
+            "root",
+            "addr",
+            "workers",
+            "queue",
+            "bits",
+            "tolerance",
+            "strategy",
+            "full-interval",
+            "metrics-addr",
+        ],
         &[],
     )?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
     let root = p.require("root").map_err(CliError::usage)?.to_string();
     let addr = p.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let metrics_addr = p.get("metrics-addr").map(str::to_string);
     let bits: u8 = p.get_parsed("bits", 8)?;
     let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
     let strategy = parse_strategy(p.get("strategy").unwrap_or("clustering"))?;
@@ -67,11 +79,23 @@ pub fn serve(raw: &[String]) -> CliResult {
 
     install_signal_handlers();
     let handle = Server::spawn(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    // Scripts (and the CI smoke job) wait for this exact line to learn
-    // the ephemeral port, so it must land before we block in join().
+    // Scripts (and the CI smoke job) wait for these exact lines to learn
+    // the ephemeral ports, so they must land before we block in join().
     println!("listening on {}", handle.addr());
+    let metrics = match metrics_addr {
+        Some(maddr) => {
+            let server = MetricsServer::start(&maddr as &str, handle.metrics_source())
+                .map_err(|e| format!("cannot bind metrics listener {maddr}: {e}"))?;
+            println!("metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let _ = std::io::stdout().flush();
     handle.join();
+    if let Some(metrics) = metrics {
+        metrics.shutdown();
+    }
     Ok("server drained and exited".to_string())
 }
 
@@ -231,18 +255,58 @@ fn restart(raw: &[String]) -> CliResult {
     Ok(out)
 }
 
-/// `client stats`: server counters and per-session summaries.
-fn stats(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr"], &[])?;
+/// Project a [`StatsReply`] onto an obs [`Snapshot`] so the wire reply
+/// renders through the same Prometheus/JSON exposition as `/metrics`.
+fn reply_to_snapshot(s: &StatsReply) -> Snapshot {
+    let mut snap = Snapshot {
+        counters: vec![
+            ("nsrv_accepted_total".to_owned(), s.accepted),
+            ("nsrv_busy_rejected_total".to_owned(), s.busy_rejected),
+            ("nsrv_bytes_ingested_total".to_owned(), s.bytes_ingested),
+            ("nsrv_iterations_ingested_total".to_owned(), s.iterations_ingested),
+            ("nsrv_served_total".to_owned(), s.served),
+            ("nsrv_write_retries_total".to_owned(), s.write_retries),
+        ],
+        gauges: vec![("nsrv_queue_depth".to_owned(), s.queue_depth)],
+        histograms: s.latencies.iter().map(|l| (l.name.clone(), l.summary)).collect(),
+        events: Vec::new(),
+    };
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    snap
+}
+
+/// `numarck stats` / `numarck client stats`: server counters and
+/// per-session summaries, human-readable by default, or rendered as
+/// Prometheus text (`--prometheus`) / JSON (`--json`) for scrapers.
+pub fn stats(raw: &[String]) -> CliResult {
+    let p = parse_args(raw, &["addr"], &["prometheus", "json"])?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
+    if p.has("prometheus") && p.has("json") {
+        return Err(CliError::usage("--prometheus and --json are mutually exclusive"));
+    }
     let mut client = connect(&require_addr(&p)?)?;
     let s = client.stats().map_err(map_client_err)?;
+    if p.has("prometheus") {
+        return Ok(render_prometheus(&reply_to_snapshot(&s)));
+    }
+    if p.has("json") {
+        return Ok(render_json(&reply_to_snapshot(&s)));
+    }
     let mut out = format!(
-        "accepted {} · served {} · busy-rejected {} · draining {}\n\
+        "accepted {} · served {} · busy-rejected {} · queued {} · draining {}\n\
          ingested {} iteration(s), {} byte(s), {} storage retrie(s)\n",
-        s.accepted, s.served, s.busy_rejected, s.draining, s.iterations_ingested,
-        s.bytes_ingested, s.write_retries
+        s.accepted, s.served, s.busy_rejected, s.queue_depth, s.draining,
+        s.iterations_ingested, s.bytes_ingested, s.write_retries
     );
+    for lat in &s.latencies {
+        if lat.summary.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{}: {} sample(s), p50 {}ns p90 {}ns p99 {}ns\n",
+            lat.name, lat.summary.count, lat.summary.p50, lat.summary.p90, lat.summary.p99
+        ));
+    }
     for sess in &s.sessions {
         out.push_str(&format!(
             "session {:3} '{}': {} file(s), latest restartable {}\n",
@@ -408,6 +472,99 @@ mod tests {
         let mut vars = VariableSet::new();
         vars.insert("x".into(), vec![1.0, 2.0, 3.0]);
         client.put_iteration(session, 0, &vars).unwrap();
+        client.shutdown().unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("drained"), "{out}");
+    }
+
+    #[test]
+    fn stats_renders_prometheus_and_json() {
+        let tmp = TempDir::new("cli-stats-fmt");
+        let handle = spawn_server(&tmp.0.join("root"));
+        let addr = handle.addr().to_string();
+        // Some traffic first, so counters and latencies are non-zero.
+        let mut client = Client::connect(&addr as &str, CLIENT_TIMEOUT).unwrap();
+        let session = client.open_session("fmt").unwrap();
+        let mut vars = VariableSet::new();
+        vars.insert("x".into(), vec![1.0, 2.0, 3.0]);
+        client.put_iteration(session, 0, &vars).unwrap();
+
+        let out = run(&argv(&["stats", "--addr", &addr, "--prometheus"])).unwrap();
+        assert!(out.contains("# TYPE nsrv_accepted_total counter"), "{out}");
+        assert!(out.contains("nsrv_iterations_ingested_total 1"), "{out}");
+        assert!(out.contains("nsrv_request_put_ns{quantile=\"0.5\"}"), "{out}");
+        assert!(out.contains("# TYPE nsrv_queue_depth gauge"), "{out}");
+
+        let out = run(&argv(&["stats", "--addr", &addr, "--json"])).unwrap();
+        assert!(out.contains("\"nsrv_iterations_ingested_total\":1"), "{out}");
+        assert!(out.contains("\"nsrv_request_put_ns\":{\"count\":1"), "{out}");
+
+        // The human-readable default mentions observed latencies too.
+        let out = run(&argv(&["stats", "--addr", &addr])).unwrap();
+        assert!(out.contains("nsrv_request_put_ns: 1 sample(s)"), "{out}");
+
+        // The two machine formats are mutually exclusive.
+        let err =
+            run(&argv(&["stats", "--addr", &addr, "--prometheus", "--json"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE, "{err}");
+        handle.shutdown();
+    }
+
+    fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+        use std::io::Read as _;
+        let mut stream = std::net::TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")?;
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf)?;
+        Ok(buf)
+    }
+
+    #[test]
+    fn serve_metrics_listener_exposes_merged_prometheus_text() {
+        let tmp = TempDir::new("cli-serve-metrics");
+        let root = tmp.path("root");
+        let addr = "127.0.0.1:47919";
+        let maddr = "127.0.0.1:47921";
+        let serve_args = argv(&[
+            "serve", "--root", &root, "--addr", addr, "--metrics-addr", maddr,
+        ]);
+        let server = thread::spawn(move || run(&serve_args));
+        let mut client = None;
+        for _ in 0..100 {
+            match Client::connect(addr, Duration::from_millis(200)) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut client = client.expect("serve must come up");
+        let session = client.open_session("m").unwrap();
+        let mut vars = VariableSet::new();
+        vars.insert("x".into(), vec![1.0, 2.0, 3.0]);
+        client.put_iteration(session, 0, &vars).unwrap();
+
+        // The metrics listener binds just after the main listener; give
+        // it the same grace.
+        let mut body = None;
+        for _ in 0..100 {
+            match http_get(maddr, "/metrics") {
+                Ok(b) => {
+                    body = Some(b);
+                    break;
+                }
+                Err(_) => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let body = body.expect("metrics listener must come up");
+        assert!(body.contains("200 OK"), "{body}");
+        assert!(body.contains("# TYPE nsrv_iterations_ingested_total counter"), "{body}");
+        assert!(body.contains("nsrv_iterations_ingested_total 1"), "{body}");
+        // The merge brings in process-global checkpoint instruments.
+        assert!(body.contains("ckpt_write_attempts_total"), "{body}");
+
         client.shutdown().unwrap();
         let out = server.join().unwrap().unwrap();
         assert!(out.contains("drained"), "{out}");

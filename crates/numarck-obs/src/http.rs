@@ -1,0 +1,212 @@
+//! Minimal plain-HTTP `/metrics` listener.
+//!
+//! One `std::net::TcpListener` on a background thread, answering
+//! `GET /metrics` with the Prometheus text rendering of a snapshot
+//! taken at request time. No TLS, no keep-alive, no async — a scrape
+//! is one short-lived connection, which is all Prometheus (or `curl`
+//! in CI) needs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::snapshot::{render_prometheus, Snapshot};
+
+/// How long a scraper may dawdle sending its request line before the
+/// connection is dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running `/metrics` listener. Shuts down on [`MetricsServer::shutdown`]
+/// or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `GET /metrics`, rendering a fresh snapshot from `snapshot_fn`
+    /// per scrape. Returns once the socket is bound; the accept loop
+    /// runs on a background thread.
+    pub fn start<A, F>(addr: A, snapshot_fn: F) -> std::io::Result<Self>
+    where
+        A: ToSocketAddrs,
+        F: Fn() -> Snapshot + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("obs-metrics".into())
+            .spawn(move || accept_loop(listener, thread_stop, snapshot_fn))?;
+        Ok(Self { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<F>(listener: TcpListener, stop: Arc<AtomicBool>, snapshot_fn: F)
+where
+    F: Fn() -> Snapshot,
+{
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Serve inline: scrapes are rare and tiny, a thread per scrape
+        // would be overkill.
+        let _ = serve_one(stream, &snapshot_fn);
+    }
+}
+
+fn serve_one<F>(mut stream: TcpStream, snapshot_fn: &F) -> std::io::Result<()>
+where
+    F: Fn() -> Snapshot,
+{
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let request_line = read_request_head(&mut stream)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", String::from("method not allowed\n"))
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", render_prometheus(&snapshot_fn()))
+    } else {
+        ("404 Not Found", String::from("not found; try /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read the whole request head (through the blank line) and return the
+/// request line. Draining the head before responding matters: closing
+/// a socket with unread bytes pending sends an RST that can destroy
+/// the in-flight response. Total bytes are bounded so a garbage client
+/// can't make us buffer forever.
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    const MAX_HEAD: usize = 8 * 1024;
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < MAX_HEAD {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let first = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let first = first.strip_suffix(b"\r").unwrap_or(first);
+    Ok(String::from_utf8_lossy(first).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_owned();
+        (status, body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("numarck_test_total").add(7);
+        let reg = registry.clone();
+        let server = MetricsServer::start("127.0.0.1:0", move || reg.snapshot()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("numarck_test_total 7"), "{body}");
+
+        // Snapshot is fresh per scrape.
+        registry.counter("numarck_test_total").add(1);
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("numarck_test_total 8"), "{body}");
+
+        let (status, _) = http_get(addr, "/other");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = MetricsServer::start("127.0.0.1:0", Snapshot::default).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = MetricsServer::start("127.0.0.1:0", Snapshot::default).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // Listener is gone: a fresh connection must fail or be closed
+        // without a response.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                let n = s.read_to_string(&mut out).unwrap_or(0);
+                assert_eq!(n, 0, "listener answered after shutdown: {out}");
+            }
+        }
+    }
+}

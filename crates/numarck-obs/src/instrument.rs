@@ -1,0 +1,396 @@
+//! The instruments: counter, gauge, histogram, span.
+//!
+//! Everything here is lock-free and allocation-free on the record path.
+//! Handles are `Arc`s handed out by the [`crate::Registry`]; callers
+//! cache them (in a struct field or a `OnceLock`) so the hot path never
+//! touches the registry map.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Process-wide switch for *span timing* (not counters): when off,
+/// [`Histogram::span`] skips the clock reads and records nothing.
+/// Benchmarks flip this to measure the instrumentation overhead;
+/// production leaves it on.
+static TIMING_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable span timing process-wide. Returns the previous
+/// state so benchmarks can restore it.
+pub fn set_timing_enabled(on: bool) -> bool {
+    TIMING_ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// Whether span timing is currently enabled.
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotone event counter. The hot path ([`Counter::inc`] /
+/// [`Counter::add`]) is exactly one relaxed atomic RMW — no branch, no
+/// load, no registry lookup.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed level gauge (queue depth, open sessions, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: values 0..16 exact, then 60 octaves ×
+/// 4 log-linear sub-buckets covering the rest of the `u64` range.
+pub const BUCKETS: usize = 256;
+
+/// Fixed log-bucketed atomic histogram.
+///
+/// Bucket layout (all bounds in the recorded unit, typically ns):
+/// * buckets `0..16` hold the exact values `0..16`;
+/// * above that, each power-of-two octave `[2^k, 2^{k+1})` (k ≥ 4) is
+///   split into 4 equal sub-buckets, so bucket width is 1/4 of the
+///   bucket's magnitude and a quantile read from a bucket midpoint is
+///   within ±12.5% of the true value.
+///
+/// Recording is two relaxed atomic adds (bucket count + running sum).
+/// Snapshot reads are racy-but-monotone, which is all an exporter
+/// needs.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (msb - 2)) & 3) as usize;
+        16 + (msb - 4) * 4 + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value that lands
+/// in it).
+pub(crate) fn bucket_lower(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let g = i - 16;
+        let msb = 4 + g / 4;
+        let sub = (g % 4) as u64;
+        (4 + sub) << (msb - 2)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i + 1 < BUCKETS {
+        bucket_lower(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// Midpoint of bucket `i`, used as the quantile representative.
+pub(crate) fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_lower(i);
+    let hi = bucket_upper(i);
+    lo + (hi - lo) / 2
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self { counts: [const { AtomicU64::new(0) }; BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Start an RAII span that records its elapsed nanoseconds into
+    /// this histogram on drop (a no-op while [`timing_enabled`] is
+    /// off).
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            hist: self,
+            start: if timing_enabled() { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, c) in out.iter_mut().zip(&self.counts) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Quantile `q` in `[0, 1]` from a frozen bucket array: the
+    /// midpoint of the bucket holding the `ceil(q·count)`-th
+    /// observation. Returns 0 for an empty histogram.
+    pub fn quantile_from(buckets: &[u64; BUCKETS], q: f64) -> u64 {
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Quantile `q` over the live counts (convenience for tests and
+    /// in-process introspection; exporters snapshot first).
+    pub fn quantile(&self, q: f64) -> u64 {
+        Self::quantile_from(&self.bucket_counts(), q)
+    }
+}
+
+/// RAII timer: created by [`Histogram::span`], records elapsed
+/// nanoseconds on drop. Dropping without recording (timing disabled)
+/// costs one branch.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Discard the span without recording (e.g. on an error path that
+    /// should not pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos();
+            self.hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.inc();
+        g.add(5);
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            for off in [0u64, 1] {
+                let idx = bucket_index(v.saturating_add(off));
+                assert!(idx < BUCKETS, "v={v} idx={idx}");
+                assert!(idx >= last, "index must not decrease");
+                last = idx;
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Every bucket's lower bound maps back to that bucket, and
+        // bounds are contiguous.
+        for i in 0..BUCKETS {
+            let lo = bucket_lower(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of {i}");
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound of {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_upper(i) + 1, bucket_lower(i + 1));
+            }
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        // p50 over 0..=15 lands exactly on 7 (exact buckets).
+        assert_eq!(h.quantile(0.5), 7);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let h = Histogram::new();
+        // 1000 observations of 10_000 plus 10 of 1_000_000.
+        for _ in 0..1000 {
+            h.record(10_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 10_000.0).abs() / 10_000.0 <= 0.125, "p50 {p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 10_000.0).abs() / 10_000.0 <= 0.125, "p99 {p99}");
+        let p999 = h.quantile(0.9999) as f64;
+        assert!((p999 - 1_000_000.0).abs() / 1_000_000.0 <= 0.125, "p99.99 {p999}");
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Histogram::new();
+        {
+            let _s = h.span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let h = Histogram::new();
+        h.span().cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn disabled_timing_skips_recording() {
+        let h = Histogram::new();
+        let was = set_timing_enabled(false);
+        {
+            let _s = h.span();
+        }
+        set_timing_enabled(was);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i * (t + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

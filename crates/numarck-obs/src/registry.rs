@@ -1,0 +1,181 @@
+//! Named-instrument registry.
+//!
+//! A [`Registry`] maps metric names to instruments with get-or-create
+//! semantics. Lookup takes a lock; callers are expected to look up once
+//! and cache the returned `Arc` (struct field, `OnceLock`), after which
+//! the record path never touches the registry again.
+//!
+//! There is one process-wide [`Registry::global`] for library code
+//! (encoder phases, checkpoint store), and components that can be
+//! instantiated more than once per process (each `numarck-serve`
+//! server, notably the in-process test harness that runs several
+//! servers at once) own a private `Registry` so their counters do not
+//! mix.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::instrument::{Counter, Gauge, Histogram};
+use crate::ring::EventRing;
+use crate::snapshot::Snapshot;
+
+/// Default capacity for [`Registry::events`].
+const DEFAULT_EVENT_CAPACITY: usize = 128;
+
+#[derive(Debug, Default)]
+struct Maps {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named-instrument registry. Cheap to clone conceptually — share it
+/// via `Arc<Registry>` when a component hands instruments to worker
+/// threads.
+#[derive(Debug)]
+pub struct Registry {
+    maps: Mutex<Maps>,
+    events: EventRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An empty registry whose event ring holds `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self { maps: Mutex::new(Maps::default()), events: EventRing::new(capacity) }
+    }
+
+    /// The process-wide registry used by library code (encoder phases,
+    /// checkpoint store). Created on first use.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Maps> {
+        match self.maps.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut maps = self.lock();
+        if let Some(c) = maps.counters.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        maps.counters.insert(name.to_owned(), c.clone());
+        c
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut maps = self.lock();
+        if let Some(g) = maps.gauges.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::new());
+        maps.gauges.insert(name.to_owned(), g.clone());
+        g
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut maps = self.lock();
+        if let Some(h) = maps.histograms.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::new());
+        maps.histograms.insert(name.to_owned(), h.clone());
+        h
+    }
+
+    /// The registry's event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Freeze a point-in-time view of every instrument plus the event
+    /// ring. Individual reads are relaxed (a snapshot taken mid-record
+    /// may be off by in-flight increments), which is fine for
+    /// exposition.
+    pub fn snapshot(&self) -> Snapshot {
+        let maps = self.lock();
+        Snapshot::capture(
+            maps.counters.iter().map(|(k, v)| (k.as_str(), v.as_ref())),
+            maps.gauges.iter().map(|(k, v)| (k.as_str(), v.as_ref())),
+            maps.histograms.iter().map(|(k, v)| (k.as_str(), v.as_ref())),
+            &self.events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x_total").get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn instrument_kinds_have_separate_namespaces() {
+        let r = Registry::new();
+        r.counter("n").inc();
+        r.gauge("n").set(7);
+        r.histogram("n").record(9);
+        assert_eq!(r.counter("n").get(), 1);
+        assert_eq!(r.gauge("n").get(), 7);
+        assert_eq!(r.histogram("n").count(), 1);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Registry::global() as *const Registry;
+        let b = Registry::global() as *const Registry;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn separate_registries_do_not_mix() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("c_total").add(5);
+        assert_eq!(r2.counter("c_total").get(), 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_current_values() {
+        let r = Registry::new();
+        r.counter("a_total").add(3);
+        r.gauge("depth").set(-1);
+        r.histogram("lat_ns").record(100);
+        r.events().push(crate::Level::Warn, "w");
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a_total".to_owned(), 3)]);
+        assert_eq!(snap.gauges, vec![("depth".to_owned(), -1)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "lat_ns");
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.events.len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded lossy event ring.
+//!
+//! Keeps the *most recent* N notable events (retries, quarantines,
+//! rejected connections). Writers never block and never allocate past
+//! the fixed capacity: when full, the oldest event is overwritten.
+//! This is deliberately a mutex-guarded ring, not a lock-free queue —
+//! events are rare (per-retry, not per-point), so contention is nil and
+//! simplicity wins.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Normal but notable (e.g. repair completed, drain started).
+    Info,
+    /// Degraded but recovering (e.g. write retry, transient connect failure).
+    Warn,
+    /// Lost work or persistent failure (e.g. quarantine, exhausted retries).
+    Error,
+}
+
+impl Level {
+    /// Stable lowercase label used in exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Milliseconds since the Unix epoch at record time.
+    pub unix_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Short free-form description, e.g. `"ckpt write retry #2 iter=40"`.
+    pub message: String,
+}
+
+/// Bounded lossy ring of recent [`Event`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: VecDeque<Event>,
+    /// Total events ever pushed, including overwritten ones.
+    pushed: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner { events: VecDeque::with_capacity(capacity), pushed: 0 }),
+            capacity,
+        }
+    }
+
+    /// Record an event, evicting the oldest if the ring is full.
+    pub fn push(&self, level: Level, message: impl Into<String>) {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(Event { unix_ms, level, message: message.into() });
+        inner.pushed += 1;
+    }
+
+    /// Oldest-first copy of the retained events.
+    pub fn recent(&self) -> Vec<Event> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        inner.events.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed (retained + overwritten).
+    pub fn total_pushed(&self) -> u64 {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        inner.pushed
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        inner.pushed - inner.events.len() as u64
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent_when_full() {
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(Level::Info, format!("e{i}"));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 3);
+        let msgs: Vec<&str> = recent.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["e2", "e3", "e4"]);
+        assert_eq!(ring.total_pushed(), 5);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = EventRing::new(0);
+        ring.push(Level::Error, "a");
+        ring.push(Level::Warn, "b");
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].message, "b");
+        assert_eq!(recent[0].level, Level::Warn);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_counted() {
+        let ring = std::sync::Arc::new(EventRing::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        ring.push(Level::Warn, format!("t{t} e{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.total_pushed(), 400);
+        assert_eq!(ring.recent().len(), 8);
+    }
+}

@@ -16,12 +16,33 @@ pub const MIN_CHUNK: usize = 4 * 1024;
 /// bins concentrated in one region).
 pub const CHUNKS_PER_THREAD: usize = 4;
 
+/// Cached handle to the `par_sweeps_total` counter (one increment per
+/// planned parallel sweep, not per element).
+fn sweeps_total() -> &'static std::sync::Arc<numarck_obs::Counter> {
+    static CELL: std::sync::OnceLock<std::sync::Arc<numarck_obs::Counter>> =
+        std::sync::OnceLock::new();
+    CELL.get_or_init(|| numarck_obs::Registry::global().counter("par_sweeps_total"))
+}
+
+/// Cached handle to the `par_chunks_dispatched_total` counter.
+fn chunks_dispatched_total() -> &'static std::sync::Arc<numarck_obs::Counter> {
+    static CELL: std::sync::OnceLock<std::sync::Arc<numarck_obs::Counter>> =
+        std::sync::OnceLock::new();
+    CELL.get_or_init(|| numarck_obs::Registry::global().counter("par_chunks_dispatched_total"))
+}
+
 /// Choose a chunk length for a parallel sweep over `len` elements.
 ///
 /// Returns at least 1 so callers can pass the result straight to
-/// `par_chunks` without a zero-length panic.
+/// `par_chunks` without a zero-length panic. Each call counts as one
+/// planned sweep in the `par_sweeps_total` /
+/// `par_chunks_dispatched_total` metrics (per-sweep cost: two relaxed
+/// atomic adds).
 pub fn chunk_size_for(len: usize) -> usize {
-    chunk_size_with_threads(len, rayon::current_num_threads())
+    let chunk = chunk_size_with_threads(len, rayon::current_num_threads());
+    sweeps_total().inc();
+    chunks_dispatched_total().add(len.div_ceil(chunk.max(1)) as u64);
+    chunk
 }
 
 /// [`chunk_size_for`] with an explicit thread count (testable, and used by
@@ -73,6 +94,17 @@ pub fn chunk_ranges(len: usize, chunk: usize) -> impl Iterator<Item = (usize, us
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_counters_advance() {
+        let sweeps_before = sweeps_total().get();
+        let chunks_before = chunks_dispatched_total().get();
+        let chunk = chunk_size_for(1 << 20);
+        // Other tests may run parallel sweeps concurrently: lower bounds only.
+        assert!(sweeps_total().get() > sweeps_before);
+        let expected = ((1usize << 20).div_ceil(chunk)) as u64;
+        assert!(chunks_dispatched_total().get() >= chunks_before + expected);
+    }
 
     #[test]
     fn chunk_size_is_positive() {

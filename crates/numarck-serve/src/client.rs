@@ -45,6 +45,28 @@ impl fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether retrying the whole call can plausibly succeed: `Busy`
+    /// (the bounded queue was momentarily full) and connection-level
+    /// transport failures (refused/reset/aborted — the server is
+    /// restarting or shedding load). Everything else — typed server
+    /// errors, protocol violations, timeouts, resolution failures — is
+    /// deterministic or indicates a sick peer, and retrying it only
+    /// hides the real problem behind a delay.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Busy => true,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+            ),
+            ClientError::Server { .. } | ClientError::Protocol(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
@@ -61,6 +83,34 @@ impl From<io::Error> for ClientError {
 
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Ceiling on a single [`Client::connect_session`] retry delay, however
+/// many doublings the attempt count has earned.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Delay before retry number `attempt` (1-based): `base` doubled per
+/// attempt, capped at `cap`, then jittered into `[cap'/2, cap']` so a
+/// herd of clients rejected by the same Busy burst does not reconnect
+/// in lockstep. The jitter is deterministic (a hash of the attempt
+/// number and the base), keeping tests and reruns reproducible.
+fn retry_delay(base: Duration, attempt: u32, cap: Duration) -> Duration {
+    let doublings = attempt.saturating_sub(1).min(20);
+    let exp = base.saturating_mul(1u32 << doublings).min(cap);
+    let nanos = exp.as_nanos() as u64;
+    if nanos < 2 {
+        return exp;
+    }
+    let h = splitmix64((u64::from(attempt) << 32) ^ nanos);
+    Duration::from_nanos(nanos / 2 + h % (nanos - nanos / 2 + 1))
+}
+
+/// SplitMix64 finaliser: cheap, well-mixed, dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// A blocking connection to a checkpoint server.
 pub struct Client {
@@ -81,11 +131,15 @@ impl Client {
         Ok(Self { stream, next_req_id: 1 })
     }
 
-    /// Connect and open `session` in one go, retrying `Busy` rejections
-    /// with a linear backoff. A `Busy` verdict arrives on the first
-    /// round-trip and kills the connection (the acceptor never queued
-    /// it), so each retry reconnects from scratch. Returns the client
-    /// and the session id.
+    /// Connect and open `session` in one go, retrying *transient*
+    /// failures ([`ClientError::is_transient`]: `Busy` plus
+    /// refused/reset connections) with capped exponential backoff and
+    /// deterministic jitter; every other failure returns immediately.
+    /// A `Busy` verdict arrives on the first round-trip and kills the
+    /// connection (the acceptor never queued it), so each retry
+    /// reconnects from scratch. `backoff` is the base delay — attempt
+    /// `n` sleeps roughly `backoff × 2^(n-1)`, never more than
+    /// [`BACKOFF_CAP`]. Returns the client and the session id.
     pub fn connect_session(
         addr: impl ToSocketAddrs + Copy,
         timeout: Duration,
@@ -96,11 +150,11 @@ impl Client {
         let mut last = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(backoff.saturating_mul(attempt));
+                std::thread::sleep(retry_delay(backoff, attempt, BACKOFF_CAP));
             }
             let mut client = match Client::connect(addr, timeout) {
                 Ok(client) => client,
-                Err(e @ ClientError::Io(_)) => {
+                Err(e) if e.is_transient() => {
                     last = Some(e);
                     continue;
                 }
@@ -108,7 +162,7 @@ impl Client {
             };
             match client.open_session(session) {
                 Ok(id) => return Ok((client, id)),
-                Err(e @ ClientError::Busy) | Err(e @ ClientError::Io(_)) => last = Some(e),
+                Err(e) if e.is_transient() => last = Some(e),
                 Err(e) => return Err(e),
             }
         }
@@ -255,4 +309,63 @@ pub struct ScrubReply {
     pub anchored_at: Option<u64>,
     /// Intact-but-orphaned iterations given up (repair only).
     pub lost: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_errors_are_busy_and_connection_faults() {
+        assert!(ClientError::Busy.is_transient());
+        for kind in [
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+        ] {
+            assert!(ClientError::Io(io::Error::new(kind, "x")).is_transient(), "{kind:?}");
+        }
+        for kind in [io::ErrorKind::TimedOut, io::ErrorKind::NotFound, io::ErrorKind::Other] {
+            assert!(!ClientError::Io(io::Error::new(kind, "x")).is_transient(), "{kind:?}");
+        }
+        assert!(!ClientError::Protocol("desync".into()).is_transient());
+        let server =
+            ClientError::Server { code: ErrorCode::BadRequest, message: "no".into() };
+        assert!(!server.is_transient());
+    }
+
+    #[test]
+    fn retry_delay_is_deterministic_exponential_and_capped() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(2);
+        for attempt in 1..=32 {
+            let d = retry_delay(base, attempt, cap);
+            assert_eq!(d, retry_delay(base, attempt, cap), "attempt {attempt}: deterministic");
+            // Jitter keeps the delay within [ideal/2, ideal] where
+            // ideal = min(base × 2^(n-1), cap).
+            let ideal = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(20)).min(cap);
+            assert!(d <= ideal, "attempt {attempt}: {d:?} > {ideal:?}");
+            assert!(d >= ideal / 2, "attempt {attempt}: {d:?} < {:?}", ideal / 2);
+            assert!(d <= cap, "attempt {attempt}: cap violated");
+        }
+    }
+
+    #[test]
+    fn retry_delays_vary_across_attempts_below_the_cap() {
+        // The jitter must actually spread attempts, not collapse to the
+        // midpoint: consecutive capped delays should differ.
+        let base = Duration::from_secs(4); // above cap from attempt 1
+        let cap = Duration::from_secs(2);
+        let d1 = retry_delay(base, 1, cap);
+        let d2 = retry_delay(base, 2, cap);
+        let d3 = retry_delay(base, 3, cap);
+        assert!(d1 != d2 || d2 != d3, "jitter is degenerate: {d1:?} {d2:?} {d3:?}");
+    }
+
+    #[test]
+    fn retry_delay_handles_degenerate_bases() {
+        assert_eq!(retry_delay(Duration::ZERO, 5, BACKOFF_CAP), Duration::ZERO);
+        let tiny = retry_delay(Duration::from_nanos(1), 1, BACKOFF_CAP);
+        assert_eq!(tiny, Duration::from_nanos(1));
+    }
 }

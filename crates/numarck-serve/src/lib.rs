@@ -27,4 +27,6 @@ pub use client::{Client, ClientError, ClientResult, RestartReply, ScrubReply};
 pub use server::{
     install_signal_handlers, signal_drain_requested, Server, ServerConfig, ServerHandle,
 };
-pub use wire::{ErrorCode, PutOutcome, Request, Response, SessionStat, StatsReply, WrittenKind};
+pub use wire::{
+    ErrorCode, LatencyStat, PutOutcome, Request, Response, SessionStat, StatsReply, WrittenKind,
+};

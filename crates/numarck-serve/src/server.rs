@@ -39,10 +39,11 @@ use numarck_checkpoint::{
     scrub, CheckpointManager, CheckpointOutcome, CheckpointStore, FsBackend, ManagerPolicy,
     RestartEngine, RetryPolicy, SystemClock,
 };
+use numarck_obs::{Counter, Gauge, Histogram, HistogramSummary, Level, Registry, Snapshot};
 
 use crate::wire::{
-    self, ErrorCode, PutOutcome, ReadOutcome, Request, Response, SessionStat, StatsReply,
-    WrittenKind,
+    self, ErrorCode, LatencyStat, PutOutcome, ReadOutcome, Request, Response, SessionStat,
+    StatsReply, WrittenKind,
 };
 
 /// How long the acceptor sleeps between accept polls.
@@ -97,17 +98,88 @@ struct SessionState {
     manager: CheckpointManager,
 }
 
+/// Per-server instruments, backed by a *private* [`Registry`] so
+/// several servers in one process (tests, embedded use) do not blur
+/// each other's numbers. `/metrics` and [`ServerHandle::metrics_snapshot`]
+/// merge this registry with the process-global one (encoder + checkpoint
+/// instruments), whose names carry disjoint prefixes.
+struct Instruments {
+    registry: Arc<Registry>,
+    accepted: Arc<Counter>,
+    served: Arc<Counter>,
+    busy_rejected: Arc<Counter>,
+    iterations_ingested: Arc<Counter>,
+    bytes_ingested: Arc<Counter>,
+    write_retries: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    req_open: Arc<Histogram>,
+    req_put: Arc<Histogram>,
+    req_restart: Arc<Histogram>,
+    req_scrub: Arc<Histogram>,
+    req_stats: Arc<Histogram>,
+    req_close: Arc<Histogram>,
+    req_shutdown: Arc<Histogram>,
+}
+
+impl Instruments {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            accepted: registry.counter("nsrv_accepted_total"),
+            served: registry.counter("nsrv_served_total"),
+            busy_rejected: registry.counter("nsrv_busy_rejected_total"),
+            iterations_ingested: registry.counter("nsrv_iterations_ingested_total"),
+            bytes_ingested: registry.counter("nsrv_bytes_ingested_total"),
+            write_retries: registry.counter("nsrv_write_retries_total"),
+            queue_depth: registry.gauge("nsrv_queue_depth"),
+            req_open: registry.histogram("nsrv_request_open_ns"),
+            req_put: registry.histogram("nsrv_request_put_ns"),
+            req_restart: registry.histogram("nsrv_request_restart_ns"),
+            req_scrub: registry.histogram("nsrv_request_scrub_ns"),
+            req_stats: registry.histogram("nsrv_request_stats_ns"),
+            req_close: registry.histogram("nsrv_request_close_ns"),
+            req_shutdown: registry.histogram("nsrv_request_shutdown_ns"),
+            registry,
+        }
+    }
+
+    /// The latency histogram a request type is timed into.
+    fn request_hist(&self, req: &Request) -> &Histogram {
+        match req {
+            Request::OpenSession { .. } => &self.req_open,
+            Request::PutIterations { .. } => &self.req_put,
+            Request::Restart { .. } => &self.req_restart,
+            Request::Scrub { .. } => &self.req_scrub,
+            Request::Stats => &self.req_stats,
+            Request::CloseSession { .. } => &self.req_close,
+            Request::Shutdown => &self.req_shutdown,
+        }
+    }
+
+    /// Latency summaries for the stats-reply extension, fixed order.
+    fn latencies(&self) -> Vec<LatencyStat> {
+        [
+            ("nsrv_request_open_ns", &self.req_open),
+            ("nsrv_request_put_ns", &self.req_put),
+            ("nsrv_request_restart_ns", &self.req_restart),
+            ("nsrv_request_scrub_ns", &self.req_scrub),
+            ("nsrv_request_stats_ns", &self.req_stats),
+            ("nsrv_request_close_ns", &self.req_close),
+            ("nsrv_request_shutdown_ns", &self.req_shutdown),
+        ]
+        .into_iter()
+        .map(|(name, h)| LatencyStat { name: name.to_owned(), summary: HistogramSummary::of(h) })
+        .collect()
+    }
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     config: ServerConfig,
     draining: AtomicBool,
-    // Counters (see `StatsReply` for meanings).
-    accepted: AtomicU64,
-    served: AtomicU64,
-    busy_rejected: AtomicU64,
-    iterations_ingested: AtomicU64,
-    bytes_ingested: AtomicU64,
-    write_retries: AtomicU64,
+    /// Counters/gauges/latency histograms (see `StatsReply` and
+    /// DESIGN.md §7 for meanings).
+    obs: Instruments,
     next_session_id: AtomicU64,
     /// name → id for idempotent `OpenSession`.
     by_name: Mutex<HashMap<String, u64>>,
@@ -134,15 +206,24 @@ impl Shared {
         }
         sessions.sort_by_key(|s| s.id);
         StatsReply {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
-            iterations_ingested: self.iterations_ingested.load(Ordering::Relaxed),
-            bytes_ingested: self.bytes_ingested.load(Ordering::Relaxed),
-            write_retries: self.write_retries.load(Ordering::Relaxed),
+            accepted: self.obs.accepted.get(),
+            served: self.obs.served.get(),
+            busy_rejected: self.obs.busy_rejected.get(),
+            iterations_ingested: self.obs.iterations_ingested.get(),
+            bytes_ingested: self.obs.bytes_ingested.get(),
+            write_retries: self.obs.write_retries.get(),
             draining: self.draining.load(Ordering::Relaxed),
             sessions,
+            queue_depth: self.obs.queue_depth.get(),
+            latencies: self.obs.latencies(),
         }
+    }
+
+    /// This server's registry merged with the process-global one.
+    fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.obs.registry.snapshot();
+        snap.merge(Registry::global().snapshot());
+        snap
     }
 }
 
@@ -170,6 +251,20 @@ impl ServerHandle {
     /// [`Self::trigger_drain`]).
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of this server's metrics registry merged with the
+    /// process-global registry (encoder + checkpoint instruments).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// A cloneable, `'static` snapshot source for a `/metrics` listener
+    /// ([`numarck_obs::MetricsServer::start`] wants one that outlives
+    /// the handle's borrows).
+    pub fn metrics_source(&self) -> impl Fn() -> Snapshot + Send + Sync + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.metrics_snapshot()
     }
 
     /// Block until the acceptor and every worker have exited. Only
@@ -243,12 +338,7 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             draining: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            busy_rejected: AtomicU64::new(0),
-            iterations_ingested: AtomicU64::new(0),
-            bytes_ingested: AtomicU64::new(0),
-            write_retries: AtomicU64::new(0),
+            obs: Instruments::new(),
             next_session_id: AtomicU64::new(1),
             by_name: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
@@ -289,10 +379,17 @@ fn acceptor_loop(listener: TcpListener, tx: SyncSender<TcpStream>, shared: &Shar
         match listener.accept() {
             Ok((stream, _peer)) => match tx.try_send(stream) {
                 Ok(()) => {
-                    shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.accepted.inc();
+                    // Decremented by the worker that picks it up.
+                    shared.obs.queue_depth.inc();
                 }
                 Err(TrySendError::Full(stream)) => {
-                    shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.busy_rejected.inc();
+                    shared
+                        .obs
+                        .registry
+                        .events()
+                        .push(Level::Warn, "hand-off queue full: connection rejected with Busy");
                     reject_busy(stream, shared.config.io_timeout);
                 }
                 Err(TrySendError::Disconnected(_)) => break,
@@ -324,7 +421,10 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
             rx.recv_timeout(ACCEPT_POLL)
         };
         match conn {
-            Ok(stream) => serve_connection(stream, shared),
+            Ok(stream) => {
+                shared.obs.queue_depth.dec();
+                serve_connection(stream, shared);
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shared.draining.load(Ordering::SeqCst) {
                     break;
@@ -379,13 +479,18 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         };
         let req_id = frame.req_id;
         let (resp, close_after) = match Request::from_frame(&frame) {
-            Ok(req) => dispatch(req, shared),
+            Ok(req) => {
+                // Per-request-type latency: the span covers dispatch
+                // only (session lookup + store work), not socket I/O.
+                let _span = shared.obs.request_hist(&req).span();
+                dispatch(req, shared)
+            }
             Err(e) => (
                 Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
                 true,
             ),
         };
-        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.obs.served.inc();
         if wire::write_frame(&mut stream, resp.opcode(), req_id, &resp.payload()).is_err() {
             return;
         }
@@ -535,9 +640,9 @@ fn put_iterations(
         let bytes: u64 = vars.values().map(|v| v.len() as u64 * 8).sum();
         match sess.manager.checkpoint_with_report(*iteration, vars) {
             Ok(report) => {
-                shared.iterations_ingested.fetch_add(1, Ordering::Relaxed);
-                shared.bytes_ingested.fetch_add(bytes, Ordering::Relaxed);
-                shared.write_retries.fetch_add(u64::from(report.retries), Ordering::Relaxed);
+                shared.obs.iterations_ingested.inc();
+                shared.obs.bytes_ingested.add(bytes);
+                shared.obs.write_retries.add(u64::from(report.retries));
                 let kind = match report.outcome {
                     CheckpointOutcome::Full => WrittenKind::Full,
                     CheckpointOutcome::FullOnDrift { .. } => WrittenKind::FullOnDrift,

@@ -28,6 +28,7 @@ use std::io::{self, Read, Write};
 
 use numarck::serialize as nser;
 use numarck_checkpoint::VariableSet;
+use numarck_obs::HistogramSummary;
 
 /// Magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"NSRV";
@@ -177,7 +178,22 @@ pub struct SessionStat {
     pub latest_restartable: Option<u64>,
 }
 
+/// One named latency summary inside the [`StatsReply`] extension.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStat {
+    /// Metric name (e.g. `nsrv_request_put_ns`).
+    pub name: String,
+    /// Count/sum plus p50/p90/p99 midpoints, in nanoseconds.
+    pub summary: HistogramSummary,
+}
+
 /// Payload of [`Response::StatsData`].
+///
+/// The fields after `sessions` form the *observability extension*
+/// introduced together with the `numarck-obs` registry. The extension
+/// is appended after the original payload, so a new decoder reading an
+/// old-format peer's reply (no trailing bytes after the sessions) fills
+/// the extension with defaults instead of failing.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
     /// Connections accepted into service (excludes Busy rejections).
@@ -196,6 +212,12 @@ pub struct StatsReply {
     pub draining: bool,
     /// Per-session summaries, ordered by id.
     pub sessions: Vec<SessionStat>,
+    /// Extension: connections sitting in the bounded hand-off queue at
+    /// reply time (0 from an old-format peer).
+    pub queue_depth: i64,
+    /// Extension: per-request-type latency summaries (empty from an
+    /// old-format peer).
+    pub latencies: Vec<LatencyStat>,
 }
 
 /// A client-to-server message.
@@ -460,6 +482,23 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Pre-allocation guard for length-prefixed sequences: clamp a
+    /// declared element count to what the remaining payload could
+    /// possibly hold (`min_size` bytes per element), so a corrupt or
+    /// hostile count cannot force a huge `Vec::with_capacity` before
+    /// the first element read fails.
+    fn seq_capacity(&self, declared: usize, min_size: usize) -> usize {
+        declared.min(self.0.len() / min_size.max(1))
+    }
+
     fn string(&mut self) -> io::Result<String> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
@@ -568,7 +607,8 @@ impl Request {
             opcode::PUT_ITERATIONS => {
                 let session = cur.u64()?;
                 let count = cur.u32()? as usize;
-                let mut iterations = Vec::with_capacity(count);
+                // 8-byte iteration + 4-byte variable count minimum.
+                let mut iterations = Vec::with_capacity(cur.seq_capacity(count, 12));
                 for _ in 0..count {
                     let iteration = cur.u64()?;
                     iterations.push((iteration, cur.vars()?));
@@ -658,6 +698,21 @@ impl Response {
                     buf.push(u8::from(sess.latest_restartable.is_some()));
                     buf.extend_from_slice(&sess.latest_restartable.unwrap_or(0).to_le_bytes());
                 }
+                // Observability extension (see `StatsReply` docs).
+                buf.extend_from_slice(&s.queue_depth.to_le_bytes());
+                buf.extend_from_slice(&(s.latencies.len() as u32).to_le_bytes());
+                for lat in &s.latencies {
+                    put_string(&mut buf, &lat.name);
+                    for v in [
+                        lat.summary.count,
+                        lat.summary.sum,
+                        lat.summary.p50,
+                        lat.summary.p90,
+                        lat.summary.p99,
+                    ] {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
             }
             Response::SessionClosed | Response::ShuttingDown | Response::Busy => {}
             Response::Error { code, message } => {
@@ -675,7 +730,8 @@ impl Response {
             opcode::SESSION_OPENED => Response::SessionOpened { session: cur.u64()? },
             opcode::PUT_DONE => {
                 let count = cur.u32()? as usize;
-                let mut outcomes = Vec::with_capacity(count);
+                // 8-byte iteration + kind byte + 4-byte retries.
+                let mut outcomes = Vec::with_capacity(cur.seq_capacity(count, 13));
                 for _ in 0..count {
                     outcomes.push(PutOutcome {
                         iteration: cur.u64()?,
@@ -715,6 +771,8 @@ impl Response {
                     write_retries: cur.u64()?,
                     draining: cur.u8()? != 0,
                     sessions: Vec::new(),
+                    queue_depth: 0,
+                    latencies: Vec::new(),
                 };
                 let count = cur.u32()? as usize;
                 for _ in 0..count {
@@ -729,6 +787,23 @@ impl Response {
                         files,
                         latest_restartable: has_latest.then_some(latest),
                     });
+                }
+                // Observability extension: absent from old-format peers,
+                // in which case the defaults above stand.
+                if !cur.is_empty() {
+                    s.queue_depth = cur.i64()?;
+                    let lat_count = cur.u32()? as usize;
+                    for _ in 0..lat_count {
+                        let name = cur.string()?;
+                        let summary = HistogramSummary {
+                            count: cur.u64()?,
+                            sum: cur.u64()?,
+                            p50: cur.u64()?,
+                            p90: cur.u64()?,
+                            p99: cur.u64()?,
+                        };
+                        s.latencies.push(LatencyStat { name, summary });
+                    }
                 }
                 Response::StatsData(s)
             }
@@ -829,6 +904,20 @@ mod tests {
                 SessionStat { id: 1, name: "a".into(), files: 16, latest_restartable: Some(15) },
                 SessionStat { id: 2, name: "b".into(), files: 0, latest_restartable: None },
             ],
+            queue_depth: 3,
+            latencies: vec![
+                LatencyStat {
+                    name: "nsrv_request_put_ns".into(),
+                    summary: HistogramSummary {
+                        count: 40,
+                        sum: 4_000_000,
+                        p50: 90_000,
+                        p90: 150_000,
+                        p99: 400_000,
+                    },
+                },
+                LatencyStat { name: "nsrv_request_stats_ns".into(), summary: Default::default() },
+            ],
         }));
         roundtrip_response(Response::SessionClosed);
         roundtrip_response(Response::ShuttingDown);
@@ -837,6 +926,60 @@ mod tests {
             code: ErrorCode::UnknownSession,
             message: "session 9 is not open".into(),
         });
+    }
+
+    /// A `StatsData` payload from an old-format peer (no observability
+    /// extension after the sessions) decodes with the extension fields
+    /// at their defaults instead of failing.
+    #[test]
+    fn old_format_stats_reply_decodes_with_default_extension() {
+        let mut payload = Vec::new();
+        for v in [5u64, 40, 2, 64, 1 << 20, 3] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.push(1); // draining
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one session
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        put_string(&mut payload, "legacy");
+        payload.extend_from_slice(&16u32.to_le_bytes());
+        payload.push(1);
+        payload.extend_from_slice(&15u64.to_le_bytes());
+        // No extension bytes: this is where an old encoder stopped.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, opcode::STATS_DATA, 11, &payload).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        match Response::from_frame(&frame).unwrap() {
+            Response::StatsData(s) => {
+                assert_eq!(s.accepted, 5);
+                assert_eq!(s.write_retries, 3);
+                assert!(s.draining);
+                assert_eq!(s.sessions.len(), 1);
+                assert_eq!(s.sessions[0].name, "legacy");
+                assert_eq!(s.sessions[0].latest_restartable, Some(15));
+                assert_eq!(s.queue_depth, 0, "extension default");
+                assert!(s.latencies.is_empty(), "extension default");
+            }
+            other => panic!("expected StatsData, got {other:?}"),
+        }
+    }
+
+    /// A *truncated* extension (bytes present but not a whole one) is
+    /// still a decode error, not a silent partial parse.
+    #[test]
+    fn truncated_stats_extension_is_rejected() {
+        let full = Response::StatsData(StatsReply {
+            queue_depth: 2,
+            latencies: vec![LatencyStat { name: "x_ns".into(), summary: Default::default() }],
+            ..Default::default()
+        });
+        let payload = full.payload();
+        for cut in 1..12 {
+            let short = &payload[..payload.len() - cut];
+            let mut buf = Vec::new();
+            write_frame(&mut buf, opcode::STATS_DATA, 1, short).unwrap();
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            assert!(Response::from_frame(&frame).is_err(), "cut {cut} bytes");
+        }
     }
 
     #[test]

@@ -228,6 +228,62 @@ fn bounded_queue_overload_returns_busy() {
     server.shutdown();
 }
 
+/// The observability extension: request latencies ride the stats
+/// reply, counters agree with the client's own request history, and
+/// the merged metrics snapshot exposes the server's instruments next
+/// to the process-global (encoder/checkpoint) ones.
+#[test]
+fn stats_extension_and_metrics_snapshot_agree_with_traffic() {
+    let tmp = TempDir::new("serve-obs");
+    let mut config = ServerConfig::new(tmp.0.join("root"), test_config());
+    config.io_timeout = TIMEOUT;
+    let server = Server::spawn("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+
+    let session = client.open_session("obs").unwrap();
+    let data = truth(0, 4, 64);
+    for (it, vars) in data.iter().enumerate() {
+        client.put_iteration(session, it as u64, vars).unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.iterations_ingested, 4);
+    let lat = |name: &str| {
+        stats
+            .latencies
+            .iter()
+            .find(|l| l.name == name)
+            .unwrap_or_else(|| panic!("latency {name} missing from stats extension"))
+            .summary
+    };
+    assert_eq!(lat("nsrv_request_open_ns").count, 1);
+    assert_eq!(lat("nsrv_request_put_ns").count, 4);
+    assert!(lat("nsrv_request_put_ns").sum > 0, "puts take nonzero time");
+    // The stats request being answered is itself still in flight, so
+    // its own span has not recorded yet.
+    assert_eq!(lat("nsrv_request_stats_ns").count, 0);
+    assert_eq!(stats.queue_depth, 0, "no queued connections at rest");
+
+    let snap = server.metrics_snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+            .1
+    };
+    assert_eq!(counter("nsrv_iterations_ingested_total"), 4);
+    assert_eq!(counter("nsrv_accepted_total"), 1);
+    assert!(snap.histograms.iter().any(|(n, _)| n == "nsrv_request_put_ns"));
+    // Global-registry instruments (checkpoint manager outcomes from the
+    // ingest above) ride along in the merge.
+    assert!(
+        snap.counters.iter().any(|(n, _)| n.starts_with("ckpt_")),
+        "merged snapshot must include global ckpt_ metrics"
+    );
+    server.shutdown();
+}
+
 /// Session lifecycle and error surfaces: idempotent open, unknown ids,
 /// invalid names, close semantics, and restart on an empty session.
 #[test]

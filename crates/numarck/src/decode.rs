@@ -29,6 +29,8 @@ use crate::error::NumarckError;
 /// `prev` may be exact data or a previous reconstruction (the restart
 /// chain case); length must equal the block's `num_points`.
 pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>, NumarckError> {
+    crate::obs::decodes_total().inc();
+    let _span = crate::obs::decode_ns().span();
     validate(prev, block)?;
     let n = block.num_points;
     if n == 0 {

@@ -128,13 +128,21 @@ pub fn encode(
     curr: &[f64],
     config: &Config,
 ) -> Result<(CompressedIteration, IterationStats), NumarckError> {
-    let ratios = ratio::compute(prev, curr, config.tolerance())?;
-    let table = strategy::fit_table(
-        config.strategy(),
-        &ratios.fit_sample,
-        config.max_table_len(),
-        &config.clustering(),
-    );
+    crate::obs::encodes_total().inc();
+    crate::obs::points_encoded_total().add(prev.len() as u64);
+    let ratios = {
+        let _span = crate::obs::transform_ns().span();
+        ratio::compute(prev, curr, config.tolerance())?
+    };
+    let table = {
+        let _span = crate::obs::fit_ns().span();
+        strategy::fit_table(
+            config.strategy(),
+            &ratios.fit_sample,
+            config.max_table_len(),
+            &config.clustering(),
+        )
+    };
     encode_prepared(curr, &ratios, table, config)
 }
 
@@ -163,6 +171,7 @@ pub(crate) fn encode_prepared(
     // changes carry their true |Δ| in the class itself, so the old second
     // sweep over `prev`/`curr` that re-derived them is gone. Codes land in
     // one preallocated array via disjoint per-chunk windows.
+    let classify_span = crate::obs::classify_ns().span();
     let chunk = chunk_size_aligned(n.max(1), 64);
     let mut codes = vec![0u32; n];
     let parts: Vec<(Neumaier, f64)> = codes
@@ -200,9 +209,14 @@ pub(crate) fn encode_prepared(
         })
         .collect();
 
+    drop(classify_span);
+
     // Phase 2 (parallel): rank-partitioned packing of bitmap + index
     // stream + exact values.
-    let packed = pack_codes_parallel(&codes, curr, bits);
+    let packed = {
+        let _span = crate::obs::pack_ns().span();
+        pack_codes_parallel(&codes, curr, bits)
+    };
 
     // Merge error partials (chunk order: deterministic).
     let mut err_sum = Neumaier::new();

@@ -57,6 +57,7 @@ pub mod fpc;
 pub mod group;
 pub mod huffman;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod ratio;
 pub mod serialize;
