@@ -12,6 +12,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The set of filesystem operations the checkpoint store needs.
 ///
@@ -23,6 +24,11 @@ pub trait StorageBackend: std::fmt::Debug + Send + Sync {
 
     /// Create (truncating) `path`, write all of `bytes`, fsync the file.
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Append `bytes` to `path` (creating it if needed) and fsync — the
+    /// write-ahead journal's primitive. Unlike [`Self::write`] this must
+    /// never truncate existing content.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
 
     /// Atomically rename `from` to `to`.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
@@ -39,6 +45,15 @@ pub trait StorageBackend: std::fmt::Debug + Send + Sync {
 
     /// File names (not paths) of the entries in `dir`.
     fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Downcast hook: `Some` when this backend (or the backend a
+    /// pass-through wrapper delegates to) is a
+    /// [`ReplicatedBackend`](crate::replicated::ReplicatedBackend), so
+    /// layered tooling (scrub's cross-replica repair pass) can reach the
+    /// per-replica API behind the trait-object boundary.
+    fn as_replicated(&self) -> Option<&crate::replicated::ReplicatedBackend> {
+        None
+    }
 }
 
 /// The real filesystem.
@@ -52,6 +67,12 @@ impl StorageBackend for FsBackend {
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
         f.write_all(bytes)?;
         f.sync_all()
     }
@@ -134,6 +155,7 @@ pub enum ReadFault {
 pub struct FaultSchedule {
     write_faults: BTreeMap<u64, WriteFault>,
     read_faults: BTreeMap<u64, ReadFault>,
+    kill_after_ops: Option<u64>,
 }
 
 impl FaultSchedule {
@@ -153,25 +175,56 @@ impl FaultSchedule {
         self.read_faults.insert(nth, fault);
         self
     }
+
+    /// Fail-stop mode: let the first `ops` backend operations (of any
+    /// kind) complete, then abort the whole process at the entry of the
+    /// next one — equivalent to SIGKILL at that instruction boundary.
+    /// `ops = 0` dies before the very first operation.
+    pub fn die_after_ops(mut self, ops: u64) -> Self {
+        self.kill_after_ops = Some(ops);
+        self
+    }
 }
 
-/// An [`FsBackend`] that misbehaves on schedule.
+/// A [`StorageBackend`] wrapper that misbehaves on schedule.
 ///
-/// Only `write` and `read` are faultable — they carry the payload bytes,
-/// which is where ENOSPC, torn writes and bit rot live. Metadata
-/// operations pass straight through.
-#[derive(Debug, Default)]
+/// Only `write`/`append` and `read` suffer scheduled faults — they carry
+/// the payload bytes, which is where ENOSPC, torn writes and bit rot
+/// live. Metadata operations pass straight through, but *every*
+/// operation counts toward [`FaultSchedule::die_after_ops`], so a kill
+/// sweep covers rename/sync/list boundaries too.
+#[derive(Debug)]
 pub struct FaultyBackend {
-    inner: FsBackend,
+    inner: Arc<dyn StorageBackend>,
     schedule: FaultSchedule,
     writes: AtomicU64,
     reads: AtomicU64,
+    ops: AtomicU64,
+}
+
+impl Default for FaultyBackend {
+    fn default() -> Self {
+        Self::new(FaultSchedule::default())
+    }
 }
 
 impl FaultyBackend {
     /// Backend over the real filesystem following `schedule`.
     pub fn new(schedule: FaultSchedule) -> Self {
-        Self { inner: FsBackend, schedule, writes: AtomicU64::new(0), reads: AtomicU64::new(0) }
+        Self::wrapping(Arc::new(FsBackend), schedule)
+    }
+
+    /// Wrap an arbitrary backend (e.g. a
+    /// [`ReplicatedBackend`](crate::replicated::ReplicatedBackend))
+    /// with `schedule`.
+    pub fn wrapping(inner: Arc<dyn StorageBackend>, schedule: FaultSchedule) -> Self {
+        Self {
+            inner,
+            schedule,
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+        }
     }
 
     /// Number of write operations issued so far.
@@ -183,6 +236,19 @@ impl FaultyBackend {
     pub fn reads_attempted(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
     }
+
+    /// Count one operation toward the fail-stop allowance, aborting the
+    /// process (fail-stop, not unwind — destructors must not run, just
+    /// as they would not under SIGKILL) once it is exhausted.
+    fn count_op(&self) {
+        let nth = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(allowed) = self.schedule.kill_after_ops {
+            if nth > allowed {
+                eprintln!("faulty backend: fail-stop after {allowed} ops");
+                std::process::abort();
+            }
+        }
+    }
 }
 
 fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
@@ -191,10 +257,12 @@ fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
 
 impl StorageBackend for FaultyBackend {
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.count_op();
         self.inner.create_dir_all(dir)
     }
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.count_op();
         let nth = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
         match self.schedule.write_faults.get(&nth) {
             None => self.inner.write(path, bytes),
@@ -209,15 +277,34 @@ impl StorageBackend for FaultyBackend {
         }
     }
 
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.count_op();
+        let nth = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.schedule.write_faults.get(&nth) {
+            None => self.inner.append(path, bytes),
+            Some(WriteFault::Error(kind)) => Err(injected(*kind, "append error")),
+            Some(WriteFault::Torn { keep }) => {
+                self.inner.append(path, &bytes[..(*keep).min(bytes.len())])?;
+                Err(injected(io::ErrorKind::Other, "torn append"))
+            }
+            Some(WriteFault::SilentTorn { keep }) => {
+                self.inner.append(path, &bytes[..(*keep).min(bytes.len())])
+            }
+        }
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.count_op();
         self.inner.rename(from, to)
     }
 
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.count_op();
         self.inner.sync_dir(dir)
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.count_op();
         let nth = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
         match self.schedule.read_faults.get(&nth) {
             None => self.inner.read(path),
@@ -234,11 +321,17 @@ impl StorageBackend for FaultyBackend {
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.count_op();
         self.inner.remove_file(path)
     }
 
     fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.count_op();
         self.inner.list_dir(dir)
+    }
+
+    fn as_replicated(&self) -> Option<&crate::replicated::ReplicatedBackend> {
+        self.inner.as_replicated()
     }
 }
 
@@ -298,6 +391,38 @@ mod tests {
         let p = tmp.0.join("x");
         b.write(&p, b"abcdef").unwrap();
         assert_eq!(b.read(&p).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn append_accumulates_without_truncating() {
+        let tmp = TempDir::new("backend-append");
+        let b = FsBackend;
+        let p = tmp.0.join("log");
+        b.append(&p, b"one").unwrap();
+        b.append(&p, b"two").unwrap();
+        assert_eq!(b.read(&p).unwrap(), b"onetwo");
+        // A faulty wrapper counts appends as write-class operations.
+        let f = FaultyBackend::new(
+            FaultSchedule::new().fail_write(2, WriteFault::Error(io::ErrorKind::StorageFull)),
+        );
+        f.append(&p, b"a").unwrap();
+        let err = f.append(&p, b"b").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(f.read(&p).unwrap(), b"onetwoa");
+    }
+
+    #[test]
+    fn wrapping_delegates_to_inner_backend() {
+        let tmp = TempDir::new("backend-wrap");
+        let inner: Arc<dyn StorageBackend> = Arc::new(FsBackend);
+        let b = FaultyBackend::wrapping(
+            inner,
+            FaultSchedule::new().fail_write(1, WriteFault::Error(io::ErrorKind::StorageFull)),
+        );
+        let p = tmp.0.join("x");
+        assert!(b.write(&p, b"nope").is_err());
+        b.write(&p, b"yes").unwrap();
+        assert_eq!(b.read(&p).unwrap(), b"yes");
     }
 
     #[test]

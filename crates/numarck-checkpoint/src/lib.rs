@@ -26,6 +26,9 @@
 //! * [`scrub`] — offline integrity pass: CRC-verify every stored file,
 //!   quarantine the damaged ones, and repair the chain by re-anchoring a
 //!   fresh full checkpoint at the newest restartable iteration.
+//! * [`replicated`] — N-way replica composition behind one logical
+//!   backend: quorum-acknowledged writes, majority-content reads, and
+//!   per-replica error accounting; scrub read-repairs divergent copies.
 //! * [`fault`] — fault injection used by the recovery tests: truncate or
 //!   bit-flip stored files and assert the reader degrades loudly, never
 //!   silently.
@@ -35,6 +38,7 @@ pub mod fault;
 pub mod format;
 pub mod manager;
 pub mod obs;
+pub mod replicated;
 pub mod restart;
 pub mod scrub;
 pub mod store;
@@ -43,10 +47,11 @@ pub use backend::{FaultSchedule, FaultyBackend, FsBackend, ReadFault, StorageBac
 pub use format::{CheckpointFile, CheckpointKind};
 pub use manager::{
     AdaptivePolicy, CheckpointManager, CheckpointOutcome, CheckpointReport, Clock, ManagerPolicy,
-    RetryPolicy, RetryTotals, SystemClock,
+    PreparedCheckpoint, RetryPolicy, RetryTotals, SystemClock,
 };
+pub use replicated::{ReplicaSpec, ReplicatedBackend};
 pub use restart::{DegradedRestart, LostIteration, RestartEngine};
-pub use scrub::{repair, scrub, RepairReport, ScrubFinding, ScrubReport};
+pub use scrub::{repair, scrub, RepairReport, ReplicaScrubReport, ScrubFinding, ScrubReport};
 pub use store::{CheckpointStore, StoreEntry};
 
 /// Variables are keyed by name; every variable is an `f64` array of the

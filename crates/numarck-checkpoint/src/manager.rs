@@ -77,8 +77,9 @@ impl RetryPolicy {
 
 /// Is this I/O error worth retrying? Permanent conditions (permission
 /// denied, read-only filesystem, invalid path) are not; conditions that
-/// plausibly clear on their own are.
-fn is_transient(e: &std::io::Error) -> bool {
+/// plausibly clear on their own are. Public so callers writing *around*
+/// the manager (e.g. an intent journal) retry on the same judgement.
+pub fn is_transient(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
         std::io::ErrorKind::StorageFull
@@ -168,6 +169,52 @@ pub enum CheckpointOutcome {
     },
     /// A delta checkpoint was written; per-variable compression stats.
     Delta(BTreeMap<String, IterationStats>),
+}
+
+/// A checkpoint that has been fully encoded but not yet written.
+///
+/// Produced by [`CheckpointManager::prepare`]: the policy decision,
+/// compression, and serialization have all happened, so the exact bytes
+/// that will land on disk — and their CRC — are known *before* the
+/// store mutates. A write-ahead journal can therefore record an intent
+/// (iteration + content hash) with nothing to lie about, then
+/// [`CheckpointManager::commit`] makes the bytes durable.
+#[derive(Debug)]
+pub struct PreparedCheckpoint {
+    iteration: u64,
+    is_full: bool,
+    outcome: CheckpointOutcome,
+    bytes: Vec<u8>,
+    content_crc: u32,
+    vars: VariableSet,
+}
+
+impl PreparedCheckpoint {
+    /// The iteration this checkpoint captures.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// True when the encoded file is a full checkpoint.
+    pub fn is_full(&self) -> bool {
+        self.is_full
+    }
+
+    /// CRC32 of the exact serialized bytes
+    /// [`CheckpointManager::commit`] will write.
+    pub fn content_crc(&self) -> u32 {
+        self.content_crc
+    }
+
+    /// Serialized size of the encoded file.
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The policy-level outcome this checkpoint will report on commit.
+    pub fn outcome(&self) -> &CheckpointOutcome {
+        &self.outcome
+    }
 }
 
 /// The write-side manager.
@@ -289,6 +336,25 @@ impl CheckpointManager {
         iteration: u64,
         vars: &VariableSet,
     ) -> Result<CheckpointReport, NumarckError> {
+        let prepared = self.prepare(iteration, vars)?;
+        self.commit(prepared)
+    }
+
+    /// Encode `vars` as iteration `iteration` without touching the
+    /// store: policy decision, compression, and serialization all
+    /// happen, but no byte lands on disk until [`Self::commit`].
+    ///
+    /// The returned [`PreparedCheckpoint`] exposes the CRC of the exact
+    /// bytes `commit` will write, so a caller can record a write-ahead
+    /// intent (iteration + content hash) *before* the store mutates.
+    /// Dropping a prepared checkpoint without committing is safe: the
+    /// manager's chain state only advances on commit, so the next call
+    /// re-encodes from the last committed iteration.
+    pub fn prepare(
+        &mut self,
+        iteration: u64,
+        vars: &VariableSet,
+    ) -> Result<PreparedCheckpoint, NumarckError> {
         let needs_full = match &self.previous {
             None => true,
             Some((prev_iter, prev_vars)) => {
@@ -332,15 +398,8 @@ impl CheckpointManager {
                 self.drift_trackers.clear();
             }
         }
-        let mut retries = 0;
-        let mut backoff = Duration::ZERO;
-        let outcome = if needs_full || drift_trigger.is_some() {
-            let file = CheckpointFile {
-                iteration,
-                kind: CheckpointKind::Full(vars.clone()),
-            };
-            self.write_with_retry(&file, &mut retries, &mut backoff)?;
-            match (needs_full, drift_trigger) {
+        let (outcome, kind) = if needs_full || drift_trigger.is_some() {
+            let outcome = match (needs_full, drift_trigger) {
                 (false, Some((variable, drift_l1))) => {
                     // The regime changed; drop the distribution history
                     // so the *next* transition (new regime vs new
@@ -350,38 +409,61 @@ impl CheckpointManager {
                     CheckpointOutcome::FullOnDrift { variable, drift_l1 }
                 }
                 _ => CheckpointOutcome::Full,
-            }
+            };
+            (outcome, CheckpointKind::Full(vars.clone()))
         } else {
             let (_, prev_vars) = self.previous.as_ref().expect("checked above");
-            let mut blocks = BTreeMap::new();
             let mut stats = BTreeMap::new();
+            let mut blocks = BTreeMap::new();
             for (name, curr) in vars {
                 let prev = &prev_vars[name];
                 let (block, st) = self.compressor.compress(prev, curr)?;
                 blocks.insert(name.clone(), block);
                 stats.insert(name.clone(), st);
             }
-            let file = CheckpointFile { iteration, kind: CheckpointKind::Delta(blocks) };
-            self.write_with_retry(&file, &mut retries, &mut backoff)?;
-            CheckpointOutcome::Delta(stats)
+            (CheckpointOutcome::Delta(stats), CheckpointKind::Delta(blocks))
         };
+        let is_full = matches!(kind, CheckpointKind::Full(_));
+        let file = CheckpointFile { iteration, kind };
+        let bytes = file.to_bytes();
+        let content_crc = numarck::serialize::crc32(&bytes);
+        Ok(PreparedCheckpoint { iteration, is_full, outcome, bytes, content_crc, vars: vars.clone() })
+    }
+
+    /// Write a [`PreparedCheckpoint`] to the store (with the manager's
+    /// retry policy) and advance the chain state. Only after this
+    /// returns `Ok` is the checkpoint part of the chain; the bytes on
+    /// disk are exactly those whose CRC
+    /// [`PreparedCheckpoint::content_crc`] reported.
+    pub fn commit(
+        &mut self,
+        prepared: PreparedCheckpoint,
+    ) -> Result<CheckpointReport, NumarckError> {
+        let PreparedCheckpoint { iteration, is_full, outcome, bytes, content_crc: _, vars } =
+            prepared;
+        let mut retries = 0;
+        let mut backoff = Duration::ZERO;
+        self.write_with_retry(iteration, is_full, &bytes, &mut retries, &mut backoff)?;
         match &outcome {
             CheckpointOutcome::Full => crate::obs::fulls_total().inc(),
             CheckpointOutcome::FullOnDrift { .. } => crate::obs::drift_fulls_total().inc(),
             CheckpointOutcome::Delta(_) => crate::obs::deltas_total().inc(),
         }
-        self.previous = Some((iteration, vars.clone()));
+        self.previous = Some((iteration, vars));
         Ok(CheckpointReport { outcome, retries, backoff })
     }
 
-    /// Write `file` to the store, retrying transient I/O errors with
-    /// exponential backoff per the manager's [`RetryPolicy`]. Permanent
-    /// errors and exhausted retries surface as [`NumarckError::Io`].
-    /// Every retry lands in the manager's lifetime totals and the global
-    /// registry — including those of calls that ultimately fail.
+    /// Write checkpoint bytes to the store, retrying transient I/O
+    /// errors with exponential backoff per the manager's [`RetryPolicy`].
+    /// Permanent errors and exhausted retries surface as
+    /// [`NumarckError::Io`]. Every retry lands in the manager's lifetime
+    /// totals and the global registry — including those of calls that
+    /// ultimately fail.
     fn write_with_retry(
         &mut self,
-        file: &CheckpointFile,
+        iteration: u64,
+        is_full: bool,
+        bytes: &[u8],
         retries: &mut u32,
         backoff: &mut Duration,
     ) -> Result<(), NumarckError> {
@@ -390,7 +472,7 @@ impl CheckpointManager {
             crate::obs::write_attempts_total().inc();
             let result = {
                 let _span = crate::obs::write_ns().span();
-                self.store.write(file)
+                self.store.write_raw(iteration, is_full, bytes)
             };
             match result {
                 Ok(_) => return Ok(()),
@@ -407,21 +489,19 @@ impl CheckpointManager {
                         .add(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
                     numarck_obs::Registry::global().events().push(
                         numarck_obs::Level::Warn,
-                        format!("ckpt write retry #{attempt} iter={}: {e}", file.iteration),
+                        format!("ckpt write retry #{attempt} iter={iteration}: {e}"),
                     );
                 }
                 Err(e) => {
                     numarck_obs::Registry::global().events().push(
                         numarck_obs::Level::Error,
                         format!(
-                            "ckpt write failed iter={} after {} attempt(s): {e}",
-                            file.iteration,
+                            "ckpt write failed iter={iteration} after {} attempt(s): {e}",
                             attempt + 1
                         ),
                     );
                     return Err(NumarckError::Io(format!(
-                        "checkpoint {} write failed after {} attempt(s): {e}",
-                        file.iteration,
+                        "checkpoint {iteration} write failed after {} attempt(s): {e}",
                         attempt + 1
                     )));
                 }
@@ -760,6 +840,41 @@ mod tests {
         assert_eq!(policy.backoff_for(10), Duration::from_secs(2));
         // Shift amounts far past the cap don't overflow.
         assert_eq!(policy.backoff_for(39), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn prepare_commit_crc_matches_the_bytes_on_disk() {
+        let tmp = TempDir::new("mgr-prepare-crc");
+        let mut mgr = manager(&tmp, 4);
+        mgr.checkpoint(1, &vars_at(1, 100)).unwrap();
+        let prepared = mgr.prepare(2, &vars_at(2, 100)).unwrap();
+        assert_eq!(prepared.iteration(), 2);
+        assert!(!prepared.is_full(), "second call in the interval is a delta");
+        assert!(prepared.len_bytes() > 0);
+        let crc = prepared.content_crc();
+        // Nothing on disk yet.
+        assert_eq!(mgr.store().list().unwrap().len(), 1);
+        mgr.commit(prepared).unwrap();
+        let bytes = mgr.store().read_raw(2, false).unwrap();
+        assert_eq!(numarck::serialize::crc32(&bytes), crc);
+        assert!(mgr.store().read(2, false).is_ok());
+    }
+
+    #[test]
+    fn dropped_prepare_leaves_the_chain_consistent() {
+        let tmp = TempDir::new("mgr-prepare-drop");
+        let mut mgr = manager(&tmp, 100);
+        mgr.checkpoint(1, &vars_at(1, 100)).unwrap();
+        // Prepare iteration 2 and abandon it: the chain must not have
+        // advanced, so re-preparing 2 still yields a valid delta...
+        drop(mgr.prepare(2, &vars_at(2, 100)).unwrap());
+        let out = mgr.checkpoint(2, &vars_at(2, 100)).unwrap();
+        assert!(matches!(out, CheckpointOutcome::Delta(_)));
+        // ...and after abandoning 3, the gap to 4 forces a full, exactly
+        // as if the encode had never happened.
+        drop(mgr.prepare(3, &vars_at(3, 100)).unwrap());
+        let out = mgr.checkpoint(4, &vars_at(4, 100)).unwrap();
+        assert!(matches!(out, CheckpointOutcome::Full));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * `ckpt_write_ns` — per-attempt store write latency;
 //! * `ckpt_scrub_runs_total`, `ckpt_scrub_checked_total`,
 //!   `ckpt_quarantined_total`, `ckpt_repairs_total`,
-//!   `ckpt_repair_lost_total` — scrub → quarantine → repair outcomes.
+//!   `ckpt_repair_lost_total` — scrub → quarantine → repair outcomes;
+//! * `ckpt_replica_repairs_total`, `ckpt_replica_quorum_failures_total`,
+//!   `ckpt_replica_write_errors_total` — replicated-backend read-repair
+//!   and quorum accounting.
 //!
 //! Retries and quarantines additionally land in the global registry's
 //! event ring, so the most recent degradations are inspectable even
@@ -52,6 +55,9 @@ cached!(scrub_checked_total, counter, Counter, "ckpt_scrub_checked_total");
 cached!(quarantined_total, counter, Counter, "ckpt_quarantined_total");
 cached!(repairs_total, counter, Counter, "ckpt_repairs_total");
 cached!(repair_lost_total, counter, Counter, "ckpt_repair_lost_total");
+cached!(replica_repairs_total, counter, Counter, "ckpt_replica_repairs_total");
+cached!(replica_quorum_failures_total, counter, Counter, "ckpt_replica_quorum_failures_total");
+cached!(replica_write_errors_total, counter, Counter, "ckpt_replica_write_errors_total");
 
 #[cfg(test)]
 mod tests {

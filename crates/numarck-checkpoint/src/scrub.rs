@@ -33,6 +33,19 @@ pub struct ScrubFinding {
     pub quarantined_to: PathBuf,
 }
 
+/// Cross-replica findings from scrubbing a store whose backend is a
+/// [`ReplicatedBackend`](crate::replicated::ReplicatedBackend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaScrubReport {
+    /// Files whose replica copies were cross-compared.
+    pub files_compared: usize,
+    /// Replica copies rewritten from a quorum-agreeing peer (read-repair).
+    pub repaired: usize,
+    /// Files where no replica held a valid copy; these fall through to
+    /// the ordinary quarantine path.
+    pub quorum_failures: usize,
+}
+
 /// Result of a [`scrub`] pass.
 #[derive(Debug, Clone)]
 pub struct ScrubReport {
@@ -40,10 +53,16 @@ pub struct ScrubReport {
     pub checked: usize,
     /// Files that failed validation and were quarantined.
     pub quarantined: Vec<ScrubFinding>,
+    /// Cross-replica comparison results — `None` unless the store sits
+    /// on a replicated backend.
+    pub replicas: Option<ReplicaScrubReport>,
 }
 
 impl ScrubReport {
-    /// True when every stored file validated.
+    /// True when every stored file validated. Read-repaired replica
+    /// copies don't count against cleanliness: after the repair the
+    /// store *is* clean, and the repair itself is visible in
+    /// [`ScrubReport::replicas`].
     pub fn is_clean(&self) -> bool {
         self.quarantined.is_empty()
     }
@@ -55,6 +74,14 @@ impl ScrubReport {
 /// tail), when its header claims a different iteration than its name, or
 /// when its payload kind contradicts its extension. Damaged files are
 /// *moved* to `quarantine/`, not deleted.
+///
+/// On a replicated backend a cross-replica pass runs first: every
+/// replica's copy of every file is validated independently, and copies
+/// that are missing or diverge from the quorum-agreeing content are
+/// rewritten from a healthy peer (read-repair), so one scrub restores
+/// full replication after a replica loses or corrupts files. Only when
+/// *no* replica holds a valid copy does the file fall through to
+/// quarantine.
 pub fn scrub(store: &CheckpointStore) -> Result<ScrubReport, NumarckError> {
     let entries = store
         .list()
@@ -62,6 +89,10 @@ pub fn scrub(store: &CheckpointStore) -> Result<ScrubReport, NumarckError> {
     let checked = entries.len();
     crate::obs::scrub_runs_total().inc();
     crate::obs::scrub_checked_total().add(checked as u64);
+    let replicas = match store.backend().as_replicated() {
+        Some(rb) => Some(scrub_replicas(store, rb, &entries)?),
+        None => None,
+    };
     let mut quarantined = Vec::new();
     for entry in entries {
         let Some(reason) = validate(store, entry) else { continue };
@@ -75,7 +106,98 @@ pub fn scrub(store: &CheckpointStore) -> Result<ScrubReport, NumarckError> {
         );
         quarantined.push(ScrubFinding { entry, reason, quarantined_to });
     }
-    Ok(ScrubReport { checked, quarantined })
+    Ok(ScrubReport { checked, quarantined, replicas })
+}
+
+/// Cross-compare every replica's copy of every listed file, rewriting
+/// missing/divergent copies from the plurality of *validating* copies.
+///
+/// When no copy validates, the replicas are still aligned to the
+/// byte-plurality of whatever copies exist — corrupt bytes, but
+/// identical corrupt bytes, so the quarantine rename that follows can
+/// reach its write quorum instead of wedging the scrub.
+fn scrub_replicas(
+    store: &CheckpointStore,
+    rb: &crate::replicated::ReplicatedBackend,
+    entries: &[StoreEntry],
+) -> Result<ReplicaScrubReport, NumarckError> {
+    let mut report = ReplicaScrubReport::default();
+    for entry in entries {
+        report.files_compared += 1;
+        let path = store.path_of(entry.iteration, entry.is_full);
+        let copies: Vec<Option<Vec<u8>>> =
+            (0..rb.replica_count()).map(|i| rb.read_replica(i, &path).ok()).collect();
+        let valid = |bytes: &[u8]| match CheckpointFile::from_bytes(bytes) {
+            Ok(f) => {
+                f.iteration == entry.iteration
+                    && matches!(f.kind, CheckpointKind::Full(_)) == entry.is_full
+            }
+            Err(_) => false,
+        };
+        let reference =
+            plurality(copies.iter().filter_map(|c| c.as_deref()).filter(|b| valid(b)));
+        match reference {
+            Some(reference) => {
+                let mut fixed = 0usize;
+                for (i, copy) in copies.iter().enumerate() {
+                    if copy.as_deref() == Some(reference) {
+                        continue;
+                    }
+                    rb.write_replica(i, &path, reference).map_err(|e| {
+                        NumarckError::Io(format!("read-repair of replica {i} failed: {e}"))
+                    })?;
+                    crate::obs::replica_repairs_total().inc();
+                    report.repaired += 1;
+                    fixed += 1;
+                }
+                if fixed > 0 {
+                    numarck_obs::Registry::global().events().push(
+                        numarck_obs::Level::Warn,
+                        format!(
+                            "ckpt scrub read-repaired {fixed} replica cop{} of iter={}",
+                            if fixed == 1 { "y" } else { "ies" },
+                            entry.iteration
+                        ),
+                    );
+                }
+            }
+            None => {
+                report.quorum_failures += 1;
+                crate::obs::replica_quorum_failures_total().inc();
+                numarck_obs::Registry::global().events().push(
+                    numarck_obs::Level::Error,
+                    format!("ckpt scrub: no replica holds a valid copy of iter={}", entry.iteration),
+                );
+                let best = plurality(copies.iter().filter_map(|c| c.as_deref())).map(<[u8]>::to_vec);
+                if let Some(best) = best {
+                    for (i, copy) in copies.iter().enumerate() {
+                        if copy.as_deref() != Some(best.as_slice()) {
+                            rb.write_replica(i, &path, &best).map_err(|e| {
+                                NumarckError::Io(format!(
+                                    "replica {i} alignment before quarantine failed: {e}"
+                                ))
+                            })?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Most common byte-content among `candidates`; earlier items win ties
+/// (mirroring quorum reads, where the lowest replica index wins).
+fn plurality<'a>(candidates: impl Iterator<Item = &'a [u8]>) -> Option<&'a [u8]> {
+    let mut groups: Vec<(&[u8], usize)> = Vec::new();
+    for c in candidates {
+        if let Some(g) = groups.iter_mut().find(|(d, _)| *d == c) {
+            g.1 += 1;
+        } else {
+            groups.push((c, 1));
+        }
+    }
+    groups.into_iter().reduce(|best, g| if g.1 > best.1 { g } else { best }).map(|(d, _)| d)
 }
 
 /// `None` when the entry validates; otherwise why it doesn't.
@@ -181,14 +303,16 @@ pub fn repair(store: &CheckpointStore) -> Result<RepairReport, NumarckError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::StorageBackend;
     use crate::fault::{inject, verify_store, Fault};
     use crate::manager::{CheckpointManager, ManagerPolicy};
+    use crate::replicated::ReplicatedBackend;
     use crate::store::testutil::TempDir;
     use crate::VariableSet;
     use numarck::{Config, Strategy};
+    use std::sync::Arc;
 
-    fn build(tmp: &TempDir, iters: u64, full_interval: u64) -> CheckpointStore {
-        let store = CheckpointStore::open(&tmp.0).unwrap();
+    fn fill(store: &CheckpointStore, iters: u64, full_interval: u64) {
         let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
         let mut mgr =
             CheckpointManager::new(store.clone(), cfg, ManagerPolicy::fixed(full_interval));
@@ -203,7 +327,32 @@ mod tests {
             vars.insert("x".into(), state.clone());
             mgr.checkpoint(it, &vars).unwrap();
         }
+    }
+
+    fn build(tmp: &TempDir, iters: u64, full_interval: u64) -> CheckpointStore {
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        fill(&store, iters, full_interval);
         store
+    }
+
+    /// A store over three fs replicas (write quorum 2) plus the backend
+    /// handle for poking at individual replicas.
+    fn build_replicated(
+        tmp: &TempDir,
+        iters: u64,
+        full_interval: u64,
+    ) -> (CheckpointStore, Arc<ReplicatedBackend>) {
+        let rb = Arc::new(ReplicatedBackend::with_fs_replicas(&tmp.0, 3, 2).unwrap());
+        let store =
+            CheckpointStore::open_with(&tmp.0, rb.clone() as Arc<dyn StorageBackend>).unwrap();
+        fill(&store, iters, full_interval);
+        (store, rb)
+    }
+
+    /// Physical on-disk path of replica `i`'s copy of an entry.
+    fn replica_path(tmp: &TempDir, i: usize, store: &CheckpointStore, it: u64, full: bool) -> PathBuf {
+        let name = store.path_of(it, full);
+        tmp.0.join(format!("@replica-{i}")).join(name.file_name().unwrap())
     }
 
     #[test]
@@ -302,6 +451,95 @@ mod tests {
         assert!(!report.wrote_full);
         assert_eq!(report.lost.len(), 2, "both orphan deltas recorded");
         assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn replica_scrub_of_healthy_store_repairs_nothing() {
+        let tmp = TempDir::new("repl-scrub-clean");
+        let (store, _rb) = build_replicated(&tmp, 6, 3);
+        let report = scrub(&store).unwrap();
+        assert!(report.is_clean());
+        let rep = report.replicas.expect("replicated store must get a replica pass");
+        assert_eq!(rep, ReplicaScrubReport { files_compared: 6, repaired: 0, quorum_failures: 0 });
+    }
+
+    #[test]
+    fn replica_scrub_repairs_a_deleted_copy() {
+        let tmp = TempDir::new("repl-scrub-del");
+        let (store, rb) = build_replicated(&tmp, 6, 3);
+        std::fs::remove_file(replica_path(&tmp, 0, &store, 1, false)).unwrap();
+        // Majority reads keep the chain restartable even before scrub.
+        assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+        let before = crate::obs::replica_repairs_total().get();
+        let report = scrub(&store).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.replicas.unwrap().repaired, 1);
+        assert!(crate::obs::replica_repairs_total().get() > before);
+        // Replica 0's copy is back and byte-identical to its peers.
+        let path = store.path_of(1, false);
+        assert_eq!(rb.read_replica(0, &path).unwrap(), rb.read_replica(1, &path).unwrap());
+        // A second pass finds nothing left to repair.
+        assert_eq!(scrub(&store).unwrap().replicas.unwrap().repaired, 0);
+    }
+
+    #[test]
+    fn replica_scrub_repairs_a_bit_rotted_copy() {
+        let tmp = TempDir::new("repl-scrub-rot");
+        let (store, rb) = build_replicated(&tmp, 6, 3);
+        inject(&replica_path(&tmp, 1, &store, 3, true), Fault::BitFlip { offset: 40, mask: 0x10 })
+            .unwrap();
+        let report = scrub(&store).unwrap();
+        assert!(report.is_clean(), "rot on one replica is repaired, not quarantined");
+        assert_eq!(report.replicas.unwrap().repaired, 1);
+        let path = store.path_of(3, true);
+        let copies: Vec<_> = (0..3).map(|i| rb.read_replica(i, &path).unwrap()).collect();
+        assert!(copies.windows(2).all(|w| w[0] == w[1]));
+        assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+    }
+
+    #[test]
+    fn replica_scrub_restores_a_wiped_replica() {
+        let tmp = TempDir::new("repl-scrub-wipe");
+        let (store, rb) = build_replicated(&tmp, 6, 3);
+        // Lose replica 2's entire contents.
+        for e in store.list().unwrap() {
+            std::fs::remove_file(replica_path(&tmp, 2, &store, e.iteration, e.is_full)).unwrap();
+        }
+        let report = scrub(&store).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.replicas.unwrap().repaired, 6, "one rewrite per lost file");
+        for e in store.list().unwrap() {
+            let path = store.path_of(e.iteration, e.is_full);
+            assert_eq!(rb.read_replica(2, &path).unwrap(), rb.read_replica(0, &path).unwrap());
+        }
+    }
+
+    #[test]
+    fn replica_scrub_quarantines_when_no_copy_is_valid() {
+        let tmp = TempDir::new("repl-scrub-allbad");
+        let (store, _rb) = build_replicated(&tmp, 6, 3);
+        // Damage every replica's copy of the same delta — no quorum of
+        // valid bytes exists anywhere.
+        for i in 0..3 {
+            inject(&replica_path(&tmp, i, &store, 4, false), Fault::Truncate { keep: 10 + i })
+                .unwrap();
+        }
+        let before = crate::obs::replica_quorum_failures_total().get();
+        let report = scrub(&store).unwrap();
+        assert_eq!(report.replicas.unwrap().quorum_failures, 1);
+        assert!(crate::obs::replica_quorum_failures_total().get() > before);
+        let bad: Vec<u64> = report.quarantined.iter().map(|f| f.entry.iteration).collect();
+        assert_eq!(bad, vec![4]);
+        // The evidence survives in (every replica's) quarantine dir.
+        assert!(std::fs::metadata(
+            tmp.0.join("@replica-0").join(crate::store::QUARANTINE_DIR).join("ckpt_0000000004.delta")
+        )
+        .unwrap()
+        .is_file());
+        // Repair re-anchors around the loss.
+        let rep = repair(&store).unwrap();
+        assert!(verify_store(&store).unwrap().iter().all(|h| h.restartable));
+        assert!(rep.lost.iter().all(|l| l.iteration == 5), "only the orphaned follower is lost");
     }
 
     #[test]

@@ -79,9 +79,22 @@ impl CheckpointStore {
     /// Write a checkpoint atomically (temp file + rename + dir fsync).
     pub fn write(&self, file: &CheckpointFile) -> std::io::Result<PathBuf> {
         let is_full = matches!(file.kind, CheckpointKind::Full(_));
-        let path = self.path_of(file.iteration, is_full);
+        self.write_raw(file.iteration, is_full, &file.to_bytes())
+    }
+
+    /// Write pre-serialized checkpoint bytes atomically (temp file +
+    /// rename + dir fsync) — the commit half of a prepare/commit
+    /// checkpoint, where the caller has already recorded the exact
+    /// bytes' CRC in a write-ahead intent journal.
+    pub fn write_raw(
+        &self,
+        iteration: u64,
+        is_full: bool,
+        bytes: &[u8],
+    ) -> std::io::Result<PathBuf> {
+        let path = self.path_of(iteration, is_full);
         let tmp = path.with_extension("tmp");
-        self.backend.write(&tmp, &file.to_bytes())?;
+        self.backend.write(&tmp, bytes)?;
         self.backend.rename(&tmp, &path)?;
         // A rename is only durable once the directory entry is; without
         // this a crash just after the rename can lose the checkpoint.

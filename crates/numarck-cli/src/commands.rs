@@ -275,10 +275,10 @@ pub fn drift(raw: &[String]) -> CliResult {
 /// `--store` — check every iteration of a checkpoint store for
 /// restartability.
 pub fn verify(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["tolerance", "store"], &[])?;
+    let p = parse_args(raw, &["tolerance", "store", "replicas"], &[])?;
     if let Some(dir) = p.get("store") {
         p.expect_positionals(0, "").map_err(CliError::usage)?;
-        return verify_store(dir);
+        return verify_store(dir, replica_count(&p)?);
     }
     let pos = p.expect_positionals(2, "reference .f64s, candidate .f64s").map_err(CliError::usage)?;
     let tolerance: f64 = p.get_parsed("tolerance", 0.001)?;
@@ -324,8 +324,8 @@ pub fn verify(raw: &[String]) -> CliResult {
 
 /// `numarck verify --store`: restartability report for a checkpoint
 /// store directory.
-fn verify_store(dir: &str) -> CliResult {
-    let store = open_store(dir)?;
+fn verify_store(dir: &str, replicas: usize) -> CliResult {
+    let store = open_store(dir, replicas)?;
     let diagnosis = numarck_checkpoint::fault::diagnose_store(&store)
         .map_err(|e| format!("cannot scan {dir}: {e}"))?;
     if diagnosis.is_empty() {
@@ -368,22 +368,62 @@ fn kind_name(is_full: bool) -> &'static str {
     }
 }
 
-fn open_store(dir: &str) -> Result<numarck_checkpoint::CheckpointStore, CliError> {
+/// `--replicas N` for the local store commands; `1` (the default) is
+/// the single-copy layout.
+fn replica_count(p: &crate::args::Parsed) -> Result<usize, CliError> {
+    let n: usize = p.get_parsed("replicas", 1)?;
+    if n == 0 {
+        return Err(CliError::usage("--replicas must be at least 1"));
+    }
+    Ok(n)
+}
+
+/// Open `dir` as a checkpoint store. With `replicas > 1` the store is
+/// N-way replicated under `dir/@replica-{i}` with a majority write
+/// quorum — the layout `ReplicatedBackend` lays down — and scrub
+/// cross-compares the copies with read-repair.
+fn open_store(
+    dir: &str,
+    replicas: usize,
+) -> Result<numarck_checkpoint::CheckpointStore, CliError> {
     if !Path::new(dir).is_dir() {
         return Err(CliError::missing(format!("store directory '{dir}' does not exist")));
     }
-    numarck_checkpoint::CheckpointStore::open(dir)
-        .map_err(|e| format!("cannot open {dir}: {e}").into())
+    if replicas > 1 {
+        let backend = numarck_checkpoint::ReplicatedBackend::with_fs_replicas(
+            Path::new(dir),
+            replicas,
+            replicas / 2 + 1,
+        )
+        .map_err(|e| format!("cannot open {replicas} replicas under {dir}: {e}"))?;
+        numarck_checkpoint::CheckpointStore::open_with(dir, std::sync::Arc::new(backend))
+            .map_err(|e| format!("cannot open {dir}: {e}").into())
+    } else {
+        numarck_checkpoint::CheckpointStore::open(dir)
+            .map_err(|e| format!("cannot open {dir}: {e}").into())
+    }
+}
+
+/// Render the cross-replica half of a scrub report, when there is one.
+fn replica_summary(report: &numarck_checkpoint::ScrubReport) -> String {
+    match &report.replicas {
+        Some(r) => format!(
+            "replicas: {} file(s) cross-compared, {} read-repair(s), {} quorum failure(s)\n",
+            r.files_compared, r.repaired, r.quorum_failures
+        ),
+        None => String::new(),
+    }
 }
 
 /// `numarck scrub`: CRC-verify every file of a checkpoint store, moving
 /// damaged ones to its `quarantine/` directory.
 pub fn scrub(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &[], &[])?;
+    let p = parse_args(raw, &["replicas"], &[])?;
     let dir = &p.expect_positionals(1, "checkpoint store directory").map_err(CliError::usage)?[0];
-    let store = open_store(dir)?;
+    let store = open_store(dir, replica_count(&p)?)?;
     let report = numarck_checkpoint::scrub(&store).map_err(|e| e.to_string())?;
     let mut out = format!("scrubbed {dir}: {} file(s) checked\n", report.checked);
+    out.push_str(&replica_summary(&report));
     for f in &report.quarantined {
         out.push_str(&format!(
             "quarantined iteration {} ({}): {} -> {}\n",
@@ -410,15 +450,16 @@ pub fn scrub(raw: &[String]) -> CliResult {
 /// re-anchor the store with a fresh full checkpoint at the newest
 /// restartable iteration.
 pub fn repair(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &[], &[])?;
+    let p = parse_args(raw, &["replicas"], &[])?;
     let dir = &p.expect_positionals(1, "checkpoint store directory").map_err(CliError::usage)?[0];
-    let store = open_store(dir)?;
+    let store = open_store(dir, replica_count(&p)?)?;
     let report = numarck_checkpoint::repair(&store).map_err(|e| e.to_string())?;
     let mut out = format!(
         "repaired {dir}: {} file(s) checked, {} quarantined by scrub\n",
         report.scrub.checked,
         report.scrub.quarantined.len()
     );
+    out.push_str(&replica_summary(&report.scrub));
     for l in &report.lost {
         out.push_str(&format!("lost iteration {}: {}\n", l.iteration, l.reason));
     }

@@ -136,14 +136,14 @@ USAGE:
   numarck decompress <in.nmkc>  --out <file.f64s>
   numarck inspect    <in.nmkc>
   numarck verify     <a.f64s> <b.f64s> [--tolerance E]
-  numarck verify     --store <ckpt-dir>
+  numarck verify     --store <ckpt-dir> [--replicas N]
   numarck anomaly-scan <in.f64s> [--fence-multiplier K]
   numarck drift        <in.f64s> [--tolerance E] [--cap C]
-  numarck scrub      <ckpt-dir>
-  numarck repair     <ckpt-dir>
+  numarck scrub      <ckpt-dir> [--replicas N]
+  numarck repair     <ckpt-dir> [--replicas N]
   numarck serve      --root <dir> [--addr HOST:PORT] [--workers N] [--queue N]
                      [--bits B] [--tolerance E] [--full-interval K]
-                     [--metrics-addr HOST:PORT]
+                     [--metrics-addr HOST:PORT] [--replicas N]
   numarck stats      --addr HOST:PORT [--prometheus | --json]
   numarck client     ingest   --addr HOST:PORT --session NAME <in.f64s>
   numarck client     replay   --addr HOST:PORT --session NAME --out <file.f64s>
@@ -156,6 +156,10 @@ Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering.
 Recovery: 'verify --store' reports restartability per iteration; 'scrub'
 quarantines files that fail CRC validation; 'repair' additionally drops
 orphaned chain segments and re-anchors with a fresh full checkpoint.
+Durability: '--replicas N' stores every file N ways (majority write
+quorum) under @replica-{i} subdirectories; scrub cross-compares the
+copies and read-repairs missing or divergent ones. 'serve' journals
+every ingest intent and recovers half-applied writes on startup.
 Observability: 'serve --metrics-addr' exposes a plain-HTTP GET /metrics
 endpoint (Prometheus text); 'stats --prometheus|--json' renders the wire
 stats reply in the same formats.
@@ -428,6 +432,136 @@ mod tests {
         build_store(&tmp.0, 4);
         let out = run(&argv(&["scrub", &tmp.0.display().to_string()])).unwrap();
         assert!(out.contains("clean"), "{out}");
+    }
+
+    /// Build a 3-way replicated store (majority write quorum) under
+    /// `dir`, the layout `serve --replicas 3` and
+    /// `scrub --replicas 3` operate on.
+    fn build_replicated_store(
+        dir: &std::path::Path,
+        iters: u64,
+    ) -> numarck_checkpoint::CheckpointStore {
+        use numarck_checkpoint::{
+            CheckpointManager, CheckpointStore, ManagerPolicy, ReplicatedBackend,
+        };
+        let backend = ReplicatedBackend::with_fs_replicas(dir, 3, 2).unwrap();
+        let store = CheckpointStore::open_with(dir, std::sync::Arc::new(backend)).unwrap();
+        let cfg = numarck::Config::new(8, 0.001, numarck::Strategy::Clustering).unwrap();
+        let mut mgr = CheckpointManager::new(store.clone(), cfg, ManagerPolicy::fixed(4));
+        let mut state: Vec<f64> = (0..120).map(|i| 1.0 + (i % 7) as f64).collect();
+        for it in 0..iters {
+            if it > 0 {
+                for v in state.iter_mut() {
+                    *v *= 1.002;
+                }
+            }
+            let mut vars = std::collections::BTreeMap::new();
+            vars.insert("x".to_string(), state.clone());
+            mgr.checkpoint(it, &vars).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn replicated_scrub_read_repairs_a_lost_replica_copy() {
+        let tmp = TempDir::new("scrub-replicas");
+        let store = build_replicated_store(&tmp.0, 6);
+        let dir = tmp.0.display().to_string();
+        // Lose replica 1's copy of the first full and bit-rot its copy
+        // of a delta: the other two replicas still agree.
+        let full = store.path_of(0, true).file_name().unwrap().to_owned();
+        let delta = store.path_of(2, false).file_name().unwrap().to_owned();
+        let victim = tmp.0.join("@replica-1");
+        std::fs::remove_file(victim.join(&full)).unwrap();
+        numarck_checkpoint::fault::inject(
+            &victim.join(&delta),
+            numarck_checkpoint::fault::Fault::BitFlip { offset: 25, mask: 0x40 },
+        )
+        .unwrap();
+
+        // Quorum reads keep every iteration restartable despite the
+        // damaged replica.
+        let out = run(&argv(&["verify", "--store", &dir, "--replicas", "3"])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        // One scrub pass restores full replication and says so.
+        let out = run(&argv(&["scrub", &dir, "--replicas", "3"])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("2 read-repair(s)"), "{out}");
+        assert!(victim.join(&full).exists(), "deleted replica copy must be rewritten");
+
+        // Replica 1's copies now match replica 0's byte-for-byte.
+        for name in [&full, &delta] {
+            assert_eq!(
+                std::fs::read(victim.join(name)).unwrap(),
+                std::fs::read(tmp.0.join("@replica-0").join(name)).unwrap(),
+            );
+        }
+
+        // A second pass has nothing left to fix.
+        let out = run(&argv(&["scrub", &dir, "--replicas", "3"])).unwrap();
+        assert!(out.contains("0 read-repair(s)"), "{out}");
+    }
+
+    /// Cold-start edge cases: the recovery commands must produce typed
+    /// reports (exit codes), never panic, on stores that barely exist.
+    #[test]
+    fn scrub_cold_start_edge_cases_yield_typed_reports() {
+        // 1. An empty session directory: nothing to check, nothing to
+        // repair — scrub is clean, verify/repair report MISSING.
+        let tmp = TempDir::new("cold-empty");
+        let dir = tmp.0.display().to_string();
+        let out = run(&argv(&["scrub", &dir])).unwrap();
+        assert!(out.contains("0 file(s) checked"), "{out}");
+        let err = run(&argv(&["verify", "--store", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::MISSING, "{err}");
+        let err = run(&argv(&["repair", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::MISSING, "{err}");
+        assert!(err.contains("no restartable iteration"), "{err}");
+
+        // 2. A session holding only crash debris: a temp file that never
+        // reached its rename (ignored by the store listing) and a
+        // half-renamed file full of garbage (quarantined, then MISSING
+        // on repair since nothing restartable remains).
+        let tmp = TempDir::new("cold-debris");
+        let dir = tmp.0.display().to_string();
+        std::fs::write(tmp.0.join("ckpt_0000000000.tmp"), b"half a write").unwrap();
+        let out = run(&argv(&["scrub", &dir])).unwrap();
+        assert!(out.contains("0 file(s) checked"), "{out}");
+        std::fs::write(tmp.0.join("ckpt_0000000000.full"), b"torn rename garbage").unwrap();
+        let err = run(&argv(&["scrub", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::QUARANTINED, "{err}");
+        let err = run(&argv(&["repair", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::MISSING, "{err}");
+        assert!(err.contains("no restartable iteration"), "{err}");
+
+        // 3. A chain whose first full is gone: the deltas are intact
+        // bytes but restart from nothing — verify reports them broken
+        // (CORRUPT), repair reports nothing restartable (MISSING).
+        let tmp = TempDir::new("cold-headless");
+        let store = build_store(&tmp.0, 3);
+        std::fs::remove_file(store.path_of(0, true)).unwrap();
+        let dir = tmp.0.display().to_string();
+        let err = run(&argv(&["verify", "--store", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::CORRUPT, "{err}");
+        assert!(err.contains("BROKEN"), "{err}");
+        let err = run(&argv(&["repair", &dir])).unwrap_err();
+        assert_eq!(err.code, exit_code::MISSING, "{err}");
+    }
+
+    #[test]
+    fn replicas_flag_rejects_zero() {
+        let tmp = TempDir::new("replicas-zero");
+        build_store(&tmp.0, 2);
+        let dir = tmp.0.display().to_string();
+        for args in [
+            vec!["scrub", &dir, "--replicas", "0"],
+            vec!["repair", &dir, "--replicas", "0"],
+            vec!["verify", "--store", &dir, "--replicas", "0"],
+        ] {
+            let err = run(&argv(&args)).unwrap_err();
+            assert_eq!(err.code, exit_code::USAGE, "{args:?}: {err}");
+        }
     }
 
     #[test]

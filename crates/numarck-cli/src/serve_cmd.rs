@@ -9,9 +9,10 @@
 
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
-use numarck_checkpoint::VariableSet;
+use numarck_checkpoint::{FaultSchedule, FaultyBackend, ReplicatedBackend, VariableSet};
 use numarck_obs::{render_json, render_prometheus, MetricsServer, Snapshot};
 use numarck_serve::{
     install_signal_handlers, Client, ClientError, ErrorCode, Server, ServerConfig, StatsReply,
@@ -54,6 +55,8 @@ pub fn serve(raw: &[String]) -> CliResult {
             "strategy",
             "full-interval",
             "metrics-addr",
+            "replicas",
+            "die-after-ops",
         ],
         &[],
     )?;
@@ -77,11 +80,38 @@ pub fn serve(raw: &[String]) -> CliResult {
         return Err("--full-interval must be at least 1".into());
     }
 
+    // `--replicas N` (N >= 2): store every session N-way under
+    // `root/@replica-{i}`, acknowledging writes at a majority quorum.
+    // N = 1 is the default single-copy layout.
+    let replicas: usize = p.get_parsed("replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let quorum = replicas / 2 + 1;
+    if replicas > 1 {
+        let backend = ReplicatedBackend::with_fs_replicas(Path::new(&root), replicas, quorum)
+            .map_err(|e| format!("cannot set up {replicas} replicas under {root}: {e}"))?;
+        config.backend = Arc::new(backend);
+    }
+    // `--die-after-ops K`: fail-stop self-destruct for crash-injection
+    // testing — the process aborts (as if SIGKILLed) at the entry of
+    // storage operation K+1. Composes with `--replicas`.
+    if p.get("die-after-ops").is_some() {
+        let ops: u64 = p.get_parsed("die-after-ops", 0)?;
+        config.backend = Arc::new(FaultyBackend::wrapping(
+            Arc::clone(&config.backend),
+            FaultSchedule::new().die_after_ops(ops),
+        ));
+    }
+
     install_signal_handlers();
     let handle = Server::spawn(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     // Scripts (and the CI smoke job) wait for these exact lines to learn
     // the ephemeral ports, so they must land before we block in join().
     println!("listening on {}", handle.addr());
+    if replicas > 1 {
+        println!("replicating {replicas} ways (write quorum {quorum})");
+    }
     let metrics = match metrics_addr {
         Some(maddr) => {
             let server = MetricsServer::start(&maddr as &str, handle.metrics_source())
@@ -263,9 +293,15 @@ fn reply_to_snapshot(s: &StatsReply) -> Snapshot {
             ("nsrv_accepted_total".to_owned(), s.accepted),
             ("nsrv_busy_rejected_total".to_owned(), s.busy_rejected),
             ("nsrv_bytes_ingested_total".to_owned(), s.bytes_ingested),
+            ("nsrv_idle_disconnects_total".to_owned(), s.idle_disconnects),
             ("nsrv_iterations_ingested_total".to_owned(), s.iterations_ingested),
+            ("nsrv_journal_replayed_total".to_owned(), s.journal_replayed),
+            ("nsrv_journal_rolled_back_total".to_owned(), s.journal_rolled_back),
+            ("nsrv_recovery_repairs_total".to_owned(), s.recovery_repairs),
             ("nsrv_served_total".to_owned(), s.served),
             ("nsrv_write_retries_total".to_owned(), s.write_retries),
+            ("ckpt_replica_quorum_failures_total".to_owned(), s.replica_quorum_failures),
+            ("ckpt_replica_repairs_total".to_owned(), s.replica_repairs),
         ],
         gauges: vec![("nsrv_queue_depth".to_owned(), s.queue_depth)],
         histograms: s.latencies.iter().map(|l| (l.name.clone(), l.summary)).collect(),
@@ -294,10 +330,19 @@ pub fn stats(raw: &[String]) -> CliResult {
     }
     let mut out = format!(
         "accepted {} · served {} · busy-rejected {} · queued {} · draining {}\n\
-         ingested {} iteration(s), {} byte(s), {} storage retrie(s)\n",
+         ingested {} iteration(s), {} byte(s), {} storage retrie(s)\n\
+         durability: {} intent(s) replayed, {} rolled back, {} repair(s), \
+         {} idle disconnect(s)\n",
         s.accepted, s.served, s.busy_rejected, s.queue_depth, s.draining,
-        s.iterations_ingested, s.bytes_ingested, s.write_retries
+        s.iterations_ingested, s.bytes_ingested, s.write_retries,
+        s.journal_replayed, s.journal_rolled_back, s.recovery_repairs, s.idle_disconnects
     );
+    if s.replica_repairs > 0 || s.replica_quorum_failures > 0 {
+        out.push_str(&format!(
+            "replicas: {} read-repair(s), {} quorum failure(s)\n",
+            s.replica_repairs, s.replica_quorum_failures
+        ));
+    }
     for lat in &s.latencies {
         if lat.summary.count == 0 {
             continue;
@@ -568,6 +613,77 @@ mod tests {
         client.shutdown().unwrap();
         let out = server.join().unwrap().unwrap();
         assert!(out.contains("drained"), "{out}");
+    }
+
+    /// `serve --replicas 3` stores sessions 3-way and survives losing a
+    /// replica: after deleting one replica's copy of a checkpoint, every
+    /// iteration still replays, and a server-side scrub read-repairs the
+    /// lost copy (visible in the reply and in stats).
+    #[test]
+    fn serve_with_replicas_survives_a_lost_replica_copy() {
+        let tmp = TempDir::new("cli-serve-replicas");
+        let root = tmp.path("root");
+        let addr = "127.0.0.1:47923";
+        let serve_args = argv(&[
+            "serve", "--root", &root, "--addr", addr, "--replicas", "3",
+        ]);
+        let server = thread::spawn(move || run(&serve_args));
+        let mut client = None;
+        for _ in 0..100 {
+            match Client::connect(addr, Duration::from_millis(200)) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut client = client.expect("serve must come up");
+        let session = client.open_session("rep").unwrap();
+        for it in 0..4u64 {
+            let mut vars = VariableSet::new();
+            vars.insert("x".into(), (0..64).map(|j| j as f64 + it as f64).collect());
+            client.put_iteration(session, it, &vars).unwrap();
+        }
+
+        // Sessions live under every replica root, not under the logical
+        // root directly.
+        let root_path = std::path::Path::new(&root);
+        assert!(!root_path.join("rep").exists());
+        let copy = |i: usize| root_path.join(format!("@replica-{i}")).join("rep");
+        for i in 0..3 {
+            assert!(copy(i).join("ckpt_0000000000.full").is_file(), "replica {i}");
+        }
+
+        // Lose one replica's copy of the full. Quorum reads still serve
+        // every iteration.
+        std::fs::remove_file(copy(1).join("ckpt_0000000000.full")).unwrap();
+        for it in 0..4u64 {
+            assert_eq!(client.restart(session, it).unwrap().achieved, it);
+        }
+
+        // A server-side scrub restores full replication.
+        let reply = client.scrub(session, false).unwrap();
+        assert_eq!(reply.quarantined, 0, "no quorum loss, nothing to quarantine");
+        assert!(copy(1).join("ckpt_0000000000.full").is_file(), "read-repair rewrote the copy");
+        let stats = client.stats().unwrap();
+        assert!(stats.replica_repairs >= 1, "repair must be counted: {stats:?}");
+
+        client.shutdown().unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("drained"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_zero_replicas() {
+        let tmp = TempDir::new("cli-serve-replicas-zero");
+        let root = tmp.path("root");
+        let err = run(&argv(&[
+            "serve", "--root", &root, "--replicas", "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::GENERIC, "{err}");
+        assert!(err.contains("--replicas"), "{err}");
     }
 
     #[test]

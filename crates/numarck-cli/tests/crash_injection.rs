@@ -1,0 +1,271 @@
+//! Kill-anywhere crash injection against the real `numarck serve`
+//! binary.
+//!
+//! The contract under test: **an acknowledged iteration is never lost.**
+//! A `put` reply only goes out after the checkpoint's rename + fsync
+//! landed, and the intent journal lets startup recovery roll back
+//! whatever a crash half-applied — so killing the server at *any*
+//! instruction boundary and restarting it must leave every acknowledged
+//! iteration restartable and the chain readable.
+//!
+//! Two kill mechanisms:
+//!
+//! - `--die-after-ops K` makes the server's storage backend abort the
+//!   whole process (fail-stop, same observable effect as `kill -9`) at
+//!   the entry of storage operation K+1. Sweeping K walks the kill
+//!   point deterministically through session open, journal appends,
+//!   temp writes, renames and directory fsyncs.
+//! - A literal SIGKILL from outside, for the boundaries that are not
+//!   storage operations at all.
+//!
+//! Environment knobs (for CI):
+//!
+//! - `NUMARCK_CRASH_POINTS=N` — sweep kill points `0..N` (default 24;
+//!   the CI smoke job sets a bounded count).
+//! - `NUMARCK_CRASH_REPORT=PATH` — append one JSON line per kill point
+//!   (the surviving-chain report uploaded as a CI artifact).
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use numarck_checkpoint::VariableSet;
+use numarck_serve::Client;
+
+const BIN: &str = env!("CARGO_BIN_EXE_numarck");
+const TIMEOUT: Duration = Duration::from_secs(5);
+/// Iterations offered per kill point; the sweep kills long before the
+/// ingest loop runs out of work.
+const OFFERED: u64 = 12;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "numarck-crash-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("after epoch")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&path).expect("mkdir");
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A `numarck serve` child plus the address it printed.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    /// SIGKILL the server — no drain, no flush, no goodbye.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawn the real binary on an ephemeral port and wait for its
+/// "listening on" line. `None` when the process dies before binding —
+/// with an aggressive `--die-after-ops` the startup recovery scan
+/// itself is a valid kill point.
+fn spawn_serve(root: &Path, extra: &[&str]) -> Option<ServeProc> {
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg("--root")
+        .arg(root)
+        .args(["--addr", "127.0.0.1:0", "--full-interval", "4"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn numarck serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = child.wait();
+                return None;
+            }
+            Ok(_) => {
+                if let Some(addr) = line.trim().strip_prefix("listening on ") {
+                    let addr = addr.to_string();
+                    return Some(ServeProc { child, addr });
+                }
+            }
+        }
+    }
+}
+
+fn vars(iteration: u64) -> VariableSet {
+    let mut v = VariableSet::new();
+    v.insert(
+        "x".into(),
+        (0..96).map(|j| (j as f64 + 1.0) * 1.004f64.powi(iteration as i32)).collect(),
+    );
+    v
+}
+
+/// Ingest up to `OFFERED` iterations, returning the ones the server
+/// *acknowledged* before dying (any error ends the run — a reply that
+/// never arrived was never promised).
+fn ingest_until_death(addr: &str, session_name: &str) -> Vec<u64> {
+    let mut acked = Vec::new();
+    let Ok(mut client) = Client::connect(addr, TIMEOUT) else {
+        return acked;
+    };
+    let Ok(session) = client.open_session(session_name) else {
+        return acked;
+    };
+    for it in 0..OFFERED {
+        match client.put_iteration(session, it, &vars(it)) {
+            Ok(_) => acked.push(it),
+            Err(_) => break,
+        }
+    }
+    acked
+}
+
+/// Restart the server clean over the same root and check the contract:
+/// every acknowledged iteration restarts to exactly itself, the chain
+/// scrubs clean, and the session accepts the next ingest.
+fn assert_survivors(root: &Path, session_name: &str, acked: &[u64]) {
+    let server = spawn_serve(root, &[]).expect("clean restart must come up");
+    let mut client = Client::connect(&server.addr as &str, TIMEOUT).expect("connect survivor");
+    let session = client.open_session(session_name).expect("reopen session");
+    for &it in acked {
+        let reply = client
+            .restart(session, it)
+            .unwrap_or_else(|e| panic!("acked iteration {it} lost: {e}"));
+        assert_eq!(reply.achieved, it, "acked iteration {it} must restart to itself");
+    }
+    let reply = client.scrub(session, false).expect("scrub after recovery");
+    assert_eq!(reply.quarantined, 0, "recovery must leave no damage behind");
+    let next = acked.last().map_or(0, |&it| it + 1);
+    client.put_iteration(session, next, &vars(next)).expect("session must accept new work");
+    assert_eq!(client.restart(session, next).expect("restart new work").achieved, next);
+}
+
+fn sweep_points() -> u64 {
+    std::env::var("NUMARCK_CRASH_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+}
+
+/// Append one JSON line per kill point when `NUMARCK_CRASH_REPORT` is
+/// set — the surviving-chain report CI uploads as an artifact.
+fn report_line(kill_after_ops: u64, label: &str, acked: &[u64]) {
+    let Ok(path) = std::env::var("NUMARCK_CRASH_REPORT") else {
+        return;
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open crash report");
+    writeln!(
+        f,
+        "{{\"suite\":\"{label}\",\"kill_after_ops\":{kill_after_ops},\"acked\":{},\"survived\":{},\"chain_ok\":true}}",
+        acked.len(),
+        acked.len(),
+    )
+    .expect("append crash report");
+}
+
+/// The deterministic sweep: fail-stop at storage operation K+1 for
+/// every K in the swept range, restart, and demand zero
+/// acknowledged-iteration loss each time.
+#[test]
+fn kill_sweep_loses_no_acknowledged_iteration() {
+    let points = sweep_points();
+    for k in 0..points {
+        let tmp = TempDir::new(&format!("sweep-{k}"));
+        let root = tmp.0.join("root");
+        let die = k.to_string();
+        let acked = match spawn_serve(&root, &["--die-after-ops", &die]) {
+            Some(mut server) => {
+                let acked = ingest_until_death(&server.addr, "sim");
+                // A generous budget can outlive the offered work; the
+                // survivor then dies by SIGKILL instead — every sweep
+                // point ends in a hard kill either way.
+                server.kill();
+                acked
+            }
+            // Died during startup recovery, before binding: nothing was
+            // ever acknowledged, and the restart must still come up.
+            None => Vec::new(),
+        };
+        std::fs::create_dir_all(&root).expect("root for restart");
+        assert_survivors(&root, "sim", &acked);
+        report_line(k, "fail-stop", &acked);
+    }
+}
+
+/// The same sweep composed with `--replicas 3`: quorum writes and the
+/// intent journal must uphold the same contract when every logical
+/// storage operation fans out to three replicas.
+#[test]
+fn kill_sweep_with_replicas_loses_no_acknowledged_iteration() {
+    // A bounded slice of the sweep: replication triples the I/O per
+    // point, and the single-backend sweep already walks every boundary.
+    let points = sweep_points().min(8);
+    for k in 0..points {
+        let tmp = TempDir::new(&format!("rep-sweep-{k}"));
+        let root = tmp.0.join("root");
+        let die = k.to_string();
+        let acked = match spawn_serve(&root, &["--replicas", "3", "--die-after-ops", &die]) {
+            Some(mut server) => {
+                let acked = ingest_until_death(&server.addr, "sim");
+                server.kill();
+                acked
+            }
+            None => Vec::new(),
+        };
+        std::fs::create_dir_all(&root).expect("root for restart");
+        // The survivor must come up replicated too: quorum reads need
+        // the replica layout, not the single-copy one.
+        let server = spawn_serve(&root, &["--replicas", "3"]).expect("replicated restart");
+        let mut client = Client::connect(&server.addr as &str, TIMEOUT).expect("connect");
+        let session = client.open_session("sim").expect("reopen session");
+        for &it in &acked {
+            let reply = client
+                .restart(session, it)
+                .unwrap_or_else(|e| panic!("acked iteration {it} lost (replicated): {e}"));
+            assert_eq!(reply.achieved, it);
+        }
+        report_line(k, "fail-stop-replicated", &acked);
+    }
+}
+
+/// A literal `kill -9` from outside, landing between requests rather
+/// than inside a storage operation — the boundaries `--die-after-ops`
+/// cannot reach.
+#[test]
+fn external_sigkill_mid_session_loses_no_acknowledged_iteration() {
+    let tmp = TempDir::new("sigkill");
+    let root = tmp.0.join("root");
+    let mut server = spawn_serve(&root, &[]).expect("serve must come up");
+    let acked = ingest_until_death(&server.addr, "sim");
+    assert_eq!(acked.len() as u64, OFFERED, "healthy server must ack everything offered");
+    server.kill();
+    assert_survivors(&root, "sim", &acked);
+    report_line(0, "external-sigkill", &acked);
+}

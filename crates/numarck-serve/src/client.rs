@@ -32,6 +32,15 @@ pub enum ClientError {
     Io(io::Error),
     /// The server broke protocol (bad frame, wrong opcode, id mismatch).
     Protocol(String),
+    /// A retry loop gave up: every attempt failed transiently and the
+    /// attempt or wall-clock budget ran out. Carries the count and the
+    /// last underlying failure so callers can report both.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The failure the final attempt died with.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -41,16 +50,23 @@ impl fmt::Display for ClientError {
             ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
 
 impl ClientError {
     /// Whether retrying the whole call can plausibly succeed: `Busy`
-    /// (the bounded queue was momentarily full) and connection-level
-    /// transport failures (refused/reset/aborted — the server is
-    /// restarting or shedding load). Everything else — typed server
-    /// errors, protocol violations, timeouts, resolution failures — is
+    /// (the bounded queue was momentarily full) and transport failures
+    /// that clear on their own — refused/reset/aborted connections (the
+    /// server is restarting or shedding load) and deadline expiries
+    /// (`TimedOut`/`WouldBlock`, which is what an overloaded-but-alive
+    /// server or a congested path produces; the socket timeouts bound
+    /// each attempt, the retry loop's wall-clock budget bounds the
+    /// total). Everything else — typed server errors, protocol
+    /// violations, resolution failures, an exhausted retry loop — is
     /// deterministic or indicates a sick peer, and retrying it only
     /// hides the real problem behind a delay.
     pub fn is_transient(&self) -> bool {
@@ -61,8 +77,12 @@ impl ClientError {
                 io::ErrorKind::ConnectionRefused
                     | io::ErrorKind::ConnectionReset
                     | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
             ),
-            ClientError::Server { .. } | ClientError::Protocol(_) => false,
+            ClientError::Server { .. }
+            | ClientError::Protocol(_)
+            | ClientError::RetriesExhausted { .. } => false,
         }
     }
 }
@@ -87,6 +107,11 @@ pub type ClientResult<T> = Result<T, ClientError>;
 /// Ceiling on a single [`Client::connect_session`] retry delay, however
 /// many doublings the attempt count has earned.
 const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Ceiling on the *total* wall-clock a [`Client::connect_session`]
+/// retry loop may spend (sleeps + attempts) before it gives up with
+/// [`ClientError::RetriesExhausted`], whatever the attempt budget says.
+const RETRY_WALL_CLOCK_CAP: Duration = Duration::from_secs(30);
 
 /// Delay before retry number `attempt` (1-based): `base` doubled per
 /// attempt, capped at `cap`, then jittered into `[cap'/2, cap']` so a
@@ -113,6 +138,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// A blocking connection to a checkpoint server.
+#[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     next_req_id: u64,
@@ -132,14 +158,18 @@ impl Client {
     }
 
     /// Connect and open `session` in one go, retrying *transient*
-    /// failures ([`ClientError::is_transient`]: `Busy` plus
-    /// refused/reset connections) with capped exponential backoff and
-    /// deterministic jitter; every other failure returns immediately.
-    /// A `Busy` verdict arrives on the first round-trip and kills the
-    /// connection (the acceptor never queued it), so each retry
-    /// reconnects from scratch. `backoff` is the base delay — attempt
-    /// `n` sleeps roughly `backoff × 2^(n-1)`, never more than
-    /// [`BACKOFF_CAP`]. Returns the client and the session id.
+    /// failures ([`ClientError::is_transient`]: `Busy`, refused/reset
+    /// connections, deadline expiries) with capped exponential backoff
+    /// and deterministic jitter; every other failure returns
+    /// immediately. A `Busy` verdict arrives on the first round-trip
+    /// and kills the connection (the acceptor never queued it), so each
+    /// retry reconnects from scratch. `backoff` is the base delay —
+    /// attempt `n` sleeps roughly `backoff × 2^(n-1)`, never more than
+    /// [`BACKOFF_CAP`]; the whole loop never spends more than
+    /// [`RETRY_WALL_CLOCK_CAP`] of wall-clock. When the budget runs out
+    /// the error is [`ClientError::RetriesExhausted`], carrying the
+    /// attempt count and the last underlying failure. Returns the
+    /// client and the session id.
     pub fn connect_session(
         addr: impl ToSocketAddrs + Copy,
         timeout: Duration,
@@ -147,11 +177,34 @@ impl Client {
         attempts: u32,
         backoff: Duration,
     ) -> ClientResult<(Self, u64)> {
+        Self::connect_session_within(addr, timeout, session, attempts, backoff, RETRY_WALL_CLOCK_CAP)
+    }
+
+    /// [`Self::connect_session`] with an explicit wall-clock budget
+    /// (tests use a tiny one; production callers want the default cap).
+    pub fn connect_session_within(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+        session: &str,
+        attempts: u32,
+        backoff: Duration,
+        wall_clock: Duration,
+    ) -> ClientResult<(Self, u64)> {
+        let start = std::time::Instant::now();
         let mut last = None;
+        let mut made: u32 = 0;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(retry_delay(backoff, attempt, BACKOFF_CAP));
+                let delay = retry_delay(backoff, attempt, BACKOFF_CAP);
+                // Give up *before* a sleep that cannot be followed by a
+                // within-budget attempt — sleeping past the budget only
+                // delays the caller's error handling.
+                if start.elapsed() + delay >= wall_clock {
+                    break;
+                }
+                std::thread::sleep(delay);
             }
+            made = attempt + 1;
             let mut client = match Client::connect(addr, timeout) {
                 Ok(client) => client,
                 Err(e) if e.is_transient() => {
@@ -166,7 +219,10 @@ impl Client {
                 Err(e) => return Err(e),
             }
         }
-        Err(last.unwrap_or(ClientError::Busy))
+        Err(ClientError::RetriesExhausted {
+            attempts: made,
+            last: Box::new(last.unwrap_or(ClientError::Busy)),
+        })
     }
 
     /// One request→response round trip.
@@ -261,7 +317,7 @@ impl Client {
     /// Server counters and per-session summaries.
     pub fn stats(&mut self) -> ClientResult<StatsReply> {
         match self.call(&Request::Stats)? {
-            Response::StatsData(stats) => Ok(stats),
+            Response::StatsData(stats) => Ok(*stats),
             other => Self::unexpected(other),
         }
     }
@@ -316,22 +372,85 @@ mod tests {
     use super::*;
 
     #[test]
-    fn transient_errors_are_busy_and_connection_faults() {
+    fn transient_errors_are_busy_connection_faults_and_deadlines() {
         assert!(ClientError::Busy.is_transient());
         for kind in [
             io::ErrorKind::ConnectionRefused,
             io::ErrorKind::ConnectionReset,
             io::ErrorKind::ConnectionAborted,
+            // Deadline expiries: an overloaded-but-alive server, worth
+            // retrying under the loop's wall-clock budget.
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
         ] {
             assert!(ClientError::Io(io::Error::new(kind, "x")).is_transient(), "{kind:?}");
         }
-        for kind in [io::ErrorKind::TimedOut, io::ErrorKind::NotFound, io::ErrorKind::Other] {
+        for kind in [io::ErrorKind::NotFound, io::ErrorKind::PermissionDenied, io::ErrorKind::Other]
+        {
             assert!(!ClientError::Io(io::Error::new(kind, "x")).is_transient(), "{kind:?}");
         }
         assert!(!ClientError::Protocol("desync".into()).is_transient());
         let server =
             ClientError::Server { code: ErrorCode::BadRequest, message: "no".into() };
         assert!(!server.is_transient());
+        let exhausted =
+            ClientError::RetriesExhausted { attempts: 7, last: Box::new(ClientError::Busy) };
+        assert!(!exhausted.is_transient(), "an exhausted loop must not be retried blindly");
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_attempt_count_and_last_error() {
+        // Nobody listens on this port (bound then dropped), so every
+        // attempt fails with a transient ConnectionRefused.
+        let addr = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap()
+        };
+        let err = Client::connect_session_within(
+            addr,
+            Duration::from_millis(200),
+            "s",
+            3,
+            Duration::from_millis(1),
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        match err {
+            ClientError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3, "every budgeted attempt was made");
+                assert!(last.is_transient(), "the last error was the transient one: {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn retry_wall_clock_budget_stops_the_loop_early() {
+        let addr = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap()
+        };
+        // A generous attempt budget but a wall-clock budget that only
+        // lets a couple of attempts through: attempts made must fall
+        // well short of the attempt budget.
+        let start = std::time::Instant::now();
+        let err = Client::connect_session_within(
+            addr,
+            Duration::from_millis(200),
+            "s",
+            1000,
+            Duration::from_millis(40),
+            Duration::from_millis(120),
+        )
+        .unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(5), "loop must not run anywhere near 1000 attempts");
+        match err {
+            ClientError::RetriesExhausted { attempts, .. } => {
+                assert!(attempts >= 1, "at least the first attempt runs");
+                assert!(attempts < 1000, "wall-clock budget must cut the loop short: {attempts}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Write-ahead intent journal for session ingest.
+//!
+//! Every ingest appends an *intent* record — sequence number, iteration,
+//! checkpoint kind, and the CRC of the exact bytes about to be written —
+//! and fsyncs it **before** the checkpoint store mutates. Once the
+//! store's rename has landed, a matching *commit* record is appended
+//! (best-effort: a missing commit only means recovery re-verifies the
+//! file against the journaled CRC). After a crash at any instruction
+//! boundary, [`IntentJournal::open`] replays the journal and reports the
+//! intents that never committed, so recovery (see [`crate::recovery`])
+//! can decide per intent whether the write completed, never started, or
+//! was half-applied.
+//!
+//! Record framing, little-endian, one record per append:
+//!
+//! ```text
+//! [0..4)  payload length (u32)
+//! [4..8)  crc32 of the payload (u32)
+//! [8..)   payload
+//! ```
+//!
+//! Intent payload: tag `1`, seq (u64), iteration (u64), is_full (u8),
+//! content crc (u32). Commit payload: tag `2`, seq (u64). A torn tail —
+//! the record being appended when the process died — fails the length or
+//! CRC check and is ignored; everything before it is trusted. The
+//! journal lives in the session's store directory under a name the store
+//! listing ignores, and is truncated whenever every recorded intent is
+//! known to be resolved (recovery, or the in-memory outstanding count
+//! reaching zero past a size threshold), so it cannot grow without
+//! bound.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use numarck::serialize as nser;
+use numarck_checkpoint::backend::StorageBackend;
+
+/// File name of the journal inside a session's store directory. No
+/// `ckpt_` prefix, so `CheckpointStore::list` never mistakes it for a
+/// checkpoint.
+pub const JOURNAL_FILE: &str = "intent.journal";
+
+/// Once the journal passes this size with no outstanding intents, it is
+/// compacted back to empty.
+const COMPACT_BYTES: u64 = 64 * 1024;
+
+const TAG_INTENT: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+
+/// One journaled intent: a checkpoint the server promised to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntentRecord {
+    /// Monotonic per-journal sequence number.
+    pub seq: u64,
+    /// The iteration the checkpoint captures.
+    pub iteration: u64,
+    /// Whether the file is a full checkpoint (`.full`) or a delta.
+    pub is_full: bool,
+    /// CRC32 of the exact bytes the store write will produce.
+    pub content_crc: u32,
+}
+
+/// A session's write-ahead intent journal.
+#[derive(Debug)]
+pub struct IntentJournal {
+    backend: Arc<dyn StorageBackend>,
+    path: PathBuf,
+    next_seq: u64,
+    outstanding: usize,
+    approx_len: u64,
+}
+
+impl IntentJournal {
+    /// Open the journal in `store_dir`, replaying whatever it holds.
+    ///
+    /// Returns the journal (positioned after the highest recorded
+    /// sequence number) and the intents that have no commit record — in
+    /// append order — for recovery to resolve. A missing file is an
+    /// empty journal; a torn tail is tolerated (see module docs).
+    pub fn open(
+        store_dir: &Path,
+        backend: Arc<dyn StorageBackend>,
+    ) -> io::Result<(Self, Vec<IntentRecord>)> {
+        let path = store_dir.join(JOURNAL_FILE);
+        let bytes = match backend.read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut outstanding: Vec<IntentRecord> = Vec::new();
+        let mut next_seq = 1u64;
+        let mut cursor = &bytes[..];
+        while cursor.len() >= 8 {
+            let len = u32::from_le_bytes(cursor[0..4].try_into().expect("4 bytes")) as usize;
+            let stored_crc = u32::from_le_bytes(cursor[4..8].try_into().expect("4 bytes"));
+            if cursor.len() < 8 + len {
+                break; // torn tail: the append that died mid-record
+            }
+            let payload = &cursor[8..8 + len];
+            if nser::crc32(payload) != stored_crc {
+                break; // torn or corrupt tail; nothing after it is trusted
+            }
+            match parse_payload(payload) {
+                Some(Entry::Intent(rec)) => {
+                    next_seq = next_seq.max(rec.seq + 1);
+                    outstanding.push(rec);
+                }
+                Some(Entry::Commit { seq }) => {
+                    next_seq = next_seq.max(seq + 1);
+                    outstanding.retain(|r| r.seq != seq);
+                }
+                None => break, // unknown tag: written by a future version
+            }
+            cursor = &cursor[8 + len..];
+        }
+        let journal = Self {
+            backend,
+            path,
+            next_seq,
+            outstanding: outstanding.len(),
+            approx_len: bytes.len() as u64,
+        };
+        Ok((journal, outstanding))
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Intents appended but not yet committed (in-memory view).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// True when the journal holds no bytes at all — nothing to replay,
+    /// nothing worth truncating.
+    pub fn is_empty(&self) -> bool {
+        self.approx_len == 0
+    }
+
+    /// Record the intent to write a checkpoint: append + fsync, then
+    /// return the sequence number to pass to [`Self::commit`]. Must be
+    /// called **before** the store write it describes.
+    pub fn begin(&mut self, iteration: u64, is_full: bool, content_crc: u32) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(22);
+        payload.push(TAG_INTENT);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&iteration.to_le_bytes());
+        payload.push(u8::from(is_full));
+        payload.extend_from_slice(&content_crc.to_le_bytes());
+        self.append_record(&payload)?;
+        self.next_seq = seq + 1;
+        self.outstanding += 1;
+        Ok(seq)
+    }
+
+    /// Record that the store write for `seq` landed (rename + dir sync
+    /// done). Compacts the journal when nothing is outstanding and it
+    /// has grown past the size threshold.
+    pub fn commit(&mut self, seq: u64) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(9);
+        payload.push(TAG_COMMIT);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        self.append_record(&payload)?;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if self.outstanding == 0 && self.approx_len > COMPACT_BYTES {
+            self.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Truncate the journal to empty. Only safe when every recorded
+    /// intent is known to be resolved (committed, completed by recovery,
+    /// or rolled back).
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.backend.write(&self.path, &[])?;
+        self.outstanding = 0;
+        self.approx_len = 0;
+        Ok(())
+    }
+
+    fn append_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&nser::crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        self.backend.append(&self.path, &record)?;
+        self.approx_len += record.len() as u64;
+        Ok(())
+    }
+}
+
+enum Entry {
+    Intent(IntentRecord),
+    Commit { seq: u64 },
+}
+
+fn parse_payload(payload: &[u8]) -> Option<Entry> {
+    match *payload.first()? {
+        TAG_INTENT if payload.len() == 22 => Some(Entry::Intent(IntentRecord {
+            seq: u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes")),
+            iteration: u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes")),
+            is_full: payload[17] != 0,
+            content_crc: u32::from_le_bytes(payload[18..22].try_into().expect("4 bytes")),
+        })),
+        TAG_COMMIT if payload.len() == 9 => Some(Entry::Commit {
+            seq: u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes")),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numarck_checkpoint::FsBackend;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "numarck-journal-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock after epoch")
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            Self(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open(dir: &Path) -> (IntentJournal, Vec<IntentRecord>) {
+        IntentJournal::open(dir, Arc::new(FsBackend)).unwrap()
+    }
+
+    #[test]
+    fn empty_journal_has_no_outstanding_intents() {
+        let tmp = TempDir::new("empty");
+        let (journal, outstanding) = open(&tmp.0);
+        assert!(outstanding.is_empty());
+        assert_eq!(journal.outstanding(), 0);
+    }
+
+    #[test]
+    fn committed_intents_are_not_replayed() {
+        let tmp = TempDir::new("committed");
+        {
+            let (mut journal, _) = open(&tmp.0);
+            let s1 = journal.begin(0, true, 0xAAAA).unwrap();
+            journal.commit(s1).unwrap();
+            let s2 = journal.begin(1, false, 0xBBBB).unwrap();
+            journal.commit(s2).unwrap();
+        }
+        let (journal, outstanding) = open(&tmp.0);
+        assert!(outstanding.is_empty());
+        assert_eq!(journal.outstanding(), 0);
+    }
+
+    #[test]
+    fn uncommitted_intent_survives_reopen() {
+        let tmp = TempDir::new("uncommitted");
+        {
+            let (mut journal, _) = open(&tmp.0);
+            let s1 = journal.begin(0, true, 0x1111).unwrap();
+            journal.commit(s1).unwrap();
+            journal.begin(1, false, 0x2222).unwrap();
+            // Process "dies" before commit.
+        }
+        let (mut journal, outstanding) = open(&tmp.0);
+        assert_eq!(
+            outstanding,
+            vec![IntentRecord { seq: 2, iteration: 1, is_full: false, content_crc: 0x2222 }]
+        );
+        // Sequence numbers continue past everything recorded.
+        assert_eq!(journal.begin(2, false, 0x3333).unwrap(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_earlier_records_survive() {
+        let tmp = TempDir::new("torn");
+        {
+            let (mut journal, _) = open(&tmp.0);
+            journal.begin(5, true, 0x5555).unwrap();
+        }
+        // Simulate a crash mid-append: half a record of garbage.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(tmp.0.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(&[22, 0, 0, 0, 0xDE, 0xAD]).unwrap();
+        drop(f);
+        let (_, outstanding) = open(&tmp.0);
+        assert_eq!(outstanding.len(), 1);
+        assert_eq!(outstanding[0].iteration, 5);
+    }
+
+    #[test]
+    fn corrupt_record_crc_stops_replay_at_the_damage() {
+        let tmp = TempDir::new("crc");
+        {
+            let (mut journal, _) = open(&tmp.0);
+            let s = journal.begin(0, true, 0x1).unwrap();
+            journal.commit(s).unwrap();
+            journal.begin(1, false, 0x2).unwrap();
+        }
+        // Flip a payload byte of the *last* record.
+        let path = tmp.0.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, outstanding) = open(&tmp.0);
+        // The damaged intent is not trusted; the committed one stays
+        // resolved.
+        assert!(outstanding.is_empty());
+    }
+
+    #[test]
+    fn reset_empties_the_journal() {
+        let tmp = TempDir::new("reset");
+        {
+            let (mut journal, _) = open(&tmp.0);
+            journal.begin(0, true, 0x1).unwrap();
+            journal.reset().unwrap();
+        }
+        let (_, outstanding) = open(&tmp.0);
+        assert!(outstanding.is_empty());
+    }
+
+    #[test]
+    fn journal_compacts_once_everything_is_committed() {
+        let tmp = TempDir::new("compact");
+        let (mut journal, _) = open(&tmp.0);
+        // Push well past the threshold; every intent is committed, so
+        // the size must come back down instead of growing forever.
+        for i in 0..3000u64 {
+            let s = journal.begin(i, false, i as u32).unwrap();
+            journal.commit(s).unwrap();
+        }
+        let len = std::fs::metadata(tmp.0.join(JOURNAL_FILE)).unwrap().len();
+        assert!(len < COMPACT_BYTES, "journal did not compact: {len} bytes");
+    }
+}

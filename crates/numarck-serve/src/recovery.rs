@@ -1,0 +1,320 @@
+//! Startup recovery: make a session directory consistent with its
+//! intent journal before serving traffic.
+//!
+//! The invariant the journal buys us: **an acknowledged iteration is
+//! always restartable after a crash at any instruction boundary.** The
+//! server only acknowledges an ingest after the store rename landed, so
+//! a crash can leave behind exactly three kinds of debris, all of which
+//! this pass cleans up:
+//!
+//! 1. A stray `*.tmp` file — the crash hit between the temp-file write
+//!    and the rename. The rename never happened, the iteration was
+//!    never acknowledged: delete the temp file.
+//! 2. An outstanding intent whose file is on disk with the journaled
+//!    CRC — the crash hit between the rename and the commit append. The
+//!    write *completed*; mark it so and move on.
+//! 3. An outstanding intent whose file is missing, stale (a valid file
+//!    from an earlier write at the same path), or damaged — the write
+//!    never finished and was never acknowledged. Roll it back: leave a
+//!    stale-but-valid file alone, quarantine a damaged one and run
+//!    [`numarck_checkpoint::scrub::repair`] to re-anchor the chain.
+//!
+//! Either way the journal ends empty and every acknowledged iteration
+//! restarts. The session's first post-recovery checkpoint is a forced
+//! full (the manager starts with no previous iteration), so chain
+//! integrity never depends on recovery guessing delta lineage.
+
+use std::sync::Arc;
+
+use numarck::error::NumarckError;
+use numarck_checkpoint::{scrub, CheckpointFile, CheckpointStore};
+
+use crate::journal::IntentJournal;
+
+/// What a recovery pass found and did for one session directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Outstanding (uncommitted) intents replayed from the journal.
+    pub replayed: usize,
+    /// Intents whose store write is verifiably on disk (crash landed
+    /// between the rename and the commit record).
+    pub completed: usize,
+    /// Intents rolled back: the write never finished and the iteration
+    /// was never acknowledged.
+    pub rolled_back: usize,
+    /// Stray `*.tmp` files removed.
+    pub tmp_removed: usize,
+    /// Whether a half-applied write was quarantined and the chain
+    /// re-anchored via [`scrub::repair`].
+    pub repaired: bool,
+}
+
+impl RecoveryReport {
+    /// True when the pass found nothing to do — a clean shutdown.
+    pub fn is_noop(&self) -> bool {
+        self.replayed == 0 && self.tmp_removed == 0
+    }
+}
+
+/// Recover one session directory: sweep temp files, replay the intent
+/// journal, resolve every outstanding intent, and hand back the (now
+/// empty) journal for the session to keep using.
+pub fn recover_session(
+    store: &CheckpointStore,
+) -> Result<(IntentJournal, RecoveryReport), NumarckError> {
+    let backend = Arc::clone(store.backend());
+    let mut report = RecoveryReport::default();
+
+    // 1. Stray temp files: writes that never reached their rename.
+    let names = backend
+        .list_dir(store.dir())
+        .map_err(|e| NumarckError::Io(format!("recovery listing failed: {e}")))?;
+    for name in names {
+        if name.ends_with(".tmp") {
+            backend
+                .remove_file(&store.dir().join(&name))
+                .map_err(|e| NumarckError::Io(format!("removing {name} failed: {e}")))?;
+            report.tmp_removed += 1;
+        }
+    }
+
+    // 2. Replay the journal and resolve every outstanding intent.
+    let (mut journal, outstanding) = IntentJournal::open(store.dir(), Arc::clone(&backend))
+        .map_err(|e| NumarckError::Io(format!("journal replay failed: {e}")))?;
+    report.replayed = outstanding.len();
+    let mut need_repair = false;
+    for intent in &outstanding {
+        match store.read_raw(intent.iteration, intent.is_full) {
+            Ok(bytes) if numarck::serialize::crc32(&bytes) == intent.content_crc => {
+                // Rename landed, commit record didn't. The write is done.
+                report.completed += 1;
+            }
+            Ok(bytes) => {
+                report.rolled_back += 1;
+                match CheckpointFile::from_bytes(&bytes) {
+                    Ok(f) if f.iteration == intent.iteration => {
+                        // A valid earlier write at the same path; the
+                        // intended overwrite never happened. Keep it.
+                    }
+                    _ => {
+                        // Neither the intended bytes nor a valid older
+                        // file: half-applied. Quarantine and re-anchor.
+                        store
+                            .quarantine(intent.iteration, intent.is_full)
+                            .map_err(|e| {
+                                NumarckError::Io(format!(
+                                    "quarantining iter={} failed: {e}",
+                                    intent.iteration
+                                ))
+                            })?;
+                        need_repair = true;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // The write never started. Nothing on disk to undo.
+                report.rolled_back += 1;
+            }
+            Err(e) => {
+                return Err(NumarckError::Io(format!(
+                    "recovery read of iter={} failed: {e}",
+                    intent.iteration
+                )));
+            }
+        }
+    }
+
+    // 3. If we quarantined a half-applied file, downstream deltas may
+    // now be orphaned; repair re-anchors the chain at the newest
+    // restartable iteration.
+    if need_repair {
+        scrub::repair(store)?;
+        report.repaired = true;
+    }
+
+    // 4. Every intent is resolved: start the journal fresh. An already
+    // empty journal is left untouched — recovery of a clean session
+    // must not write at all.
+    if !journal.is_empty() {
+        journal
+            .reset()
+            .map_err(|e| NumarckError::Io(format!("journal reset failed: {e}")))?;
+    }
+
+    Ok((journal, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numarck::{Config, Strategy};
+    use numarck_checkpoint::manager::{CheckpointManager, ManagerPolicy};
+    use numarck_checkpoint::{FsBackend, RestartEngine, VariableSet};
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "numarck-recovery-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock after epoch")
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            Self(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn vars(iteration: u64) -> VariableSet {
+        let mut v = VariableSet::new();
+        v.insert(
+            "x".into(),
+            (0..150).map(|j| (j as f64 + 1.0) * 1.002f64.powi(iteration as i32)).collect(),
+        );
+        v
+    }
+
+    fn config() -> Config {
+        Config::new(8, 0.001, Strategy::Clustering).unwrap()
+    }
+
+    /// A store with iterations 0..=n ingested through the journal the
+    /// way the server does it: prepare → begin → commit → commit.
+    fn build(tmp: &TempDir, n: u64) -> (CheckpointStore, IntentJournal) {
+        let store = CheckpointStore::open_with(&tmp.0, Arc::new(FsBackend)).unwrap();
+        let (mut journal, outstanding) =
+            IntentJournal::open(store.dir(), Arc::clone(store.backend())).unwrap();
+        assert!(outstanding.is_empty());
+        let mut manager =
+            CheckpointManager::new(store.clone(), config(), ManagerPolicy::fixed(4));
+        for i in 0..=n {
+            let prepared = manager.prepare(i, &vars(i)).unwrap();
+            let seq = journal
+                .begin(prepared.iteration(), prepared.is_full(), prepared.content_crc())
+                .unwrap();
+            manager.commit(prepared).unwrap();
+            journal.commit(seq).unwrap();
+        }
+        (store, journal)
+    }
+
+    #[test]
+    fn clean_shutdown_recovers_to_a_noop() {
+        let tmp = TempDir::new("clean");
+        let (store, journal) = build(&tmp, 5);
+        drop(journal);
+        let (_, report) = recover_session(&store).unwrap();
+        assert!(report.is_noop(), "unexpected work: {report:?}");
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn stray_tmp_file_is_swept() {
+        let tmp = TempDir::new("tmp");
+        let (store, _) = build(&tmp, 3);
+        std::fs::write(tmp.0.join("ckpt_0000000004.tmp"), b"half a write").unwrap();
+        let (_, report) = recover_session(&store).unwrap();
+        assert_eq!(report.tmp_removed, 1);
+        assert!(!tmp.0.join("ckpt_0000000004.tmp").exists());
+    }
+
+    #[test]
+    fn intent_with_landed_write_counts_as_completed() {
+        let tmp = TempDir::new("landed");
+        let (store, mut journal) = build(&tmp, 3);
+        // Crash between rename and commit append: write iteration 4 by
+        // hand, journal the intent, skip the commit record.
+        let mut manager =
+            CheckpointManager::new(store.clone(), config(), ManagerPolicy::fixed(4));
+        let prepared = manager.prepare(4, &vars(4)).unwrap();
+        journal
+            .begin(prepared.iteration(), prepared.is_full(), prepared.content_crc())
+            .unwrap();
+        manager.commit(prepared).unwrap();
+        drop(journal);
+
+        let (_, report) = recover_session(&store).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.rolled_back, 0);
+        assert!(!report.repaired);
+        // The iteration the crash interrupted is restartable.
+        let engine = RestartEngine::new(store);
+        assert!(engine.restart_at(4).is_ok());
+    }
+
+    #[test]
+    fn intent_with_no_write_rolls_back() {
+        let tmp = TempDir::new("missing");
+        let (store, mut journal) = build(&tmp, 3);
+        // Crash right after the intent append: nothing on disk.
+        journal.begin(4, false, 0xDEAD_BEEF).unwrap();
+        drop(journal);
+        let (_, report) = recover_session(&store).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.rolled_back, 1);
+        assert!(!report.repaired);
+        // Iterations 0..=3 are untouched.
+        let engine = RestartEngine::new(store);
+        assert!(engine.restart_at(3).is_ok());
+    }
+
+    #[test]
+    fn half_applied_write_is_quarantined_and_chain_repaired() {
+        let tmp = TempDir::new("torn");
+        let (store, mut journal) = build(&tmp, 3);
+        journal.begin(4, false, 0xDEAD_BEEF).unwrap();
+        // A torn rename: the destination exists but holds garbage that
+        // matches neither the journaled CRC nor any valid checkpoint.
+        std::fs::write(tmp.0.join("ckpt_0000000004.delta"), b"torn garbage").unwrap();
+        drop(journal);
+
+        let (_, report) = recover_session(&store).unwrap();
+        assert_eq!(report.rolled_back, 1);
+        assert!(report.repaired);
+        // The garbage is gone from the chain and 0..=3 still restart.
+        let engine = RestartEngine::new(store.clone());
+        assert!(engine.restart_at(3).is_ok());
+        assert!(store.read_raw(4, false).is_err());
+    }
+
+    #[test]
+    fn stale_valid_file_under_an_intent_is_left_alone() {
+        let tmp = TempDir::new("stale");
+        // Iterations 0..=5 exist and committed; journal an uncommitted
+        // *re-write* of iteration 5 (a delta) that never happened. The
+        // old valid file must survive.
+        let (store, mut journal) = build(&tmp, 5);
+        let old = store.read_raw(5, false).unwrap();
+        journal.begin(5, false, 0x1234_5678).unwrap();
+        drop(journal);
+
+        let (_, report) = recover_session(&store).unwrap();
+        assert_eq!(report.rolled_back, 1);
+        assert!(!report.repaired);
+        assert_eq!(store.read_raw(5, false).unwrap(), old);
+    }
+
+    #[test]
+    fn recovered_journal_is_empty_and_usable() {
+        let tmp = TempDir::new("reuse");
+        let (store, mut journal) = build(&tmp, 2);
+        journal.begin(3, false, 0x1).unwrap();
+        drop(journal);
+        let (mut journal, _) = recover_session(&store).unwrap();
+        assert_eq!(journal.outstanding(), 0);
+        // Sequence numbering keeps working after reset.
+        let seq = journal.begin(3, false, 0x2).unwrap();
+        journal.commit(seq).unwrap();
+    }
+}

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use numarck::error::NumarckError;
 use numarck::Config;
@@ -41,6 +41,8 @@ use numarck_checkpoint::{
 };
 use numarck_obs::{Counter, Gauge, Histogram, HistogramSummary, Level, Registry, Snapshot};
 
+use crate::journal::IntentJournal;
+use crate::recovery::{self, RecoveryReport};
 use crate::wire::{
     self, ErrorCode, LatencyStat, PutOutcome, ReadOutcome, Request, Response, SessionStat,
     StatsReply, WrittenKind,
@@ -64,6 +66,11 @@ pub struct ServerConfig {
     /// progress) before failing the connection. Doubles as the idle poll
     /// interval between requests.
     pub io_timeout: Duration,
+    /// How long a connection may sit idle *between* requests before the
+    /// worker hangs up and reclaims itself. Guards the fixed-size pool
+    /// against peers that connect and then go silent (slowloris): with
+    /// `workers` connections held open and mute, no one else is served.
+    pub idle_timeout: Duration,
     /// NUMARCK compression config for delta checkpoints.
     pub compression: Config,
     /// Full-checkpoint interval for every session.
@@ -75,14 +82,16 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// Defaults: 4 workers, queue depth 16, 5s deadline, fulls every 16
-    /// iterations, default retry policy, real filesystem.
+    /// Defaults: 4 workers, queue depth 16, 5s deadline, 60s idle
+    /// timeout, fulls every 16 iterations, default retry policy, real
+    /// filesystem.
     pub fn new(root: impl Into<PathBuf>, compression: Config) -> Self {
         Self {
             root: root.into(),
             workers: 4,
             queue_depth: 16,
             io_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
             compression,
             full_interval: 16,
             retry: RetryPolicy::default(),
@@ -96,6 +105,9 @@ struct SessionState {
     id: u64,
     name: String,
     manager: CheckpointManager,
+    /// Write-ahead intent journal: every ingest journals (iteration,
+    /// content CRC) and fsyncs *before* the store mutates.
+    journal: IntentJournal,
 }
 
 /// Per-server instruments, backed by a *private* [`Registry`] so
@@ -111,6 +123,10 @@ struct Instruments {
     iterations_ingested: Arc<Counter>,
     bytes_ingested: Arc<Counter>,
     write_retries: Arc<Counter>,
+    journal_replayed: Arc<Counter>,
+    journal_rolled_back: Arc<Counter>,
+    recovery_repairs: Arc<Counter>,
+    idle_disconnects: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     req_open: Arc<Histogram>,
     req_put: Arc<Histogram>,
@@ -131,6 +147,10 @@ impl Instruments {
             iterations_ingested: registry.counter("nsrv_iterations_ingested_total"),
             bytes_ingested: registry.counter("nsrv_bytes_ingested_total"),
             write_retries: registry.counter("nsrv_write_retries_total"),
+            journal_replayed: registry.counter("nsrv_journal_replayed_total"),
+            journal_rolled_back: registry.counter("nsrv_journal_rolled_back_total"),
+            recovery_repairs: registry.counter("nsrv_recovery_repairs_total"),
+            idle_disconnects: registry.counter("nsrv_idle_disconnects_total"),
             queue_depth: registry.gauge("nsrv_queue_depth"),
             req_open: registry.histogram("nsrv_request_open_ns"),
             req_put: registry.histogram("nsrv_request_put_ns"),
@@ -140,6 +160,28 @@ impl Instruments {
             req_close: registry.histogram("nsrv_request_close_ns"),
             req_shutdown: registry.histogram("nsrv_request_shutdown_ns"),
             registry,
+        }
+    }
+
+    /// Fold one session's recovery outcome into the counters (and the
+    /// event ring, when there was anything to recover).
+    fn record_recovery(&self, session: &str, report: &RecoveryReport) {
+        self.journal_replayed.add(report.replayed as u64);
+        self.journal_rolled_back.add(report.rolled_back as u64);
+        self.recovery_repairs.add(u64::from(report.repaired));
+        if !report.is_noop() {
+            self.registry.events().push(
+                Level::Warn,
+                format!(
+                    "recovered session {session:?}: {} intents replayed \
+                     ({} completed, {} rolled back), {} tmp files swept{}",
+                    report.replayed,
+                    report.completed,
+                    report.rolled_back,
+                    report.tmp_removed,
+                    if report.repaired { ", chain re-anchored" } else { "" },
+                ),
+            );
         }
     }
 
@@ -216,6 +258,17 @@ impl Shared {
             sessions,
             queue_depth: self.obs.queue_depth.get(),
             latencies: self.obs.latencies(),
+            journal_replayed: self.obs.journal_replayed.get(),
+            journal_rolled_back: self.obs.journal_rolled_back.get(),
+            recovery_repairs: self.obs.recovery_repairs.get(),
+            idle_disconnects: self.obs.idle_disconnects.get(),
+            // The replica counters live in the process-global registry
+            // (they are bumped by numarck-checkpoint's scrub/backends,
+            // which know nothing of this server).
+            replica_repairs: Registry::global().counter("ckpt_replica_repairs_total").get(),
+            replica_quorum_failures: Registry::global()
+                .counter("ckpt_replica_quorum_failures_total")
+                .get(),
         }
     }
 
@@ -332,9 +385,6 @@ impl Server {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.queue_depth >= 1, "need at least one queue slot");
         config.backend.create_dir_all(&config.root)?;
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             config,
             draining: AtomicBool::new(false),
@@ -343,6 +393,12 @@ impl Server {
             by_name: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
         });
+        // Recover every existing session directory *before* the listener
+        // goes live: no request can observe a half-applied ingest.
+        recover_root(&shared)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(shared.config.workers);
@@ -365,6 +421,32 @@ impl Server {
         };
         Ok(ServerHandle { addr: local, shared, acceptor: Some(acceptor), workers })
     }
+}
+
+/// Startup recovery sweep: every subdirectory of the root that looks
+/// like a session store gets its intent journal replayed and its debris
+/// cleaned before the server accepts traffic. A directory recovery
+/// failure fails the spawn — serving over a store in an unknown state
+/// would silently break the durability contract.
+fn recover_root(shared: &Shared) -> io::Result<()> {
+    let backend = &shared.config.backend;
+    for name in backend.list_dir(&shared.config.root)? {
+        if !valid_session_name(&name) {
+            continue;
+        }
+        let dir = shared.config.root.join(&name);
+        // Session stores are directories; a listing succeeding is the
+        // backend-portable way to tell (and what recovery needs anyway).
+        if backend.list_dir(&dir).is_err() {
+            continue;
+        }
+        let store = CheckpointStore::open_with(&dir, Arc::clone(backend))?;
+        let (_, report) = recovery::recover_session(&store).map_err(|e| {
+            io::Error::other(format!("recovery of session {name:?} failed: {e}"))
+        })?;
+        shared.obs.record_recovery(&name, &report);
+    }
+    Ok(())
 }
 
 /// Accept until drain; full queue ⇒ Busy + drop.
@@ -452,14 +534,25 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         return;
     }
     let mut stream = stream;
+    let mut last_activity = Instant::now();
     loop {
         let outcome = read_next_frame(&mut stream, timeout);
         let frame = match outcome {
             Ok(ReadOutcome::Frame(frame)) => frame,
             Ok(ReadOutcome::Idle) => {
-                // Idle tick: keep waiting unless the server is draining,
-                // in which case the conversation is over.
+                // Idle tick: keep waiting unless the server is draining
+                // or the peer has been mute past the idle budget — a
+                // worker parked on a silent connection is a worker some
+                // other client doesn't get (slowloris).
                 if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                if last_activity.elapsed() >= shared.config.idle_timeout {
+                    shared.obs.idle_disconnects.inc();
+                    shared.obs.registry.events().push(
+                        Level::Warn,
+                        "idle connection disconnected; worker reclaimed",
+                    );
                     return;
                 }
                 continue;
@@ -477,6 +570,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        last_activity = Instant::now();
         let req_id = frame.req_id;
         let (resp, close_after) = match Request::from_frame(&frame) {
             Ok(req) => {
@@ -546,7 +640,7 @@ fn dispatch(req: Request, shared: &Shared) -> (Response, bool) {
             (restart(session, at_or_before, shared), false)
         }
         Request::Scrub { session, repair } => (run_scrub(session, repair, shared), false),
-        Request::Stats => (Response::StatsData(shared.stats()), false),
+        Request::Stats => (Response::StatsData(Box::new(shared.stats())), false),
         Request::CloseSession { session } => (close_session(session, shared), false),
         Request::Shutdown => {
             shared.draining.store(true, Ordering::SeqCst);
@@ -590,6 +684,21 @@ fn open_session(name: &str, shared: &Shared) -> Response {
             }
         }
     };
+    // Recover before first use: a session dir left behind by a crashed
+    // server (or created while this one ran) may hold an unresolved
+    // intent journal. A noop for fresh or cleanly-shut-down sessions.
+    let journal = match recovery::recover_session(&store) {
+        Ok((journal, report)) => {
+            shared.obs.record_recovery(name, &report);
+            journal
+        }
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Io,
+                message: format!("session recovery failed: {e}"),
+            }
+        }
+    };
     let manager = CheckpointManager::with_retry(
         store,
         shared.config.compression,
@@ -603,7 +712,10 @@ fn open_session(name: &str, shared: &Shared) -> Response {
         .sessions
         .lock()
         .expect("sessions lock")
-        .insert(id, Arc::new(Mutex::new(SessionState { id, name: name.to_string(), manager })));
+        .insert(
+            id,
+            Arc::new(Mutex::new(SessionState { id, name: name.to_string(), manager, journal })),
+        );
     Response::SessionOpened { session: id }
 }
 
@@ -638,7 +750,20 @@ fn put_iterations(
     let mut outcomes = Vec::with_capacity(iterations.len());
     for (iteration, vars) in &iterations {
         let bytes: u64 = vars.values().map(|v| v.len() as u64 * 8).sum();
-        match sess.manager.checkpoint_with_report(*iteration, vars) {
+        // Write-ahead: encode first, journal the intent (fsynced), then
+        // let the store mutate, then mark the intent committed. A crash
+        // anywhere in between is classified by recovery on restart —
+        // and nothing is acknowledged until the whole sequence ran.
+        let journaled = sess.manager.prepare(*iteration, vars).and_then(|prepared| {
+            let seq = begin_with_retry(&mut sess.journal, &prepared, shared)
+                .map_err(|e| NumarckError::Io(format!("intent journal append failed: {e}")))?;
+            let report = sess.manager.commit(prepared)?;
+            // Best-effort: a lost commit record only means recovery
+            // re-verifies this iteration's CRC after a crash.
+            let _ = sess.journal.commit(seq);
+            Ok(report)
+        });
+        match journaled {
             Ok(report) => {
                 shared.obs.iterations_ingested.inc();
                 shared.obs.bytes_ingested.add(bytes);
@@ -670,6 +795,32 @@ fn put_iterations(
         }
     }
     Response::PutDone { outcomes }
+}
+
+/// Journal an intent under the same transient-retry judgement the
+/// manager applies to store writes. A torn append left behind by a
+/// failed attempt is harmless: replay stops at the damage, and every
+/// acknowledged iteration before it still resolves from its on-disk CRC.
+fn begin_with_retry(
+    journal: &mut IntentJournal,
+    prepared: &numarck_checkpoint::PreparedCheckpoint,
+    shared: &Shared,
+) -> io::Result<u64> {
+    let mut attempt: u32 = 0;
+    loop {
+        match journal.begin(prepared.iteration(), prepared.is_full(), prepared.content_crc()) {
+            Ok(seq) => return Ok(seq),
+            Err(e)
+                if numarck_checkpoint::manager::is_transient(&e)
+                    && attempt < shared.config.retry.max_retries =>
+            {
+                thread::sleep(shared.config.retry.backoff_for(attempt));
+                attempt += 1;
+                shared.obs.write_retries.inc();
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn restart(id: u64, at_or_before: u64, shared: &Shared) -> Response {

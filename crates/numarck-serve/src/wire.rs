@@ -218,6 +218,25 @@ pub struct StatsReply {
     /// Extension: per-request-type latency summaries (empty from an
     /// old-format peer).
     pub latencies: Vec<LatencyStat>,
+    /// Durability extension: uncommitted journal intents replayed by
+    /// recovery passes since the server started (0 from older peers, as
+    /// for every field below).
+    pub journal_replayed: u64,
+    /// Durability extension: replayed intents whose write never finished
+    /// and was rolled back.
+    pub journal_rolled_back: u64,
+    /// Durability extension: recovery passes that had to quarantine a
+    /// half-applied write and re-anchor the chain.
+    pub recovery_repairs: u64,
+    /// Durability extension: idle connections disconnected to reclaim
+    /// their worker (see `ServerConfig::idle_timeout`).
+    pub idle_disconnects: u64,
+    /// Durability extension: replica copies rewritten by read-repair
+    /// during scrub (process-wide, replicated backends only).
+    pub replica_repairs: u64,
+    /// Durability extension: files where no replica quorum agreed on
+    /// valid content (process-wide, replicated backends only).
+    pub replica_quorum_failures: u64,
 }
 
 /// A client-to-server message.
@@ -302,7 +321,7 @@ pub enum Response {
         lost: u32,
     },
     /// Counters.
-    StatsData(StatsReply),
+    StatsData(Box<StatsReply>),
     /// The session is closed.
     SessionClosed,
     /// Drain has begun; this connection will be closed.
@@ -713,6 +732,17 @@ impl Response {
                         buf.extend_from_slice(&v.to_le_bytes());
                     }
                 }
+                // Durability extension (see `StatsReply` docs).
+                for v in [
+                    s.journal_replayed,
+                    s.journal_rolled_back,
+                    s.recovery_repairs,
+                    s.idle_disconnects,
+                    s.replica_repairs,
+                    s.replica_quorum_failures,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
             }
             Response::SessionClosed | Response::ShuttingDown | Response::Busy => {}
             Response::Error { code, message } => {
@@ -770,9 +800,7 @@ impl Response {
                     bytes_ingested: cur.u64()?,
                     write_retries: cur.u64()?,
                     draining: cur.u8()? != 0,
-                    sessions: Vec::new(),
-                    queue_depth: 0,
-                    latencies: Vec::new(),
+                    ..StatsReply::default()
                 };
                 let count = cur.u32()? as usize;
                 for _ in 0..count {
@@ -804,8 +832,19 @@ impl Response {
                         };
                         s.latencies.push(LatencyStat { name, summary });
                     }
+                    // Durability extension: again absent from peers that
+                    // predate it; defaults stand. A *truncated* tail is
+                    // still an error (the u64 reads below fail).
+                    if !cur.is_empty() {
+                        s.journal_replayed = cur.u64()?;
+                        s.journal_rolled_back = cur.u64()?;
+                        s.recovery_repairs = cur.u64()?;
+                        s.idle_disconnects = cur.u64()?;
+                        s.replica_repairs = cur.u64()?;
+                        s.replica_quorum_failures = cur.u64()?;
+                    }
                 }
-                Response::StatsData(s)
+                Response::StatsData(Box::new(s))
             }
             opcode::SESSION_CLOSED => Response::SessionClosed,
             opcode::SHUTTING_DOWN => Response::ShuttingDown,
@@ -892,7 +931,7 @@ mod tests {
             anchored_at: None,
             lost: 0,
         });
-        roundtrip_response(Response::StatsData(StatsReply {
+        roundtrip_response(Response::StatsData(Box::new(StatsReply {
             accepted: 5,
             served: 40,
             busy_rejected: 2,
@@ -918,7 +957,13 @@ mod tests {
                 },
                 LatencyStat { name: "nsrv_request_stats_ns".into(), summary: Default::default() },
             ],
-        }));
+            journal_replayed: 4,
+            journal_rolled_back: 1,
+            recovery_repairs: 1,
+            idle_disconnects: 6,
+            replica_repairs: 9,
+            replica_quorum_failures: 2,
+        })));
         roundtrip_response(Response::SessionClosed);
         roundtrip_response(Response::ShuttingDown);
         roundtrip_response(Response::Busy);
@@ -958,6 +1003,37 @@ mod tests {
                 assert_eq!(s.sessions[0].latest_restartable, Some(15));
                 assert_eq!(s.queue_depth, 0, "extension default");
                 assert!(s.latencies.is_empty(), "extension default");
+                assert_eq!(s.journal_replayed, 0, "durability extension default");
+                assert_eq!(s.replica_repairs, 0, "durability extension default");
+            }
+            other => panic!("expected StatsData, got {other:?}"),
+        }
+    }
+
+    /// A peer with the observability extension but not the durability
+    /// one (it stops after the latencies) decodes with the durability
+    /// fields at their defaults.
+    #[test]
+    fn stats_reply_without_durability_extension_decodes_with_defaults() {
+        let full = Response::StatsData(Box::new(StatsReply {
+            queue_depth: 2,
+            latencies: vec![LatencyStat { name: "x_ns".into(), summary: Default::default() }],
+            journal_replayed: 7,
+            idle_disconnects: 3,
+            ..Default::default()
+        }));
+        let payload = full.payload();
+        // The durability extension is exactly six u64s at the tail.
+        let short = &payload[..payload.len() - 48];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, opcode::STATS_DATA, 1, short).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        match Response::from_frame(&frame).unwrap() {
+            Response::StatsData(s) => {
+                assert_eq!(s.queue_depth, 2, "first extension still decodes");
+                assert_eq!(s.latencies.len(), 1);
+                assert_eq!(s.journal_replayed, 0, "durability default");
+                assert_eq!(s.idle_disconnects, 0, "durability default");
             }
             other => panic!("expected StatsData, got {other:?}"),
         }
@@ -967,11 +1043,11 @@ mod tests {
     /// still a decode error, not a silent partial parse.
     #[test]
     fn truncated_stats_extension_is_rejected() {
-        let full = Response::StatsData(StatsReply {
+        let full = Response::StatsData(Box::new(StatsReply {
             queue_depth: 2,
             latencies: vec![LatencyStat { name: "x_ns".into(), summary: Default::default() }],
             ..Default::default()
-        });
+        }));
         let payload = full.payload();
         for cut in 1..12 {
             let short = &payload[..payload.len() - cut];

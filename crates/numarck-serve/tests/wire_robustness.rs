@@ -55,7 +55,7 @@ fn corpus() -> Vec<Vec<u8>> {
             lost: 0,
             vars: sample_vars(),
         },
-        Response::StatsData(StatsReply {
+        Response::StatsData(Box::new(StatsReply {
             accepted: 2,
             served: 9,
             sessions: vec![SessionStat {
@@ -67,7 +67,7 @@ fn corpus() -> Vec<Vec<u8>> {
             queue_depth: 1,
             latencies: vec![LatencyStat { name: "nsrv_request_put_ns".into(), ..Default::default() }],
             ..Default::default()
-        }),
+        })),
     ];
     let mut frames = Vec::new();
     for req in requests {
