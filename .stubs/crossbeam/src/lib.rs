@@ -1,0 +1,1 @@
+//! Empty stand-in: the workspace declares `crossbeam` but no code imports it.

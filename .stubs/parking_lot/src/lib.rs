@@ -1,0 +1,1 @@
+//! Empty stand-in: the workspace declares `parking_lot` but no code imports it.

@@ -1,0 +1,404 @@
+//! Deterministic mini property-testing stand-in for the `proptest`
+//! crate, covering the subset of its API the workspace uses: the
+//! `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
+//! `Just`, `any::<T>()`, numeric-range strategies, tuple strategies and
+//! `proptest::collection::vec`.
+//!
+//! Cases are generated from a SplitMix64 stream seeded by the test name,
+//! so runs are reproducible; there is no shrinking — a failing case
+//! reports its case index and message.
+
+pub mod test_runner {
+    /// Error produced by `prop_assert!` and friends inside a case body.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 value stream.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Deterministic per-(test, case) stream: seed from an FNV-1a
+        /// hash of the test name mixed with the case index.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+
+    /// A value generator. Object-safe so `prop_oneof!` can box arms.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+    /// `any::<T>()` support: full-domain generation for primitives.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut Rng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`]; built by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut Rng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Helper with inferable types for the `prop_oneof!` expansion.
+    pub fn one_of<V>(arms: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+        OneOf::new(arms)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// `Vec` strategy with a length drawn from `len` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Full-domain strategy for a primitive type.
+    pub fn any<T: crate::strategy::Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// Property-test harness macro: runs each body `cases` times over
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg); $($rest)* }
+    };
+    (@run ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::Rng::for_case(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} of {}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; failure fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", a, b),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", a, b),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(::std::boxed::Box::new($arm) as _),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -5i32..5, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_picks_an_arm(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn tuples_generate_pairwise((a, b) in (0u32..4, 10usize..20)) {
+            prop_assert!(a < 4 && (10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn same_name_same_case_is_deterministic() {
+        let mut r1 = crate::test_runner::Rng::for_case("t", 3);
+        let mut r2 = crate::test_runner::Rng::for_case("t", 3);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}

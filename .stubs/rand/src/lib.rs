@@ -1,0 +1,1 @@
+//! Empty stand-in: the workspace declares `rand` but no code imports it.

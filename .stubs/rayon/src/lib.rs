@@ -1,0 +1,317 @@
+//! Sequential stand-in for the `rayon` crate.
+//!
+//! Provides the subset of rayon's API the workspace uses, executing
+//! everything on the calling thread. Parallel iterator adapters wrap
+//! standard iterators in [`iter::Par`], whose inherent methods shadow
+//! the `std::iter::Iterator` combinators so rayon-specific signatures
+//! (two-argument `reduce`, `partition_map`) resolve correctly while
+//! terminal std combinators fall through to the `Iterator` impl.
+
+use std::cell::Cell;
+
+pub mod iter {
+    /// rayon's two-sided enum, used by `partition_map`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Either<L, R> {
+        /// Route to the first output collection.
+        Left(L),
+        /// Route to the second output collection.
+        Right(R),
+    }
+
+    /// Sequential "parallel" iterator: a thin wrapper over a std
+    /// iterator. Inherent methods shadow the identically-named
+    /// `Iterator` combinators to keep the wrapper type through chains
+    /// and to supply rayon-specific signatures.
+    #[derive(Debug, Clone)]
+    pub struct Par<I>(pub I);
+
+    impl<I: Iterator> Iterator for Par<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<Self::Item> {
+            self.0.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: ExactSizeIterator> ExactSizeIterator for Par<I> {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl<I: Iterator> Par<I> {
+        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        pub fn zip<U: IntoIterator>(self, other: U) -> Par<std::iter::Zip<I, U::IntoIter>> {
+            Par(self.0.zip(other))
+        }
+
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
+            Par(self.0.filter(p))
+        }
+
+        pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FilterMap<I, F>> {
+            Par(self.0.filter_map(f))
+        }
+
+        pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            Par(self.0.cloned())
+        }
+
+        pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            Par(self.0.copied())
+        }
+
+        /// rayon's reduce: identity-producing closure plus a fold op.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// rayon's fold: per-"thread" identity plus a fold op; the
+        /// sequential stand-in yields a single folded value.
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+        where
+            ID: Fn() -> T,
+            F: FnMut(T, I::Item) -> T,
+        {
+            Par(std::iter::once(self.0.fold(identity(), fold_op)))
+        }
+
+        /// Split items into two collections according to `f`.
+        pub fn partition_map<A, B, L, R, F>(self, mut f: F) -> (A, B)
+        where
+            F: FnMut(I::Item) -> Either<L, R>,
+            A: Default + Extend<L>,
+            B: Default + Extend<R>,
+        {
+            let mut left = A::default();
+            let mut right = B::default();
+            for item in self.0 {
+                match f(item) {
+                    Either::Left(l) => left.extend(std::iter::once(l)),
+                    Either::Right(r) => right.extend(std::iter::once(r)),
+                }
+            }
+            (left, right)
+        }
+
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        pub fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    /// Entry points mirroring rayon's prelude traits.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        type Item = T::Item;
+        fn into_par_iter(self) -> Par<T::IntoIter> {
+            Par(self.into_iter())
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+        fn par_iter(&'a self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        type Item = <&'a T as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+        fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        type Item = <&'a mut T as IntoIterator>::Item;
+        fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+        fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(chunk_size))
+        }
+        fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+            Par(self.windows(window_size))
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(chunk_size))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Number of workers the "current pool" advertises. The sequential
+/// stand-in reports the installed pool's configured size (see
+/// [`ThreadPool::install`]) so chunk-size heuristics behave as they
+/// would under real rayon, even though execution is sequential.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get())
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by the stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that remembers its configured size and runs closures on the
+/// calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with [`current_num_threads`] reporting this pool's size.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.num_threads));
+        let out = op();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn thread_name<F: Fn(usize) -> String>(self, _f: F) -> Self {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { 1 } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_combinators_match_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: u64 = (0..100u64).into_par_iter().sum();
+        assert_eq!(total, 4950);
+        let reduced = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(reduced, 10);
+    }
+
+    #[test]
+    fn partition_map_splits() {
+        use crate::iter::Either;
+        let (neg, pos): (Vec<i64>, Vec<i64>) = [-1i64, 2, -3, 4].par_iter().partition_map(|&x| {
+            if x < 0 {
+                Either::Left(x)
+            } else {
+                Either::Right(x)
+            }
+        });
+        assert_eq!(neg, vec![-1, -3]);
+        assert_eq!(pos, vec![2, 4]);
+    }
+
+    #[test]
+    fn pool_reports_configured_threads() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        assert_eq!(crate::current_num_threads(), 1);
+    }
+}

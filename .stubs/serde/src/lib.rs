@@ -1,0 +1,15 @@
+//! No-op derive stand-in for `serde`: the workspace only applies
+//! `#[derive(serde::Serialize)]` decoratively (nothing consumes the
+//! impls), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_kmeans_init-866718cd0ff3c4a8.d: crates/numarck-bench/benches/ablate_kmeans_init.rs
+
+/root/repo/target/debug/deps/libablate_kmeans_init-866718cd0ff3c4a8.rmeta: crates/numarck-bench/benches/ablate_kmeans_init.rs
+
+crates/numarck-bench/benches/ablate_kmeans_init.rs:

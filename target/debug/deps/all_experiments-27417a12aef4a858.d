@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-27417a12aef4a858.d: crates/numarck-bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-27417a12aef4a858.rmeta: crates/numarck-bench/src/bin/all_experiments.rs
+
+crates/numarck-bench/src/bin/all_experiments.rs:

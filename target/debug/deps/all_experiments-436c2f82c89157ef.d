@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-436c2f82c89157ef.d: crates/numarck-bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-436c2f82c89157ef: crates/numarck-bench/src/bin/all_experiments.rs
+
+crates/numarck-bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-c836cb30efd4786c.d: crates/numarck-bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-c836cb30efd4786c: crates/numarck-bench/src/bin/all_experiments.rs
+
+crates/numarck-bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-33967f3159719504.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-33967f3159719504: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-86a1ab29b82a9dfa.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/libbaseline_comparison-86a1ab29b82a9dfa.rmeta: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

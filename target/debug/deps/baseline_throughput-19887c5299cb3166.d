@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_throughput-19887c5299cb3166.d: crates/numarck-bench/benches/baseline_throughput.rs
+
+/root/repo/target/debug/deps/libbaseline_throughput-19887c5299cb3166.rmeta: crates/numarck-bench/benches/baseline_throughput.rs
+
+crates/numarck-bench/benches/baseline_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bitstream-666a122938e20ac4.d: crates/numarck-bench/benches/bitstream.rs
+
+/root/repo/target/debug/deps/libbitstream-666a122938e20ac4.rmeta: crates/numarck-bench/benches/bitstream.rs
+
+crates/numarck-bench/benches/bitstream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/climate_sim-2e96178d9a0d52df.d: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+/root/repo/target/debug/deps/libclimate_sim-2e96178d9a0d52df.rmeta: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+crates/climate-sim/src/lib.rs:
+crates/climate-sim/src/dataset.rs:
+crates/climate-sim/src/field.rs:
+crates/climate-sim/src/grid.rs:
+crates/climate-sim/src/variables.rs:

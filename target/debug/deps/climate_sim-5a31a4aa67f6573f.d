@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/climate_sim-5a31a4aa67f6573f.d: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+/root/repo/target/debug/deps/libclimate_sim-5a31a4aa67f6573f.rlib: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+/root/repo/target/debug/deps/libclimate_sim-5a31a4aa67f6573f.rmeta: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+crates/climate-sim/src/lib.rs:
+crates/climate-sim/src/dataset.rs:
+crates/climate-sim/src/field.rs:
+crates/climate-sim/src/grid.rs:
+crates/climate-sim/src/variables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/climate_sim-aa2256d79fd581a3.d: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclimate_sim-aa2256d79fd581a3.rmeta: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs Cargo.toml
+
+crates/climate-sim/src/lib.rs:
+crates/climate-sim/src/dataset.rs:
+crates/climate-sim/src/field.rs:
+crates/climate-sim/src/grid.rs:
+crates/climate-sim/src/variables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compress_throughput-9eb75122c9ebbb13.d: crates/numarck-bench/benches/compress_throughput.rs
+
+/root/repo/target/debug/deps/libcompress_throughput-9eb75122c9ebbb13.rmeta: crates/numarck-bench/benches/compress_throughput.rs
+
+crates/numarck-bench/benches/compress_throughput.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/concurrent_scrub-4755c1931e9c3f5f.d: crates/numarck-serve/tests/concurrent_scrub.rs crates/numarck-serve/tests/util/mod.rs
+
+/root/repo/target/debug/deps/concurrent_scrub-4755c1931e9c3f5f: crates/numarck-serve/tests/concurrent_scrub.rs crates/numarck-serve/tests/util/mod.rs
+
+crates/numarck-serve/tests/concurrent_scrub.rs:
+crates/numarck-serve/tests/util/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/concurrent_scrub-ac8a841617bd8388.d: crates/numarck-serve/tests/concurrent_scrub.rs crates/numarck-serve/tests/util/mod.rs
+
+/root/repo/target/debug/deps/libconcurrent_scrub-ac8a841617bd8388.rmeta: crates/numarck-serve/tests/concurrent_scrub.rs crates/numarck-serve/tests/util/mod.rs
+
+crates/numarck-serve/tests/concurrent_scrub.rs:
+crates/numarck-serve/tests/util/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/concurrent_scrub-b887cb9475a65229.d: crates/numarck-serve/tests/concurrent_scrub.rs crates/numarck-serve/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_scrub-b887cb9475a65229.rmeta: crates/numarck-serve/tests/concurrent_scrub.rs crates/numarck-serve/tests/util/mod.rs Cargo.toml
+
+crates/numarck-serve/tests/concurrent_scrub.rs:
+crates/numarck-serve/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crash_injection-867aab0efab38aaa.d: crates/numarck-cli/tests/crash_injection.rs
+
+/root/repo/target/debug/deps/crash_injection-867aab0efab38aaa: crates/numarck-cli/tests/crash_injection.rs
+
+crates/numarck-cli/tests/crash_injection.rs:
+
+# env-dep:CARGO_BIN_EXE_numarck=/root/repo/target/debug/numarck

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crash_injection-b806a42ab2b2198e.d: crates/numarck-cli/tests/crash_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_injection-b806a42ab2b2198e.rmeta: crates/numarck-cli/tests/crash_injection.rs Cargo.toml
+
+crates/numarck-cli/tests/crash_injection.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_numarck=placeholder:numarck
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crash_injection-f18a105bff7e2b63.d: crates/numarck-cli/tests/crash_injection.rs
+
+/root/repo/target/debug/deps/libcrash_injection-f18a105bff7e2b63.rmeta: crates/numarck-cli/tests/crash_injection.rs
+
+crates/numarck-cli/tests/crash_injection.rs:
+
+# env-dep:CARGO_BIN_EXE_numarck=placeholder:numarck

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deserializer_robustness-52137eeab4f1dc07.d: tests/deserializer_robustness.rs
+
+/root/repo/target/debug/deps/libdeserializer_robustness-52137eeab4f1dc07.rmeta: tests/deserializer_robustness.rs
+
+tests/deserializer_robustness.rs:

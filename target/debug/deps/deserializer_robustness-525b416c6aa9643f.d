@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deserializer_robustness-525b416c6aa9643f.d: tests/deserializer_robustness.rs
+
+/root/repo/target/debug/deps/deserializer_robustness-525b416c6aa9643f: tests/deserializer_robustness.rs
+
+tests/deserializer_robustness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/durability-38a6446fd58f76d8.d: crates/numarck-serve/tests/durability.rs crates/numarck-serve/tests/util/mod.rs
+
+/root/repo/target/debug/deps/durability-38a6446fd58f76d8: crates/numarck-serve/tests/durability.rs crates/numarck-serve/tests/util/mod.rs
+
+crates/numarck-serve/tests/durability.rs:
+crates/numarck-serve/tests/util/mod.rs:

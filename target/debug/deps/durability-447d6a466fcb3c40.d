@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/durability-447d6a466fcb3c40.d: crates/numarck-serve/tests/durability.rs crates/numarck-serve/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurability-447d6a466fcb3c40.rmeta: crates/numarck-serve/tests/durability.rs crates/numarck-serve/tests/util/mod.rs Cargo.toml
+
+crates/numarck-serve/tests/durability.rs:
+crates/numarck-serve/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

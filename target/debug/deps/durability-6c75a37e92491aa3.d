@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/durability-6c75a37e92491aa3.d: crates/numarck-serve/tests/durability.rs crates/numarck-serve/tests/util/mod.rs
+
+/root/repo/target/debug/deps/libdurability-6c75a37e92491aa3.rmeta: crates/numarck-serve/tests/durability.rs crates/numarck-serve/tests/util/mod.rs
+
+crates/numarck-serve/tests/durability.rs:
+crates/numarck-serve/tests/util/mod.rs:

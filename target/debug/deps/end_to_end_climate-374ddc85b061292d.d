@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_climate-374ddc85b061292d.d: tests/end_to_end_climate.rs
+
+/root/repo/target/debug/deps/end_to_end_climate-374ddc85b061292d: tests/end_to_end_climate.rs
+
+tests/end_to_end_climate.rs:

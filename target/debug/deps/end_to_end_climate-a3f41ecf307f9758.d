@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_climate-a3f41ecf307f9758.d: tests/end_to_end_climate.rs
+
+/root/repo/target/debug/deps/libend_to_end_climate-a3f41ecf307f9758.rmeta: tests/end_to_end_climate.rs
+
+tests/end_to_end_climate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_flash-131b0fb49dce34e0.d: tests/end_to_end_flash.rs
+
+/root/repo/target/debug/deps/libend_to_end_flash-131b0fb49dce34e0.rmeta: tests/end_to_end_flash.rs
+
+tests/end_to_end_flash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_flash-afecae0be73fdae4.d: tests/end_to_end_flash.rs
+
+/root/repo/target/debug/deps/end_to_end_flash-afecae0be73fdae4: tests/end_to_end_flash.rs
+
+tests/end_to_end_flash.rs:

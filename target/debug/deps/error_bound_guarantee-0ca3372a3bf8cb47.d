@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_bound_guarantee-0ca3372a3bf8cb47.d: tests/error_bound_guarantee.rs
+
+/root/repo/target/debug/deps/liberror_bound_guarantee-0ca3372a3bf8cb47.rmeta: tests/error_bound_guarantee.rs
+
+tests/error_bound_guarantee.rs:

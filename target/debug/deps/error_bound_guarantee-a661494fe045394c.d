@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_bound_guarantee-a661494fe045394c.d: tests/error_bound_guarantee.rs
+
+/root/repo/target/debug/deps/error_bound_guarantee-a661494fe045394c: tests/error_bound_guarantee.rs
+
+tests/error_bound_guarantee.rs:

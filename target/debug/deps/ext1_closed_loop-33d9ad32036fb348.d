@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext1_closed_loop-33d9ad32036fb348.d: crates/numarck-bench/src/bin/ext1_closed_loop.rs
+
+/root/repo/target/debug/deps/ext1_closed_loop-33d9ad32036fb348: crates/numarck-bench/src/bin/ext1_closed_loop.rs
+
+crates/numarck-bench/src/bin/ext1_closed_loop.rs:

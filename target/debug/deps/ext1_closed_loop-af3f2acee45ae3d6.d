@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext1_closed_loop-af3f2acee45ae3d6.d: crates/numarck-bench/src/bin/ext1_closed_loop.rs
+
+/root/repo/target/debug/deps/libext1_closed_loop-af3f2acee45ae3d6.rmeta: crates/numarck-bench/src/bin/ext1_closed_loop.rs
+
+crates/numarck-bench/src/bin/ext1_closed_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext1_closed_loop-d90e23e137d27103.d: crates/numarck-bench/src/bin/ext1_closed_loop.rs
+
+/root/repo/target/debug/deps/ext1_closed_loop-d90e23e137d27103: crates/numarck-bench/src/bin/ext1_closed_loop.rs
+
+crates/numarck-bench/src/bin/ext1_closed_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext2_anomaly-53e742fecea670d0.d: crates/numarck-bench/src/bin/ext2_anomaly.rs
+
+/root/repo/target/debug/deps/ext2_anomaly-53e742fecea670d0: crates/numarck-bench/src/bin/ext2_anomaly.rs
+
+crates/numarck-bench/src/bin/ext2_anomaly.rs:

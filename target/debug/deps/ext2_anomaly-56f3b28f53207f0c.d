@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext2_anomaly-56f3b28f53207f0c.d: crates/numarck-bench/src/bin/ext2_anomaly.rs
+
+/root/repo/target/debug/deps/libext2_anomaly-56f3b28f53207f0c.rmeta: crates/numarck-bench/src/bin/ext2_anomaly.rs
+
+crates/numarck-bench/src/bin/ext2_anomaly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext2_anomaly-6d94ce40342f8e04.d: crates/numarck-bench/src/bin/ext2_anomaly.rs
+
+/root/repo/target/debug/deps/ext2_anomaly-6d94ce40342f8e04: crates/numarck-bench/src/bin/ext2_anomaly.rs
+
+crates/numarck-bench/src/bin/ext2_anomaly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext3_adaptive-05c4abb3c0aca88e.d: crates/numarck-bench/src/bin/ext3_adaptive.rs
+
+/root/repo/target/debug/deps/ext3_adaptive-05c4abb3c0aca88e: crates/numarck-bench/src/bin/ext3_adaptive.rs
+
+crates/numarck-bench/src/bin/ext3_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext3_adaptive-39ffd6602f611b14.d: crates/numarck-bench/src/bin/ext3_adaptive.rs
+
+/root/repo/target/debug/deps/ext3_adaptive-39ffd6602f611b14: crates/numarck-bench/src/bin/ext3_adaptive.rs
+
+crates/numarck-bench/src/bin/ext3_adaptive.rs:

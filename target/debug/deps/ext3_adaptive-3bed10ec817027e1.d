@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext3_adaptive-3bed10ec817027e1.d: crates/numarck-bench/src/bin/ext3_adaptive.rs
+
+/root/repo/target/debug/deps/libext3_adaptive-3bed10ec817027e1.rmeta: crates/numarck-bench/src/bin/ext3_adaptive.rs
+
+crates/numarck-bench/src/bin/ext3_adaptive.rs:

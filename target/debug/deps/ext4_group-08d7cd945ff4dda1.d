@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext4_group-08d7cd945ff4dda1.d: crates/numarck-bench/src/bin/ext4_group.rs
+
+/root/repo/target/debug/deps/ext4_group-08d7cd945ff4dda1: crates/numarck-bench/src/bin/ext4_group.rs
+
+crates/numarck-bench/src/bin/ext4_group.rs:

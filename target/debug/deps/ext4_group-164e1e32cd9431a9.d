@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext4_group-164e1e32cd9431a9.d: crates/numarck-bench/src/bin/ext4_group.rs
+
+/root/repo/target/debug/deps/libext4_group-164e1e32cd9431a9.rmeta: crates/numarck-bench/src/bin/ext4_group.rs
+
+crates/numarck-bench/src/bin/ext4_group.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext4_group-3a0e1e791c041ecb.d: crates/numarck-bench/src/bin/ext4_group.rs
+
+/root/repo/target/debug/deps/ext4_group-3a0e1e791c041ecb: crates/numarck-bench/src/bin/ext4_group.rs
+
+crates/numarck-bench/src/bin/ext4_group.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext5_entropy-042ba9d569140071.d: crates/numarck-bench/src/bin/ext5_entropy.rs
+
+/root/repo/target/debug/deps/ext5_entropy-042ba9d569140071: crates/numarck-bench/src/bin/ext5_entropy.rs
+
+crates/numarck-bench/src/bin/ext5_entropy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext5_entropy-c2069fdd01b3a0dd.d: crates/numarck-bench/src/bin/ext5_entropy.rs
+
+/root/repo/target/debug/deps/libext5_entropy-c2069fdd01b3a0dd.rmeta: crates/numarck-bench/src/bin/ext5_entropy.rs
+
+crates/numarck-bench/src/bin/ext5_entropy.rs:

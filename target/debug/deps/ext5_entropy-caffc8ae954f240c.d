@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext5_entropy-caffc8ae954f240c.d: crates/numarck-bench/src/bin/ext5_entropy.rs
+
+/root/repo/target/debug/deps/ext5_entropy-caffc8ae954f240c: crates/numarck-bench/src/bin/ext5_entropy.rs
+
+crates/numarck-bench/src/bin/ext5_entropy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext6_dim3-198f177db59dfea4.d: crates/numarck-bench/src/bin/ext6_dim3.rs
+
+/root/repo/target/debug/deps/ext6_dim3-198f177db59dfea4: crates/numarck-bench/src/bin/ext6_dim3.rs
+
+crates/numarck-bench/src/bin/ext6_dim3.rs:

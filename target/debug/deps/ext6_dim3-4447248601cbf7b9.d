@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext6_dim3-4447248601cbf7b9.d: crates/numarck-bench/src/bin/ext6_dim3.rs
+
+/root/repo/target/debug/deps/libext6_dim3-4447248601cbf7b9.rmeta: crates/numarck-bench/src/bin/ext6_dim3.rs
+
+crates/numarck-bench/src/bin/ext6_dim3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext7_solver_order-344ddaaa19c8eab3.d: crates/numarck-bench/src/bin/ext7_solver_order.rs
+
+/root/repo/target/debug/deps/libext7_solver_order-344ddaaa19c8eab3.rmeta: crates/numarck-bench/src/bin/ext7_solver_order.rs
+
+crates/numarck-bench/src/bin/ext7_solver_order.rs:

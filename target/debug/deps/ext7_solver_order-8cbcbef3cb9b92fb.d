@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext7_solver_order-8cbcbef3cb9b92fb.d: crates/numarck-bench/src/bin/ext7_solver_order.rs
+
+/root/repo/target/debug/deps/ext7_solver_order-8cbcbef3cb9b92fb: crates/numarck-bench/src/bin/ext7_solver_order.rs
+
+crates/numarck-bench/src/bin/ext7_solver_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext7_solver_order-f3315810fce03494.d: crates/numarck-bench/src/bin/ext7_solver_order.rs
+
+/root/repo/target/debug/deps/ext7_solver_order-f3315810fce03494: crates/numarck-bench/src/bin/ext7_solver_order.rs
+
+crates/numarck-bench/src/bin/ext7_solver_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-08cfbe27e9ef5c37.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/libfault_recovery-08cfbe27e9ef5c37.rmeta: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

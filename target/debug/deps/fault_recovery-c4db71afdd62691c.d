@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-c4db71afdd62691c.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-c4db71afdd62691c: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

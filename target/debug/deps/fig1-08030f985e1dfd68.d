@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-08030f985e1dfd68.d: crates/numarck-bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-08030f985e1dfd68: crates/numarck-bench/src/bin/fig1.rs
+
+crates/numarck-bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-428424f2dc024b9d.d: crates/numarck-bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-428424f2dc024b9d: crates/numarck-bench/src/bin/fig1.rs
+
+crates/numarck-bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-52af6fd280971685.d: crates/numarck-bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-52af6fd280971685.rmeta: crates/numarck-bench/src/bin/fig1.rs
+
+crates/numarck-bench/src/bin/fig1.rs:

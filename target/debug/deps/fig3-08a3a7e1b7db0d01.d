@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-08a3a7e1b7db0d01.d: crates/numarck-bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-08a3a7e1b7db0d01.rmeta: crates/numarck-bench/src/bin/fig3.rs
+
+crates/numarck-bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-670385f84f1b1ed4.d: crates/numarck-bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-670385f84f1b1ed4: crates/numarck-bench/src/bin/fig3.rs
+
+crates/numarck-bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-e44912cdde28f746.d: crates/numarck-bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-e44912cdde28f746: crates/numarck-bench/src/bin/fig3.rs
+
+crates/numarck-bench/src/bin/fig3.rs:

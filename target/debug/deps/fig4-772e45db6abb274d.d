@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-772e45db6abb274d.d: crates/numarck-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-772e45db6abb274d: crates/numarck-bench/src/bin/fig4.rs
+
+crates/numarck-bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9fa0cf9ed643ab1e.d: crates/numarck-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-9fa0cf9ed643ab1e.rmeta: crates/numarck-bench/src/bin/fig4.rs
+
+crates/numarck-bench/src/bin/fig4.rs:

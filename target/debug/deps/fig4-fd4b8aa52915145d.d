@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-fd4b8aa52915145d.d: crates/numarck-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-fd4b8aa52915145d: crates/numarck-bench/src/bin/fig4.rs
+
+crates/numarck-bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b9aedb0187c08238.d: crates/numarck-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b9aedb0187c08238: crates/numarck-bench/src/bin/fig5.rs
+
+crates/numarck-bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-d1b16d52e4f88676.d: crates/numarck-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-d1b16d52e4f88676: crates/numarck-bench/src/bin/fig5.rs
+
+crates/numarck-bench/src/bin/fig5.rs:

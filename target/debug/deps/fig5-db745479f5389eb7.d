@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-db745479f5389eb7.d: crates/numarck-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-db745479f5389eb7.rmeta: crates/numarck-bench/src/bin/fig5.rs
+
+crates/numarck-bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-979793bad865581e.d: crates/numarck-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-979793bad865581e: crates/numarck-bench/src/bin/fig6.rs
+
+crates/numarck-bench/src/bin/fig6.rs:

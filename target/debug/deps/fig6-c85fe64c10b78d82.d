@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c85fe64c10b78d82.d: crates/numarck-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-c85fe64c10b78d82.rmeta: crates/numarck-bench/src/bin/fig6.rs
+
+crates/numarck-bench/src/bin/fig6.rs:

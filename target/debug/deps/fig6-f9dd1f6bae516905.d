@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f9dd1f6bae516905.d: crates/numarck-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f9dd1f6bae516905: crates/numarck-bench/src/bin/fig6.rs
+
+crates/numarck-bench/src/bin/fig6.rs:

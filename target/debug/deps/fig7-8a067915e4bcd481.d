@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-8a067915e4bcd481.d: crates/numarck-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-8a067915e4bcd481.rmeta: crates/numarck-bench/src/bin/fig7.rs
+
+crates/numarck-bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f943ab142150b5d0.d: crates/numarck-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f943ab142150b5d0: crates/numarck-bench/src/bin/fig7.rs
+
+crates/numarck-bench/src/bin/fig7.rs:

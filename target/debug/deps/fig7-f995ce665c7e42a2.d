@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f995ce665c7e42a2.d: crates/numarck-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f995ce665c7e42a2: crates/numarck-bench/src/bin/fig7.rs
+
+crates/numarck-bench/src/bin/fig7.rs:

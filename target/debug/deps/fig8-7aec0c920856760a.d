@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7aec0c920856760a.d: crates/numarck-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7aec0c920856760a: crates/numarck-bench/src/bin/fig8.rs
+
+crates/numarck-bench/src/bin/fig8.rs:

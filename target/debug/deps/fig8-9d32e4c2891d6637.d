@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9d32e4c2891d6637.d: crates/numarck-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-9d32e4c2891d6637.rmeta: crates/numarck-bench/src/bin/fig8.rs
+
+crates/numarck-bench/src/bin/fig8.rs:

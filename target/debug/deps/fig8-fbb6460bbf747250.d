@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fbb6460bbf747250.d: crates/numarck-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fbb6460bbf747250: crates/numarck-bench/src/bin/fig8.rs
+
+crates/numarck-bench/src/bin/fig8.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/flash_sim-1672d479b56c8169.d: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_sim-1672d479b56c8169.rmeta: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs Cargo.toml
+
+crates/flash-sim/src/lib.rs:
+crates/flash-sim/src/block.rs:
+crates/flash-sim/src/dim3/mod.rs:
+crates/flash-sim/src/dim3/block3.rs:
+crates/flash-sim/src/dim3/euler3.rs:
+crates/flash-sim/src/dim3/mesh3.rs:
+crates/flash-sim/src/dim3/sim3.rs:
+crates/flash-sim/src/eos.rs:
+crates/flash-sim/src/euler.rs:
+crates/flash-sim/src/mesh.rs:
+crates/flash-sim/src/problems.rs:
+crates/flash-sim/src/sim.rs:
+crates/flash-sim/src/vars.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/flash_sim-32ced3cc16e64386.d: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs
+
+/root/repo/target/debug/deps/libflash_sim-32ced3cc16e64386.rmeta: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs
+
+crates/flash-sim/src/lib.rs:
+crates/flash-sim/src/block.rs:
+crates/flash-sim/src/dim3/mod.rs:
+crates/flash-sim/src/dim3/block3.rs:
+crates/flash-sim/src/dim3/euler3.rs:
+crates/flash-sim/src/dim3/mesh3.rs:
+crates/flash-sim/src/dim3/sim3.rs:
+crates/flash-sim/src/eos.rs:
+crates/flash-sim/src/euler.rs:
+crates/flash-sim/src/mesh.rs:
+crates/flash-sim/src/problems.rs:
+crates/flash-sim/src/sim.rs:
+crates/flash-sim/src/vars.rs:

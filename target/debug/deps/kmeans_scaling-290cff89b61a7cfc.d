@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kmeans_scaling-290cff89b61a7cfc.d: crates/numarck-bench/benches/kmeans_scaling.rs
+
+/root/repo/target/debug/deps/libkmeans_scaling-290cff89b61a7cfc.rmeta: crates/numarck-bench/benches/kmeans_scaling.rs
+
+crates/numarck-bench/benches/kmeans_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck-1423920624deb9f9.d: crates/numarck-cli/src/main.rs
+
+/root/repo/target/debug/deps/numarck-1423920624deb9f9: crates/numarck-cli/src/main.rs
+
+crates/numarck-cli/src/main.rs:

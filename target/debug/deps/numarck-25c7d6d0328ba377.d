@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck-25c7d6d0328ba377.d: crates/numarck-cli/src/main.rs
+
+/root/repo/target/debug/deps/libnumarck-25c7d6d0328ba377.rmeta: crates/numarck-cli/src/main.rs
+
+crates/numarck-cli/src/main.rs:

@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/numarck-516dd293fa0691f0.d: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck-516dd293fa0691f0.rmeta: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs Cargo.toml
+
+crates/numarck/src/lib.rs:
+crates/numarck/src/anomaly.rs:
+crates/numarck/src/autotune.rs:
+crates/numarck/src/bitstream.rs:
+crates/numarck/src/config.rs:
+crates/numarck/src/decode.rs:
+crates/numarck/src/drift.rs:
+crates/numarck/src/encode.rs:
+crates/numarck/src/error.rs:
+crates/numarck/src/fpc.rs:
+crates/numarck/src/group.rs:
+crates/numarck/src/huffman.rs:
+crates/numarck/src/metrics.rs:
+crates/numarck/src/obs.rs:
+crates/numarck/src/pipeline.rs:
+crates/numarck/src/ratio.rs:
+crates/numarck/src/serialize.rs:
+crates/numarck/src/strategy/mod.rs:
+crates/numarck/src/strategy/clustering.rs:
+crates/numarck/src/strategy/equal_width.rs:
+crates/numarck/src/strategy/log_scale.rs:
+crates/numarck/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck-6a3718d4423644ed.d: crates/numarck-cli/src/main.rs
+
+/root/repo/target/debug/deps/libnumarck-6a3718d4423644ed.rmeta: crates/numarck-cli/src/main.rs
+
+crates/numarck-cli/src/main.rs:

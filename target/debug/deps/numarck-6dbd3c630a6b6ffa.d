@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/numarck-6dbd3c630a6b6ffa.d: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs
+
+/root/repo/target/debug/deps/libnumarck-6dbd3c630a6b6ffa.rmeta: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs
+
+crates/numarck/src/lib.rs:
+crates/numarck/src/anomaly.rs:
+crates/numarck/src/autotune.rs:
+crates/numarck/src/bitstream.rs:
+crates/numarck/src/config.rs:
+crates/numarck/src/decode.rs:
+crates/numarck/src/drift.rs:
+crates/numarck/src/encode.rs:
+crates/numarck/src/error.rs:
+crates/numarck/src/fpc.rs:
+crates/numarck/src/group.rs:
+crates/numarck/src/huffman.rs:
+crates/numarck/src/metrics.rs:
+crates/numarck/src/obs.rs:
+crates/numarck/src/pipeline.rs:
+crates/numarck/src/ratio.rs:
+crates/numarck/src/serialize.rs:
+crates/numarck/src/strategy/mod.rs:
+crates/numarck/src/strategy/clustering.rs:
+crates/numarck/src/strategy/equal_width.rs:
+crates/numarck/src/strategy/log_scale.rs:
+crates/numarck/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck-865e62bc72c050f1.d: crates/numarck-cli/src/main.rs
+
+/root/repo/target/debug/deps/numarck-865e62bc72c050f1: crates/numarck-cli/src/main.rs
+
+crates/numarck-cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numarck-f24447eca2dc094c.d: crates/numarck-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck-f24447eca2dc094c.rmeta: crates/numarck-cli/src/main.rs Cargo.toml
+
+crates/numarck-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

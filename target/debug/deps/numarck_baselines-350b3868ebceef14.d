@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numarck_baselines-350b3868ebceef14.d: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+/root/repo/target/debug/deps/libnumarck_baselines-350b3868ebceef14.rlib: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+/root/repo/target/debug/deps/libnumarck_baselines-350b3868ebceef14.rmeta: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+crates/numarck-baselines/src/lib.rs:
+crates/numarck-baselines/src/bsplines.rs:
+crates/numarck-baselines/src/isabela.rs:

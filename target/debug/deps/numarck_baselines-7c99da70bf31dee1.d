@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numarck_baselines-7c99da70bf31dee1.d: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+/root/repo/target/debug/deps/numarck_baselines-7c99da70bf31dee1: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+crates/numarck-baselines/src/lib.rs:
+crates/numarck-baselines/src/bsplines.rs:
+crates/numarck-baselines/src/isabela.rs:

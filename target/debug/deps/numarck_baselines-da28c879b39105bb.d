@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numarck_baselines-da28c879b39105bb.d: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+/root/repo/target/debug/deps/libnumarck_baselines-da28c879b39105bb.rmeta: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+crates/numarck-baselines/src/lib.rs:
+crates/numarck-baselines/src/bsplines.rs:
+crates/numarck-baselines/src/isabela.rs:

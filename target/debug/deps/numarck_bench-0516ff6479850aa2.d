@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numarck_bench-0516ff6479850aa2.d: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+/root/repo/target/debug/deps/libnumarck_bench-0516ff6479850aa2.rmeta: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+crates/numarck-bench/src/lib.rs:
+crates/numarck-bench/src/data.rs:
+crates/numarck-bench/src/report.rs:
+crates/numarck-bench/src/run.rs:

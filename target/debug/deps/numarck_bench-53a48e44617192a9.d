@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numarck_bench-53a48e44617192a9.d: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+/root/repo/target/debug/deps/numarck_bench-53a48e44617192a9: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+crates/numarck-bench/src/lib.rs:
+crates/numarck-bench/src/data.rs:
+crates/numarck-bench/src/report.rs:
+crates/numarck-bench/src/run.rs:

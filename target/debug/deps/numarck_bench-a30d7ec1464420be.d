@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_bench-a30d7ec1464420be.d: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+/root/repo/target/debug/deps/libnumarck_bench-a30d7ec1464420be.rlib: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+/root/repo/target/debug/deps/libnumarck_bench-a30d7ec1464420be.rmeta: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+crates/numarck-bench/src/lib.rs:
+crates/numarck-bench/src/data.rs:
+crates/numarck-bench/src/report.rs:
+crates/numarck-bench/src/run.rs:

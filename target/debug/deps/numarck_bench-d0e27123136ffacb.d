@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numarck_bench-d0e27123136ffacb.d: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+/root/repo/target/debug/deps/libnumarck_bench-d0e27123136ffacb.rmeta: crates/numarck-bench/src/lib.rs crates/numarck-bench/src/data.rs crates/numarck-bench/src/report.rs crates/numarck-bench/src/run.rs
+
+crates/numarck-bench/src/lib.rs:
+crates/numarck-bench/src/data.rs:
+crates/numarck-bench/src/report.rs:
+crates/numarck-bench/src/run.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/numarck_checkpoint-01e908d68d1a735c.d: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck_checkpoint-01e908d68d1a735c.rmeta: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs Cargo.toml
+
+crates/numarck-checkpoint/src/lib.rs:
+crates/numarck-checkpoint/src/backend.rs:
+crates/numarck-checkpoint/src/fault.rs:
+crates/numarck-checkpoint/src/format.rs:
+crates/numarck-checkpoint/src/manager.rs:
+crates/numarck-checkpoint/src/obs.rs:
+crates/numarck-checkpoint/src/replicated.rs:
+crates/numarck-checkpoint/src/restart.rs:
+crates/numarck-checkpoint/src/scrub.rs:
+crates/numarck-checkpoint/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

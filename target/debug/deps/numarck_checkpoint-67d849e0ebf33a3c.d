@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numarck_checkpoint-67d849e0ebf33a3c.d: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+/root/repo/target/debug/deps/numarck_checkpoint-67d849e0ebf33a3c: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+crates/numarck-checkpoint/src/lib.rs:
+crates/numarck-checkpoint/src/backend.rs:
+crates/numarck-checkpoint/src/fault.rs:
+crates/numarck-checkpoint/src/format.rs:
+crates/numarck-checkpoint/src/manager.rs:
+crates/numarck-checkpoint/src/obs.rs:
+crates/numarck-checkpoint/src/replicated.rs:
+crates/numarck-checkpoint/src/restart.rs:
+crates/numarck-checkpoint/src/scrub.rs:
+crates/numarck-checkpoint/src/store.rs:

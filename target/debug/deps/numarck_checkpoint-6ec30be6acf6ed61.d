@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numarck_checkpoint-6ec30be6acf6ed61.d: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+/root/repo/target/debug/deps/libnumarck_checkpoint-6ec30be6acf6ed61.rmeta: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+crates/numarck-checkpoint/src/lib.rs:
+crates/numarck-checkpoint/src/backend.rs:
+crates/numarck-checkpoint/src/fault.rs:
+crates/numarck-checkpoint/src/format.rs:
+crates/numarck-checkpoint/src/manager.rs:
+crates/numarck-checkpoint/src/obs.rs:
+crates/numarck-checkpoint/src/replicated.rs:
+crates/numarck-checkpoint/src/restart.rs:
+crates/numarck-checkpoint/src/scrub.rs:
+crates/numarck-checkpoint/src/store.rs:

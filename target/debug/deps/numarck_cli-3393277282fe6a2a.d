@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numarck_cli-3393277282fe6a2a.d: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck_cli-3393277282fe6a2a.rmeta: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs Cargo.toml
+
+crates/numarck-cli/src/lib.rs:
+crates/numarck-cli/src/args.rs:
+crates/numarck-cli/src/chainfile.rs:
+crates/numarck-cli/src/commands.rs:
+crates/numarck-cli/src/seqfile.rs:
+crates/numarck-cli/src/serve_cmd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_cli-d9790a2b40e8a462.d: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+/root/repo/target/debug/deps/libnumarck_cli-d9790a2b40e8a462.rmeta: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+crates/numarck-cli/src/lib.rs:
+crates/numarck-cli/src/args.rs:
+crates/numarck-cli/src/chainfile.rs:
+crates/numarck-cli/src/commands.rs:
+crates/numarck-cli/src/seqfile.rs:
+crates/numarck-cli/src/serve_cmd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numarck_cli-e60ef4531eab5bb2.d: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+/root/repo/target/debug/deps/libnumarck_cli-e60ef4531eab5bb2.rlib: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+/root/repo/target/debug/deps/libnumarck_cli-e60ef4531eab5bb2.rmeta: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+crates/numarck-cli/src/lib.rs:
+crates/numarck-cli/src/args.rs:
+crates/numarck-cli/src/chainfile.rs:
+crates/numarck-cli/src/commands.rs:
+crates/numarck-cli/src/seqfile.rs:
+crates/numarck-cli/src/serve_cmd.rs:

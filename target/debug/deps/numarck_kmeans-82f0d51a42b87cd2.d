@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numarck_kmeans-82f0d51a42b87cd2.d: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+/root/repo/target/debug/deps/libnumarck_kmeans-82f0d51a42b87cd2.rmeta: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+crates/numarck-kmeans/src/lib.rs:
+crates/numarck-kmeans/src/general.rs:
+crates/numarck-kmeans/src/init.rs:
+crates/numarck-kmeans/src/lloyd1d.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numarck_kmeans-cd9444e4ad78a746.d: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck_kmeans-cd9444e4ad78a746.rmeta: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs Cargo.toml
+
+crates/numarck-kmeans/src/lib.rs:
+crates/numarck-kmeans/src/general.rs:
+crates/numarck-kmeans/src/init.rs:
+crates/numarck-kmeans/src/lloyd1d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

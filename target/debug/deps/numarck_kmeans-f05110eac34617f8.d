@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_kmeans-f05110eac34617f8.d: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+/root/repo/target/debug/deps/libnumarck_kmeans-f05110eac34617f8.rlib: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+/root/repo/target/debug/deps/libnumarck_kmeans-f05110eac34617f8.rmeta: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+crates/numarck-kmeans/src/lib.rs:
+crates/numarck-kmeans/src/general.rs:
+crates/numarck-kmeans/src/init.rs:
+crates/numarck-kmeans/src/lloyd1d.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_linalg-7f15ba2a8a5cd933.d: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+/root/repo/target/debug/deps/libnumarck_linalg-7f15ba2a8a5cd933.rlib: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+/root/repo/target/debug/deps/libnumarck_linalg-7f15ba2a8a5cd933.rmeta: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+crates/numarck-linalg/src/lib.rs:
+crates/numarck-linalg/src/banded.rs:
+crates/numarck-linalg/src/bspline.rs:
+crates/numarck-linalg/src/tridiag.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numarck_linalg-b2e6118d8a834eb1.d: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+/root/repo/target/debug/deps/numarck_linalg-b2e6118d8a834eb1: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+crates/numarck-linalg/src/lib.rs:
+crates/numarck-linalg/src/banded.rs:
+crates/numarck-linalg/src/bspline.rs:
+crates/numarck-linalg/src/tridiag.rs:

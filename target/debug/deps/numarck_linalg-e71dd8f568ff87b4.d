@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numarck_linalg-e71dd8f568ff87b4.d: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+/root/repo/target/debug/deps/libnumarck_linalg-e71dd8f568ff87b4.rmeta: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+crates/numarck-linalg/src/lib.rs:
+crates/numarck-linalg/src/banded.rs:
+crates/numarck-linalg/src/bspline.rs:
+crates/numarck-linalg/src/tridiag.rs:

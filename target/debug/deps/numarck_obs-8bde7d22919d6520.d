@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_obs-8bde7d22919d6520.d: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libnumarck_obs-8bde7d22919d6520.rmeta: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+crates/numarck-obs/src/lib.rs:
+crates/numarck-obs/src/http.rs:
+crates/numarck-obs/src/instrument.rs:
+crates/numarck-obs/src/registry.rs:
+crates/numarck-obs/src/ring.rs:
+crates/numarck-obs/src/snapshot.rs:

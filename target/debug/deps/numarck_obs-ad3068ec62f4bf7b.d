@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numarck_obs-ad3068ec62f4bf7b.d: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck_obs-ad3068ec62f4bf7b.rmeta: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs Cargo.toml
+
+crates/numarck-obs/src/lib.rs:
+crates/numarck-obs/src/http.rs:
+crates/numarck-obs/src/instrument.rs:
+crates/numarck-obs/src/registry.rs:
+crates/numarck-obs/src/ring.rs:
+crates/numarck-obs/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_obs-f355a316d9150b52.d: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/numarck_obs-f355a316d9150b52: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+crates/numarck-obs/src/lib.rs:
+crates/numarck-obs/src/http.rs:
+crates/numarck-obs/src/instrument.rs:
+crates/numarck-obs/src/registry.rs:
+crates/numarck-obs/src/ring.rs:
+crates/numarck-obs/src/snapshot.rs:

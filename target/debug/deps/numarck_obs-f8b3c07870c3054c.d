@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numarck_obs-f8b3c07870c3054c.d: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libnumarck_obs-f8b3c07870c3054c.rlib: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libnumarck_obs-f8b3c07870c3054c.rmeta: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+crates/numarck-obs/src/lib.rs:
+crates/numarck-obs/src/http.rs:
+crates/numarck-obs/src/instrument.rs:
+crates/numarck-obs/src/registry.rs:
+crates/numarck-obs/src/ring.rs:
+crates/numarck-obs/src/snapshot.rs:

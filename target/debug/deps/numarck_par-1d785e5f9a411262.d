@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/numarck_par-1d785e5f9a411262.d: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck_par-1d785e5f9a411262.rmeta: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs Cargo.toml
+
+crates/numarck-par/src/lib.rs:
+crates/numarck-par/src/chunk.rs:
+crates/numarck-par/src/histogram.rs:
+crates/numarck-par/src/pool.rs:
+crates/numarck-par/src/quantile.rs:
+crates/numarck-par/src/reduce.rs:
+crates/numarck-par/src/rng.rs:
+crates/numarck-par/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

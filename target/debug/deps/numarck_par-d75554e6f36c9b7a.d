@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numarck_par-d75554e6f36c9b7a.d: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs
+
+/root/repo/target/debug/deps/libnumarck_par-d75554e6f36c9b7a.rlib: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs
+
+/root/repo/target/debug/deps/libnumarck_par-d75554e6f36c9b7a.rmeta: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs
+
+crates/numarck-par/src/lib.rs:
+crates/numarck-par/src/chunk.rs:
+crates/numarck-par/src/histogram.rs:
+crates/numarck-par/src/pool.rs:
+crates/numarck-par/src/quantile.rs:
+crates/numarck-par/src/reduce.rs:
+crates/numarck-par/src/rng.rs:
+crates/numarck-par/src/scan.rs:

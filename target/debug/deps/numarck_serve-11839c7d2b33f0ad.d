@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_serve-11839c7d2b33f0ad.d: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+/root/repo/target/debug/deps/numarck_serve-11839c7d2b33f0ad: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+crates/numarck-serve/src/lib.rs:
+crates/numarck-serve/src/client.rs:
+crates/numarck-serve/src/journal.rs:
+crates/numarck-serve/src/recovery.rs:
+crates/numarck-serve/src/server.rs:
+crates/numarck-serve/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numarck_serve-1df54f5932f20495.d: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumarck_serve-1df54f5932f20495.rmeta: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs Cargo.toml
+
+crates/numarck-serve/src/lib.rs:
+crates/numarck-serve/src/client.rs:
+crates/numarck-serve/src/journal.rs:
+crates/numarck-serve/src/recovery.rs:
+crates/numarck-serve/src/server.rs:
+crates/numarck-serve/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

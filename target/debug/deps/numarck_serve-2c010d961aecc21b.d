@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numarck_serve-2c010d961aecc21b.d: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+/root/repo/target/debug/deps/libnumarck_serve-2c010d961aecc21b.rlib: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+/root/repo/target/debug/deps/libnumarck_serve-2c010d961aecc21b.rmeta: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+crates/numarck-serve/src/lib.rs:
+crates/numarck-serve/src/client.rs:
+crates/numarck-serve/src/journal.rs:
+crates/numarck-serve/src/recovery.rs:
+crates/numarck-serve/src/server.rs:
+crates/numarck-serve/src/wire.rs:

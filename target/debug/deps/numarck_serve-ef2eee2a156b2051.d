@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numarck_serve-ef2eee2a156b2051.d: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+/root/repo/target/debug/deps/libnumarck_serve-ef2eee2a156b2051.rmeta: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+crates/numarck-serve/src/lib.rs:
+crates/numarck-serve/src/client.rs:
+crates/numarck-serve/src/journal.rs:
+crates/numarck-serve/src/recovery.rs:
+crates/numarck-serve/src/server.rs:
+crates/numarck-serve/src/wire.rs:

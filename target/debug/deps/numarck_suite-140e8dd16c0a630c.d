@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numarck_suite-140e8dd16c0a630c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnumarck_suite-140e8dd16c0a630c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnumarck_suite-140e8dd16c0a630c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck_suite-807615a179ff50ee.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnumarck_suite-807615a179ff50ee.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck_suite-e2cbd4200d83de3d.d: src/lib.rs
+
+/root/repo/target/debug/deps/numarck_suite-e2cbd4200d83de3d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numarck_suite-efde08ee9137ac9d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnumarck_suite-efde08ee9137ac9d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf-1afbedba639e8d1a.d: crates/numarck-bench/src/bin/perf.rs
+
+/root/repo/target/debug/deps/libperf-1afbedba639e8d1a.rmeta: crates/numarck-bench/src/bin/perf.rs
+
+crates/numarck-bench/src/bin/perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf-93d1b55c702e4557.d: crates/numarck-bench/src/bin/perf.rs
+
+/root/repo/target/debug/deps/perf-93d1b55c702e4557: crates/numarck-bench/src/bin/perf.rs
+
+crates/numarck-bench/src/bin/perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf-a0220d7ced37526a.d: crates/numarck-bench/src/bin/perf.rs
+
+/root/repo/target/debug/deps/perf-a0220d7ced37526a: crates/numarck-bench/src/bin/perf.rs
+
+crates/numarck-bench/src/bin/perf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9c335629d1159e99.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9c335629d1159e99.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9c335629d1159e99.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

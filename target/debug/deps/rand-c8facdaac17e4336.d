@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c8facdaac17e4336.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c8facdaac17e4336.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-6768df8e92748c6e.d: .stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6768df8e92748c6e.rmeta: .stubs/rayon/src/lib.rs
+
+.stubs/rayon/src/lib.rs:

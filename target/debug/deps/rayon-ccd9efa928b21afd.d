@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-ccd9efa928b21afd.d: .stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ccd9efa928b21afd.rlib: .stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ccd9efa928b21afd.rmeta: .stubs/rayon/src/lib.rs
+
+.stubs/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restart_replay-790905db9f35ee90.d: crates/numarck-bench/benches/restart_replay.rs
+
+/root/repo/target/debug/deps/librestart_replay-790905db9f35ee90.rmeta: crates/numarck-bench/benches/restart_replay.rs
+
+crates/numarck-bench/benches/restart_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e3b32ab1c731ce97.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e3b32ab1c731ce97.so: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_bench-55f59c2422310dfa.d: crates/numarck-bench/src/bin/serve_bench.rs
+
+/root/repo/target/debug/deps/libserve_bench-55f59c2422310dfa.rmeta: crates/numarck-bench/src/bin/serve_bench.rs
+
+crates/numarck-bench/src/bin/serve_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_bench-ddb0de9ec16859ce.d: crates/numarck-bench/src/bin/serve_bench.rs
+
+/root/repo/target/debug/deps/serve_bench-ddb0de9ec16859ce: crates/numarck-bench/src/bin/serve_bench.rs
+
+crates/numarck-bench/src/bin/serve_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_bench-ecf64d9ccd0f1e20.d: crates/numarck-bench/src/bin/serve_bench.rs
+
+/root/repo/target/debug/deps/serve_bench-ecf64d9ccd0f1e20: crates/numarck-bench/src/bin/serve_bench.rs
+
+crates/numarck-bench/src/bin/serve_bench.rs:

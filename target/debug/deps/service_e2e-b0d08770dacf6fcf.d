@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/service_e2e-b0d08770dacf6fcf.d: crates/numarck-serve/tests/service_e2e.rs crates/numarck-serve/tests/util/mod.rs
+
+/root/repo/target/debug/deps/libservice_e2e-b0d08770dacf6fcf.rmeta: crates/numarck-serve/tests/service_e2e.rs crates/numarck-serve/tests/util/mod.rs
+
+crates/numarck-serve/tests/service_e2e.rs:
+crates/numarck-serve/tests/util/mod.rs:

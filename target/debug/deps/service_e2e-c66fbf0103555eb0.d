@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/service_e2e-c66fbf0103555eb0.d: crates/numarck-serve/tests/service_e2e.rs crates/numarck-serve/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_e2e-c66fbf0103555eb0.rmeta: crates/numarck-serve/tests/service_e2e.rs crates/numarck-serve/tests/util/mod.rs Cargo.toml
+
+crates/numarck-serve/tests/service_e2e.rs:
+crates/numarck-serve/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/service_e2e-ced7675225e80b1c.d: crates/numarck-serve/tests/service_e2e.rs crates/numarck-serve/tests/util/mod.rs
+
+/root/repo/target/debug/deps/service_e2e-ced7675225e80b1c: crates/numarck-serve/tests/service_e2e.rs crates/numarck-serve/tests/util/mod.rs
+
+crates/numarck-serve/tests/service_e2e.rs:
+crates/numarck-serve/tests/util/mod.rs:

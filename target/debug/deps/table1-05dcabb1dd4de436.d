@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-05dcabb1dd4de436.d: crates/numarck-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-05dcabb1dd4de436: crates/numarck-bench/src/bin/table1.rs
+
+crates/numarck-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b45235dde6e8b355.d: crates/numarck-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b45235dde6e8b355: crates/numarck-bench/src/bin/table1.rs
+
+crates/numarck-bench/src/bin/table1.rs:

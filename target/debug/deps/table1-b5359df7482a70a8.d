@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b5359df7482a70a8.d: crates/numarck-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-b5359df7482a70a8.rmeta: crates/numarck-bench/src/bin/table1.rs
+
+crates/numarck-bench/src/bin/table1.rs:

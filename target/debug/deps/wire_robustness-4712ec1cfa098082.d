@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_robustness-4712ec1cfa098082.d: crates/numarck-serve/tests/wire_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_robustness-4712ec1cfa098082.rmeta: crates/numarck-serve/tests/wire_robustness.rs Cargo.toml
+
+crates/numarck-serve/tests/wire_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

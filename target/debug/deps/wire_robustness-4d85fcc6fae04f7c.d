@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_robustness-4d85fcc6fae04f7c.d: crates/numarck-serve/tests/wire_robustness.rs
+
+/root/repo/target/debug/deps/wire_robustness-4d85fcc6fae04f7c: crates/numarck-serve/tests/wire_robustness.rs
+
+crates/numarck-serve/tests/wire_robustness.rs:

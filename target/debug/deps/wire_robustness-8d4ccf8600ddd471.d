@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_robustness-8d4ccf8600ddd471.d: crates/numarck-serve/tests/wire_robustness.rs
+
+/root/repo/target/debug/deps/libwire_robustness-8d4ccf8600ddd471.rmeta: crates/numarck-serve/tests/wire_robustness.rs
+
+crates/numarck-serve/tests/wire_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_compression-03d8281f277c808b.d: examples/climate_compression.rs
+
+/root/repo/target/debug/examples/climate_compression-03d8281f277c808b: examples/climate_compression.rs
+
+examples/climate_compression.rs:

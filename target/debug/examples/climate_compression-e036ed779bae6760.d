@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_compression-e036ed779bae6760.d: examples/climate_compression.rs
+
+/root/repo/target/debug/examples/libclimate_compression-e036ed779bae6760.rmeta: examples/climate_compression.rs
+
+examples/climate_compression.rs:

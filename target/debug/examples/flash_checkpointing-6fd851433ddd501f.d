@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_checkpointing-6fd851433ddd501f.d: examples/flash_checkpointing.rs
+
+/root/repo/target/debug/examples/libflash_checkpointing-6fd851433ddd501f.rmeta: examples/flash_checkpointing.rs
+
+examples/flash_checkpointing.rs:

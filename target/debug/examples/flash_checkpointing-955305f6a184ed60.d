@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_checkpointing-955305f6a184ed60.d: examples/flash_checkpointing.rs
+
+/root/repo/target/debug/examples/flash_checkpointing-955305f6a184ed60: examples/flash_checkpointing.rs
+
+examples/flash_checkpointing.rs:

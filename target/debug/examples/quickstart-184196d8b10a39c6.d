@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-184196d8b10a39c6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-184196d8b10a39c6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6be176ed32e2c049.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6be176ed32e2c049.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

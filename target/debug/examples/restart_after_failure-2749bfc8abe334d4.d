@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restart_after_failure-2749bfc8abe334d4.d: examples/restart_after_failure.rs
+
+/root/repo/target/debug/examples/librestart_after_failure-2749bfc8abe334d4.rmeta: examples/restart_after_failure.rs
+
+examples/restart_after_failure.rs:

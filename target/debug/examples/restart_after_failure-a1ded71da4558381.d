@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restart_after_failure-a1ded71da4558381.d: examples/restart_after_failure.rs
+
+/root/repo/target/debug/examples/restart_after_failure-a1ded71da4558381: examples/restart_after_failure.rs
+
+examples/restart_after_failure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soft_error_detection-34554a9ab6107354.d: examples/soft_error_detection.rs
+
+/root/repo/target/debug/examples/soft_error_detection-34554a9ab6107354: examples/soft_error_detection.rs
+
+examples/soft_error_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soft_error_detection-89a096afc03d5730.d: examples/soft_error_detection.rs
+
+/root/repo/target/debug/examples/libsoft_error_detection-89a096afc03d5730.rmeta: examples/soft_error_detection.rs
+
+examples/soft_error_detection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-11def23fa6551365.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-11def23fa6551365.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-11def23fa6551365.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

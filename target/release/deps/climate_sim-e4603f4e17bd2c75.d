@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/climate_sim-e4603f4e17bd2c75.d: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+/root/repo/target/release/deps/libclimate_sim-e4603f4e17bd2c75.rlib: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+/root/repo/target/release/deps/libclimate_sim-e4603f4e17bd2c75.rmeta: crates/climate-sim/src/lib.rs crates/climate-sim/src/dataset.rs crates/climate-sim/src/field.rs crates/climate-sim/src/grid.rs crates/climate-sim/src/variables.rs
+
+crates/climate-sim/src/lib.rs:
+crates/climate-sim/src/dataset.rs:
+crates/climate-sim/src/field.rs:
+crates/climate-sim/src/grid.rs:
+crates/climate-sim/src/variables.rs:

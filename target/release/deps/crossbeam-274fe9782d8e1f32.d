@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-274fe9782d8e1f32.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-274fe9782d8e1f32.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-274fe9782d8e1f32.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/flash_sim-ab13e7c202a7f74d.d: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs
+
+/root/repo/target/release/deps/libflash_sim-ab13e7c202a7f74d.rlib: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs
+
+/root/repo/target/release/deps/libflash_sim-ab13e7c202a7f74d.rmeta: crates/flash-sim/src/lib.rs crates/flash-sim/src/block.rs crates/flash-sim/src/dim3/mod.rs crates/flash-sim/src/dim3/block3.rs crates/flash-sim/src/dim3/euler3.rs crates/flash-sim/src/dim3/mesh3.rs crates/flash-sim/src/dim3/sim3.rs crates/flash-sim/src/eos.rs crates/flash-sim/src/euler.rs crates/flash-sim/src/mesh.rs crates/flash-sim/src/problems.rs crates/flash-sim/src/sim.rs crates/flash-sim/src/vars.rs
+
+crates/flash-sim/src/lib.rs:
+crates/flash-sim/src/block.rs:
+crates/flash-sim/src/dim3/mod.rs:
+crates/flash-sim/src/dim3/block3.rs:
+crates/flash-sim/src/dim3/euler3.rs:
+crates/flash-sim/src/dim3/mesh3.rs:
+crates/flash-sim/src/dim3/sim3.rs:
+crates/flash-sim/src/eos.rs:
+crates/flash-sim/src/euler.rs:
+crates/flash-sim/src/mesh.rs:
+crates/flash-sim/src/problems.rs:
+crates/flash-sim/src/sim.rs:
+crates/flash-sim/src/vars.rs:

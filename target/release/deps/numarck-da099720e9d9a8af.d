@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/numarck-da099720e9d9a8af.d: crates/numarck-cli/src/main.rs
+
+/root/repo/target/release/deps/numarck-da099720e9d9a8af: crates/numarck-cli/src/main.rs
+
+crates/numarck-cli/src/main.rs:

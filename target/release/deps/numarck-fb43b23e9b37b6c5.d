@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/numarck-fb43b23e9b37b6c5.d: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs
+
+/root/repo/target/release/deps/libnumarck-fb43b23e9b37b6c5.rlib: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs
+
+/root/repo/target/release/deps/libnumarck-fb43b23e9b37b6c5.rmeta: crates/numarck/src/lib.rs crates/numarck/src/anomaly.rs crates/numarck/src/autotune.rs crates/numarck/src/bitstream.rs crates/numarck/src/config.rs crates/numarck/src/decode.rs crates/numarck/src/drift.rs crates/numarck/src/encode.rs crates/numarck/src/error.rs crates/numarck/src/fpc.rs crates/numarck/src/group.rs crates/numarck/src/huffman.rs crates/numarck/src/metrics.rs crates/numarck/src/obs.rs crates/numarck/src/pipeline.rs crates/numarck/src/ratio.rs crates/numarck/src/serialize.rs crates/numarck/src/strategy/mod.rs crates/numarck/src/strategy/clustering.rs crates/numarck/src/strategy/equal_width.rs crates/numarck/src/strategy/log_scale.rs crates/numarck/src/table.rs
+
+crates/numarck/src/lib.rs:
+crates/numarck/src/anomaly.rs:
+crates/numarck/src/autotune.rs:
+crates/numarck/src/bitstream.rs:
+crates/numarck/src/config.rs:
+crates/numarck/src/decode.rs:
+crates/numarck/src/drift.rs:
+crates/numarck/src/encode.rs:
+crates/numarck/src/error.rs:
+crates/numarck/src/fpc.rs:
+crates/numarck/src/group.rs:
+crates/numarck/src/huffman.rs:
+crates/numarck/src/metrics.rs:
+crates/numarck/src/obs.rs:
+crates/numarck/src/pipeline.rs:
+crates/numarck/src/ratio.rs:
+crates/numarck/src/serialize.rs:
+crates/numarck/src/strategy/mod.rs:
+crates/numarck/src/strategy/clustering.rs:
+crates/numarck/src/strategy/equal_width.rs:
+crates/numarck/src/strategy/log_scale.rs:
+crates/numarck/src/table.rs:

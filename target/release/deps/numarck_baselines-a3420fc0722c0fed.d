@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/numarck_baselines-a3420fc0722c0fed.d: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+/root/repo/target/release/deps/libnumarck_baselines-a3420fc0722c0fed.rlib: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+/root/repo/target/release/deps/libnumarck_baselines-a3420fc0722c0fed.rmeta: crates/numarck-baselines/src/lib.rs crates/numarck-baselines/src/bsplines.rs crates/numarck-baselines/src/isabela.rs
+
+crates/numarck-baselines/src/lib.rs:
+crates/numarck-baselines/src/bsplines.rs:
+crates/numarck-baselines/src/isabela.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/numarck_checkpoint-28a8a16c80c2f954.d: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+/root/repo/target/release/deps/libnumarck_checkpoint-28a8a16c80c2f954.rlib: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+/root/repo/target/release/deps/libnumarck_checkpoint-28a8a16c80c2f954.rmeta: crates/numarck-checkpoint/src/lib.rs crates/numarck-checkpoint/src/backend.rs crates/numarck-checkpoint/src/fault.rs crates/numarck-checkpoint/src/format.rs crates/numarck-checkpoint/src/manager.rs crates/numarck-checkpoint/src/obs.rs crates/numarck-checkpoint/src/replicated.rs crates/numarck-checkpoint/src/restart.rs crates/numarck-checkpoint/src/scrub.rs crates/numarck-checkpoint/src/store.rs
+
+crates/numarck-checkpoint/src/lib.rs:
+crates/numarck-checkpoint/src/backend.rs:
+crates/numarck-checkpoint/src/fault.rs:
+crates/numarck-checkpoint/src/format.rs:
+crates/numarck-checkpoint/src/manager.rs:
+crates/numarck-checkpoint/src/obs.rs:
+crates/numarck-checkpoint/src/replicated.rs:
+crates/numarck-checkpoint/src/restart.rs:
+crates/numarck-checkpoint/src/scrub.rs:
+crates/numarck-checkpoint/src/store.rs:

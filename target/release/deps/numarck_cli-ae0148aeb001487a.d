@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/numarck_cli-ae0148aeb001487a.d: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+/root/repo/target/release/deps/libnumarck_cli-ae0148aeb001487a.rlib: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+/root/repo/target/release/deps/libnumarck_cli-ae0148aeb001487a.rmeta: crates/numarck-cli/src/lib.rs crates/numarck-cli/src/args.rs crates/numarck-cli/src/chainfile.rs crates/numarck-cli/src/commands.rs crates/numarck-cli/src/seqfile.rs crates/numarck-cli/src/serve_cmd.rs
+
+crates/numarck-cli/src/lib.rs:
+crates/numarck-cli/src/args.rs:
+crates/numarck-cli/src/chainfile.rs:
+crates/numarck-cli/src/commands.rs:
+crates/numarck-cli/src/seqfile.rs:
+crates/numarck-cli/src/serve_cmd.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/numarck_kmeans-a6abc5166d7d76a9.d: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+/root/repo/target/release/deps/libnumarck_kmeans-a6abc5166d7d76a9.rlib: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+/root/repo/target/release/deps/libnumarck_kmeans-a6abc5166d7d76a9.rmeta: crates/numarck-kmeans/src/lib.rs crates/numarck-kmeans/src/general.rs crates/numarck-kmeans/src/init.rs crates/numarck-kmeans/src/lloyd1d.rs
+
+crates/numarck-kmeans/src/lib.rs:
+crates/numarck-kmeans/src/general.rs:
+crates/numarck-kmeans/src/init.rs:
+crates/numarck-kmeans/src/lloyd1d.rs:

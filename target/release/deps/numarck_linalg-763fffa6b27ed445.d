@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/numarck_linalg-763fffa6b27ed445.d: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+/root/repo/target/release/deps/libnumarck_linalg-763fffa6b27ed445.rlib: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+/root/repo/target/release/deps/libnumarck_linalg-763fffa6b27ed445.rmeta: crates/numarck-linalg/src/lib.rs crates/numarck-linalg/src/banded.rs crates/numarck-linalg/src/bspline.rs crates/numarck-linalg/src/tridiag.rs
+
+crates/numarck-linalg/src/lib.rs:
+crates/numarck-linalg/src/banded.rs:
+crates/numarck-linalg/src/bspline.rs:
+crates/numarck-linalg/src/tridiag.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/numarck_obs-51aae15ff7d39adf.d: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libnumarck_obs-51aae15ff7d39adf.rlib: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libnumarck_obs-51aae15ff7d39adf.rmeta: crates/numarck-obs/src/lib.rs crates/numarck-obs/src/http.rs crates/numarck-obs/src/instrument.rs crates/numarck-obs/src/registry.rs crates/numarck-obs/src/ring.rs crates/numarck-obs/src/snapshot.rs
+
+crates/numarck-obs/src/lib.rs:
+crates/numarck-obs/src/http.rs:
+crates/numarck-obs/src/instrument.rs:
+crates/numarck-obs/src/registry.rs:
+crates/numarck-obs/src/ring.rs:
+crates/numarck-obs/src/snapshot.rs:

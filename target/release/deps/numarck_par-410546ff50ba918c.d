@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/numarck_par-410546ff50ba918c.d: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs
+
+/root/repo/target/release/deps/libnumarck_par-410546ff50ba918c.rlib: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs
+
+/root/repo/target/release/deps/libnumarck_par-410546ff50ba918c.rmeta: crates/numarck-par/src/lib.rs crates/numarck-par/src/chunk.rs crates/numarck-par/src/histogram.rs crates/numarck-par/src/pool.rs crates/numarck-par/src/quantile.rs crates/numarck-par/src/reduce.rs crates/numarck-par/src/rng.rs crates/numarck-par/src/scan.rs
+
+crates/numarck-par/src/lib.rs:
+crates/numarck-par/src/chunk.rs:
+crates/numarck-par/src/histogram.rs:
+crates/numarck-par/src/pool.rs:
+crates/numarck-par/src/quantile.rs:
+crates/numarck-par/src/reduce.rs:
+crates/numarck-par/src/rng.rs:
+crates/numarck-par/src/scan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/numarck_serve-b8cca787341dc351.d: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+/root/repo/target/release/deps/libnumarck_serve-b8cca787341dc351.rlib: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+/root/repo/target/release/deps/libnumarck_serve-b8cca787341dc351.rmeta: crates/numarck-serve/src/lib.rs crates/numarck-serve/src/client.rs crates/numarck-serve/src/journal.rs crates/numarck-serve/src/recovery.rs crates/numarck-serve/src/server.rs crates/numarck-serve/src/wire.rs
+
+crates/numarck-serve/src/lib.rs:
+crates/numarck-serve/src/client.rs:
+crates/numarck-serve/src/journal.rs:
+crates/numarck-serve/src/recovery.rs:
+crates/numarck-serve/src/server.rs:
+crates/numarck-serve/src/wire.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/numarck_suite-5812ce9108ebd256.d: src/lib.rs
+
+/root/repo/target/release/deps/libnumarck_suite-5812ce9108ebd256.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnumarck_suite-5812ce9108ebd256.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-0263f4a9244f45e3.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0263f4a9244f45e3.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0263f4a9244f45e3.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-cc24b7b183d06bf2.d: .stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-cc24b7b183d06bf2.rlib: .stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-cc24b7b183d06bf2.rmeta: .stubs/rayon/src/lib.rs
+
+.stubs/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-616d8c5daee3126c.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-616d8c5daee3126c.so: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:
