@@ -75,8 +75,15 @@ fn main() {
     threads.sort_unstable();
     threads.dedup();
 
+    // Resolve the lane-kernel dispatch level once, up front: the name
+    // lands in both JSON files (so a regression diff that crosses a
+    // dispatch change is visible as such) and the call seeds the
+    // `simd_dispatch_level` gauge in the metrics snapshot below.
+    let dispatch = numarck_simd::active_level().name();
+
     println!(
-        "perf: {points} points/workload, {reps} reps (best-of), threads {threads:?}{}",
+        "perf: {points} points/workload, {reps} reps (best-of), threads {threads:?}, \
+         simd dispatch {dispatch}{}",
         if smoke { ", SMOKE" } else { "" }
     );
 
@@ -155,6 +162,25 @@ fn main() {
     }
     print_table(&rows);
 
+    // Per-kernel × per-level microbench: each lane kernel timed at every
+    // dispatch level this host supports, single-threaded. These rows are
+    // informational (not regression-gated): they answer "which level is
+    // the dispatcher picking, and what is each level worth here".
+    let kernels = kernel_microbench(points, reps);
+    let mut krows = vec![vec![
+        "kernel".to_string(),
+        "level".to_string(),
+        "Mpoints/s".to_string(),
+    ]];
+    for k in &kernels {
+        krows.push(vec![
+            k.kernel.to_string(),
+            k.level.to_string(),
+            format!("{:.2}", k.points as f64 / k.secs / 1e6),
+        ]);
+    }
+    print_table(&krows);
+
     // Observability overhead: the same encode workload with span timing
     // globally disabled vs enabled (counters stay on in both runs, so
     // the delta isolates the clock reads in the phase spans). The
@@ -192,16 +218,75 @@ fn main() {
         samples.iter().filter(|s| s.stage != "decode").collect();
     let decode_rows: Vec<&Sample> =
         samples.iter().filter(|s| s.stage == "decode").collect();
-    for (file, rows, overhead) in [
-        ("BENCH_encode.json", &encode_rows, Some(&overhead)),
-        ("BENCH_decode.json", &decode_rows, None),
+    for (file, rows, overhead, kernel_rows) in [
+        ("BENCH_encode.json", &encode_rows, Some(&overhead), Some(kernels.as_slice())),
+        ("BENCH_decode.json", &decode_rows, None, None),
     ] {
         let path = format!("{out_dir}/{file}");
         std::fs::create_dir_all(&out_dir).expect("create output directory");
-        std::fs::write(&path, render_json(rows, smoke, overhead, &metrics))
+        std::fs::write(&path, render_json(rows, smoke, overhead, &metrics, dispatch, kernel_rows))
             .expect("write benchmark JSON");
         println!("wrote {path}");
     }
+}
+
+/// One lane-kernel measurement at one explicit dispatch level.
+struct KernelSample {
+    kernel: &'static str,
+    level: &'static str,
+    points: usize,
+    secs: f64,
+}
+
+/// Time the four lane kernels at every dispatch level the host supports.
+///
+/// Inputs are shaped like real encoder traffic: ratios spread over a
+/// 255-entry representative table with a mix of small changes and
+/// escapes, and an 8-bit packed index stream for the unpack kernel.
+fn kernel_microbench(points: usize, reps: usize) -> Vec<KernelSample> {
+    use numarck_simd::{popcount, quantize, transform, unpack};
+
+    let prev: Vec<f64> = (0..points).map(|i| 1.0 + ((i * 31) % 1009) as f64 / 100.0).collect();
+    let curr: Vec<f64> =
+        prev.iter().enumerate().map(|(i, v)| v * (1.0 + 0.01 * ((i % 7) as f64))).collect();
+    let mut ratios = vec![0.0f64; points];
+    let _ = transform::change_ratios(&prev, &curr, &mut ratios);
+    let table: Vec<f64> = (0..255).map(|t| -0.02 + t as f64 * 0.08 / 254.0).collect();
+    let words = vec![0x9E37_79B9_7F4A_7C15u64; points / 64 + 1];
+    let bits = 8u8;
+    let packed_words = vec![0x0102_0304_0506_0708u64; (points * bits as usize).div_ceil(64) + 1];
+
+    let mut out = Vec::new();
+    for level in numarck_simd::Level::all_supported() {
+        let name = level.name();
+        let mut rbuf = vec![0.0f64; points];
+        let transform_secs = best_of(reps, || {
+            std::hint::black_box(transform::change_ratios_with(level, &prev, &curr, &mut rbuf));
+        });
+        let mut codes = vec![0u32; points];
+        let mut errs = vec![0.0f64; points];
+        let quantize_secs = best_of(reps, || {
+            quantize::classify_quantize_with(level, &ratios, &table, 0.001, &mut codes, &mut errs);
+            std::hint::black_box(codes.last());
+        });
+        let popcount_secs = best_of(reps, || {
+            std::hint::black_box(popcount::popcount_sum_with(level, &words));
+        });
+        let mut unpacked = vec![0u32; points];
+        let unpack_secs = best_of(reps, || {
+            unpack::unpack_with(level, &packed_words, bits, 0, &mut unpacked);
+            std::hint::black_box(unpacked.last());
+        });
+        for (kernel, secs) in [
+            ("transform", transform_secs),
+            ("quantize", quantize_secs),
+            ("popcount", popcount_secs),
+            ("unpack", unpack_secs),
+        ] {
+            out.push(KernelSample { kernel, level: name, points, secs });
+        }
+    }
+    out
 }
 
 /// Timing-off vs timing-on encode wall time for the instrumentation
@@ -242,11 +327,31 @@ fn render_json(
     smoke: bool,
     overhead: Option<&ObsOverhead>,
     metrics: &str,
+    dispatch: &str,
+    kernels: Option<&[KernelSample]>,
 ) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"harness\": \"numarck-bench perf\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"simd_dispatch\": \"{dispatch}\",");
     let _ = writeln!(s, "  \"host\": {},", host_meta_json());
+    if let Some(ks) = kernels {
+        let _ = writeln!(s, "  \"kernels\": [");
+        for (i, k) in ks.iter().enumerate() {
+            let comma = if i + 1 == ks.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"kernel\": \"{}\", \"level\": \"{}\", \"points\": {}, \
+                 \"secs\": {:.6}, \"points_per_sec\": {:.1}}}{comma}",
+                k.kernel,
+                k.level,
+                k.points,
+                k.secs,
+                k.points as f64 / k.secs,
+            );
+        }
+        let _ = writeln!(s, "  ],");
+    }
     if let Some(o) = overhead {
         let _ = writeln!(
             s,

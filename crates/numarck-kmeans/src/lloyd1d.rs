@@ -72,6 +72,20 @@ impl SortedCenters {
     pub fn nearest_value(&self, x: f64) -> f64 {
         self.centers[self.nearest(x)]
     }
+
+    /// Nearest-centre index for every query in `xs`, written to `out`.
+    ///
+    /// Bit-identical to calling [`Self::nearest`] per point (same
+    /// tie-to-lower-index rule) but runs the batched lower-bound lane
+    /// kernel over the midpoints — multiple independent binary searches
+    /// advance per step instead of one.
+    ///
+    /// # Panics
+    /// Panics if there are no centres or the slices disagree in length.
+    pub fn nearest_batch(&self, xs: &[f64], out: &mut [u32]) {
+        assert!(!self.centers.is_empty(), "nearest_batch() on empty centre set");
+        numarck_simd::quantize::lower_bound_batch(&self.midpoints, xs, out);
+    }
 }
 
 fn midpoints_of(centers: &[f64]) -> Vec<f64> {
@@ -198,6 +212,19 @@ impl KMeans1D {
     }
 }
 
+/// Fixed chunk granularity for the floating-point reductions.
+///
+/// Using a thread-count-*independent* decomposition (instead of
+/// `chunk_size_for`, which divides by the pool width) makes every
+/// partial-sum merge order — and therefore the fitted centres and the
+/// representative tables built from them — bit-identical for any number
+/// of threads. Rayon still spreads the fixed-size chunks across the pool.
+const DET_CHUNK: usize = 16 * 1024;
+
+/// Block width for batched nearest-centre lookups: scratch for one block
+/// of assignments stays on the stack and L1-resident.
+const ASSIGN_BLOCK: usize = 1024;
+
 fn assign_par(centers: &SortedCenters, data: &[f64], out: &mut [u32]) {
     debug_assert_eq!(data.len(), out.len());
     if centers.is_empty() {
@@ -205,9 +232,7 @@ fn assign_par(centers: &SortedCenters, data: &[f64], out: &mut [u32]) {
     }
     let chunk = chunk_size_for(data.len());
     out.par_chunks_mut(chunk).zip(data.par_chunks(chunk)).for_each(|(o, d)| {
-        for (oi, &x) in o.iter_mut().zip(d) {
-            *oi = centers.nearest(x) as u32;
-        }
+        centers.nearest_batch(d, o);
     });
 }
 
@@ -219,11 +244,15 @@ fn reassign_count_changes(centers: &SortedCenters, data: &[f64], assignments: &m
         .zip(data.par_chunks(chunk))
         .map(|(a, d)| {
             let mut changed = 0usize;
-            for (ai, &x) in a.iter_mut().zip(d) {
-                let n = centers.nearest(x) as u32;
-                if n != *ai {
-                    changed += 1;
-                    *ai = n;
+            let mut buf = [0u32; ASSIGN_BLOCK];
+            for (ab, db) in a.chunks_mut(ASSIGN_BLOCK).zip(d.chunks(ASSIGN_BLOCK)) {
+                let m = db.len();
+                centers.nearest_batch(db, &mut buf[..m]);
+                for (ai, &n) in ab.iter_mut().zip(&buf[..m]) {
+                    if n != *ai {
+                        changed += 1;
+                        *ai = n;
+                    }
                 }
             }
             changed
@@ -231,13 +260,13 @@ fn reassign_count_changes(centers: &SortedCenters, data: &[f64], assignments: &m
         .sum()
 }
 
-/// Per-cluster sums and counts, chunk-parallel with ordered merge.
+/// Per-cluster sums and counts, chunk-parallel with ordered merge over a
+/// thread-count-independent decomposition (see [`DET_CHUNK`]).
 fn partial_sums(centers: &SortedCenters, data: &[f64], assignments: &[u32]) -> (Vec<f64>, Vec<u64>) {
     let k = centers.len();
-    let chunk = chunk_size_for(data.len());
     let partials: Vec<(Vec<f64>, Vec<u64>)> = data
-        .par_chunks(chunk)
-        .zip(assignments.par_chunks(chunk))
+        .par_chunks(DET_CHUNK)
+        .zip(assignments.par_chunks(DET_CHUNK))
         .map(|(d, a)| {
             let mut sums = vec![0.0f64; k];
             let mut counts = vec![0u64; k];
@@ -260,9 +289,9 @@ fn partial_sums(centers: &SortedCenters, data: &[f64], assignments: &[u32]) -> (
 }
 
 fn inertia_par(centers: &SortedCenters, data: &[f64], assignments: &[u32]) -> f64 {
-    let chunk = chunk_size_for(data.len());
-    data.par_chunks(chunk)
-        .zip(assignments.par_chunks(chunk))
+    let partials: Vec<f64> = data
+        .par_chunks(DET_CHUNK)
+        .zip(assignments.par_chunks(DET_CHUNK))
         .map(|(d, a)| {
             let mut s = 0.0;
             for (&x, &ci) in d.iter().zip(a) {
@@ -271,7 +300,9 @@ fn inertia_par(centers: &SortedCenters, data: &[f64], assignments: &[u32]) -> f6
             }
             s
         })
-        .sum()
+        .collect();
+    // Ordered merge: inertia is reproducible for any thread count.
+    partials.iter().sum()
 }
 
 #[cfg(test)]
@@ -317,6 +348,46 @@ mod tests {
                 "x={x}: fast idx {fast} (d={fd}) vs slow idx {slow} (d={sd})"
             );
         }
+    }
+
+    #[test]
+    fn nearest_batch_matches_nearest_per_point() {
+        // Lane-boundary sizes and awkward queries (ties, ±inf, NaN are
+        // excluded by construction upstream but extremes are not).
+        let sc = SortedCenters::new(vec![-3.0, -1.0, 0.5, 2.0, 8.0, 8.5]);
+        for n in [0usize, 1, 3, 7, 8, 9, 63, 64, 65, 257] {
+            let xs: Vec<f64> = (0..n)
+                .map(|i| match i % 5 {
+                    0 => -1e30,
+                    1 => 1e30,
+                    2 => 0.75, // exact midpoint of two centres: tie
+                    _ => (i as f64) * 0.37 - 6.0,
+                })
+                .collect();
+            let mut out = vec![0u32; n];
+            sc.nearest_batch(&xs, &mut out);
+            for (j, &x) in xs.iter().enumerate() {
+                assert_eq!(out[j] as usize, sc.nearest(x), "n={n} j={j} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        // The ordered fixed-chunk merges must make the fitted centres,
+        // counts and inertia bit-identical for any pool width.
+        let data: Vec<f64> = (0..60_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64 * 1e-3)
+            .collect();
+        let pool = |t: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap()
+        };
+        let a = pool(1).install(|| KMeans1D::new(31).fit(&data));
+        let b = pool(8).install(|| KMeans1D::new(31).fit(&data));
+        assert_eq!(a.centers.centers(), b.centers.centers());
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
     }
 
     #[test]

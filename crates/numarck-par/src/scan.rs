@@ -79,7 +79,7 @@ pub fn chunked_popcount_ranks(bitmap: &[u64], words_per_block: usize) -> (Vec<u6
     let ranges: Vec<(usize, usize)> = chunk_ranges(bitmap.len(), words_per_block).collect();
     let sums: Vec<u64> = ranges
         .par_iter()
-        .map(|&(s, e)| bitmap[s..e].iter().map(|w| w.count_ones() as u64).sum())
+        .map(|&(s, e)| numarck_simd::popcount::popcount_sum(&bitmap[s..e]))
         .collect();
     exclusive_scan_seq(&sums, |&x| x)
 }

@@ -384,6 +384,10 @@ impl Server {
     pub fn spawn(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.queue_depth >= 1, "need at least one queue slot");
+        // Resolve lane-kernel dispatch up front: encode/decode inherit the
+        // cached level, and the `simd_dispatch_level` gauge is present in
+        // every stats snapshot from the first scrape on.
+        numarck_simd::active_level();
         config.backend.create_dir_all(&config.root)?;
         let shared = Arc::new(Shared {
             config,

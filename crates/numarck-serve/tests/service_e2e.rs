@@ -281,6 +281,12 @@ fn stats_extension_and_metrics_snapshot_agree_with_traffic() {
         snap.counters.iter().any(|(n, _)| n.starts_with("ckpt_")),
         "merged snapshot must include global ckpt_ metrics"
     );
+    // Server startup resolves the lane-kernel dispatch level, so every
+    // scrape reports which instruction set encode/decode are running on.
+    assert!(
+        snap.gauges.iter().any(|(n, _)| n == "simd_dispatch_level"),
+        "merged snapshot must report simd_dispatch_level"
+    );
     server.shutdown();
 }
 

@@ -228,17 +228,17 @@ fn fences(defined: &[f64], config: &AnomalyConfig) -> (f64, f64, f64) {
     (q_lo - radius, q_hi + radius, span)
 }
 
-/// Convenience for checkpoint pipelines: detect against the classes an
-/// encoder already computed (uses only `Large` ratios for statistics, so
-/// it can share work with compression).
-pub fn detect_from_classes(
-    classes: &[RatioClass],
+/// Convenience for checkpoint pipelines: detect against the change-ratio
+/// transform an encoder already computed (uses only `Large` ratios for
+/// statistics, so it can share work with compression).
+pub fn detect_from_ratios(
+    ratios: &crate::ratio::ChangeRatios,
     config: &AnomalyConfig,
 ) -> Vec<usize> {
-    let defined: Vec<f64> = classes
-        .iter()
+    let defined: Vec<f64> = ratios
+        .iter_classes()
         .filter_map(|c| match c {
-            RatioClass::Large(r) => Some(*r),
+            RatioClass::Large(r) => Some(r),
             _ => None,
         })
         .collect();
@@ -246,11 +246,11 @@ pub fn detect_from_classes(
         return Vec::new();
     }
     let (fence_lo, fence_hi, _) = fences(&defined, config);
-    classes
-        .iter()
+    ratios
+        .iter_classes()
         .enumerate()
         .filter_map(|(j, c)| match c {
-            RatioClass::Large(r) if *r < fence_lo || *r > fence_hi => Some(j),
+            RatioClass::Large(r) if r < fence_lo || r > fence_hi => Some(j),
             _ => None,
         })
         .collect()
@@ -369,12 +369,12 @@ mod tests {
     }
 
     #[test]
-    fn detect_from_classes_matches_detect_on_large_ratios() {
+    fn detect_from_ratios_matches_detect_on_large_ratios() {
         let (prev, mut curr) = smooth_pair(5_000);
         curr[42] *= 100.0;
         let tolerance = 1e-6; // classify everything as Large
         let ratios = crate::ratio::compute(&prev, &curr, tolerance).unwrap();
-        let flagged = detect_from_classes(&ratios.classes, &AnomalyConfig::default());
+        let flagged = detect_from_ratios(&ratios, &AnomalyConfig::default());
         assert_eq!(flagged, vec![42]);
     }
 

@@ -112,6 +112,64 @@ impl BitWriter {
         flush(acc_word, acc);
     }
 
+    /// Splice a chunk-local bit stream into the shared word buffer: OR
+    /// the first `src_len_bits` bits of `src` into `dst` starting at the
+    /// absolute bit offset `dst_bit_start`, funnel-shifting whole words
+    /// instead of re-packing value by value.
+    ///
+    /// This is the fused encoder's placement primitive: each chunk packs
+    /// its own codes into a private [`BitWriter`] while they are still
+    /// cache-hot, then splices the finished words here once the global
+    /// offsets are known. Same stitching discipline as
+    /// [`BitWriter::write_packed_at`] — the first and last touched words
+    /// may be shared with adjacent ranges and are merged with a relaxed
+    /// `fetch_or`; interior words are plain stores — so concurrent calls
+    /// over disjoint bit ranges reproduce the serial packing exactly.
+    ///
+    /// # Panics
+    /// Debug-panics if `src_len_bits` overruns either buffer.
+    pub fn shift_or_into(dst: &[AtomicU64], dst_bit_start: usize, src: &[u64], src_len_bits: usize) {
+        if src_len_bits == 0 {
+            return;
+        }
+        debug_assert!(src_len_bits <= src.len() * 64, "src_len_bits overruns src");
+        let end_bit = dst_bit_start + src_len_bits;
+        debug_assert!(end_bit <= dst.len() * 64, "bit range overruns the word buffer");
+        let first_word = dst_bit_start / 64;
+        let last_word = (end_bit - 1) / 64;
+        let shift = dst_bit_start % 64;
+        let flush = |wi: usize, word: u64| {
+            if wi == first_word || wi == last_word {
+                dst[wi].fetch_or(word, Ordering::Relaxed);
+            } else {
+                dst[wi].store(word, Ordering::Relaxed);
+            }
+        };
+        let src_words = src_len_bits.div_ceil(64);
+        let tail_bits = src_len_bits - (src_words - 1) * 64; // 1..=64
+        let mut carry = 0u64;
+        let mut wi = first_word;
+        for (si, &raw) in src[..src_words].iter().enumerate() {
+            let w = if si == src_words - 1 && tail_bits < 64 {
+                raw & ((1u64 << tail_bits) - 1)
+            } else {
+                raw
+            };
+            if shift == 0 {
+                flush(wi, w);
+            } else {
+                flush(wi, carry | (w << shift));
+                carry = w >> (64 - shift);
+            }
+            wi += 1;
+        }
+        // The spill word exists iff the shifted stream crosses one more
+        // word boundary than the source did.
+        if shift != 0 && wi <= last_word {
+            flush(wi, carry);
+        }
+    }
+
     /// Number of bits written so far.
     #[inline]
     pub fn len_bits(&self) -> usize {
@@ -319,6 +377,62 @@ mod tests {
         let words = atomic_buffer(2);
         BitWriter::write_packed_at(&words, 37, &[], 9);
         assert_eq!(into_plain(words), vec![0, 0]);
+    }
+
+    #[test]
+    fn shift_or_into_matches_write_packed_at_for_any_split() {
+        // Pack each half locally with a BitWriter, splice both into one
+        // buffer at every possible (word-misaligned) split; the result
+        // must equal the one-shot serial packing bit for bit.
+        for bits in [1u8, 3, 7, 9, 13, 16] {
+            let max = (1u32 << bits) - 1;
+            let values: Vec<u32> = (0..150u32).map(|i| i.wrapping_mul(2654435761) & max).collect();
+            let expected = pushed_words(&values, bits);
+            for split in 0..=values.len() {
+                let words = atomic_buffer(expected.len());
+                let (a, b) = values.split_at(split);
+                let (wa, wb) = (pushed_words(a, bits), pushed_words(b, bits));
+                BitWriter::shift_or_into(&words, 0, &wa, a.len() * bits as usize);
+                BitWriter::shift_or_into(
+                    &words,
+                    split * bits as usize,
+                    &wb,
+                    b.len() * bits as usize,
+                );
+                assert_eq!(into_plain(words), expected, "bits={bits} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_or_into_concurrent_chunks_match_serial() {
+        use rayon::prelude::*;
+        let bits = 11u8;
+        let values: Vec<u32> =
+            (0..10_000u32).map(|i| i.wrapping_mul(40503) & ((1 << 11) - 1)).collect();
+        let expected = pushed_words(&values, bits);
+        let words = atomic_buffer(expected.len());
+        // Word-misaligned chunks (97 values × 11 bits) spliced in parallel.
+        values.par_chunks(97).enumerate().for_each(|(c, chunk)| {
+            let local = pushed_words(chunk, bits);
+            BitWriter::shift_or_into(
+                &words,
+                c * 97 * bits as usize,
+                &local,
+                chunk.len() * bits as usize,
+            );
+        });
+        assert_eq!(into_plain(words), expected);
+    }
+
+    #[test]
+    fn shift_or_into_ignores_stray_bits_past_len() {
+        // Garbage above src_len_bits in the final source word must not
+        // leak into the destination.
+        let words = atomic_buffer(2);
+        let src = [u64::MAX];
+        BitWriter::shift_or_into(&words, 3, &src, 5);
+        assert_eq!(into_plain(words), vec![0b1111_1000, 0]);
     }
 
     mod properties {

@@ -20,9 +20,13 @@ use rayon::prelude::*;
 use numarck_par::chunk::{chunk_ranges, chunk_size_aligned, chunk_size_for};
 use numarck_par::scan::chunked_popcount_ranks;
 
-use crate::bitstream::read_at;
 use crate::encode::CompressedIteration;
 use crate::error::NumarckError;
+
+/// Points decoded per cache block: codes for one block are bulk-unpacked
+/// into a stack buffer (4 KiB) once, instead of re-walking the bit stream
+/// per point, and stay L1-resident while the values are rebuilt.
+const DECODE_BLOCK: usize = 1024;
 
 /// Reconstruct the current iteration from `prev` and a compressed block.
 ///
@@ -43,6 +47,14 @@ pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>
     let chunk = chunk_size_aligned(n, 64);
     let (chunk_ranks, _) = chunked_popcount_ranks(&block.bitmap, chunk / 64);
 
+    // `1 + Δ'` per code, shared read-only across chunks. Entry 0 pairs
+    // with the small-change code and is never multiplied in (those lanes
+    // blend `prev` through verbatim — NaN payloads and signed zeros in
+    // `prev` survive bit-exactly, which `prev * 1.0` would not promise).
+    let rep1: Vec<f64> = std::iter::once(1.0)
+        .chain(block.table.representatives().iter().map(|&r| 1.0 + r))
+        .collect();
+
     let mut out = vec![0.0f64; n];
     out.par_chunks_mut(chunk).zip(chunk_ranks.par_iter()).enumerate().for_each(
         |(ci, (points, &rank))| {
@@ -51,24 +63,59 @@ pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>
             // Exact rank: points before this chunk minus compressible
             // before it.
             let mut exact_rank = base - comp_rank;
-            for (w, pts) in points.chunks_mut(64).enumerate() {
-                let word = block.bitmap[base / 64 + w];
-                for (b, slot) in pts.iter_mut().enumerate() {
-                    let j = base + w * 64 + b;
-                    if (word >> b) & 1 == 1 {
-                        let code = read_at(&block.index_words, block.bits, comp_rank);
-                        comp_rank += 1;
-                        *slot = if code == 0 {
-                            prev[j]
-                        } else {
-                            let rep = block.table.representative(code as usize - 1);
-                            prev[j] * (1.0 + rep)
-                        };
+            // One pre-sized scratch per chunk task, reused by every block
+            // in the chunk — no per-block heap traffic.
+            let mut codes = [0u32; DECODE_BLOCK];
+            for (bi, pts_block) in points.chunks_mut(DECODE_BLOCK).enumerate() {
+                let block_base = base + bi * DECODE_BLOCK;
+                let word0 = block_base / 64;
+                let nwords = pts_block.len().div_ceil(64);
+                let words = &block.bitmap[word0..word0 + nwords];
+                // All of this block's codes in one bulk unpack.
+                let ncomp = numarck_simd::popcount::popcount_sum(words) as usize;
+                numarck_simd::unpack::unpack(
+                    &block.index_words,
+                    block.bits,
+                    comp_rank,
+                    &mut codes[..ncomp],
+                );
+                let mut cpos = 0usize;
+                for (w, pts) in pts_block.chunks_mut(64).enumerate() {
+                    let word = words[w];
+                    let j0 = block_base + w * 64;
+                    if word == u64::MAX && pts.len() == 64 {
+                        // Fully compressible word: vector centroid lookup.
+                        numarck_simd::unpack::apply_codes(
+                            &codes[cpos..cpos + 64],
+                            &rep1,
+                            &prev[j0..j0 + 64],
+                            pts,
+                        );
+                        cpos += 64;
+                    } else if word == 0 {
+                        // Fully escaped word: straight copy.
+                        pts.copy_from_slice(
+                            &block.exact_values[exact_rank..exact_rank + pts.len()],
+                        );
+                        exact_rank += pts.len();
                     } else {
-                        *slot = block.exact_values[exact_rank];
-                        exact_rank += 1;
+                        for (b, slot) in pts.iter_mut().enumerate() {
+                            if (word >> b) & 1 == 1 {
+                                let code = codes[cpos] as usize;
+                                cpos += 1;
+                                *slot = if code == 0 {
+                                    prev[j0 + b]
+                                } else {
+                                    prev[j0 + b] * rep1[code]
+                                };
+                            } else {
+                                *slot = block.exact_values[exact_rank];
+                                exact_rank += 1;
+                            }
+                        }
                     }
                 }
+                comp_rank += ncomp;
             }
         },
     );
@@ -124,15 +171,13 @@ fn validate(prev: &[f64], block: &CompressedIteration) -> Result<(), NumarckErro
             "compressible + exact counts do not cover all points".into(),
         ));
     }
-    // Indices must address the table; parallel max-code scan over the
-    // bit-packed stream.
+    // Indices must address the table; parallel max-code scan using the
+    // bulk-unpack lane kernel instead of one bit-stream walk per point.
     let nc = block.num_compressible;
     let ranges: Vec<(usize, usize)> = chunk_ranges(nc, chunk_size_for(nc)).collect();
     let max_code = ranges
         .par_iter()
-        .map(|&(s, e)| {
-            (s..e).map(|i| read_at(&block.index_words, block.bits, i)).max().unwrap_or(0)
-        })
+        .map(|&(s, e)| numarck_simd::unpack::max_unpacked(&block.index_words, block.bits, s, e - s))
         .max()
         .unwrap_or(0);
     if max_code as usize > block.table.len() {
@@ -195,6 +240,70 @@ mod tests {
         let cfg = Config::new(8, 0.001, Strategy::EqualWidth).unwrap();
         let restored = roundtrip(&prev, &curr, &cfg);
         assert_eq!(restored, prev);
+    }
+
+    #[test]
+    fn small_change_passthrough_is_bitwise_even_for_odd_payloads() {
+        // Restart chains may feed a *reconstruction* as `prev`, and the
+        // small-change rule is "previous value verbatim" — a blend, not a
+        // multiply. NaN payloads and signed zeros must survive decode
+        // bit-exactly through both the vector fast path (whole bitmap
+        // word compressible) and the scalar mixed path.
+        let n = 192; // 3 whole bitmap words
+        let prev: Vec<f64> = vec![2.0; n];
+        let curr: Vec<f64> = prev.clone(); // zero change everywhere -> all code 0
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let (block, _) = encode(&prev, &curr, &cfg).unwrap();
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef); // NaN payload
+        let mut prev2 = prev.clone();
+        prev2[0] = -0.0;
+        prev2[67] = weird;
+        prev2[191] = f64::from_bits(0xfff0_0000_0000_0001); // -sNaN-ish
+        let par = reconstruct(&prev2, &block).unwrap();
+        let seq = reconstruct_seq(&prev2, &block).unwrap();
+        for j in [0usize, 67, 191] {
+            assert_eq!(par[j].to_bits(), prev2[j].to_bits(), "par point {j}");
+            assert_eq!(seq[j].to_bits(), prev2[j].to_bits(), "seq point {j}");
+        }
+    }
+
+    #[test]
+    fn mixed_word_decode_matches_oracle_across_escape_densities() {
+        // Force bitmap words of every flavour — all-ones (vector path),
+        // all-zero (exact copy), mixed (scalar path) — across
+        // lane-boundary lengths, and hold the parallel decoder to the
+        // sequential oracle bit-for-bit.
+        for n in [1usize, 63, 64, 65, 127, 128, 1023, 1024, 1025, 4097] {
+            for escape_period in [0usize, 2, 7, 64, 129] {
+                let prev: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if escape_period != 0 && i % escape_period == 0 {
+                            0.0 // prev == 0 -> escaped
+                        } else {
+                            1.0 + (i % 19) as f64
+                        }
+                    })
+                    .collect();
+                let curr: Vec<f64> = prev
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        if v == 0.0 {
+                            4.25
+                        } else {
+                            v * (1.0 + 0.01 * ((i % 6) as f64))
+                        }
+                    })
+                    .collect();
+                let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+                let (block, _) = encode(&prev, &curr, &cfg).unwrap();
+                let par = reconstruct(&prev, &block).unwrap();
+                let seq = reconstruct_seq(&prev, &block).unwrap();
+                let pb: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, sb, "n={n} escape_period={escape_period}");
+            }
+        }
     }
 
     #[test]

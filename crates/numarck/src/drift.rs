@@ -50,8 +50,8 @@ impl ChangeDistribution {
         let mut small = 0usize;
         let mut undefined = 0usize;
         let mut large = 0usize;
-        for class in &ratios.classes {
-            match *class {
+        for class in ratios.iter_classes() {
+            match class {
                 RatioClass::Small(_) => small += 1,
                 RatioClass::Undefined => undefined += 1,
                 RatioClass::Large(r) => {

@@ -26,7 +26,7 @@ use numarck_par::scan::exclusive_scan_pairs;
 use crate::bitstream::BitWriter;
 use crate::config::Config;
 use crate::error::NumarckError;
-use crate::ratio::{self, RatioClass};
+use crate::ratio;
 use crate::strategy;
 use crate::table::BinTable;
 
@@ -35,6 +35,14 @@ use crate::table::BinTable;
 /// Collides with a real code only at an index width of 32 bits; the
 /// compressor caps `B` at 16, so any code `!= ESCAPE` is a packable value.
 pub const ESCAPE: u32 = u32::MAX;
+
+// The SIMD kernels emit the same sentinel; the two constants must agree.
+const _: () = assert!(ESCAPE == numarck_simd::ESCAPE);
+
+/// Points classified per cache block in the fused classify+pack pass.
+/// One block's scratch (4 KiB of codes + 8 KiB of errors) lives on the
+/// stack and stays L1-resident between the lane kernel and the packer.
+const PACK_BLOCK: usize = 1024;
 
 /// One variable's compressed delta between two consecutive iterations.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,7 +158,7 @@ pub fn encode(
 /// shared-table group encoder, [`crate::group`]). `ratios` must be the
 /// change-ratio transform at the config's tolerance of the iteration pair
 /// that produced `curr`; `prev` itself is no longer needed — small-change
-/// errors ride along inside [`RatioClass::Small`].
+/// errors are re-derived from the dense ratios.
 pub(crate) fn encode_prepared(
     curr: &[f64],
     ratios: &ratio::ChangeRatios,
@@ -165,77 +173,135 @@ pub(crate) fn encode_prepared(
     let n = ratios.len();
     let bits = config.bits();
 
-    // Phase 1 (parallel, fused): one traversal assigning every point its
-    // code — 0 = small change, t+1 = table entry t, ESCAPE = exact — and
-    // accumulating the complete error partials in the same pass. Small
-    // changes carry their true |Δ| in the class itself, so the old second
-    // sweep over `prev`/`curr` that re-derived them is gone. Codes land in
-    // one preallocated array via disjoint per-chunk windows.
+    // Phase 1 (parallel, fused, cache-blocked): per chunk, each
+    // `PACK_BLOCK`-point block runs the fused classify+quantize lane
+    // kernel — 0 = small change, t+1 = table entry t, ESCAPE = exact,
+    // plus a per-point error that is exactly 0.0 for escapes — into stack
+    // scratch, then packs those codes immediately into chunk-local
+    // sections (bitmap words, a private bit stream, escaped values) while
+    // they are still cache-hot. Error partials accumulate in point order;
+    // adding an escape's 0.0 is a Neumaier no-op, so the totals are
+    // bit-identical to the retired branch-per-class accounting. There is
+    // no intermediate n-sized code array at all.
     let classify_span = crate::obs::classify_ns().span();
     let chunk = chunk_size_aligned(n.max(1), 64);
-    let mut codes = vec![0u32; n];
-    let parts: Vec<(Neumaier, f64)> = codes
-        .par_chunks_mut(chunk)
-        .zip(ratios.classes.par_chunks(chunk))
-        .map(|(out, cls)| {
+    let words_per_chunk = chunk / 64;
+    let reps = table.representatives();
+
+    struct ChunkPack {
+        /// Chunk-local bit-packed index stream.
+        index_words: Vec<u64>,
+        len_bits: usize,
+        num_compressible: usize,
+        num_small: usize,
+        exacts: Vec<f64>,
+        err_sum: Neumaier,
+        err_max: f64,
+    }
+
+    let mut bitmap = vec![0u64; n.div_ceil(64)];
+    let parts: Vec<ChunkPack> = ratios
+        .ratios
+        .par_chunks(chunk)
+        .zip(curr.par_chunks(chunk))
+        .zip(bitmap.par_chunks_mut(words_per_chunk))
+        .map(|((rs, cs), bmap)| {
+            let mut writer = BitWriter::with_capacity(rs.len(), bits);
+            let mut exacts = Vec::new();
+            let mut num_small = 0usize;
             let mut err_sum = Neumaier::new();
             let mut err_max = 0.0f64;
-            for (slot, c) in out.iter_mut().zip(cls) {
-                *slot = match *c {
-                    RatioClass::Small(d) => {
-                        // Approximated change of zero; the true |Δ| < E is
-                        // the incurred error.
-                        let a = d.abs();
-                        err_sum.add(a);
-                        if a > err_max {
-                            err_max = a;
-                        }
-                        0
+            let mut codes = [0u32; PACK_BLOCK];
+            let mut errs = [0.0f64; PACK_BLOCK];
+            for (bi, block) in rs.chunks(PACK_BLOCK).enumerate() {
+                let start = bi * PACK_BLOCK;
+                let m = block.len();
+                numarck_simd::quantize::classify_quantize(
+                    block,
+                    reps,
+                    tolerance,
+                    &mut codes[..m],
+                    &mut errs[..m],
+                );
+                for (k, (&code, &e)) in codes[..m].iter().zip(&errs[..m]).enumerate() {
+                    err_sum.add(e);
+                    if e > err_max {
+                        err_max = e;
                     }
-                    RatioClass::Undefined => ESCAPE,
-                    RatioClass::Large(r) => match table.quantize(r) {
-                        Some((idx, _, err)) if err <= tolerance => {
-                            err_sum.add(err);
-                            if err > err_max {
-                                err_max = err;
-                            }
-                            idx as u32 + 1
-                        }
-                        _ => ESCAPE,
-                    },
-                };
+                    if code == ESCAPE {
+                        exacts.push(cs[start + k]);
+                    } else {
+                        let j = start + k;
+                        bmap[j / 64] |= 1u64 << (j % 64);
+                        num_small += usize::from(code == 0);
+                        writer.push(code, bits);
+                    }
+                }
             }
-            (err_sum, err_max)
+            let len_bits = writer.len_bits();
+            ChunkPack {
+                index_words: writer.into_words(),
+                len_bits,
+                num_compressible: len_bits / bits as usize,
+                num_small,
+                exacts,
+                err_sum,
+                err_max,
+            }
         })
         .collect();
 
     drop(classify_span);
 
-    // Phase 2 (parallel): rank-partitioned packing of bitmap + index
-    // stream + exact values.
-    let packed = {
-        let _span = crate::obs::pack_ns().span();
-        pack_codes_parallel(&codes, curr, bits)
-    };
+    // Phase 2 (parallel): an exclusive scan over the per-chunk counts
+    // fixes every chunk's global offsets, then each chunk funnel-shifts
+    // its private bit stream into the shared index words (OR-stitching
+    // the one word adjacent chunks may share) and copies its escaped
+    // values into a disjoint window. Output is deterministic for any
+    // thread count.
+    let pack_span = crate::obs::pack_ns().span();
+    let counts: Vec<(u64, u64)> =
+        parts.iter().map(|p| (p.num_compressible as u64, p.exacts.len() as u64)).collect();
+    let (offsets, (total_comp, total_esc)) = exclusive_scan_pairs(&counts);
+    let num_compressible = total_comp as usize;
+    let index_words: Vec<AtomicU64> = (0..(num_compressible * bits as usize).div_ceil(64))
+        .map(|_| AtomicU64::new(0))
+        .collect();
+    let mut exact_values = vec![0.0f64; total_esc as usize];
+    let exact_windows = partition_mut(&mut exact_values, parts.iter().map(|p| p.exacts.len()));
+    parts.par_iter().zip(offsets.par_iter()).zip(exact_windows.into_par_iter()).for_each(
+        |((part, &(comp_before, _)), window)| {
+            BitWriter::shift_or_into(
+                &index_words,
+                comp_before as usize * bits as usize,
+                &part.index_words,
+                part.len_bits,
+            );
+            window.copy_from_slice(&part.exacts);
+        },
+    );
+    let index_words: Vec<u64> = index_words.into_iter().map(AtomicU64::into_inner).collect();
+    drop(pack_span);
 
-    // Merge error partials (chunk order: deterministic).
+    // Merge partials (chunk order: deterministic).
     let mut err_sum = Neumaier::new();
     let mut err_max = 0.0f64;
-    for (s, m) in &parts {
-        err_sum.merge(s);
-        err_max = err_max.max(*m);
+    let mut num_small = 0usize;
+    for p in &parts {
+        err_sum.merge(&p.err_sum);
+        err_max = err_max.max(p.err_max);
+        num_small += p.num_small;
     }
-    let num_small = packed.num_small;
 
     let compressed = CompressedIteration {
         bits,
         tolerance,
         num_points: n,
         table,
-        bitmap: packed.bitmap,
-        index_words: packed.index_words,
-        num_compressible: packed.num_compressible,
-        exact_values: packed.exact_values,
+        bitmap,
+        index_words,
+        num_compressible,
+        exact_values,
     };
 
     let actual = crate::serialize::actual_compression_ratio(&compressed);
@@ -555,8 +621,8 @@ mod tests {
             );
             let mut sum = Neumaier::new();
             let mut max = 0.0f64;
-            for c in &ratios.classes {
-                if let RatioClass::Large(r) = *c {
+            for c in ratios.iter_classes() {
+                if let ratio::RatioClass::Large(r) = c {
                     if let Some((_, _, err)) = table.quantize(r) {
                         if err <= tol {
                             sum.add(err);
@@ -609,12 +675,11 @@ mod tests {
             &config.clustering(),
         );
         let codes: Vec<u32> = ratios
-            .classes
-            .iter()
-            .map(|c| match *c {
-                RatioClass::Small(_) => 0,
-                RatioClass::Undefined => ESCAPE,
-                RatioClass::Large(r) => match table.quantize(r) {
+            .iter_classes()
+            .map(|c| match c {
+                ratio::RatioClass::Small(_) => 0,
+                ratio::RatioClass::Undefined => ESCAPE,
+                ratio::RatioClass::Large(r) => match table.quantize(r) {
                     Some((idx, _, err)) if err <= config.tolerance() => idx as u32 + 1,
                     _ => ESCAPE,
                 },
@@ -624,6 +689,71 @@ mod tests {
         let parallel = pack_codes_parallel(&codes, &curr, config.bits());
         assert_eq!(serial, parallel);
         assert!(!serial.exact_values.is_empty() && serial.num_compressible > 0);
+    }
+
+    #[test]
+    fn fused_encode_sections_match_serial_reference() {
+        // The fused cache-blocked classify+pack pass must produce every
+        // compressed section — bitmap, packed indices, exact values —
+        // bit-identically to the retired two-pass path: per-point
+        // classification against the same table, then the serial packer.
+        // Sweep lane-boundary sizes and a mix of escape densities.
+        for n in [0usize, 1, 7, 63, 64, 65, 1023, 1024, 1025, 4097, 20_000] {
+            let prev: Vec<f64> = (0..n)
+                .map(|i| match i % 13 {
+                    0 => 0.0,
+                    1 => f64::NAN,
+                    _ => 1.0 + (i % 29) as f64,
+                })
+                .collect();
+            let curr: Vec<f64> = prev
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    if *v == 0.0 || !v.is_finite() {
+                        2.5
+                    } else {
+                        v * (1.0
+                            + match i % 4 {
+                                0 => 0.0004,           // small change
+                                1 => 0.05,             // common large ratio
+                                2 => 0.07,             // second cluster
+                                _ => 9.0 + i as f64,   // unquantizable -> escape
+                            })
+                    }
+                })
+                .collect();
+            // NaN prev is a whole-input error for encode(); only keep it
+            // when the transform would reject it — here replace with 1.0.
+            let prev: Vec<f64> = prev.iter().map(|&v| if v.is_finite() { v } else { 1.0 }).collect();
+            let config = cfg(Strategy::Clustering);
+            let tol = config.tolerance();
+            let (fused, _) = encode(&prev, &curr, &config).unwrap();
+            let ratios = ratio::compute(&prev, &curr, tol).unwrap();
+            let table = strategy::fit_table(
+                config.strategy(),
+                &ratios.fit_sample,
+                config.max_table_len(),
+                &config.clustering(),
+            );
+            assert_eq!(fused.table, table, "n={n}: table fit must be unchanged");
+            let codes: Vec<u32> = ratios
+                .iter_classes()
+                .map(|c| match c {
+                    ratio::RatioClass::Small(_) => 0,
+                    ratio::RatioClass::Undefined => ESCAPE,
+                    ratio::RatioClass::Large(r) => match table.quantize(r) {
+                        Some((idx, _, err)) if err <= tol => idx as u32 + 1,
+                        _ => ESCAPE,
+                    },
+                })
+                .collect();
+            let reference = pack_codes_serial(&codes, &curr, config.bits());
+            assert_eq!(fused.bitmap, reference.bitmap, "n={n}");
+            assert_eq!(fused.index_words, reference.index_words, "n={n}");
+            assert_eq!(fused.num_compressible, reference.num_compressible, "n={n}");
+            assert_eq!(fused.exact_values, reference.exact_values, "n={n}");
+        }
     }
 
     #[test]

@@ -282,9 +282,7 @@ mod tests {
         proptest! {
             #[test]
             fn roundtrip_random_values(
-                data in proptest::collection::vec(
-                    proptest::num::f64::ANY, 0..500
-                )
+                data in proptest::collection::vec(any::<f64>(), 0..500)
             ) {
                 let back = decompress(&compress(&data)).unwrap();
                 prop_assert_eq!(back.len(), data.len());

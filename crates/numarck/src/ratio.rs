@@ -6,10 +6,20 @@
 //! 100→110 both become the single ratio 0.10. Points whose previous value
 //! is exactly zero have no defined ratio and are marked incompressible
 //! (their current value will be stored exactly), per the paper.
+//!
+//! Storage is *dense*: [`ChangeRatios`] keeps one raw IEEE `f64` per
+//! point (8 bytes, half the old tagged-enum layout) plus the tolerance it
+//! was computed at. The per-point class is fully derivable from the value
+//! itself — a zero previous value produces `±inf`/`NaN` straight from the
+//! division, so non-finite ⇒ [`RatioClass::Undefined`], `|Δ| < E` ⇒
+//! [`RatioClass::Small`], else [`RatioClass::Large`] — which is exactly
+//! what lets the encoder's fused SIMD kernel re-derive classes from the
+//! ratio array without a second tagged pass.
 
 use rayon::prelude::*;
 
 use numarck_par::chunk::{chunk_size_for, partition_mut};
+use numarck_simd::transform::change_ratios as simd_change_ratios;
 
 use crate::error::NumarckError;
 
@@ -26,6 +36,20 @@ pub enum RatioClass {
     /// Previous value was zero (or the ratio is non-finite): must be
     /// stored exactly.
     Undefined,
+}
+
+/// Classify one raw ratio at tolerance `E`. With finite inputs, a zero
+/// previous value yields `±inf`/`NaN` from the division itself, so the
+/// non-finite check covers both "no defined ratio" cases.
+#[inline]
+pub fn classify(r: f64, tolerance: f64) -> RatioClass {
+    if !r.is_finite() {
+        RatioClass::Undefined
+    } else if r.abs() < tolerance {
+        RatioClass::Small(r)
+    } else {
+        RatioClass::Large(r)
+    }
 }
 
 /// Per-class tallies produced by the transform pass.
@@ -50,8 +74,11 @@ impl ClassCounts {
 /// The change-ratio transform of one iteration pair.
 #[derive(Debug, Clone)]
 pub struct ChangeRatios {
-    /// Per-point class.
-    pub classes: Vec<RatioClass>,
+    /// Raw IEEE ratio per point; non-finite entries are the undefined
+    /// points (zero previous value or overflowed division).
+    pub ratios: Vec<f64>,
+    /// The tolerance `E` the transform was classified at.
+    pub tolerance: f64,
     /// The subset of ratios with `|Δ| ≥ E`, in point order — the sample the
     /// approximation strategies learn from.
     pub fit_sample: Vec<f64>,
@@ -62,18 +89,33 @@ pub struct ChangeRatios {
 impl ChangeRatios {
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.classes.len()
+        self.ratios.len()
     }
 
     /// True when there are no points.
     pub fn is_empty(&self) -> bool {
-        self.classes.is_empty()
+        self.ratios.is_empty()
+    }
+
+    /// Class of point `j`, derived from the dense ratio.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    #[inline]
+    pub fn class(&self, j: usize) -> RatioClass {
+        classify(self.ratios[j], self.tolerance)
+    }
+
+    /// Iterate the per-point classes in point order.
+    pub fn iter_classes(&self) -> impl Iterator<Item = RatioClass> + '_ {
+        let tol = self.tolerance;
+        self.ratios.iter().map(move |&r| classify(r, tol))
     }
 
     /// Count of points in each class: `(small, large, undefined)`.
     ///
     /// O(1): the tallies are accumulated by the parallel transform pass
-    /// in [`compute`], not re-derived by walking `classes`.
+    /// in [`compute`], not re-derived by walking the ratios.
     pub fn class_counts(&self) -> (usize, usize, usize) {
         (self.counts.small, self.counts.large, self.counts.undefined)
     }
@@ -93,19 +135,18 @@ pub fn change_ratio(prev: f64, curr: f64) -> Option<f64> {
 /// Compute the change-ratio transform for an iteration pair.
 ///
 /// Inputs must be the same length and finite ([`NumarckError::LengthMismatch`]
-/// / [`NumarckError::NonFiniteInput`] otherwise). The computation is
-/// chunk-parallel; output ordering is point order regardless of thread
-/// count.
+/// / [`NumarckError::NonFiniteInput`] otherwise); input validation is
+/// fused into the SIMD transform pass instead of two dedicated sweeps.
+/// The computation is chunk-parallel; output ordering is point order
+/// regardless of thread count.
 pub fn compute(prev: &[f64], curr: &[f64], tolerance: f64) -> Result<ChangeRatios, NumarckError> {
     if prev.len() != curr.len() {
         return Err(NumarckError::LengthMismatch { prev: prev.len(), curr: curr.len() });
     }
-    if let Some(idx) = first_non_finite(prev).or_else(|| first_non_finite(curr)) {
-        return Err(NumarckError::NonFiniteInput { index: idx });
-    }
     if prev.is_empty() {
         return Ok(ChangeRatios {
-            classes: Vec::new(),
+            ratios: Vec::new(),
+            tolerance,
             fit_sample: Vec::new(),
             counts: ClassCounts::default(),
         });
@@ -113,63 +154,77 @@ pub fn compute(prev: &[f64], curr: &[f64], tolerance: f64) -> Result<ChangeRatio
 
     let n = prev.len();
     let chunk = chunk_size_for(n);
-    // Single fused pass: classes are written straight into one
-    // preallocated vector (no per-chunk Vec + serial concatenation), and
-    // each chunk also tallies its class counts and collects its local fit
-    // sample. Chunk decomposition is fixed, so the result is deterministic
-    // for any thread count.
-    let mut classes = vec![RatioClass::Undefined; n];
-    let parts: Vec<(Vec<f64>, ClassCounts)> = classes
+    // Single fused pass per chunk: the lane kernel writes the raw ratios
+    // and reports non-finite inputs; a second in-cache walk tallies the
+    // classes and collects the chunk's fit sample. Chunk decomposition is
+    // fixed, so the result is deterministic for any thread count.
+    let mut ratios = vec![0.0f64; n];
+    struct ChunkPart {
+        bad_prev: Option<usize>,
+        bad_curr: Option<usize>,
+        sample: Vec<f64>,
+        counts: ClassCounts,
+    }
+    let parts: Vec<ChunkPart> = ratios
         .par_chunks_mut(chunk)
         .zip(prev.par_chunks(chunk).zip(curr.par_chunks(chunk)))
         .map(|(out, (p, c))| {
+            let bad = simd_change_ratios(p, c, out);
             let mut sample = Vec::new();
             let mut counts = ClassCounts::default();
-            for (slot, (&pv, &cv)) in out.iter_mut().zip(p.iter().zip(c)) {
-                *slot = match change_ratio(pv, cv) {
-                    None => {
-                        counts.undefined += 1;
-                        RatioClass::Undefined
+            if bad.is_none() {
+                for &r in out.iter() {
+                    match classify(r, tolerance) {
+                        RatioClass::Undefined => counts.undefined += 1,
+                        RatioClass::Small(_) => counts.small += 1,
+                        RatioClass::Large(r) => {
+                            counts.large += 1;
+                            sample.push(r);
+                        }
                     }
-                    Some(r) if r.abs() < tolerance => {
-                        counts.small += 1;
-                        RatioClass::Small(r)
-                    }
-                    Some(r) => {
-                        counts.large += 1;
-                        sample.push(r);
-                        RatioClass::Large(r)
-                    }
-                };
+                }
             }
-            (sample, counts)
+            ChunkPart {
+                bad_prev: bad.and_then(|b| b.prev),
+                bad_curr: bad.and_then(|b| b.curr),
+                sample,
+                counts,
+            }
         })
         .collect();
+
+    // Error ordering matches the retired two-sweep validation: the first
+    // bad index anywhere in `prev` wins over any bad index in `curr`.
+    // Chunk-local indices are monotone in chunk order, so the first hit
+    // per array is the global minimum.
+    let mut first_prev = None;
+    let mut first_curr = None;
+    for (ci, part) in parts.iter().enumerate() {
+        if first_prev.is_none() {
+            first_prev = part.bad_prev.map(|j| ci * chunk + j);
+        }
+        if first_curr.is_none() {
+            first_curr = part.bad_curr.map(|j| ci * chunk + j);
+        }
+    }
+    if let Some(index) = first_prev.or(first_curr) {
+        return Err(NumarckError::NonFiniteInput { index });
+    }
 
     // Assemble the pooled fit sample into one preallocated vector: the
     // per-chunk sample lengths partition the output exactly, so every
     // chunk's sample is copied in parallel into its own disjoint window.
     let mut counts = ClassCounts::default();
-    for (_, c) in &parts {
-        counts.merge(c);
+    for part in &parts {
+        counts.merge(&part.counts);
     }
     let mut fit_sample = vec![0.0f64; counts.large];
-    let windows = partition_mut(&mut fit_sample, parts.iter().map(|(s, _)| s.len()));
+    let windows = partition_mut(&mut fit_sample, parts.iter().map(|p| p.sample.len()));
     windows
         .into_par_iter()
         .zip(parts.par_iter())
-        .for_each(|(dst, (src, _))| dst.copy_from_slice(src));
-    Ok(ChangeRatios { classes, fit_sample, counts })
-}
-
-fn first_non_finite(data: &[f64]) -> Option<usize> {
-    let chunk = chunk_size_for(data.len());
-    data.par_chunks(chunk)
-        .enumerate()
-        .filter_map(|(ci, c)| {
-            c.iter().position(|x| !x.is_finite()).map(|j| ci * chunk + j)
-        })
-        .min()
+        .for_each(|(dst, part)| dst.copy_from_slice(&part.sample));
+    Ok(ChangeRatios { ratios, tolerance, fit_sample, counts })
 }
 
 #[cfg(test)]
@@ -209,12 +264,30 @@ mod tests {
         let curr = [1.0005, 2.5, 7.0, 4.0];
         let r = compute(&prev, &curr, 0.001).unwrap();
         // 0.05% < 0.1%: small, carrying the actual ratio.
-        assert!(matches!(r.classes[0], RatioClass::Small(d) if (d - 0.0005).abs() < 1e-12));
-        assert_eq!(r.classes[1], RatioClass::Large(0.25));
-        assert_eq!(r.classes[2], RatioClass::Undefined);
-        assert_eq!(r.classes[3], RatioClass::Small(0.0)); // exactly zero change
+        assert!(matches!(r.class(0), RatioClass::Small(d) if (d - 0.0005).abs() < 1e-12));
+        assert_eq!(r.class(1), RatioClass::Large(0.25));
+        assert_eq!(r.class(2), RatioClass::Undefined);
+        assert_eq!(r.class(3), RatioClass::Small(0.0)); // exactly zero change
         assert_eq!(r.fit_sample, vec![0.25]);
         assert_eq!(r.class_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn dense_storage_matches_per_point_change_ratio() {
+        // The dense vector stores the raw IEEE division result; the class
+        // derivation must agree with the Option-returning scalar helper.
+        let prev = [1.0, 0.0, -0.0, 2.0, f64::MIN_POSITIVE];
+        let curr = [1.25, 3.0, 0.0, 2.0, f64::MAX];
+        let r = compute(&prev, &curr, 0.001).unwrap();
+        for j in 0..prev.len() {
+            match change_ratio(prev[j], curr[j]) {
+                None => assert_eq!(r.class(j), RatioClass::Undefined, "point {j}"),
+                Some(v) => {
+                    assert_eq!(r.ratios[j].to_bits(), v.to_bits(), "point {j}");
+                    assert_ne!(r.class(j), RatioClass::Undefined, "point {j}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -229,6 +302,19 @@ mod tests {
         let curr = [1.0, 1.0, 1.0];
         let e = compute(&prev, &curr, 0.001).unwrap_err();
         assert_eq!(e, NumarckError::NonFiniteInput { index: 1 });
+    }
+
+    #[test]
+    fn bad_prev_wins_over_earlier_bad_curr() {
+        // The validation contract scans all of `prev` before `curr`: a
+        // non-finite prev at a later index still outranks an earlier bad
+        // curr.
+        let mut prev = vec![1.0; 40];
+        let mut curr = vec![1.0; 40];
+        prev[33] = f64::NAN;
+        curr[2] = f64::INFINITY;
+        let e = compute(&prev, &curr, 0.001).unwrap_err();
+        assert_eq!(e, NumarckError::NonFiniteInput { index: 33 });
     }
 
     #[test]
@@ -260,7 +346,7 @@ mod tests {
             .collect();
         let r = compute(&prev, &curr, 0.001).unwrap();
         let mut manual = (0usize, 0usize, 0usize);
-        for c in &r.classes {
+        for c in r.iter_classes() {
             match c {
                 RatioClass::Small(_) => manual.0 += 1,
                 RatioClass::Large(_) => manual.1 += 1,
@@ -273,7 +359,7 @@ mod tests {
     #[test]
     fn small_class_carries_the_actual_ratio() {
         let r = compute(&[10.0], &[10.005], 0.001).unwrap();
-        match r.classes[0] {
+        match r.class(0) {
             RatioClass::Small(d) => assert!((d - 0.0005).abs() < 1e-12),
             other => panic!("expected Small, got {other:?}"),
         }
@@ -282,7 +368,7 @@ mod tests {
     #[test]
     fn negative_changes_are_captured() {
         let r = compute(&[10.0], &[9.0], 0.001).unwrap();
-        assert_eq!(r.classes[0], RatioClass::Large(-0.1));
+        assert_eq!(r.class(0), RatioClass::Large(-0.1));
     }
 
     #[test]
