@@ -10,9 +10,12 @@
 //!
 //! ```text
 //! serve_bench [--smoke] [--out-dir DIR] [--clients N] [--iters M]
-//!             [--points P] [--addr HOST:PORT]
+//!             [--points P] [--addr HOST:PORT]...
 //! ```
 //!
+//! `--addr` may repeat: clients are assigned round-robin across the
+//! targets (shards of a cluster, or one router address), and every
+//! stage reports one throughput row per node plus the `all` aggregate.
 //! `--smoke` shrinks the workload so CI can run the harness end-to-end
 //! in seconds; the JSON schema is identical.
 
@@ -29,9 +32,12 @@ const TIMEOUT: Duration = Duration::from_secs(30);
 const BUSY_ATTEMPTS: u32 = 20;
 const BUSY_BACKOFF: Duration = Duration::from_millis(20);
 
-/// One measured stage: aggregate wall time plus per-request latencies.
+/// One measured row: a stage against one target (or the `all`
+/// aggregate), wall time plus per-request latencies.
 struct StageResult {
     stage: &'static str,
+    /// The node this row measured, or `"all"` for the aggregate.
+    target: String,
     clients: usize,
     requests: usize,
     /// Raw f64 payload bytes moved (ingested or reconstructed).
@@ -84,7 +90,7 @@ fn main() {
     let mut clients = 0usize;
     let mut iters = 0u64;
     let mut points = 0usize;
-    let mut external: Option<String> = None;
+    let mut external: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
@@ -94,9 +100,9 @@ fn main() {
             "--clients" => clients = value("--clients").parse().unwrap_or_else(|_| usage("bad --clients")),
             "--iters" => iters = value("--iters").parse().unwrap_or_else(|_| usage("bad --iters")),
             "--points" => points = value("--points").parse().unwrap_or_else(|_| usage("bad --points")),
-            "--addr" => external = Some(value("--addr")),
+            "--addr" => external.push(value("--addr")),
             "--help" | "-h" => usage(
-                "serve_bench [--smoke] [--out-dir DIR] [--clients N] [--iters M] [--points P] [--addr HOST:PORT]",
+                "serve_bench [--smoke] [--out-dir DIR] [--clients N] [--iters M] [--points P] [--addr HOST:PORT]...",
             ),
             other => usage(&format!("unknown argument: {other}")),
         }
@@ -117,21 +123,23 @@ fn main() {
     // running. The in-process server keeps the harness self-contained
     // (and the temp store is removed afterwards).
     let root = std::env::temp_dir().join(format!("numarck-serve-bench-{}", std::process::id()));
-    let handle: Option<ServerHandle> = match &external {
-        Some(_) => None,
-        None => {
-            let mut server_config = ServerConfig::new(&root, config);
-            server_config.workers = clients + 1;
-            server_config.queue_depth = 2 * clients.max(8);
-            Some(Server::spawn("127.0.0.1:0", server_config).expect("spawn bench server"))
-        }
+    let handle: Option<ServerHandle> = if external.is_empty() {
+        let mut server_config = ServerConfig::new(&root, config);
+        server_config.workers = clients + 1;
+        server_config.queue_depth = 2 * clients.max(8);
+        Some(Server::spawn("127.0.0.1:0", server_config).expect("spawn bench server"))
+    } else {
+        None
     };
-    let addr = external
-        .clone()
-        .unwrap_or_else(|| handle.as_ref().expect("own server").addr().to_string());
+    let targets: Vec<String> = if external.is_empty() {
+        vec![handle.as_ref().expect("own server").addr().to_string()]
+    } else {
+        external
+    };
 
     println!(
-        "serve_bench: {clients} clients × {iters} iterations × {points} points → {addr}{}",
+        "serve_bench: {clients} clients × {iters} iterations × {points} points → {}{}",
+        targets.join(" + "),
         if smoke { ", SMOKE" } else { "" }
     );
 
@@ -139,7 +147,7 @@ fn main() {
         (0..clients).map(|c| iteration_data(c, points, iters)).collect();
 
     // Stage 1: concurrent ingest, one session per client.
-    let ingest = run_stage("ingest", clients, &data, &addr, move |client, session, seq, lat| {
+    let ingest = run_stage("ingest", clients, &data, &targets, move |client, session, seq, lat| {
         let mut bytes = 0u64;
         for (it, values) in seq.iter().enumerate() {
             let mut vars = VariableSet::new();
@@ -153,7 +161,7 @@ fn main() {
     });
 
     // Stage 2: concurrent restarts cycling over every stored iteration.
-    let restart = run_stage("restart", clients, &data, &addr, move |client, session, seq, lat| {
+    let restart = run_stage("restart", clients, &data, &targets, move |client, session, seq, lat| {
         let mut bytes = 0u64;
         for it in 0..seq.len() as u64 {
             let t0 = Instant::now();
@@ -165,9 +173,10 @@ fn main() {
         bytes
     });
 
-    let results = [ingest, restart];
+    let results: Vec<StageResult> = ingest.into_iter().chain(restart).collect();
     let mut rows = vec![vec![
         "stage".to_string(),
+        "target".to_string(),
         "clients".to_string(),
         "requests".to_string(),
         "req/s".to_string(),
@@ -178,6 +187,7 @@ fn main() {
     for r in &results {
         rows.push(vec![
             r.stage.to_string(),
+            r.target.clone(),
             r.clients.to_string(),
             r.requests.to_string(),
             format!("{:.1}", r.requests_per_sec()),
@@ -191,7 +201,9 @@ fn main() {
     // Server-side view of the same run: the extended stats reply carries
     // the service's own request-latency histograms and queue depth, so
     // the JSON records both client-observed and server-observed numbers.
-    let server_stats = Client::connect(&addr as &str, TIMEOUT)
+    // With multiple targets the first node's reply is recorded (a router
+    // target aggregates the whole cluster in its single reply).
+    let server_stats = Client::connect(&targets[0] as &str, TIMEOUT)
         .and_then(|mut c| c.stats())
         .expect("stats after load");
 
@@ -208,19 +220,23 @@ fn main() {
 }
 
 /// Run one stage: `clients` threads, each with its own connection and
-/// session, all started together; wall time is the slowest thread.
+/// session, assigned round-robin across `targets`, all started
+/// together; wall time is the slowest thread. Returns the `all`
+/// aggregate row first, then one row per node when there are several
+/// (per-node rows share the stage wall clock, since the nodes ran
+/// concurrently).
 fn run_stage(
     stage: &'static str,
     clients: usize,
     data: &[Vec<Vec<f64>>],
-    addr: &str,
+    targets: &[String],
     work: impl Fn(&mut Client, u64, &[Vec<f64>], &mut Vec<f64>) -> u64 + Send + Copy + 'static,
-) -> StageResult {
+) -> Vec<StageResult> {
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let seq = data[c].clone();
-            let addr = addr.to_string();
+            let addr = targets[c % targets.len()].clone();
             thread::spawn(move || {
                 let (mut client, session) = Client::connect_session(
                     &addr as &str,
@@ -236,21 +252,44 @@ fn run_stage(
             })
         })
         .collect();
-    let mut bytes = 0u64;
-    let mut latencies = Vec::new();
-    for h in handles {
+    // Per-target accumulation, in target order.
+    let mut node_bytes = vec![0u64; targets.len()];
+    let mut node_latencies: Vec<Vec<f64>> = vec![Vec::new(); targets.len()];
+    let mut node_clients = vec![0usize; targets.len()];
+    for (c, h) in handles.into_iter().enumerate() {
         let (b, l) = h.join().expect("bench client thread");
-        bytes += b;
-        latencies.extend(l);
+        let node = c % targets.len();
+        node_bytes[node] += b;
+        node_latencies[node].extend(l);
+        node_clients[node] += 1;
     }
-    StageResult {
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let row = |target: String, clients: usize, bytes: u64, latencies: Vec<f64>| StageResult {
         stage,
+        target,
         clients,
         requests: latencies.len(),
         bytes,
-        wall_secs: t0.elapsed().as_secs_f64(),
+        wall_secs,
         latencies,
+    };
+    let mut out = vec![row(
+        "all".to_string(),
+        clients,
+        node_bytes.iter().sum(),
+        node_latencies.iter().flatten().copied().collect(),
+    )];
+    if targets.len() > 1 {
+        for (i, addr) in targets.iter().enumerate() {
+            out.push(row(
+                addr.clone(),
+                node_clients[i],
+                node_bytes[i],
+                std::mem::take(&mut node_latencies[i]),
+            ));
+        }
     }
+    out
 }
 
 fn usage(msg: &str) -> ! {
@@ -277,10 +316,11 @@ fn render_json(
         let comma = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             s,
-            "    {{\"stage\": \"{}\", \"clients\": {}, \"requests\": {}, \"secs\": {:.6}, \
-             \"requests_per_sec\": {:.1}, \"mb_per_sec\": {:.3}, \
+            "    {{\"stage\": \"{}\", \"target\": \"{}\", \"clients\": {}, \"requests\": {}, \
+             \"secs\": {:.6}, \"requests_per_sec\": {:.1}, \"mb_per_sec\": {:.3}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
             r.stage,
+            r.target,
             r.clients,
             r.requests,
             r.wall_secs,

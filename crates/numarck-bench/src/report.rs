@@ -60,9 +60,20 @@ pub fn host_meta_json() -> String {
         .unwrap_or_else(|| "unknown".to_string());
     format!(
         "{{\"cores\": {cores}, \"rayon_threads\": {rayon_threads}, \
-         \"git_rev\": \"{git_rev}\", \"os\": \"{}\"}}",
+         \"sequential_stub\": {}, \"git_rev\": \"{git_rev}\", \"os\": \"{}\"}}",
+        sequential_stub(),
         std::env::consts::OS
     )
+}
+
+/// Whether the rayon underneath is the container's sequential stub
+/// rather than a real thread pool. Detected empirically — a genuine
+/// 2-thread pool runs `install` closures on a worker thread, the stub
+/// runs them inline on the caller — so parallel-looking numbers in a
+/// stamped report can be discounted honestly.
+pub fn sequential_stub() -> bool {
+    let caller = std::thread::current().id();
+    numarck_par::pool::build_pool(2).install(|| std::thread::current().id() == caller)
 }
 
 /// Format a fraction as a percent with `dp` decimals.
@@ -106,8 +117,15 @@ mod tests {
     #[test]
     fn host_meta_has_all_fields() {
         let meta = host_meta_json();
-        for key in ["\"cores\":", "\"rayon_threads\":", "\"git_rev\":", "\"os\":"] {
+        for key in
+            ["\"cores\":", "\"rayon_threads\":", "\"sequential_stub\":", "\"git_rev\":", "\"os\":"]
+        {
             assert!(meta.contains(key), "{meta}");
         }
+        // The flag must be a bare JSON boolean, whichever rayon this is.
+        assert!(
+            meta.contains("\"sequential_stub\": true") || meta.contains("\"sequential_stub\": false"),
+            "{meta}"
+        );
     }
 }

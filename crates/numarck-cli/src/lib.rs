@@ -19,6 +19,7 @@
 pub mod args;
 pub mod chainfile;
 pub mod commands;
+pub mod router_cmd;
 pub mod seqfile;
 pub mod serve_cmd;
 
@@ -118,6 +119,7 @@ pub fn run(args: &[String]) -> CliResult {
         "scrub" => commands::scrub(&args[1..]),
         "repair" => commands::repair(&args[1..]),
         "serve" => serve_cmd::serve(&args[1..]),
+        "router" => router_cmd::router(&args[1..]),
         "stats" => serve_cmd::stats(&args[1..]),
         "client" => serve_cmd::client(&args[1..]),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -144,6 +146,9 @@ USAGE:
   numarck serve      --root <dir> [--addr HOST:PORT] [--workers N] [--queue N]
                      [--bits B] [--tolerance E] [--full-interval K]
                      [--metrics-addr HOST:PORT] [--replicas N]
+  numarck router     --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+                     [--replication N] [--vnodes V] [--metrics-addr HOST:PORT]
+                     [--probe-interval-ms MS] [--markdown-after K] [--max-conns N]
   numarck stats      --addr HOST:PORT [--prometheus | --json]
   numarck client     ingest   --addr HOST:PORT --session NAME <in.f64s>
   numarck client     replay   --addr HOST:PORT --session NAME --out <file.f64s>
@@ -163,6 +168,10 @@ every ingest intent and recovers half-applied writes on startup.
 Observability: 'serve --metrics-addr' exposes a plain-HTTP GET /metrics
 endpoint (Prometheus text); 'stats --prometheus|--json' renders the wire
 stats reply in the same formats.
+Cluster: 'router' fronts N 'serve' shards, placing sessions by
+consistent hashing and replicating ingest (factor --replication); every
+'client' subcommand accepts --via-router HOST:PORT as a synonym for
+--addr to target the gateway.
 Exit codes: 0 ok · 1 error · 2 usage · 3 missing · 4 corrupt ·
 5 quarantined-by-scrub · 6 server-busy."
         .to_string()

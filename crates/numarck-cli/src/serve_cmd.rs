@@ -149,8 +149,17 @@ pub fn client(raw: &[String]) -> CliResult {
     }
 }
 
+/// The server address: `--addr`, or its synonym `--via-router` (same
+/// wire protocol either way; the flag just names the gateway intent in
+/// scripts). Giving both is a usage error to catch confused scripts.
 fn require_addr(p: &crate::args::Parsed) -> Result<String, CliError> {
-    Ok(p.require("addr").map_err(CliError::usage)?.to_string())
+    match (p.get("addr"), p.get("via-router")) {
+        (Some(_), Some(_)) => {
+            Err(CliError::usage("--addr and --via-router are synonyms; give exactly one"))
+        }
+        (Some(a), None) | (None, Some(a)) => Ok(a.to_string()),
+        (None, None) => Err(CliError::usage("missing required flag --addr (or --via-router)")),
+    }
 }
 
 fn connect(addr: &str) -> Result<Client, CliError> {
@@ -181,7 +190,7 @@ fn pick_var<'a>(vars: &'a VariableSet, want: Option<&str>) -> Result<&'a Vec<f64
 /// `client ingest`: stream a `.f64s` sequence into a session, one
 /// iteration per checkpoint, retrying `Busy` rejections with backoff.
 fn ingest(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr", "session", "var"], &[])?;
+    let p = parse_args(raw, &["addr", "via-router", "session", "var"], &[])?;
     let input = &p.expect_positionals(1, "input .f64s").map_err(CliError::usage)?[0];
     let addr = require_addr(&p)?;
     let session_name = p.require("session").map_err(CliError::usage)?;
@@ -229,7 +238,7 @@ fn latest_restartable(client: &mut Client, session_name: &str) -> Result<u64, Cl
 /// reconstructed states as a `.f64s` sequence — the service-side twin of
 /// `numarck decompress`, so CI can byte-compare the two.
 fn replay(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr", "session", "out", "var"], &[])?;
+    let p = parse_args(raw, &["addr", "via-router", "session", "out", "var"], &[])?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
     let addr = require_addr(&p)?;
     let session_name = p.require("session").map_err(CliError::usage)?;
@@ -261,7 +270,7 @@ fn replay(raw: &[String]) -> CliResult {
 /// `client restart`: recover one state (newest, or `--at N`) and
 /// optionally write it as a single-iteration `.f64s`.
 fn restart(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr", "session", "at", "out", "var"], &[])?;
+    let p = parse_args(raw, &["addr", "via-router", "session", "at", "out", "var"], &[])?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
     let addr = require_addr(&p)?;
     let session_name = p.require("session").map_err(CliError::usage)?;
@@ -315,7 +324,7 @@ fn reply_to_snapshot(s: &StatsReply) -> Snapshot {
 /// per-session summaries, human-readable by default, or rendered as
 /// Prometheus text (`--prometheus`) / JSON (`--json`) for scrapers.
 pub fn stats(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr"], &["prometheus", "json"])?;
+    let p = parse_args(raw, &["addr", "via-router"], &["prometheus", "json"])?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
     if p.has("prometheus") && p.has("json") {
         return Err(CliError::usage("--prometheus and --json are mutually exclusive"));
@@ -369,7 +378,7 @@ pub fn stats(raw: &[String]) -> CliResult {
 /// exit-code contract: damage quarantined without repair exits
 /// [`crate::exit_code::QUARANTINED`].
 fn scrub(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr", "session"], &["repair"])?;
+    let p = parse_args(raw, &["addr", "via-router", "session"], &["repair"])?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
     let addr = require_addr(&p)?;
     let session_name = p.require("session").map_err(CliError::usage)?;
@@ -406,7 +415,7 @@ fn scrub(raw: &[String]) -> CliResult {
 
 /// `client shutdown`: ask the server to drain and exit.
 fn shutdown(raw: &[String]) -> CliResult {
-    let p = parse_args(raw, &["addr"], &[])?;
+    let p = parse_args(raw, &["addr", "via-router"], &[])?;
     p.expect_positionals(0, "").map_err(CliError::usage)?;
     let mut client = connect(&require_addr(&p)?)?;
     client.shutdown().map_err(map_client_err)?;

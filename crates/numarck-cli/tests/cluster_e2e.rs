@@ -1,0 +1,215 @@
+//! Cluster acceptance test against the real binaries: three `numarck
+//! serve` shard processes fronted by a `numarck router` process.
+//!
+//! The contract under test: a session ingested *through the router*
+//! with replication factor 2 survives a SIGKILL of its primary shard —
+//! the surviving replica replays it byte-identical to a local
+//! decompress — and the router's `/metrics` endpoint reports the
+//! mark-down. The driving client is the stock CLI client (via
+//! `--via-router`, a synonym for `--addr`): zero client changes.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use numarck_cluster::{HashRing, DEFAULT_VNODES};
+
+const BIN: &str = env!("CARGO_BIN_EXE_numarck");
+const DEADLINE: Duration = Duration::from_secs(30);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "numarck-cluster-e2e-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("after epoch")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&path).expect("mkdir");
+        Self(path)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).display().to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A spawned server/router process plus the addresses it printed.
+struct Proc {
+    child: Child,
+    reader: BufReader<std::process::ChildStdout>,
+    addr: String,
+    metrics: Option<String>,
+}
+
+impl Proc {
+    fn sigkill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        self.sigkill();
+    }
+}
+
+/// Spawn the binary and read its startup lines: "listening on ADDR",
+/// plus "metrics on URL" when `want_metrics`.
+fn spawn_proc(args: &[&str], want_metrics: bool) -> Proc {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn numarck");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut proc = Proc { child, reader: BufReader::new(stdout), addr: String::new(), metrics: None };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = proc.reader.read_line(&mut line).expect("read startup line");
+        assert!(n > 0, "process exited before printing its address: {args:?}");
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            proc.addr = addr.to_string();
+        } else if let Some(url) = line.trim().strip_prefix("metrics on http://") {
+            proc.metrics = Some(url.trim_end_matches("/metrics").to_string());
+        }
+        if !proc.addr.is_empty() && (!want_metrics || proc.metrics.is_some()) {
+            return proc;
+        }
+    }
+}
+
+/// Run a CLI command to completion, asserting success, returning stdout.
+fn cli(args: &[&str]) -> String {
+    let out = Command::new(BIN).args(args).output().expect("run numarck");
+    assert!(
+        out.status.success(),
+        "numarck {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Plain-HTTP GET, for the router's /metrics endpoint.
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    Ok(buf)
+}
+
+#[test]
+fn replicated_session_survives_sigkill_of_its_primary_shard() {
+    let tmp = TempDir::new("sigkill");
+    let data = tmp.path("data.f64s");
+    let local = tmp.path("local.f64s");
+    let chain = tmp.path("data.nmkc");
+
+    // Truth data plus the local reference: one full + open-loop deltas,
+    // exactly the chain a shard builds when periodic fulls are
+    // suppressed (--full-interval 1000).
+    cli(&["gen", "--source", "climate:rlus", "--iterations", "8", "--grid", "24x16", "--out", &data]);
+    cli(&["compress", &data, "--out", &chain]);
+    cli(&["decompress", &chain, "--out", &local]);
+
+    // Three shard processes on ephemeral ports.
+    let mut shards: Vec<Proc> = (0..3)
+        .map(|i| {
+            let root = tmp.path(&format!("shard-{i}"));
+            spawn_proc(
+                &["serve", "--root", &root, "--addr", "127.0.0.1:0", "--full-interval", "1000"],
+                false,
+            )
+        })
+        .collect();
+    let shard_addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+
+    // The router in front of them, quick health cadence so the test's
+    // mark-down wait stays short.
+    let mut router = spawn_proc(
+        &[
+            "router",
+            "--shards",
+            &shard_addrs.join(","),
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--probe-interval-ms",
+            "100",
+            "--markdown-after",
+            "2",
+        ],
+        true,
+    );
+    let via = router.addr.clone();
+    let metrics_addr = router.metrics.clone().expect("router metrics address");
+
+    // Mixed traffic through the router with the stock client: ingest
+    // the session, then replay it once while everything is healthy.
+    let out = cli(&["client", "ingest", "--via-router", &via, "--session", "smoke", &data]);
+    assert!(out.contains("ingested 8 iteration(s)"), "{out}");
+    let healthy = tmp.path("healthy.f64s");
+    cli(&["client", "replay", "--via-router", &via, "--session", "smoke", "--out", &healthy]);
+    assert_eq!(
+        std::fs::read(&healthy).unwrap(),
+        std::fs::read(&local).unwrap(),
+        "healthy replay via router must be byte-identical to local decompress"
+    );
+
+    // SIGKILL the session's *primary* shard — placement is pure ring
+    // arithmetic, so the test computes it the same way the router does.
+    let plan = HashRing::new(3, DEFAULT_VNODES).shards_for("smoke", 2);
+    assert_eq!(plan.len(), 2);
+    shards[plan[0]].sigkill();
+
+    // The router must report the mark-down on /metrics.
+    let deadline = Instant::now() + DEADLINE;
+    let down_gauge = format!("ncl_shard_up_{} 0", plan[0]);
+    loop {
+        let body = http_get(&metrics_addr, "/metrics").expect("scrape router metrics");
+        if body.contains(&down_gauge) {
+            assert!(body.contains("ncl_shard_markdowns_total 1"), "{body}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "router never marked shard {} down", plan[0]);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The surviving replica replays the whole session byte-identical to
+    // the local decompress — through the same router address, with the
+    // same stock client.
+    let served = tmp.path("served.f64s");
+    cli(&["client", "replay", "--via-router", &via, "--session", "smoke", "--out", &served]);
+    assert_eq!(
+        std::fs::read(&served).unwrap(),
+        std::fs::read(&local).unwrap(),
+        "failover replay must be byte-identical to local decompress"
+    );
+
+    // Graceful drain of the router (shards outlive it), then the
+    // foreground router process exits on its own.
+    cli(&["client", "shutdown", "--via-router", &via]);
+    let status = router.child.wait().expect("router exit status");
+    assert!(status.success(), "router exited with {status}");
+    let mut rest = String::new();
+    router.reader.read_to_string(&mut rest).expect("router stdout tail");
+    assert!(rest.contains("drained"), "router stdout tail: {rest}");
+}

@@ -1,0 +1,403 @@
+//! Readiness polling over raw file descriptors, std-only.
+//!
+//! Two backends behind one API:
+//!
+//! * **epoll** (Linux): `epoll_create1`/`epoll_ctl`/`epoll_wait` via
+//!   raw `extern "C"` declarations, the same no-libc-crate trick the
+//!   serve layer uses for `signal(2)`. Level-triggered, O(ready)
+//!   wakeups — this is what lets one router thread hold thousands of
+//!   idle ingest connections.
+//! * **poll** (any unix): `poll(2)` over a flat fd array. O(n) per
+//!   wakeup but portable; also selectable on Linux with
+//!   `NUMARCK_POLLER=poll` so CI exercises the fallback on the same
+//!   host that runs the epoll path.
+//!
+//! Both backends are level-triggered: an event fires as long as the
+//! condition holds, so the event loop never needs to drain a socket to
+//! re-arm it. Registration carries a caller-chosen `token` (the
+//! connection-slab index) returned verbatim in [`Event::token`].
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// The fd is readable (includes EOF/hangup — a read will not block).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The fd is in an error state; the connection should be torn down.
+    pub error: bool,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(fallback::PollSet),
+}
+
+/// A readiness poller over raw fds. See the module docs for backends.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Open a poller: epoll on Linux (unless `NUMARCK_POLLER=poll`),
+    /// the `poll(2)` fallback everywhere else.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if std::env::var("NUMARCK_POLLER").as_deref() != Ok("poll") {
+                return Ok(Poller { backend: Backend::Epoll(epoll::Epoll::new()?) });
+            }
+        }
+        Ok(Poller { backend: Backend::Poll(fallback::PollSet::new()) })
+    }
+
+    /// Which backend is live (`"epoll"` or `"poll"`), for logs/metrics.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll(_) => "poll",
+        }
+    }
+
+    /// Start watching `fd` under `token`.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.ctl(epoll::EPOLL_CTL_ADD, fd, token, interest),
+            Backend::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Change what `fd` is watched for.
+    pub fn reregister(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.ctl(epoll::EPOLL_CTL_MOD, fd, token, interest),
+            Backend::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Stop watching `fd`. Must be called before the fd is closed.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.ctl(epoll::EPOLL_CTL_DEL, fd, 0, Interest::READ),
+            Backend::Poll(p) => {
+                p.deregister(fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// elapses, appending events to `events` (cleared first).
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout doesn't spin at 0ms.
+            Some(d) => d.as_millis().min(i32::MAX as u128).max(1) as i32,
+        };
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.wait(events, timeout_ms),
+            Backend::Poll(p) => p.wait(events, timeout_ms),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel event record. Packed on x86-64 (the kernel ABI packs it
+    /// there); natural layout elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn last_errno() -> io::Error {
+        io::Error::last_os_error()
+    }
+
+    pub struct Epoll {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // EPOLL_CLOEXEC == O_CLOEXEC == 0x80000 on Linux.
+            let epfd = unsafe { epoll_create1(0x8_0000) };
+            if epfd < 0 {
+                return Err(last_errno());
+            }
+            Ok(Epoll { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; 1024] })
+        }
+
+        pub fn ctl(&mut self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut mask = EPOLLERR | EPOLLHUP | EPOLLRDHUP;
+            if interest.readable {
+                mask |= EPOLLIN;
+            }
+            if interest.writable {
+                mask |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent { events: mask, data: token as u64 };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(last_errno());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, timeout_ms)
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = last_errno();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            };
+            for ev in &self.buf[..n] {
+                // Copy out of the (possibly packed) struct first.
+                let mask = ev.events;
+                let data = ev.data;
+                events.push(Event {
+                    token: data as usize,
+                    readable: mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: mask & EPOLLOUT != 0,
+                    error: mask & EPOLLERR != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+mod fallback {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        // nfds_t is c_ulong on every unix we target.
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)` fallback: a flat registration list rebuilt into the
+    /// pollfd array on every wait. O(n) per wakeup, which is fine for
+    /// the connection counts the fallback is meant for.
+    pub struct PollSet {
+        regs: Vec<(RawFd, usize, Interest)>,
+    }
+
+    impl PollSet {
+        pub fn new() -> PollSet {
+            PollSet { regs: Vec::new() }
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            if let Some(slot) = self.regs.iter_mut().find(|(f, _, _)| *f == fd) {
+                *slot = (fd, token, interest);
+            } else {
+                self.regs.push((fd, token, interest));
+            }
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) {
+            self.regs.retain(|(f, _, _)| *f != fd);
+        }
+
+        pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .regs
+                .iter()
+                .map(|&(fd, _, interest)| {
+                    let mut mask = 0i16;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    PollFd { fd, events: mask, revents: 0 }
+                })
+                .collect();
+            let n = loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(self.regs.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & (POLLERR | POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn poller_under_test() -> Poller {
+        Poller::new().unwrap()
+    }
+
+    #[test]
+    fn readable_fires_when_bytes_arrive() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let mut p = poller_under_test();
+        p.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        // Nothing to read yet: a short wait times out empty.
+        p.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "{events:?}");
+        a.write_all(b"hello").unwrap();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+        let mut buf = [0u8; 8];
+        let n = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+    }
+
+    #[test]
+    fn writable_fires_and_eof_reads_ready() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let mut p = poller_under_test();
+        p.register(b.as_raw_fd(), 3, Interest::READ_WRITE).unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable), "{events:?}");
+        // Dropping the peer makes the fd read-ready (EOF), so a
+        // level-triggered loop notices the close without a timeout.
+        drop(a);
+        p.reregister(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable), "{events:?}");
+        let mut buf = [0u8; 8];
+        assert_eq!((&b).read(&mut buf).unwrap(), 0, "EOF");
+        p.deregister(b.as_raw_fd()).unwrap();
+    }
+
+    /// The fallback backend passes the same contract as the default.
+    #[test]
+    fn poll_fallback_backend_works() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let mut p = Poller { backend: Backend::Poll(fallback::PollSet::new()) };
+        assert_eq!(p.backend_name(), "poll");
+        p.register(b.as_raw_fd(), 11, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        a.write_all(b"x").unwrap();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 11 && e.readable), "{events:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Fan-out `StatsReply` aggregation.
+//!
+//! A cluster `Stats` request fans out to every up shard and the replies
+//! are folded into one `StatsReply` a stock client decodes unchanged.
+//! Aggregation rules:
+//!
+//! * **Counters** (`accepted`, `served`, `iterations_ingested`, ...)
+//!   are summed. They count *shard-side* work, so with replication
+//!   factor R an ingested iteration appears R times in the sum —
+//!   that is the true amount of work the cluster did, and per-shard
+//!   gauges on the router's own `/metrics` endpoint give the
+//!   de-duplicated view.
+//! * **Sessions** are merged by *name* (each replica shard reports the
+//!   session under its own local id): `files` and `latest_restartable`
+//!   take the max across replicas — the best any single replica can
+//!   serve — and the reported id is the gateway id when the router
+//!   knows the name, so a follow-up `Restart { session }` from the same
+//!   client works.
+//! * **Latency summaries** merge by metric name: counts and sums add;
+//!   p50/p90/p99 take the max (a lossy but conservative merge — true
+//!   cluster-wide quantiles would need the raw buckets on the wire).
+//! * `queue_depth` sums; `draining` reflects the *router*, since that
+//!   is what the asking client is connected to.
+
+use std::collections::BTreeMap;
+
+use numarck_serve::wire::{LatencyStat, SessionStat, StatsReply};
+
+/// Fold per-shard replies into one cluster-level reply.
+///
+/// `gateway_id` maps a session name to the id the router handed its
+/// clients, for sessions the router opened; unknown names (sessions
+/// opened by talking to a shard directly) keep the first shard-local id
+/// seen.
+pub fn aggregate(
+    replies: &[StatsReply],
+    gateway_id: impl Fn(&str) -> Option<u64>,
+    draining: bool,
+) -> StatsReply {
+    let mut out = StatsReply { draining, ..StatsReply::default() };
+    let mut sessions: BTreeMap<String, SessionStat> = BTreeMap::new();
+    let mut latencies: BTreeMap<String, LatencyStat> = BTreeMap::new();
+    for r in replies {
+        out.accepted += r.accepted;
+        out.served += r.served;
+        out.busy_rejected += r.busy_rejected;
+        out.iterations_ingested += r.iterations_ingested;
+        out.bytes_ingested += r.bytes_ingested;
+        out.write_retries += r.write_retries;
+        out.queue_depth += r.queue_depth;
+        out.journal_replayed += r.journal_replayed;
+        out.journal_rolled_back += r.journal_rolled_back;
+        out.recovery_repairs += r.recovery_repairs;
+        out.idle_disconnects += r.idle_disconnects;
+        out.replica_repairs += r.replica_repairs;
+        out.replica_quorum_failures += r.replica_quorum_failures;
+        for s in &r.sessions {
+            let entry = sessions.entry(s.name.clone()).or_insert_with(|| SessionStat {
+                id: gateway_id(&s.name).unwrap_or(s.id),
+                name: s.name.clone(),
+                files: 0,
+                latest_restartable: None,
+            });
+            entry.files = entry.files.max(s.files);
+            entry.latest_restartable = match (entry.latest_restartable, s.latest_restartable) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        for l in &r.latencies {
+            let entry = latencies
+                .entry(l.name.clone())
+                .or_insert_with(|| LatencyStat { name: l.name.clone(), ..Default::default() });
+            entry.summary.count += l.summary.count;
+            entry.summary.sum += l.summary.sum;
+            entry.summary.p50 = entry.summary.p50.max(l.summary.p50);
+            entry.summary.p90 = entry.summary.p90.max(l.summary.p90);
+            entry.summary.p99 = entry.summary.p99.max(l.summary.p99);
+        }
+    }
+    out.sessions = sessions.into_values().collect();
+    out.sessions.sort_by_key(|s| s.id);
+    out.latencies = latencies.into_values().collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numarck_obs::HistogramSummary;
+
+    fn shard_reply(id: u64, name: &str, latest: Option<u64>, ingested: u64) -> StatsReply {
+        StatsReply {
+            accepted: 1,
+            served: 2,
+            iterations_ingested: ingested,
+            sessions: vec![SessionStat {
+                id,
+                name: name.into(),
+                files: latest.map_or(0, |l| l as u32 + 1),
+                latest_restartable: latest,
+            }],
+            latencies: vec![LatencyStat {
+                name: "nsrv_request_put_ns".into(),
+                summary: HistogramSummary { count: ingested, sum: ingested * 10, p50: 5, p90: 9, p99: 12 },
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn counters_sum_and_sessions_merge_by_name() {
+        // The same session replicated on two shards under different
+        // local ids; one replica is one iteration behind.
+        let a = shard_reply(1, "ha", Some(7), 8);
+        let b = shard_reply(3, "ha", Some(6), 7);
+        let merged = aggregate(&[a, b], |name| (name == "ha").then_some(42), false);
+        assert_eq!(merged.iterations_ingested, 15, "shard-side work sums");
+        assert_eq!(merged.accepted, 2);
+        assert_eq!(merged.sessions.len(), 1, "merged by name, not id");
+        let s = &merged.sessions[0];
+        assert_eq!(s.id, 42, "gateway id wins");
+        assert_eq!(s.latest_restartable, Some(7), "best replica");
+        assert_eq!(s.files, 8);
+        assert_eq!(merged.latencies.len(), 1);
+        assert_eq!(merged.latencies[0].summary.count, 15);
+        assert_eq!(merged.latencies[0].summary.sum, 150);
+        assert_eq!(merged.latencies[0].summary.p99, 12, "max quantile");
+        assert!(!merged.draining);
+    }
+
+    #[test]
+    fn unknown_sessions_keep_their_shard_id() {
+        let a = shard_reply(5, "direct", Some(1), 2);
+        let merged = aggregate(&[a], |_| None, true);
+        assert_eq!(merged.sessions[0].id, 5);
+        assert!(merged.draining, "router drain state, not shard");
+    }
+
+    #[test]
+    fn empty_fanout_is_all_defaults() {
+        let merged = aggregate(&[], |_| None, false);
+        assert_eq!(merged, StatsReply::default());
+    }
+}

@@ -42,7 +42,11 @@ pub const HEADER_LEN: usize = 20;
 /// length field cannot make either side allocate unboundedly.
 pub const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
 
-mod opcode {
+/// Wire opcodes. Public so that forwarding hops (the `numarck-cluster`
+/// router) can classify frames without decoding payloads.
+pub mod opcode {
+    #![allow(missing_docs)]
+
     pub const OPEN_SESSION: u8 = 0x01;
     pub const PUT_ITERATIONS: u8 = 0x02;
     pub const RESTART: u8 = 0x03;
@@ -365,13 +369,11 @@ fn corrupt(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Serialise a frame and write it out, flushing.
-pub fn write_frame(
-    w: &mut impl Write,
-    opcode: u8,
-    req_id: u64,
-    payload: &[u8],
-) -> io::Result<()> {
+/// Serialise a complete frame (header + payload + trailing CRC) into a
+/// byte vector. The writer-free twin of [`write_frame`], for callers
+/// that assemble non-blocking write queues instead of writing straight
+/// to a stream.
+pub fn encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
     assert!(payload.len() <= MAX_PAYLOAD as usize, "payload exceeds MAX_PAYLOAD");
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     buf.extend_from_slice(&MAGIC);
@@ -383,8 +385,101 @@ pub fn write_frame(
     buf.extend_from_slice(payload);
     let crc = nser::crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
-    w.write_all(&buf)?;
+    buf
+}
+
+/// Serialise a frame and write it out, flushing.
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: u8,
+    req_id: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    w.write_all(&encode_frame(opcode, req_id, payload))?;
     w.flush()
+}
+
+/// Try to extract one complete frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix of a frame
+/// (read more bytes and retry), `Ok(Some((frame, consumed)))` when a
+/// whole CRC-valid frame is present, and an error on structural
+/// corruption (bad magic/version/length/CRC) — at which point the
+/// stream can no longer be trusted to be frame-aligned and should be
+/// closed. This is the incremental-parse entry point for
+/// readiness-driven (non-blocking) readers.
+pub fn frame_from_bytes(buf: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(corrupt("bad frame magic".into()));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported protocol version {version}")));
+    }
+    let payload_len = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(corrupt(format!("payload length {payload_len} exceeds limit")));
+    }
+    let total = HEADER_LEN + payload_len as usize + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = total - 4;
+    let stored = u32::from_le_bytes(buf[body..total].try_into().expect("4 bytes"));
+    let computed = nser::crc32(&buf[..body]);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "frame crc mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    let frame = Frame {
+        opcode: buf[6],
+        req_id: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+        payload: buf[HEADER_LEN..body].to_vec(),
+    };
+    Ok(Some((frame, total)))
+}
+
+/// Whether a request opcode's payload begins with a session id
+/// (little-endian u64 at payload offset 0). A routing hop rewrites that
+/// id in flight when the downstream shard knows the session under a
+/// different id than the gateway handed the client.
+pub fn request_has_leading_session(op: u8) -> bool {
+    matches!(
+        op,
+        opcode::PUT_ITERATIONS | opcode::RESTART | opcode::SCRUB | opcode::CLOSE_SESSION
+    )
+}
+
+/// Recompute and rewrite the trailing CRC of a complete frame after an
+/// in-place payload edit.
+pub fn reseal_frame(frame: &mut [u8]) {
+    assert!(frame.len() >= HEADER_LEN + 4, "not a complete frame");
+    let body = frame.len() - 4;
+    let crc = nser::crc32(&frame[..body]);
+    frame[body..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Rewrite the leading session id of a complete request frame
+/// (header + payload + CRC) in place and reseal the trailing CRC.
+/// Fails if the frame is too short to hold a session id or its opcode
+/// is not one for which [`request_has_leading_session`] holds.
+pub fn patch_session_id(frame: &mut [u8], session: u64) -> io::Result<()> {
+    if frame.len() < HEADER_LEN + 8 + 4 {
+        return Err(corrupt("frame too short to carry a session id".into()));
+    }
+    if !request_has_leading_session(frame[6]) {
+        return Err(corrupt(format!(
+            "opcode {:#x} has no leading session id",
+            frame[6]
+        )));
+    }
+    frame[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&session.to_le_bytes());
+    reseal_frame(frame);
+    Ok(())
 }
 
 /// Read one frame, blocking until it fully arrives.
@@ -1103,6 +1198,65 @@ mod tests {
         write_frame(&mut buf, opcode::STATS, 1, &payload).unwrap();
         let frame = read_frame(&mut buf.as_slice()).unwrap();
         assert!(Request::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn frame_from_bytes_handles_prefixes_wholes_and_tails() {
+        let req = Request::Restart { session: 9, at_or_before: 42 };
+        let bytes = encode_frame(req.opcode(), 5, &req.payload());
+        // Every strict prefix is "need more bytes", never an error.
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(frame_from_bytes(&bytes[..cut]), Ok(None)),
+                "prefix of {cut} bytes"
+            );
+        }
+        // The whole frame parses and reports its exact length, even with
+        // trailing bytes from a pipelined successor behind it.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&bytes);
+        let (frame, used) = frame_from_bytes(&two).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame.req_id, 5);
+        assert_eq!(Request::from_frame(&frame).unwrap(), req);
+        let (frame2, used2) = frame_from_bytes(&two[used..]).unwrap().unwrap();
+        assert_eq!(used2, bytes.len());
+        assert_eq!(frame2.req_id, 5);
+        // Corruption in magic, version or CRC is an error.
+        for pos in [0usize, 4, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(frame_from_bytes(&bad).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn patch_session_id_reseals_a_valid_frame() {
+        for req in [
+            Request::PutIterations { session: 1, iterations: vec![(0, sample_vars())] },
+            Request::Restart { session: 1, at_or_before: u64::MAX },
+            Request::Scrub { session: 1, repair: true },
+            Request::CloseSession { session: 1 },
+        ] {
+            let mut bytes = encode_frame(req.opcode(), 3, &req.payload());
+            patch_session_id(&mut bytes, 7777).unwrap();
+            // The patched frame still passes full CRC validation...
+            let (frame, _) = frame_from_bytes(&bytes).unwrap().unwrap();
+            // ...and decodes to the same request under the new id.
+            match Request::from_frame(&frame).unwrap() {
+                Request::PutIterations { session, .. }
+                | Request::Restart { session, .. }
+                | Request::Scrub { session, .. }
+                | Request::CloseSession { session } => assert_eq!(session, 7777),
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        // Opcodes without a leading session id are refused.
+        let mut stats = encode_frame(opcode::STATS, 1, &Request::Stats.payload());
+        assert!(patch_session_id(&mut stats, 1).is_err());
+        let mut open =
+            encode_frame(opcode::OPEN_SESSION, 1, &Request::OpenSession { name: "x".into() }.payload());
+        assert!(patch_session_id(&mut open, 1).is_err());
     }
 
     #[test]
