@@ -1,0 +1,222 @@
+//! `compact_bench` — maintenance-pass benchmark for `numarck-compact`.
+//!
+//! Builds a long delta chain, measures one full maintenance pass
+//! (delta merging + tiered full placement + retention GC) and the
+//! *measured* restart latency of the worst-case iteration before and
+//! after, then emits `BENCH_compact.json`: pass wall time, deltas
+//! merged per second, bytes reclaimed, and the restart speedup — all
+//! stamped with host metadata and the exact policy configuration.
+//!
+//! Usage:
+//!
+//! ```text
+//! compact_bench [--smoke] [--out-dir DIR] [--iters N] [--points P]
+//!               [--window K] [--slo-ms MS] [--keep-fulls N]
+//! ```
+//!
+//! `--smoke` shrinks the chain so CI can run the harness end-to-end in
+//! seconds; the JSON schema is identical.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use numarck::{Config, Strategy};
+use numarck_bench::report::host_meta_json;
+use numarck_checkpoint::{
+    CheckpointManager, CheckpointStore, ManagerPolicy, RestartEngine, VariableSet,
+};
+use numarck_compact::{ChainView, CompactionConfig, CompactionReport, Compactor, CostModel, NoJournal};
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = ".".to_string();
+    let mut iters = 0u64;
+    let mut points = 0usize;
+    let mut window = 4u64;
+    let mut slo_ms = 0u64;
+    let mut keep_fulls = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value =
+            |flag: &str| args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => out_dir = value("--out-dir"),
+            "--iters" => iters = value("--iters").parse().unwrap_or_else(|_| usage("bad --iters")),
+            "--points" => {
+                points = value("--points").parse().unwrap_or_else(|_| usage("bad --points"))
+            }
+            "--window" => {
+                window = value("--window").parse().unwrap_or_else(|_| usage("bad --window"))
+            }
+            "--slo-ms" => {
+                slo_ms = value("--slo-ms").parse().unwrap_or_else(|_| usage("bad --slo-ms"))
+            }
+            "--keep-fulls" => {
+                keep_fulls =
+                    value("--keep-fulls").parse().unwrap_or_else(|_| usage("bad --keep-fulls"))
+            }
+            "--help" | "-h" => usage(
+                "compact_bench [--smoke] [--out-dir DIR] [--iters N] [--points P] \
+                 [--window K] [--slo-ms MS] [--keep-fulls N]",
+            ),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if iters == 0 {
+        iters = if smoke { 24 } else { 128 };
+    }
+    if points == 0 {
+        points = if smoke { 4_096 } else { 262_144 };
+    }
+    let policy = CompactionConfig {
+        merge_window: window,
+        restart_slo_ns: (slo_ms > 0).then(|| slo_ms * 1_000_000),
+        keep_last_fulls: keep_fulls,
+        keep_every: 0,
+        min_age_secs: 0,
+        cost: CostModel::default(),
+    };
+
+    // One full at iteration 0, then deltas all the way: the worst chain
+    // shape the compactor exists to fix.
+    let root = std::env::temp_dir().join(format!("numarck-compact-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench store dir");
+    let store = CheckpointStore::open(&root).expect("open store");
+    let config = Config::new(8, 0.001, Strategy::Clustering).expect("paper-default config");
+    let mut mgr = CheckpointManager::new(store.clone(), config, ManagerPolicy::fixed(1_000_000));
+    let build_start = Instant::now();
+    let mut state: Vec<f64> = (0..points).map(|j| 1.0 + (j % 17) as f64).collect();
+    for it in 0..iters {
+        if it > 0 {
+            for (j, v) in state.iter_mut().enumerate() {
+                *v *= 1.0 + 0.004 * (((j as u64 + 5 * it) % 11) as f64 - 5.0) / 5.0;
+            }
+        }
+        let mut vars = VariableSet::new();
+        vars.insert("x".to_string(), state.clone());
+        mgr.checkpoint(it, &vars).expect("checkpoint");
+    }
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let bytes_before = ChainView::load(&store).expect("chain view").total_bytes();
+
+    // Measured (not modeled) worst-case restart: the newest iteration
+    // sits at the end of the longest delta run.
+    let restart_before = measured_restart_secs(&store, iters - 1);
+
+    let pass_start = Instant::now();
+    let report = Compactor::new(policy)
+        .run(&store, &mut NoJournal)
+        .expect("maintenance pass");
+    let pass_secs = pass_start.elapsed().as_secs_f64();
+
+    let restart_after = measured_restart_secs(&store, iters - 1);
+    let bytes_after = ChainView::load(&store).expect("chain view").total_bytes();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let path = format!("{out_dir}/BENCH_compact.json");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    std::fs::write(
+        &path,
+        render_json(
+            smoke,
+            iters,
+            points,
+            &policy,
+            &report,
+            build_secs,
+            pass_secs,
+            bytes_before,
+            bytes_after,
+            restart_before,
+            restart_after,
+        ),
+    )
+    .expect("write benchmark JSON");
+    println!(
+        "pass: {pass_secs:.3}s · {} merges ({} deltas) · {} fulls promoted · \
+         {} bytes reclaimed · restart {:.1}ms -> {:.1}ms",
+        report.merges,
+        report.deltas_merged,
+        report.fulls_promoted,
+        report.bytes_reclaimed,
+        restart_before * 1e3,
+        restart_after * 1e3
+    );
+    println!("wrote {path}");
+}
+
+/// Wall time of a real `restart_at(target)` on a fresh engine.
+fn measured_restart_secs(store: &CheckpointStore, target: u64) -> f64 {
+    let engine = RestartEngine::new(store.clone());
+    let start = Instant::now();
+    let result = engine.restart_at(target).expect("restart");
+    assert_eq!(result.iteration, target);
+    start.elapsed().as_secs_f64()
+}
+
+/// Hand-rolled JSON, same conventions as `serve_bench`: flat and
+/// diffable, stamped with host metadata and the policy configuration.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    iters: u64,
+    points: usize,
+    policy: &CompactionConfig,
+    report: &CompactionReport,
+    build_secs: f64,
+    pass_secs: f64,
+    bytes_before: u64,
+    bytes_after: u64,
+    restart_before: f64,
+    restart_after: f64,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"harness\": \"numarck-bench compact_bench\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"iterations\": {iters},");
+    let _ = writeln!(s, "  \"points_per_iteration\": {points},");
+    let _ = writeln!(s, "  \"host\": {},", host_meta_json());
+    let _ = writeln!(
+        s,
+        "  \"policy\": {{\"merge_window\": {}, \"restart_slo_ns\": {}, \
+         \"keep_last_fulls\": {}, \"keep_every\": {}, \"min_age_secs\": {}, \
+         \"cost_full_ns_per_byte\": {}, \"cost_delta_replay_ns\": {}}},",
+        policy.merge_window,
+        policy.restart_slo_ns.map_or_else(|| "null".to_string(), |n| n.to_string()),
+        policy.keep_last_fulls,
+        policy.keep_every,
+        policy.min_age_secs,
+        policy.cost.full_ns_per_byte,
+        policy.cost.delta_replay_ns
+    );
+    let _ = writeln!(s, "  \"build_secs\": {build_secs:.6},");
+    let _ = writeln!(s, "  \"pass_secs\": {pass_secs:.6},");
+    let _ = writeln!(
+        s,
+        "  \"deltas_merged_per_sec\": {:.1},",
+        report.deltas_merged as f64 / pass_secs.max(1e-9)
+    );
+    let _ = writeln!(s, "  \"merges\": {},", report.merges);
+    let _ = writeln!(s, "  \"deltas_merged\": {},", report.deltas_merged);
+    let _ = writeln!(s, "  \"fulls_promoted\": {},", report.fulls_promoted);
+    let _ = writeln!(s, "  \"gc_files_removed\": {},", report.gc.removed);
+    let _ = writeln!(s, "  \"bytes_before\": {bytes_before},");
+    let _ = writeln!(s, "  \"bytes_after\": {bytes_after},");
+    let _ = writeln!(s, "  \"bytes_reclaimed\": {},", report.bytes_reclaimed);
+    let _ = writeln!(
+        s,
+        "  \"merge_points\": {{\"unchanged\": {}, \"ratio_coded\": {}, \"escaped\": {}}},",
+        report.merge_stats.unchanged, report.merge_stats.ratio_coded, report.merge_stats.escaped
+    );
+    let _ = writeln!(s, "  \"restart_worst_before_secs\": {restart_before:.6},");
+    let _ = writeln!(s, "  \"restart_worst_after_secs\": {restart_after:.6}");
+    s.push_str("}\n");
+    s
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

@@ -7,7 +7,11 @@
 //! [7]      reserved
 //! [8..16)  iteration number (u64)
 //! [16..20) variable count (u32)
-//! [20..24) reserved
+//! [20..24) delta span (u32): for deltas, how far back the base state
+//!          lives. 0 (the historic reserved value) and 1 both mean
+//!          "applies against iteration − 1"; a merged delta produced by
+//!          compaction stores s ≥ 2 meaning "applies against the state
+//!          at iteration − s". Always 0 for full checkpoints.
 //! per variable:
 //!   name_len (u16) | name bytes (UTF-8)
 //!   payload_len (u64) | payload bytes
@@ -45,9 +49,39 @@ pub struct CheckpointFile {
     pub iteration: u64,
     /// Payload.
     pub kind: CheckpointKind,
+    /// How far back the base state of a delta lives: 0 or 1 both mean
+    /// iteration − 1 (every file written before compaction existed has
+    /// 0 here); s ≥ 2 marks a merged delta applying against the state
+    /// at iteration − s. Meaningless (and 0) for full checkpoints.
+    pub delta_span: u32,
 }
 
 impl CheckpointFile {
+    /// A plain checkpoint: a full, or a delta against iteration − 1.
+    pub fn new(iteration: u64, kind: CheckpointKind) -> Self {
+        Self { iteration, kind, delta_span: 0 }
+    }
+
+    /// A merged delta applying against the state at `iteration − span`.
+    pub fn merged_delta(
+        iteration: u64,
+        blocks: std::collections::BTreeMap<String, CompressedIteration>,
+        span: u32,
+    ) -> Self {
+        assert!(span >= 1, "a delta always spans at least one iteration");
+        Self { iteration, kind: CheckpointKind::Delta(blocks), delta_span: span }
+    }
+
+    /// Effective span: how many iterations back this file's base state
+    /// lives. 0 for fulls (they are their own base); ≥ 1 for deltas,
+    /// normalising the legacy reserved value 0 to 1.
+    pub fn span(&self) -> u64 {
+        match self.kind {
+            CheckpointKind::Full(_) => 0,
+            CheckpointKind::Delta(_) => u64::from(self.delta_span.max(1)),
+        }
+    }
+
     /// Serialise to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = BytesMut::new();
@@ -61,7 +95,11 @@ impl CheckpointFile {
         buf.put_u8(0);
         buf.put_u64_le(self.iteration);
         buf.put_u32_le(count as u32);
-        buf.put_u32_le(0);
+        let span = match &self.kind {
+            CheckpointKind::Full(_) => 0,
+            CheckpointKind::Delta(_) => self.delta_span,
+        };
+        buf.put_u32_le(span);
         match &self.kind {
             CheckpointKind::Full(vars) => {
                 for (name, data) in vars {
@@ -114,7 +152,7 @@ impl CheckpointFile {
         let _ = cur.get_u8();
         let iteration = cur.get_u64_le();
         let count = cur.get_u32_le() as usize;
-        let _ = cur.get_u32_le();
+        let stored_span = cur.get_u32_le();
 
         let read_entry = |cur: &mut &[u8]| -> Result<(String, Vec<u8>), NumarckError> {
             if cur.remaining() < 2 {
@@ -177,7 +215,11 @@ impl CheckpointFile {
                 cur.remaining()
             )));
         }
-        Ok(Self { iteration, kind })
+        let delta_span = match kind {
+            CheckpointKind::Full(_) => 0,
+            CheckpointKind::Delta(_) => stored_span,
+        };
+        Ok(Self { iteration, kind, delta_span })
     }
 }
 
@@ -208,12 +250,12 @@ mod tests {
             let (block, _) = numarck::encode::encode(data, &next, &cfg).unwrap();
             blocks.insert(name.clone(), block);
         }
-        CheckpointFile { iteration: 42, kind: CheckpointKind::Delta(blocks) }
+        CheckpointFile::new(42, CheckpointKind::Delta(blocks))
     }
 
     #[test]
     fn full_roundtrip() {
-        let f = CheckpointFile { iteration: 7, kind: CheckpointKind::Full(sample_vars()) };
+        let f = CheckpointFile::new(7, CheckpointKind::Full(sample_vars()));
         let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
         assert_eq!(back, f);
     }
@@ -226,8 +268,29 @@ mod tests {
     }
 
     #[test]
+    fn merged_delta_span_roundtrips() {
+        let mut f = sample_delta();
+        f.delta_span = 5;
+        let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back.delta_span, 5);
+        assert_eq!(back.span(), 5);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn legacy_zero_span_reads_as_one_iteration() {
+        // Files written before compaction existed carry 0 in the span
+        // slot; they are plain deltas against iteration − 1.
+        let f = sample_delta();
+        assert_eq!(f.delta_span, 0);
+        assert_eq!(f.span(), 1);
+        let full = CheckpointFile::new(7, CheckpointKind::Full(sample_vars()));
+        assert_eq!(full.span(), 0);
+    }
+
+    #[test]
     fn empty_variable_set_roundtrip() {
-        let f = CheckpointFile { iteration: 0, kind: CheckpointKind::Full(VariableSet::new()) };
+        let f = CheckpointFile::new(0, CheckpointKind::Full(VariableSet::new()));
         let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
         assert_eq!(back, f);
     }
@@ -254,7 +317,7 @@ mod tests {
     fn unicode_variable_names() {
         let mut vars = VariableSet::new();
         vars.insert("ρ-density".into(), vec![1.0, 2.0]);
-        let f = CheckpointFile { iteration: 1, kind: CheckpointKind::Full(vars) };
+        let f = CheckpointFile::new(1, CheckpointKind::Full(vars));
         let back = CheckpointFile::from_bytes(&f.to_bytes()).unwrap();
         assert_eq!(back, f);
     }

@@ -424,7 +424,7 @@ impl CheckpointManager {
             (CheckpointOutcome::Delta(stats), CheckpointKind::Delta(blocks))
         };
         let is_full = matches!(kind, CheckpointKind::Full(_));
-        let file = CheckpointFile { iteration, kind };
+        let file = CheckpointFile::new(iteration, kind);
         let bytes = file.to_bytes();
         let content_crc = numarck::serialize::crc32(&bytes);
         Ok(PreparedCheckpoint { iteration, is_full, outcome, bytes, content_crc, vars: vars.clone() })

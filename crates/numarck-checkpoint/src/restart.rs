@@ -25,9 +25,14 @@ pub struct RestartEngine {
 pub struct RestartResult {
     /// The reconstructed variables at the requested iteration.
     pub vars: VariableSet,
+    /// The iteration that was restarted.
+    pub iteration: u64,
     /// Iteration of the full checkpoint the chain started from.
     pub base_iteration: u64,
-    /// Number of delta files applied on top of the base.
+    /// Number of delta files applied on top of the base. With merged
+    /// deltas in the chain this can be less than
+    /// `iteration - base_iteration`: each merged file replays several
+    /// original iterations in one step.
     pub deltas_applied: u64,
 }
 
@@ -47,8 +52,7 @@ pub struct LostIteration {
 pub struct DegradedRestart {
     /// The iteration originally asked for.
     pub requested: u64,
-    /// The restart that actually succeeded (its iteration is
-    /// `base_iteration + deltas_applied`).
+    /// The restart that actually succeeded.
     pub result: RestartResult,
     /// Iterations between `requested` and the achieved one (inclusive of
     /// `requested` when it failed), newest first, with reasons.
@@ -56,9 +60,10 @@ pub struct DegradedRestart {
 }
 
 impl DegradedRestart {
-    /// The iteration actually recovered.
+    /// The iteration actually recovered. (Not derivable from the delta
+    /// count: a merged delta replays several iterations in one file.)
     pub fn achieved(&self) -> u64 {
-        self.result.base_iteration + self.result.deltas_applied
+        self.result.iteration
     }
 
     /// True when the requested iteration itself was recovered.
@@ -73,56 +78,106 @@ impl RestartEngine {
         Self { store }
     }
 
-    /// Rebuild the state at `target` iteration: load the newest full
-    /// checkpoint at or before `target`, then apply every delta up to
-    /// and including `target`.
+    /// Rebuild the state at `target` iteration.
     ///
-    /// Fails loudly if the full checkpoint is missing, any delta in the
-    /// chain is missing or corrupt, or variable sets don't line up.
+    /// The chain is resolved **backwards** from `target`: a full
+    /// checkpoint at the cursor ends the walk; otherwise the delta at
+    /// the cursor is collected and the cursor steps back by that
+    /// delta's span ([`crate::format::CheckpointFile::span`]). For a
+    /// plain chain (span-1 deltas) this reads exactly the files the old
+    /// forward walk read; for a compacted chain it naturally skips the
+    /// iterations a merged delta superseded and GC may have removed.
+    /// The collected path is then replayed forwards from the base full.
+    ///
+    /// Fails loudly if the chain hits an iteration with no stored file,
+    /// any file is corrupt, a span points before iteration 0, or
+    /// variable sets don't line up.
     pub fn restart_at(&self, target: u64) -> Result<RestartResult, NumarckError> {
-        let base_iteration = self
-            .store
-            .latest_full_at_or_before(target)
-            .map_err(|e| NumarckError::Corrupt(format!("store listing failed: {e}")))?
-            .ok_or_else(|| {
-                NumarckError::Corrupt(format!("no full checkpoint at or before {target}"))
-            })?;
-        let base = self.store.read(base_iteration, true)?;
-        let mut vars = match base.kind {
-            CheckpointKind::Full(vars) => vars,
-            CheckpointKind::Delta(_) => {
-                return Err(NumarckError::Corrupt(format!(
-                    "checkpoint {base_iteration} has .full name but delta payload"
-                )))
-            }
-        };
-        let mut deltas_applied = 0;
-        for iter in base_iteration + 1..=target {
-            let file = self.store.read(iter, false)?;
+        let (path, base_iteration, mut vars) = self.resolve_chain(target)?;
+        let deltas_applied = path.len() as u64;
+        for file in path.into_iter().rev() {
             let blocks = match file.kind {
                 CheckpointKind::Delta(blocks) => blocks,
-                CheckpointKind::Full(full_vars) => {
-                    // A newer full inside the range would have been the
-                    // base; reaching here means inconsistent store state.
-                    // Be permissive: adopt it and continue.
-                    vars = full_vars;
-                    continue;
-                }
+                CheckpointKind::Full(_) => unreachable!("resolve_chain collects only deltas"),
             };
-            if blocks.len() != vars.len()
-                || !blocks.keys().zip(vars.keys()).all(|(a, b)| a == b)
-            {
+            if blocks.len() != vars.len() || !blocks.keys().zip(vars.keys()).all(|(a, b)| a == b) {
                 return Err(NumarckError::Corrupt(format!(
-                    "delta {iter} variable set does not match the chain"
+                    "delta {} variable set does not match the chain",
+                    file.iteration
                 )));
             }
             for (name, block) in &blocks {
                 let prev = vars.get_mut(name).expect("key checked above");
                 *prev = decode::reconstruct(prev, block)?;
             }
-            deltas_applied += 1;
         }
-        Ok(RestartResult { vars, base_iteration, deltas_applied })
+        Ok(RestartResult { vars, iteration: target, base_iteration, deltas_applied })
+    }
+
+    /// Walk backwards from `target` to the base full checkpoint,
+    /// returning the delta files on the path (newest first), the base
+    /// iteration, and the base variables.
+    fn resolve_chain(
+        &self,
+        target: u64,
+    ) -> Result<(Vec<crate::format::CheckpointFile>, u64, VariableSet), NumarckError> {
+        let entries = self
+            .store
+            .list()
+            .map_err(|e| NumarckError::Corrupt(format!("store listing failed: {e}")))?;
+        let mut has_full = std::collections::HashSet::new();
+        let mut has_delta = std::collections::HashSet::new();
+        for e in &entries {
+            if e.is_full {
+                has_full.insert(e.iteration);
+            } else {
+                has_delta.insert(e.iteration);
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = target;
+        loop {
+            if has_full.contains(&cur) {
+                let base = self.store.read(cur, true)?;
+                let vars = match base.kind {
+                    CheckpointKind::Full(vars) => vars,
+                    CheckpointKind::Delta(_) => {
+                        return Err(NumarckError::Corrupt(format!(
+                            "checkpoint {cur} has .full name but delta payload"
+                        )))
+                    }
+                };
+                return Ok((path, cur, vars));
+            }
+            if !has_delta.contains(&cur) {
+                return Err(NumarckError::Corrupt(format!(
+                    "chain to {target} broken at iteration {cur}: no checkpoint file stored"
+                )));
+            }
+            let file = self.store.read(cur, false)?;
+            match &file.kind {
+                CheckpointKind::Delta(_) => {
+                    let span = file.span();
+                    if span > cur {
+                        return Err(NumarckError::Corrupt(format!(
+                            "delta {cur} spans {span} iterations, past the start of the chain"
+                        )));
+                    }
+                    cur -= span;
+                    path.push(file);
+                }
+                CheckpointKind::Full(_) => {
+                    // A full payload under a delta name: inconsistent
+                    // store state. Be permissive: adopt it as the base,
+                    // as the forward walk used to.
+                    let vars = match file.kind {
+                        CheckpointKind::Full(vars) => vars,
+                        CheckpointKind::Delta(_) => unreachable!("matched Full above"),
+                    };
+                    return Ok((path, cur, vars));
+                }
+            }
+        }
     }
 
     /// Degraded restart: recover the newest intact iteration at or
@@ -240,6 +295,54 @@ mod tests {
         assert_eq!(engine.restart_at(6).unwrap().deltas_applied, 2);
         assert_eq!(engine.restart_at(3).unwrap().base_iteration, 0);
         assert_eq!(engine.restart_at(3).unwrap().deltas_applied, 3);
+    }
+
+    #[test]
+    fn restart_follows_merged_delta_spans() {
+        let tmp = TempDir::new("restart-span");
+        let truth = truth_sequence(8, 200);
+        // Full at 0, plain deltas 1..=7.
+        let store = build_store(&tmp, &truth, 8);
+        let engine = RestartEngine::new(store.clone());
+        let base_vars = match store.read(0, true).unwrap().kind {
+            crate::format::CheckpointKind::Full(v) => v,
+            _ => unreachable!(),
+        };
+        let state3 = engine.restart_at(3).unwrap().vars;
+        // Replace deltas 1..=3 with one merged delta at 3 spanning 3.
+        let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+        let (block, _) = numarck::encode::encode(&base_vars["x"], &state3["x"], &cfg).unwrap();
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert("x".to_string(), block);
+        store.write(&crate::format::CheckpointFile::merged_delta(3, blocks, 3)).unwrap();
+        store.remove(1, false).unwrap();
+        store.remove(2, false).unwrap();
+        // The chain to 3 is now one hop; to 5 it is merged + two plain.
+        let r3 = engine.restart_at(3).unwrap();
+        assert_eq!((r3.base_iteration, r3.deltas_applied), (0, 1));
+        let r5 = engine.restart_at(5).unwrap();
+        assert_eq!((r5.base_iteration, r5.deltas_applied), (0, 3));
+        // `achieved` must report the restarted iteration, not
+        // base + delta count (those diverge across merged deltas).
+        assert_eq!(r5.iteration, 5);
+        let d = engine.restart_at_or_before(5).unwrap();
+        assert_eq!(d.achieved(), 5);
+        assert!(d.is_exact());
+        // Superseded iterations are genuinely gone.
+        assert!(engine.restart_at(2).is_err());
+    }
+
+    #[test]
+    fn span_past_chain_start_is_loud() {
+        let tmp = TempDir::new("restart-overspan");
+        let truth = truth_sequence(4, 100);
+        let store = build_store(&tmp, &truth, 8);
+        // Corrupt the chain shape: claim delta 2 spans 5 iterations.
+        let mut d2 = store.read(2, false).unwrap();
+        d2.delta_span = 5;
+        store.write(&d2).unwrap();
+        let engine = RestartEngine::new(store);
+        assert!(engine.restart_at(2).is_err());
     }
 
     #[test]

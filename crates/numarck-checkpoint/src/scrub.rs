@@ -278,8 +278,7 @@ pub fn repair(store: &CheckpointStore) -> Result<RepairReport, NumarckError> {
             .any(|d| d.iteration == anchor && d.is_full && d.error.is_none());
         if !already_full {
             let result = RestartEngine::new(store.clone()).restart_at(anchor)?;
-            let file =
-                CheckpointFile { iteration: anchor, kind: CheckpointKind::Full(result.vars) };
+            let file = CheckpointFile::new(anchor, CheckpointKind::Full(result.vars));
             store
                 .write(&file)
                 .map_err(|e| NumarckError::Io(format!("anchor write failed: {e}")))?;

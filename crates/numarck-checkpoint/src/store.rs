@@ -255,7 +255,7 @@ mod tests {
     fn full(iter: u64) -> CheckpointFile {
         let mut vars = VariableSet::new();
         vars.insert("x".into(), vec![iter as f64; 16]);
-        CheckpointFile { iteration: iter, kind: CheckpointKind::Full(vars) }
+        CheckpointFile::new(iter, CheckpointKind::Full(vars))
     }
 
     #[test]
@@ -373,7 +373,7 @@ mod tests {
                 m.insert("x".to_string(), block);
                 CheckpointKind::Delta(m)
             };
-            store.write(&CheckpointFile { iteration: it, kind }).unwrap();
+            store.write(&CheckpointFile::new(it, kind)).unwrap();
         }
         let removed = store.prune(2).unwrap();
         // Cutoff at full 4: iterations 0..=3 go (4 files).

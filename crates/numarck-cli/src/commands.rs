@@ -370,7 +370,7 @@ fn kind_name(is_full: bool) -> &'static str {
 
 /// `--replicas N` for the local store commands; `1` (the default) is
 /// the single-copy layout.
-fn replica_count(p: &crate::args::Parsed) -> Result<usize, CliError> {
+pub(crate) fn replica_count(p: &crate::args::Parsed) -> Result<usize, CliError> {
     let n: usize = p.get_parsed("replicas", 1)?;
     if n == 0 {
         return Err(CliError::usage("--replicas must be at least 1"));
@@ -382,7 +382,7 @@ fn replica_count(p: &crate::args::Parsed) -> Result<usize, CliError> {
 /// N-way replicated under `dir/@replica-{i}` with a majority write
 /// quorum — the layout `ReplicatedBackend` lays down — and scrub
 /// cross-compares the copies with read-repair.
-fn open_store(
+pub(crate) fn open_store(
     dir: &str,
     replicas: usize,
 ) -> Result<numarck_checkpoint::CheckpointStore, CliError> {

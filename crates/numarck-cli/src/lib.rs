@@ -19,6 +19,7 @@
 pub mod args;
 pub mod chainfile;
 pub mod commands;
+pub mod compact_cmd;
 pub mod router_cmd;
 pub mod seqfile;
 pub mod serve_cmd;
@@ -118,6 +119,8 @@ pub fn run(args: &[String]) -> CliResult {
         "drift" => commands::drift(&args[1..]),
         "scrub" => commands::scrub(&args[1..]),
         "repair" => commands::repair(&args[1..]),
+        "compact" => compact_cmd::compact(&args[1..]),
+        "chain" => compact_cmd::chain(&args[1..]),
         "serve" => serve_cmd::serve(&args[1..]),
         "router" => router_cmd::router(&args[1..]),
         "stats" => serve_cmd::stats(&args[1..]),
@@ -143,9 +146,15 @@ USAGE:
   numarck drift        <in.f64s> [--tolerance E] [--cap C]
   numarck scrub      <ckpt-dir> [--replicas N]
   numarck repair     <ckpt-dir> [--replicas N]
+  numarck compact    <ckpt-dir> [--window K] [--slo-ms MS] [--keep-fulls N]
+                     [--keep-every K] [--min-age-secs S] [--replicas N]
+  numarck chain      <ckpt-dir> [--replicas N]
   numarck serve      --root <dir> [--addr HOST:PORT] [--workers N] [--queue N]
                      [--bits B] [--tolerance E] [--full-interval K]
                      [--metrics-addr HOST:PORT] [--replicas N]
+                     [--compact-interval-secs S] [--compact-window K]
+                     [--restart-slo-ms MS] [--gc-keep-fulls N]
+                     [--gc-keep-every K] [--gc-min-age-secs S]
   numarck router     --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
                      [--replication N] [--vnodes V] [--metrics-addr HOST:PORT]
                      [--probe-interval-ms MS] [--markdown-after K] [--max-conns N]
@@ -161,6 +170,11 @@ Defaults: --bits 8, --tolerance 0.001 (0.1%), --strategy clustering.
 Recovery: 'verify --store' reports restartability per iteration; 'scrub'
 quarantines files that fail CRC validation; 'repair' additionally drops
 orphaned chain segments and re-anchors with a fresh full checkpoint.
+Maintenance: 'compact' merges runs of consecutive deltas bit-exactly
+(--window), promotes full checkpoints until the modeled worst-case
+restart meets --slo-ms, and (with --keep-fulls) garbage-collects
+superseded files; 'chain' prints the stored layout and modeled restart
+cost per iteration.
 Durability: '--replicas N' stores every file N ways (majority write
 quorum) under @replica-{i} subdirectories; scrub cross-compares the
 copies and read-repairs missing or divergent ones. 'serve' journals

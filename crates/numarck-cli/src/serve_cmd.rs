@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use numarck_checkpoint::{FaultSchedule, FaultyBackend, ReplicatedBackend, VariableSet};
+use numarck_compact::{CompactionConfig, CostModel};
 use numarck_obs::{render_json, render_prometheus, MetricsServer, Snapshot};
 use numarck_serve::{
     install_signal_handlers, Client, ClientError, ErrorCode, Server, ServerConfig, StatsReply,
@@ -57,6 +58,12 @@ pub fn serve(raw: &[String]) -> CliResult {
             "metrics-addr",
             "replicas",
             "die-after-ops",
+            "compact-interval-secs",
+            "compact-window",
+            "restart-slo-ms",
+            "gc-keep-fulls",
+            "gc-keep-every",
+            "gc-min-age-secs",
         ],
         &[],
     )?;
@@ -78,6 +85,42 @@ pub fn serve(raw: &[String]) -> CliResult {
     }
     if config.full_interval == 0 {
         return Err("--full-interval must be at least 1".into());
+    }
+
+    // Background maintenance: any compaction flag switches the worker
+    // on; `--compact-interval-secs` alone also does, with the policy
+    // defaults (merge window 4, no SLO, GC off).
+    let maintenance_flags =
+        ["compact-interval-secs", "compact-window", "restart-slo-ms", "gc-keep-fulls"];
+    if maintenance_flags.iter().any(|f| p.get(f).is_some()) {
+        let defaults = CompactionConfig::default();
+        let slo_ms: u64 = p.get_parsed("restart-slo-ms", 0)?;
+        let keep_last_fulls: usize = p.get_parsed("gc-keep-fulls", 0)?;
+        if keep_last_fulls == 0
+            && (p.get("gc-keep-every").is_some() || p.get("gc-min-age-secs").is_some())
+        {
+            return Err(CliError::usage(
+                "--gc-keep-every/--gc-min-age-secs tune retention GC, which only runs \
+                 with --gc-keep-fulls N (N >= 1)",
+            ));
+        }
+        config.compaction = Some(CompactionConfig {
+            merge_window: p.get_parsed("compact-window", defaults.merge_window)?,
+            restart_slo_ns: (slo_ms > 0).then(|| slo_ms.saturating_mul(1_000_000)),
+            keep_last_fulls,
+            keep_every: p.get_parsed("gc-keep-every", 0)?,
+            min_age_secs: p.get_parsed("gc-min-age-secs", 0)?,
+            cost: CostModel::default(),
+        });
+        let interval: u64 = p.get_parsed("compact-interval-secs", 60)?;
+        if interval == 0 {
+            return Err("--compact-interval-secs must be at least 1".into());
+        }
+        config.compact_interval = Duration::from_secs(interval);
+    } else if p.get("gc-keep-every").is_some() || p.get("gc-min-age-secs").is_some() {
+        return Err(CliError::usage(
+            "--gc-keep-every/--gc-min-age-secs require --gc-keep-fulls N (N >= 1)",
+        ));
     }
 
     // `--replicas N` (N >= 2): store every session N-way under
@@ -311,6 +354,10 @@ fn reply_to_snapshot(s: &StatsReply) -> Snapshot {
             ("nsrv_write_retries_total".to_owned(), s.write_retries),
             ("ckpt_replica_quorum_failures_total".to_owned(), s.replica_quorum_failures),
             ("ckpt_replica_repairs_total".to_owned(), s.replica_repairs),
+            ("nck_compact_runs_total".to_owned(), s.compact_runs),
+            ("nck_compact_deltas_merged_total".to_owned(), s.compact_deltas_merged),
+            ("nck_compact_bytes_reclaimed_total".to_owned(), s.compact_bytes_reclaimed),
+            ("nck_gc_files_removed_total".to_owned(), s.gc_files_removed),
         ],
         gauges: vec![("nsrv_queue_depth".to_owned(), s.queue_depth)],
         histograms: s.latencies.iter().map(|l| (l.name.clone(), l.summary)).collect(),
@@ -350,6 +397,13 @@ pub fn stats(raw: &[String]) -> CliResult {
         out.push_str(&format!(
             "replicas: {} read-repair(s), {} quorum failure(s)\n",
             s.replica_repairs, s.replica_quorum_failures
+        ));
+    }
+    if s.compact_runs > 0 {
+        out.push_str(&format!(
+            "compaction: {} run(s), {} delta(s) merged, {} byte(s) reclaimed, \
+             {} file(s) collected\n",
+            s.compact_runs, s.compact_deltas_merged, s.compact_bytes_reclaimed, s.gc_files_removed
         ));
     }
     for lat in &s.latencies {

@@ -48,7 +48,8 @@ fn old_format_stats_payload() -> Vec<u8> {
 }
 
 /// A payload with the observability extension but no durability tail:
-/// the current encoding truncated by exactly the six trailing u64s.
+/// the current encoding truncated by exactly the trailing durability
+/// (six u64s) + compaction (four u64s) extensions.
 fn obs_only_stats_payload() -> Vec<u8> {
     let full = numarck_serve::Response::StatsData(Box::new(numarck_serve::StatsReply {
         accepted: 2,
@@ -59,7 +60,7 @@ fn obs_only_stats_payload() -> Vec<u8> {
         ..Default::default()
     }));
     let mut payload = full.payload();
-    payload.truncate(payload.len() - 48);
+    payload.truncate(payload.len() - 80);
     payload
 }
 

@@ -1,0 +1,161 @@
+//! Retention GC: delete superseded chain artefacts, provably safely.
+//!
+//! Retention names the iterations that must stay restartable:
+//!
+//! * the newest stored iteration (always),
+//! * the newest `keep_last_fulls` full checkpoints,
+//! * every stored iteration divisible by `keep_every` (when set).
+//!
+//! *Liveness* is then reachability: a file is live iff it lies on the
+//! resolved restart chain of some retained iteration — the same
+//! backward span walk restart itself performs, so GC can never delete
+//! a file restart would read. Everything else is dead: plain deltas a
+//! merged delta superseded, deltas shadowed by a promoted full, whole
+//! chains older than the retention horizon.
+//!
+//! Safety invariants, in order:
+//!
+//! 1. If any retained iteration's chain fails to resolve, **nothing**
+//!    is deleted. A hole (quarantined or missing file) means the store
+//!    needs scrub/repair, not a GC making it worse.
+//! 2. Every live file is CRC-verified (a scrub-grade read) before the
+//!    first delete. Deleting a dead file is only safe because a live
+//!    replacement covers it — so the replacement must be proven intact
+//!    first. Replacements were written fsync-durable (temp file +
+//!    rename + dir fsync) by the store.
+//! 3. A dead file younger than `min_age_secs` survives; unknown age
+//!    (metadata error) counts as young. This keeps GC from racing an
+//!    ingest or compaction that has not settled.
+
+use std::collections::HashSet;
+use std::time::{Duration, SystemTime};
+
+use numarck::error::NumarckError;
+use numarck_checkpoint::store::CheckpointStore;
+
+use crate::chain::ChainView;
+
+/// What one GC pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Files deleted.
+    pub removed: u64,
+    /// Bytes those files occupied.
+    pub bytes_removed: u64,
+    /// Files kept because they are live on a retained chain.
+    pub live: u64,
+    /// Dead files kept by the `min_age_secs` rule.
+    pub kept_young: u64,
+    /// Retained iterations whose chain failed to resolve. Non-zero
+    /// means the pass deleted nothing (invariant 1).
+    pub unresolvable: u64,
+}
+
+/// Run one retention pass. `keep_last_fulls` must be ≥ 1 — a GC that
+/// may delete every full checkpoint is a GC that can destroy the store.
+pub fn collect(
+    store: &CheckpointStore,
+    keep_last_fulls: usize,
+    keep_every: u64,
+    min_age_secs: u64,
+) -> Result<GcReport, NumarckError> {
+    assert!(keep_last_fulls >= 1, "retention must keep at least one full checkpoint");
+    let view = ChainView::load(store)
+        .map_err(|e| NumarckError::Io(format!("chain snapshot failed: {e}")))?;
+    let mut report = GcReport::default();
+    let Some(latest) = view.latest() else {
+        return Ok(report); // empty store: nothing to retain, nothing to delete
+    };
+
+    // Retained iterations.
+    let mut retained: HashSet<u64> = HashSet::new();
+    retained.insert(latest);
+    let fulls = view.fulls();
+    for &f in fulls.iter().rev().take(keep_last_fulls) {
+        retained.insert(f);
+    }
+    if keep_every > 0 {
+        for it in view.iterations() {
+            if it % keep_every == 0 {
+                retained.insert(it);
+            }
+        }
+    }
+
+    // Live set = union of retained chains. Any unresolvable retained
+    // chain aborts the pass (invariant 1).
+    let mut live: HashSet<(u64, bool)> = HashSet::new();
+    for &t in &retained {
+        match view.resolve(t) {
+            Some(chain) => {
+                live.insert((chain.base, true));
+                for d in chain.path {
+                    live.insert((d, false));
+                }
+            }
+            None => report.unresolvable += 1,
+        }
+    }
+    if report.unresolvable > 0 {
+        return Ok(report);
+    }
+
+    // Invariant 2: prove every live file intact before deleting its
+    // superseded cover.
+    for &(it, is_full) in &live {
+        store.read(it, is_full).map_err(|e| {
+            NumarckError::Corrupt(format!(
+                "gc aborted: live file (iteration {it}, full={is_full}) failed verification: {e}"
+            ))
+        })?;
+    }
+    report.live = live.len() as u64;
+
+    // Delete dead files old enough to be settled.
+    let now = SystemTime::now();
+    let min_age = Duration::from_secs(min_age_secs);
+    for it in view.iterations().collect::<Vec<_>>() {
+        let entry = *view.entry(it).expect("iterated key");
+        for (present, is_full, bytes) in [
+            (entry.full_bytes.is_some(), true, entry.full_bytes.unwrap_or(0)),
+            (entry.delta_bytes.is_some(), false, entry.delta_bytes.unwrap_or(0)),
+        ] {
+            if !present || live.contains(&(it, is_full)) {
+                continue;
+            }
+            if min_age_secs > 0 && !old_enough(store, it, is_full, now, min_age) {
+                report.kept_young += 1;
+                continue;
+            }
+            match store.remove(it, is_full) {
+                Ok(()) => {
+                    report.removed += 1;
+                    report.bytes_removed += bytes;
+                }
+                // Already gone (e.g. a concurrent pass): that is the goal.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(NumarckError::Io(format!(
+                        "gc delete of iteration {it} (full={is_full}) failed: {e}"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Invariant 3: age unknown counts as young.
+fn old_enough(
+    store: &CheckpointStore,
+    iteration: u64,
+    is_full: bool,
+    now: SystemTime,
+    min_age: Duration,
+) -> bool {
+    std::fs::metadata(store.path_of(iteration, is_full))
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| now.duration_since(mtime).ok())
+        .is_some_and(|age| age >= min_age)
+}

@@ -1,0 +1,56 @@
+//! Observability hooks for the compaction policy engine.
+//!
+//! Mirrors the [`numarck_checkpoint::obs`] idiom: cached handles into
+//! the process-wide [`numarck_obs::Registry`], so compaction outcomes
+//! show up on `/metrics` and in the stats wire reply without threading
+//! report values through every call site.
+//!
+//! Metric names (see DESIGN.md §7):
+//! * `nck_compact_runs_total` — maintenance passes started;
+//! * `nck_compact_deltas_merged_total` — plain deltas superseded by a
+//!   merged delta;
+//! * `nck_compact_merges_total` — merged delta files written;
+//! * `nck_compact_fulls_promoted_total` — fulls materialised by the
+//!   placement policy;
+//! * `nck_compact_bytes_reclaimed_total` — store bytes freed by a pass
+//!   (compaction + GC combined);
+//! * `nck_gc_files_removed_total` — files deleted by retention GC;
+//! * `nck_compact_run_ns` — wall time of one full maintenance pass.
+
+use std::sync::{Arc, OnceLock};
+
+use numarck_obs::{Counter, Histogram, Registry};
+
+macro_rules! cached {
+    ($fn_name:ident, $kind:ident, $ty:ty, $metric:literal) => {
+        /// Cached handle to the global-registry instrument `
+        #[doc = $metric]
+        /// `.
+        pub fn $fn_name() -> &'static Arc<$ty> {
+            static CELL: OnceLock<Arc<$ty>> = OnceLock::new();
+            CELL.get_or_init(|| Registry::global().$kind($metric))
+        }
+    };
+}
+
+cached!(runs_total, counter, Counter, "nck_compact_runs_total");
+cached!(deltas_merged_total, counter, Counter, "nck_compact_deltas_merged_total");
+cached!(merges_total, counter, Counter, "nck_compact_merges_total");
+cached!(fulls_promoted_total, counter, Counter, "nck_compact_fulls_promoted_total");
+cached!(bytes_reclaimed_total, counter, Counter, "nck_compact_bytes_reclaimed_total");
+cached!(gc_files_removed_total, counter, Counter, "nck_gc_files_removed_total");
+cached!(run_ns, histogram, Histogram, "nck_compact_run_ns");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_the_global_registry() {
+        assert!(Arc::ptr_eq(
+            runs_total(),
+            &Registry::global().counter("nck_compact_runs_total")
+        ));
+        assert!(Arc::ptr_eq(run_ns(), &Registry::global().histogram("nck_compact_run_ns")));
+    }
+}

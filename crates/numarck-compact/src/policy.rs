@@ -1,0 +1,294 @@
+//! The maintenance pass: compaction → placement → GC, journaled.
+//!
+//! [`Compactor::run`] executes one pass over a store. Every write goes
+//! through the same discipline as live ingest: the exact bytes are
+//! built and **verified in memory first**, their CRC is recorded in the
+//! caller's write-ahead intent journal ([`IntentLog`]), the store write
+//! lands atomically (temp file + rename + dir fsync), the bytes are
+//! read back and CRC-checked, and only then is the intent committed. A
+//! crash at any boundary leaves either the old artefact (rename not yet
+//! landed) or the new, verified one — never a torn file — and the
+//! outstanding intent tells recovery which it must be. A read-back
+//! mismatch (storage corruption between write and verify) quarantines
+//! the damaged file so the existing scrub/re-anchor machinery repairs
+//! the chain.
+
+use std::io;
+
+use numarck::error::NumarckError;
+use numarck_checkpoint::format::{CheckpointFile, CheckpointKind};
+use numarck_checkpoint::restart::RestartEngine;
+use numarck_checkpoint::store::CheckpointStore;
+
+use crate::chain::{ChainView, CostModel};
+use crate::gc::{self, GcReport};
+use crate::merge::{self, MergeStats};
+use crate::obs;
+
+/// The write-ahead intent interface compaction writes go through.
+///
+/// `numarck-serve` implements this for its session intent journal, so
+/// background compaction shares the crash-recovery contract of live
+/// ingest. Standalone callers (CLI on a bare store) can use
+/// [`NoJournal`]: the store's atomic writes alone still guarantee
+/// old-or-new, just without recovery's CRC cross-check.
+pub trait IntentLog {
+    /// Record the intent to write `content_crc` at `iteration`; returns
+    /// the sequence number to commit. Must be durable before the store
+    /// write starts.
+    fn begin(&mut self, iteration: u64, is_full: bool, content_crc: u32) -> io::Result<u64>;
+    /// Record that the write for `seq` landed.
+    fn commit(&mut self, seq: u64) -> io::Result<()>;
+}
+
+/// No-op journal for standalone stores.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoJournal;
+
+impl IntentLog for NoJournal {
+    fn begin(&mut self, _iteration: u64, _is_full: bool, _content_crc: u32) -> io::Result<u64> {
+        Ok(0)
+    }
+    fn commit(&mut self, _seq: u64) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Knobs for one maintenance pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionConfig {
+    /// Merge this many consecutive plain deltas into one. 0 or 1
+    /// disables compaction.
+    pub merge_window: u64,
+    /// Modeled worst-case restart latency target; `None` disables the
+    /// placement policy.
+    pub restart_slo_ns: Option<u64>,
+    /// Retention: keep the newest N full checkpoints restartable. 0
+    /// disables GC entirely.
+    pub keep_last_fulls: usize,
+    /// Retention: additionally keep every iteration divisible by this.
+    /// 0 keeps only chain-needed iterations.
+    pub keep_every: u64,
+    /// Retention: never delete a file younger than this.
+    pub min_age_secs: u64,
+    /// The restart cost model placement decisions use.
+    pub cost: CostModel,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            merge_window: 4,
+            restart_slo_ns: None,
+            keep_last_fulls: 0,
+            keep_every: 0,
+            min_age_secs: 0,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// What one maintenance pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompactionReport {
+    /// Merged delta files written.
+    pub merges: u64,
+    /// Plain deltas those merges superseded.
+    pub deltas_merged: u64,
+    /// Per-point accounting across all merges.
+    pub merge_stats: MergeStats,
+    /// Full checkpoints materialised by the placement policy.
+    pub fulls_promoted: u64,
+    /// Files deleted by retention GC.
+    pub gc: GcReport,
+    /// Store bytes freed by the whole pass (compaction + GC).
+    pub bytes_reclaimed: u64,
+    /// Worst modeled restart cost after the pass, over resolvable
+    /// iterations.
+    pub worst_case_cost_ns: Option<u64>,
+}
+
+/// Runs maintenance passes under a [`CompactionConfig`].
+#[derive(Debug, Clone)]
+pub struct Compactor {
+    config: CompactionConfig,
+}
+
+impl Compactor {
+    /// A compactor with `config`.
+    pub fn new(config: CompactionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CompactionConfig {
+        &self.config
+    }
+
+    /// One full maintenance pass: merge plain-delta windows, promote
+    /// fulls until the modeled worst-case restart cost meets the SLO,
+    /// then collect superseded artefacts.
+    ///
+    /// The caller owns mutual exclusion with ingest and scrub (the
+    /// serve worker holds the session lock, exactly as scrub does).
+    pub fn run(
+        &self,
+        store: &CheckpointStore,
+        journal: &mut dyn IntentLog,
+    ) -> Result<CompactionReport, NumarckError> {
+        obs::runs_total().inc();
+        let _span = obs::run_ns().span();
+        let mut report = CompactionReport::default();
+        let bytes_before = ChainView::load(store)
+            .map_err(|e| NumarckError::Io(format!("chain snapshot failed: {e}")))?
+            .total_bytes();
+
+        if self.config.merge_window >= 2 {
+            self.compact(store, journal, &mut report)?;
+        }
+        if let Some(slo) = self.config.restart_slo_ns {
+            self.place(store, journal, slo, &mut report)?;
+        }
+        if self.config.keep_last_fulls > 0 {
+            report.gc = gc::collect(
+                store,
+                self.config.keep_last_fulls,
+                self.config.keep_every,
+                self.config.min_age_secs,
+            )?;
+            obs::gc_files_removed_total().add(report.gc.removed);
+        }
+
+        let after = ChainView::load(store)
+            .map_err(|e| NumarckError::Io(format!("chain snapshot failed: {e}")))?;
+        report.bytes_reclaimed = bytes_before.saturating_sub(after.total_bytes());
+        obs::bytes_reclaimed_total().add(report.bytes_reclaimed);
+        report.worst_case_cost_ns = after.worst_case_cost_ns(&self.config.cost);
+        Ok(report)
+    }
+
+    /// Merge every complete `merge_window`-sized window of consecutive
+    /// plain deltas. Each merged delta is verified bit-exact against
+    /// the current chain's replay before it replaces anything; the
+    /// superseded plain deltas stay on disk for GC to judge.
+    fn compact(
+        &self,
+        store: &CheckpointStore,
+        journal: &mut dyn IntentLog,
+        report: &mut CompactionReport,
+    ) -> Result<(), NumarckError> {
+        let w = self.config.merge_window;
+        let view = ChainView::load(store)
+            .map_err(|e| NumarckError::Io(format!("chain snapshot failed: {e}")))?;
+        for (a, b) in view.plain_runs() {
+            let mut start = a;
+            while start + w - 1 <= b {
+                let end = start + w - 1;
+                let merged = merge::merge_window(store, end, w)?;
+                journaled_write(
+                    store,
+                    journal,
+                    merged.file.iteration,
+                    false,
+                    &merged.bytes,
+                    merged.content_crc,
+                )?;
+                report.merges += 1;
+                report.deltas_merged += w;
+                report.merge_stats.unchanged += merged.stats.unchanged;
+                report.merge_stats.ratio_coded += merged.stats.ratio_coded;
+                report.merge_stats.escaped += merged.stats.escaped;
+                obs::merges_total().inc();
+                obs::deltas_merged_total().add(w);
+                start = end + 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Promote full checkpoints until every resolvable iteration's
+    /// modeled restart cost is within `slo` — walking iterations in
+    /// order and materialising a full at the first offender, exactly
+    /// the "materialize a fresh full" trick repair uses, but as policy
+    /// rather than emergency.
+    fn place(
+        &self,
+        store: &CheckpointStore,
+        journal: &mut dyn IntentLog,
+        slo: u64,
+        report: &mut CompactionReport,
+    ) -> Result<(), NumarckError> {
+        let model = &self.config.cost;
+        let view = ChainView::load(store)
+            .map_err(|e| NumarckError::Io(format!("chain snapshot failed: {e}")))?;
+        // (hops, base full bytes) per iteration, updated as promotions
+        // land so downstream costs see the new fulls.
+        let mut memo: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let engine = RestartEngine::new(store.clone());
+        for it in view.iterations().collect::<Vec<_>>() {
+            let entry = *view.entry(it).expect("iterated key");
+            let resolved = if let Some(bytes) = entry.full_bytes {
+                Some((0u64, bytes))
+            } else if entry.delta_bytes.is_some() {
+                let span = entry.delta_span.max(1);
+                it.checked_sub(span)
+                    .and_then(|base| memo.get(&base).copied())
+                    .map(|(hops, base_bytes)| (hops + 1, base_bytes))
+            } else {
+                None
+            };
+            let Some((hops, base_bytes)) = resolved else { continue };
+            let cost = model.cost_ns(base_bytes, hops);
+            // Promote only when a full would actually fix it: if the
+            // full-decode cost alone already blows the SLO, promotion
+            // per iteration would bloat the store without meeting it.
+            if cost > slo && hops >= 1 && model.cost_ns(base_bytes, 0) <= slo {
+                let vars = engine.restart_at(it)?.vars;
+                let file = CheckpointFile::new(it, CheckpointKind::Full(vars));
+                let bytes = file.to_bytes();
+                let crc = numarck::serialize::crc32(&bytes);
+                journaled_write(store, journal, it, true, &bytes, crc)?;
+                report.fulls_promoted += 1;
+                obs::fulls_promoted_total().inc();
+                memo.insert(it, (0, bytes.len() as u64));
+            } else {
+                memo.insert(it, (hops, base_bytes));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The shared write discipline: journal intent → atomic store write →
+/// read-back CRC verify → journal commit. On a read-back mismatch the
+/// damaged file is quarantined (feeding the scrub/re-anchor path) and
+/// the intent is deliberately left outstanding for recovery to judge.
+fn journaled_write(
+    store: &CheckpointStore,
+    journal: &mut dyn IntentLog,
+    iteration: u64,
+    is_full: bool,
+    bytes: &[u8],
+    content_crc: u32,
+) -> Result<(), NumarckError> {
+    let seq = journal
+        .begin(iteration, is_full, content_crc)
+        .map_err(|e| NumarckError::Io(format!("journal intent failed: {e}")))?;
+    store
+        .write_raw(iteration, is_full, bytes)
+        .map_err(|e| NumarckError::Io(format!("compaction write failed: {e}")))?;
+    let back = store
+        .read_raw(iteration, is_full)
+        .map_err(|e| NumarckError::Io(format!("compaction read-back failed: {e}")))?;
+    if numarck::serialize::crc32(&back) != content_crc {
+        let _ = store.quarantine(iteration, is_full);
+        return Err(NumarckError::Corrupt(format!(
+            "compaction write of iteration {iteration} failed read-back verification; quarantined"
+        )));
+    }
+    journal
+        .commit(seq)
+        .map_err(|e| NumarckError::Io(format!("journal commit failed: {e}")))?;
+    Ok(())
+}

@@ -1,0 +1,443 @@
+//! Integration proof for the compaction subsystem: restart from a
+//! compacted chain is bit-exact equal to restart from the original,
+//! placement bounds the modeled worst-case restart cost, and GC never
+//! deletes a file a retained restart would read.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use numarck::{Config, Strategy};
+use numarck_checkpoint::manager::{CheckpointManager, ManagerPolicy};
+use numarck_checkpoint::restart::RestartEngine;
+use numarck_checkpoint::store::CheckpointStore;
+use numarck_checkpoint::{repair, FaultSchedule, FaultyBackend, FsBackend, VariableSet, WriteFault};
+use numarck_compact::chain::ChainView;
+use numarck_compact::merge::vars_bits_equal;
+use numarck_compact::{gc, CompactionConfig, Compactor, CostModel, NoJournal};
+
+/// Self-cleaning unique temp directory (store::testutil is crate-private).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let unique = format!(
+            "numarck-compact-test-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        );
+        let path = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A simulation truth with both compaction regimes in one chain:
+/// variable `x` evolves by smooth clustered ratios (the composed-ratio
+/// path), variable `z` has values popping in and out of zero and
+/// per-point noise (the escape/re-encode path).
+fn truth_sequence(iters: u64, n: usize) -> Vec<VariableSet> {
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64).collect();
+    let mut out = Vec::new();
+    for it in 0..iters {
+        if it > 0 {
+            for (i, v) in x.iter_mut().enumerate() {
+                *v *= 1.0 + 0.004 * (((i as u64 + it) % 5) as f64 - 2.0) / 2.0;
+            }
+        }
+        let z: Vec<f64> = (0..n)
+            .map(|i| {
+                if (i as u64 + it) % 4 == 0 {
+                    0.0
+                } else {
+                    // Per-point, per-iteration values: ratios rarely repeat,
+                    // so most points overflow the table and escape.
+                    ((i as u64 * 2654435761 + it * 40503) % 100_000) as f64 + 0.5
+                }
+            })
+            .collect();
+        let mut vars = VariableSet::new();
+        vars.insert("x".into(), x.clone());
+        vars.insert("z".into(), z);
+        out.push(vars);
+    }
+    out
+}
+
+fn build_store(dir: &PathBuf, truth: &[VariableSet], full_interval: u64) -> CheckpointStore {
+    let store = CheckpointStore::open(dir).unwrap();
+    let cfg = Config::new(8, 0.001, Strategy::Clustering).unwrap();
+    let mut mgr = CheckpointManager::new(store.clone(), cfg, ManagerPolicy::fixed(full_interval));
+    for (it, vars) in truth.iter().enumerate() {
+        mgr.checkpoint(it as u64, vars).unwrap();
+    }
+    store
+}
+
+fn restart_all(store: &CheckpointStore, iters: u64) -> Vec<VariableSet> {
+    let engine = RestartEngine::new(store.clone());
+    (0..iters).map(|it| engine.restart_at(it).unwrap().vars).collect()
+}
+
+#[test]
+fn compacted_chain_restarts_bit_exact_everywhere() {
+    let tmp = TempDir::new("bit-exact");
+    let iters = 56u64;
+    let truth = truth_sequence(iters, 300);
+    // One full at 0, then 55 plain deltas: maximal compaction surface.
+    let store = build_store(&tmp.0, &truth, 1000);
+    let before = restart_all(&store, iters);
+
+    let compactor = Compactor::new(CompactionConfig {
+        merge_window: 4,
+        restart_slo_ns: None,
+        keep_last_fulls: 0,
+        ..CompactionConfig::default()
+    });
+    let report = compactor.run(&store, &mut NoJournal).unwrap();
+
+    // 55 plain deltas (1..=55) yield 13 complete 4-windows.
+    assert_eq!(report.merges, 13, "report: {report:?}");
+    assert_eq!(report.deltas_merged, 52);
+    // The acceptance criterion demands proof for BOTH the
+    // ratio-composition path and the re-encode (escape) path.
+    assert!(report.merge_stats.ratio_coded > 0, "no composed ratios: {:?}", report.merge_stats);
+    assert!(report.merge_stats.escaped > 0, "no escapes: {:?}", report.merge_stats);
+
+    // Every iteration — including ones mid-window, whose chains now pass
+    // through merged deltas — restarts to bit-identical state.
+    let after = restart_all(&store, iters);
+    for (it, (a, b)) in before.iter().zip(&after).enumerate() {
+        assert!(vars_bits_equal(a, b), "iteration {it} diverged after compaction");
+    }
+
+    // Merged deltas break plain runs, so a second pass finds nothing new.
+    let second = compactor.run(&store, &mut NoJournal).unwrap();
+    assert_eq!(second.merges, 0, "compaction must be idempotent: {second:?}");
+}
+
+#[test]
+fn escape_heavy_delta_compacts_bit_exact() {
+    let tmp = TempDir::new("escape-heavy");
+    let iters = 9u64;
+    let n = 1200;
+    // Pure noise: nearly every changing point has a unique ratio, far
+    // overflowing the 255-entry table, so the deltas being merged are
+    // escape-dominated — the ISSUE's "escaped-value-heavy delta" edge
+    // case. Static zeros exercise the unchanged path alongside.
+    let truth: Vec<VariableSet> = (0..iters)
+        .map(|it| {
+            let z: Vec<f64> = (0..n)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        ((i as u64 * 48271 + it * 69621) % 999_983) as f64 * 1e-3 + 1e-6
+                    }
+                })
+                .collect();
+            let mut vars = VariableSet::new();
+            vars.insert("z".into(), z);
+            vars
+        })
+        .collect();
+    let store = build_store(&tmp.0, &truth, 1000);
+    let before = restart_all(&store, iters);
+
+    let report = Compactor::new(CompactionConfig {
+        merge_window: 8,
+        keep_last_fulls: 0,
+        ..CompactionConfig::default()
+    })
+    .run(&store, &mut NoJournal)
+    .unwrap();
+    assert_eq!(report.merges, 1);
+    assert!(
+        report.merge_stats.escaped > report.merge_stats.ratio_coded
+            && report.merge_stats.unchanged > 0,
+        "expected an escape-dominated merge: {:?}",
+        report.merge_stats
+    );
+
+    let after = restart_all(&store, iters);
+    for (it, (a, b)) in before.iter().zip(&after).enumerate() {
+        assert!(vars_bits_equal(a, b), "iteration {it} diverged");
+    }
+}
+
+#[test]
+fn placement_bounds_worst_case_cost_under_slo() {
+    let tmp = TempDir::new("placement-slo");
+    let iters = 56u64;
+    let truth = truth_sequence(iters, 200);
+    // 55-deep delta chain behind a single full at 0.
+    let store = build_store(&tmp.0, &truth, 1000);
+    let before = restart_all(&store, iters);
+
+    // Synthetic model: replaying a delta costs 1 ms, decoding a full is
+    // free. SLO of 5 ms allows at most 5 hops to the nearest full.
+    let cost = CostModel { full_ns_per_byte: 0.0, delta_replay_ns: 1_000_000.0 };
+    let slo = 5_000_000u64;
+    let view = ChainView::load(&store).unwrap();
+    assert!(view.worst_case_cost_ns(&cost).unwrap() > slo, "chain must start in violation");
+
+    let report = Compactor::new(CompactionConfig {
+        merge_window: 0, // isolate the placement policy
+        restart_slo_ns: Some(slo),
+        keep_last_fulls: 0,
+        cost,
+        ..CompactionConfig::default()
+    })
+    .run(&store, &mut NoJournal)
+    .unwrap();
+
+    assert!(report.fulls_promoted >= 8, "expected a full every ~6 iterations: {report:?}");
+    let worst = report.worst_case_cost_ns.expect("chain resolvable");
+    assert!(worst <= slo, "worst case {worst} ns still exceeds SLO {slo} ns");
+
+    // Promoted fulls are materialised replay states, so every restart
+    // stays bit-identical.
+    let after = restart_all(&store, iters);
+    for (it, (a, b)) in before.iter().zip(&after).enumerate() {
+        assert!(vars_bits_equal(a, b), "iteration {it} diverged after placement");
+    }
+}
+
+#[test]
+fn gc_removes_superseded_deltas_and_keeps_retained_chains() {
+    let tmp = TempDir::new("gc-supersede");
+    let iters = 21u64;
+    let truth = truth_sequence(iters, 200);
+    let store = build_store(&tmp.0, &truth, 1000);
+    let engine = RestartEngine::new(store.clone());
+    let latest_before = engine.restart_at(iters - 1).unwrap().vars;
+    let kept_before = engine.restart_at(4).unwrap().vars;
+
+    let report = Compactor::new(CompactionConfig {
+        merge_window: 4,
+        keep_last_fulls: 1,
+        keep_every: 4,
+        min_age_secs: 0,
+        ..CompactionConfig::default()
+    })
+    .run(&store, &mut NoJournal)
+    .unwrap();
+    assert!(report.merges > 0);
+    assert!(report.gc.removed > 0, "superseded plain deltas should be collected: {report:?}");
+    assert_eq!(report.gc.unresolvable, 0);
+    assert!(report.bytes_reclaimed > 0);
+
+    // Iteration 4's chain is now [full 0, merged delta 4]; the plain
+    // deltas 1..3 it superseded are gone.
+    assert!(!store.path_of(1, false).exists(), "superseded delta 1 should be deleted");
+    assert!(!store.path_of(2, false).exists(), "superseded delta 2 should be deleted");
+    // Retained iterations still restart to bit-identical state.
+    assert!(vars_bits_equal(&engine.restart_at(iters - 1).unwrap().vars, &latest_before));
+    let r4 = engine.restart_at(4).unwrap();
+    assert!(vars_bits_equal(&r4.vars, &kept_before));
+    assert_eq!(r4.deltas_applied, 1, "iteration 4 should resolve through the merged delta");
+    // Non-retained mid-window iterations are genuinely gone.
+    assert!(engine.restart_at(2).is_err(), "collected iteration must fail loudly");
+}
+
+#[test]
+fn gc_on_empty_store_is_a_noop() {
+    let tmp = TempDir::new("gc-empty");
+    let store = CheckpointStore::open(&tmp.0).unwrap();
+    let report = gc::collect(&store, 1, 0, 0).unwrap();
+    assert_eq!(report, Default::default());
+}
+
+#[test]
+fn gc_with_every_iteration_quarantined_is_a_noop() {
+    let tmp = TempDir::new("gc-quarantined");
+    let truth = truth_sequence(6, 100);
+    let store = build_store(&tmp.0, &truth, 3);
+    for entry in store.list().unwrap() {
+        store.quarantine(entry.iteration, entry.is_full).unwrap();
+    }
+    let report = gc::collect(&store, 1, 0, 0).unwrap();
+    assert_eq!(report, Default::default(), "quarantined store must be left alone");
+    // The quarantined files themselves are untouched.
+    assert!(store.quarantine_dir().read_dir().unwrap().count() >= 6);
+}
+
+#[test]
+fn gc_aborts_whole_pass_when_a_retained_chain_is_broken() {
+    let tmp = TempDir::new("gc-broken-chain");
+    let truth = truth_sequence(10, 100);
+    let store = build_store(&tmp.0, &truth, 1000);
+    // Break the latest (always-retained) chain mid-way.
+    store.quarantine(7, false).unwrap();
+    let files_before = store.list().unwrap().len();
+    let report = gc::collect(&store, 1, 0, 0).unwrap();
+    assert!(report.unresolvable >= 1);
+    assert_eq!(report.removed, 0, "a broken retained chain must abort deletion");
+    assert_eq!(store.list().unwrap().len(), files_before);
+}
+
+#[test]
+fn gc_min_age_keeps_young_dead_files() {
+    let tmp = TempDir::new("gc-min-age");
+    let truth = truth_sequence(12, 100);
+    // Fulls every 4 iterations: deltas behind old fulls are dead under
+    // keep_last_fulls=1, but everything was written milliseconds ago.
+    let store = build_store(&tmp.0, &truth, 4);
+    let files_before = store.list().unwrap().len();
+    let report = gc::collect(&store, 1, 0, 3600).unwrap();
+    assert_eq!(report.removed, 0);
+    assert!(report.kept_young > 0, "young dead files must be counted: {report:?}");
+    assert_eq!(store.list().unwrap().len(), files_before);
+}
+
+#[test]
+fn gc_keeps_the_reanchor_point_alive() {
+    let tmp = TempDir::new("gc-reanchor");
+    let iters = 10u64;
+    let truth = truth_sequence(iters, 100);
+    let store = build_store(&tmp.0, &truth, 1000);
+    // Corrupt the newest delta, then repair: scrub quarantines it and
+    // re-anchors a fresh full at the newest restartable iteration.
+    let path = store.path_of(iters - 1, false);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let rep = repair(&store).unwrap();
+    assert!(rep.anchored_at.is_some(), "repair should re-anchor: {rep:?}");
+    let anchor = rep.anchored_at.unwrap();
+    let engine = RestartEngine::new(store.clone());
+    let anchored_state = engine.restart_at(anchor).unwrap().vars;
+
+    // Aggressive retention must still keep the re-anchor full — it is
+    // both the newest full and on the latest iteration's chain.
+    let report = gc::collect(&store, 1, 0, 0).unwrap();
+    assert_eq!(report.unresolvable, 0, "re-anchored store must resolve: {report:?}");
+    assert!(store.path_of(anchor, true).exists(), "re-anchor full must survive GC");
+    let r = engine.restart_at(anchor).unwrap();
+    assert!(vars_bits_equal(&r.vars, &anchored_state));
+    assert_eq!(r.deltas_applied, 0, "anchor restarts straight from its full");
+}
+
+#[test]
+fn gc_racing_concurrent_restart_reads_never_breaks_them() {
+    let tmp = TempDir::new("gc-race");
+    let iters = 24u64;
+    let truth = truth_sequence(iters, 150);
+    let store = build_store(&tmp.0, &truth, 1000);
+    let compactor = Compactor::new(CompactionConfig {
+        merge_window: 4,
+        keep_last_fulls: 1,
+        keep_every: 8,
+        min_age_secs: 0,
+        ..CompactionConfig::default()
+    });
+
+    // Readers hammer retained iterations (the latest and a keep_every
+    // multiple) while maintenance merges and collects. GC only deletes
+    // files off retained chains, so every read must keep succeeding.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = [iters - 1, 16u64]
+        .into_iter()
+        .map(|target| {
+            let engine = RestartEngine::new(store.clone());
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    engine
+                        .restart_at(target)
+                        .unwrap_or_else(|e| panic!("restart at {target} broke during gc: {e}"));
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    for _ in 0..4 {
+        compactor.run(&store, &mut NoJournal).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for reader in readers {
+        assert!(reader.join().expect("reader must not panic") > 0);
+    }
+}
+
+#[test]
+fn failed_compaction_write_leaves_the_chain_intact() {
+    let tmp = TempDir::new("fault-write");
+    let iters = 10u64;
+    let truth = truth_sequence(iters, 150);
+    let store = build_store(&tmp.0, &truth, 1000);
+    let before = restart_all(&store, iters);
+
+    // First compaction write (the merged delta's temp file) fails: the
+    // rename never happens, so the original chain must be untouched.
+    let schedule =
+        FaultSchedule::new().fail_write(1, WriteFault::Error(std::io::ErrorKind::Other));
+    let faulty =
+        CheckpointStore::open_with(&tmp.0, Arc::new(FaultyBackend::wrapping(Arc::new(FsBackend), schedule)))
+            .unwrap();
+    let compactor = Compactor::new(CompactionConfig {
+        merge_window: 4,
+        keep_last_fulls: 0,
+        ..CompactionConfig::default()
+    });
+    compactor.run(&faulty, &mut NoJournal).expect_err("injected write fault must surface");
+
+    let after = restart_all(&store, iters);
+    for (it, (a, b)) in before.iter().zip(&after).enumerate() {
+        assert!(vars_bits_equal(a, b), "iteration {it} changed after failed compaction");
+    }
+
+    // Once the fault clears, the same pass completes and stays bit-exact.
+    let report = compactor.run(&store, &mut NoJournal).unwrap();
+    assert!(report.merges > 0);
+    let healed = restart_all(&store, iters);
+    for (it, (a, b)) in before.iter().zip(&healed).enumerate() {
+        assert!(vars_bits_equal(a, b), "iteration {it} diverged after retry");
+    }
+}
+
+#[test]
+fn torn_compaction_write_quarantines_and_repair_reanchors() {
+    let tmp = TempDir::new("fault-torn");
+    let iters = 10u64;
+    let truth = truth_sequence(iters, 150);
+    let store = build_store(&tmp.0, &truth, 1000);
+    let engine = RestartEngine::new(store.clone());
+    let safe_state = engine.restart_at(3).unwrap().vars;
+
+    // The write "succeeds" but lands torn (silent storage corruption):
+    // read-back CRC verification catches it, quarantines the damaged
+    // merged delta, and errors out with the intent left outstanding.
+    let schedule = FaultSchedule::new().fail_write(1, WriteFault::SilentTorn { keep: 40 });
+    let faulty =
+        CheckpointStore::open_with(&tmp.0, Arc::new(FaultyBackend::wrapping(Arc::new(FsBackend), schedule)))
+            .unwrap();
+    let compactor = Compactor::new(CompactionConfig {
+        merge_window: 4,
+        keep_last_fulls: 0,
+        ..CompactionConfig::default()
+    });
+    let err = compactor.run(&faulty, &mut NoJournal).expect_err("torn write must be caught");
+    assert!(format!("{err}").contains("read-back"), "unexpected error: {err}");
+
+    // The torn merged delta replaced plain delta 4 in place, so the
+    // chain is now broken at 4 — exactly what the scrub/re-anchor
+    // machinery exists for. Repair brings the store back to a
+    // restartable state, bit-exact below the damage.
+    assert!(engine.restart_at(iters - 1).is_err());
+    let rep = repair(&store).unwrap();
+    assert!(rep.anchored_at.is_some(), "repair should re-anchor: {rep:?}");
+    assert!(vars_bits_equal(&engine.restart_at(3).unwrap().vars, &safe_state));
+}

@@ -193,6 +193,19 @@ impl IntentJournal {
     }
 }
 
+/// Background compaction writes go through the same write-ahead intent
+/// path as live ingest: an intent recorded by the compactor is
+/// indistinguishable from an ingest intent to crash recovery, which is
+/// exactly the point.
+impl numarck_compact::IntentLog for IntentJournal {
+    fn begin(&mut self, iteration: u64, is_full: bool, content_crc: u32) -> io::Result<u64> {
+        IntentJournal::begin(self, iteration, is_full, content_crc)
+    }
+    fn commit(&mut self, seq: u64) -> io::Result<()> {
+        IntentJournal::commit(self, seq)
+    }
+}
+
 enum Entry {
     Intent(IntentRecord),
     Commit { seq: u64 },

@@ -39,6 +39,7 @@ use numarck_checkpoint::{
     scrub, CheckpointManager, CheckpointOutcome, CheckpointStore, FsBackend, ManagerPolicy,
     RestartEngine, RetryPolicy, SystemClock,
 };
+use numarck_compact::{CompactionConfig, Compactor};
 use numarck_obs::{Counter, Gauge, Histogram, HistogramSummary, Level, Registry, Snapshot};
 
 use crate::journal::IntentJournal;
@@ -79,6 +80,12 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Storage backend for every session store (tests inject faults).
     pub backend: Arc<dyn StorageBackend>,
+    /// Background chain maintenance (compaction, full placement, GC) run
+    /// over every session at `compact_interval`; `None` disables the
+    /// maintenance worker entirely.
+    pub compaction: Option<CompactionConfig>,
+    /// How often the maintenance worker sweeps the sessions.
+    pub compact_interval: Duration,
 }
 
 impl ServerConfig {
@@ -96,6 +103,8 @@ impl ServerConfig {
             full_interval: 16,
             retry: RetryPolicy::default(),
             backend: Arc::new(FsBackend),
+            compaction: None,
+            compact_interval: Duration::from_secs(60),
         }
     }
 }
@@ -269,6 +278,16 @@ impl Shared {
             replica_quorum_failures: Registry::global()
                 .counter("ckpt_replica_quorum_failures_total")
                 .get(),
+            // The compaction counters also live in the process-global
+            // registry (numarck-compact's policy engine bumps them).
+            compact_runs: Registry::global().counter("nck_compact_runs_total").get(),
+            compact_deltas_merged: Registry::global()
+                .counter("nck_compact_deltas_merged_total")
+                .get(),
+            compact_bytes_reclaimed: Registry::global()
+                .counter("nck_compact_bytes_reclaimed_total")
+                .get(),
+            gc_files_removed: Registry::global().counter("nck_gc_files_removed_total").get(),
         }
     }
 
@@ -286,6 +305,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -328,6 +348,9 @@ impl ServerHandle {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(maintenance) = self.maintenance.take() {
+            let _ = maintenance.join();
         }
     }
 
@@ -423,7 +446,73 @@ impl Server {
                 .spawn(move || acceptor_loop(listener, tx, &shared))
                 .expect("spawn acceptor")
         };
-        Ok(ServerHandle { addr: local, shared, acceptor: Some(acceptor), workers })
+        let maintenance = shared.config.compaction.map(|compaction| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("nsrv-maintenance".into())
+                .spawn(move || maintenance_loop(&shared, compaction))
+                .expect("spawn maintenance")
+        });
+        Ok(ServerHandle { addr: local, shared, acceptor: Some(acceptor), workers, maintenance })
+    }
+}
+
+/// Background chain maintenance: every `compact_interval`, run one
+/// compaction/placement/GC pass over each open session. Each pass holds
+/// that session's lock (exactly as scrub does), so maintenance never
+/// races the session's own ingest, and its writes go through the
+/// session's write-ahead intent journal — to crash recovery they are
+/// indistinguishable from ingest writes. Exits when drain is triggered.
+fn maintenance_loop(shared: &Shared, compaction: CompactionConfig) {
+    let compactor = Compactor::new(compaction);
+    let mut last_sweep = Instant::now();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        if last_sweep.elapsed() < shared.config.compact_interval {
+            thread::sleep(ACCEPT_POLL);
+            continue;
+        }
+        last_sweep = Instant::now();
+        let handles: Vec<Arc<Mutex<SessionState>>> =
+            shared.sessions.lock().expect("sessions lock").values().cloned().collect();
+        for handle in handles {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut sess = handle.lock().expect("session lock");
+            let store = sess.manager.store().clone();
+            let name = sess.name.clone();
+            match compactor.run(&store, &mut sess.journal) {
+                Ok(report) => {
+                    if report.merges > 0 || report.fulls_promoted > 0 || report.gc.removed > 0 {
+                        shared.obs.registry.events().push(
+                            Level::Info,
+                            format!(
+                                "maintenance on session {name:?}: {} merges \
+                                 ({} deltas), {} fulls promoted, {} files \
+                                 collected, {} bytes reclaimed",
+                                report.merges,
+                                report.deltas_merged,
+                                report.fulls_promoted,
+                                report.gc.removed,
+                                report.bytes_reclaimed,
+                            ),
+                        );
+                    }
+                }
+                Err(e) => {
+                    // A failed pass quarantined anything it damaged and
+                    // left its intent outstanding; scrub/recovery own the
+                    // repair. Maintenance itself just reports and moves on.
+                    shared.obs.registry.events().push(
+                        Level::Error,
+                        format!("maintenance on session {name:?} failed: {e}"),
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -241,6 +241,15 @@ pub struct StatsReply {
     /// Durability extension: files where no replica quorum agreed on
     /// valid content (process-wide, replicated backends only).
     pub replica_quorum_failures: u64,
+    /// Compaction extension: background maintenance passes run
+    /// (process-wide, 0 from older peers, as for every field below).
+    pub compact_runs: u64,
+    /// Compaction extension: plain deltas superseded by merged deltas.
+    pub compact_deltas_merged: u64,
+    /// Compaction extension: store bytes reclaimed by compaction + GC.
+    pub compact_bytes_reclaimed: u64,
+    /// Compaction extension: files deleted by retention GC.
+    pub gc_files_removed: u64,
 }
 
 /// A client-to-server message.
@@ -838,6 +847,15 @@ impl Response {
                 ] {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
+                // Compaction extension (see `StatsReply` docs).
+                for v in [
+                    s.compact_runs,
+                    s.compact_deltas_merged,
+                    s.compact_bytes_reclaimed,
+                    s.gc_files_removed,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
             }
             Response::SessionClosed | Response::ShuttingDown | Response::Busy => {}
             Response::Error { code, message } => {
@@ -937,6 +955,14 @@ impl Response {
                         s.idle_disconnects = cur.u64()?;
                         s.replica_repairs = cur.u64()?;
                         s.replica_quorum_failures = cur.u64()?;
+                        // Compaction extension: once more, absent from
+                        // peers that predate it; defaults stand.
+                        if !cur.is_empty() {
+                            s.compact_runs = cur.u64()?;
+                            s.compact_deltas_merged = cur.u64()?;
+                            s.compact_bytes_reclaimed = cur.u64()?;
+                            s.gc_files_removed = cur.u64()?;
+                        }
                     }
                 }
                 Response::StatsData(Box::new(s))
@@ -1058,6 +1084,10 @@ mod tests {
             idle_disconnects: 6,
             replica_repairs: 9,
             replica_quorum_failures: 2,
+            compact_runs: 11,
+            compact_deltas_merged: 44,
+            compact_bytes_reclaimed: 1 << 16,
+            gc_files_removed: 33,
         })));
         roundtrip_response(Response::SessionClosed);
         roundtrip_response(Response::ShuttingDown);
@@ -1118,8 +1148,9 @@ mod tests {
             ..Default::default()
         }));
         let payload = full.payload();
-        // The durability extension is exactly six u64s at the tail.
-        let short = &payload[..payload.len() - 48];
+        // The durability extension is six u64s, the compaction
+        // extension four more: 80 tail bytes in total.
+        let short = &payload[..payload.len() - 80];
         let mut buf = Vec::new();
         write_frame(&mut buf, opcode::STATS_DATA, 1, short).unwrap();
         let frame = read_frame(&mut buf.as_slice()).unwrap();
@@ -1129,6 +1160,36 @@ mod tests {
                 assert_eq!(s.latencies.len(), 1);
                 assert_eq!(s.journal_replayed, 0, "durability default");
                 assert_eq!(s.idle_disconnects, 0, "durability default");
+                assert_eq!(s.compact_runs, 0, "compaction default");
+            }
+            other => panic!("expected StatsData, got {other:?}"),
+        }
+    }
+
+    /// A peer with the durability extension but not the compaction one
+    /// (it stops after the six durability u64s) decodes with the
+    /// compaction fields at their defaults.
+    #[test]
+    fn stats_reply_without_compaction_extension_decodes_with_defaults() {
+        let full = Response::StatsData(Box::new(StatsReply {
+            journal_replayed: 7,
+            replica_repairs: 5,
+            compact_runs: 9,
+            gc_files_removed: 4,
+            ..Default::default()
+        }));
+        let payload = full.payload();
+        // The compaction extension is exactly four u64s at the tail.
+        let short = &payload[..payload.len() - 32];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, opcode::STATS_DATA, 1, short).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        match Response::from_frame(&frame).unwrap() {
+            Response::StatsData(s) => {
+                assert_eq!(s.journal_replayed, 7, "durability still decodes");
+                assert_eq!(s.replica_repairs, 5, "durability still decodes");
+                assert_eq!(s.compact_runs, 0, "compaction default");
+                assert_eq!(s.gc_files_removed, 0, "compaction default");
             }
             other => panic!("expected StatsData, got {other:?}"),
         }

@@ -1,0 +1,88 @@
+//! Background maintenance integration: the in-server compaction worker
+//! merges a live session's delta chain between ingests, restarts stay
+//! bit-exact across it, and the counters surface over the wire.
+
+use std::time::{Duration, Instant};
+
+use numarck::{Config, Strategy};
+use numarck_checkpoint::{CheckpointStore, VariableSet};
+use numarck_compact::{ChainView, CompactionConfig};
+use numarck_serve::{Client, Server, ServerConfig};
+
+mod util;
+use util::TempDir;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config() -> Config {
+    Config::new(8, 0.001, Strategy::Clustering).unwrap()
+}
+
+fn vars(iteration: u64) -> VariableSet {
+    let mut v = VariableSet::new();
+    v.insert(
+        "x".into(),
+        (0..200).map(|j| (j as f64 + 1.0) * 1.003f64.powi(iteration as i32)).collect(),
+    );
+    v
+}
+
+/// The maintenance worker compacts a session it shares with live
+/// traffic: merged deltas appear in the store, every iteration still
+/// restarts to exactly the state it restarted to before, and the
+/// compaction counters come back in the stats reply.
+#[test]
+fn background_worker_compacts_live_session_bit_exact() {
+    let tmp = TempDir::new("maintenance");
+    let mut config = ServerConfig::new(tmp.0.join("root"), test_config());
+    config.io_timeout = TIMEOUT;
+    // Deltas only (no scheduled fulls): maximal compaction surface.
+    config.full_interval = 1000;
+    config.compact_interval = Duration::from_millis(100);
+    // GC off so every iteration stays individually restartable — this
+    // test is about merge correctness under live traffic.
+    config.compaction =
+        Some(CompactionConfig { merge_window: 4, keep_last_fulls: 0, ..Default::default() });
+    let server = Server::spawn("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.addr(), TIMEOUT).unwrap();
+    let session = client.open_session("sim").unwrap();
+    let iters = 17u64;
+    for it in 0..iters {
+        client.put_iteration(session, it, &vars(it)).unwrap();
+    }
+    // Compaction is bit-exact, so these references are valid whether or
+    // not a maintenance pass has already slipped in.
+    let before: Vec<VariableSet> =
+        (0..iters).map(|it| client.restart(session, it).unwrap().vars).collect();
+
+    // Wait for a merged delta (span >= 2) to land in the store.
+    let store = CheckpointStore::open(tmp.0.join("root").join("sim")).unwrap();
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let view = ChainView::load(&store).unwrap();
+        if view.iterations().any(|it| view.entry(it).is_some_and(|e| e.delta_span >= 2)) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "maintenance worker never merged the chain");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Every iteration restarts through the compacted chain to the exact
+    // same bits, and ingest keeps working after maintenance passes.
+    for (it, expected) in before.iter().enumerate() {
+        let reply = client.restart(session, it as u64).unwrap();
+        assert_eq!(reply.achieved, it as u64);
+        assert_eq!(&reply.vars, expected, "iteration {it} diverged after compaction");
+    }
+    client.put_iteration(session, iters, &vars(iters)).unwrap();
+    assert_eq!(client.restart(session, iters).unwrap().achieved, iters);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.compact_runs >= 1, "stats: {stats:?}");
+    assert!(stats.compact_deltas_merged >= 4, "stats: {stats:?}");
+
+    // Drain must also stop the maintenance worker (join would hang
+    // otherwise).
+    drop(client);
+    server.shutdown();
+}
