@@ -87,7 +87,14 @@ fn main() {
     let config = Config::new(8, 0.001, Strategy::Clustering).expect("paper-default config");
     let mut mgr = CheckpointManager::new(store.clone(), config, ManagerPolicy::fixed(1_000_000));
     let build_start = Instant::now();
+    // Four variables over one evolving state vector (`points` total per
+    // iteration): multi-variable deltas are what the shared centroid
+    // dictionary in container v2 exists for, so the format comparison
+    // below measures a representative checkpoint, not a degenerate
+    // single-table one.
+    const VAR_NAMES: [&str; 4] = ["dens", "ener", "pres", "temp"];
     let mut state: Vec<f64> = (0..points).map(|j| 1.0 + (j % 17) as f64).collect();
+    let quarter = (points / VAR_NAMES.len()).max(1);
     for it in 0..iters {
         if it > 0 {
             for (j, v) in state.iter_mut().enumerate() {
@@ -95,11 +102,20 @@ fn main() {
             }
         }
         let mut vars = VariableSet::new();
-        vars.insert("x".to_string(), state.clone());
+        for (vi, name) in VAR_NAMES.iter().enumerate() {
+            let lo = vi * quarter;
+            let hi = if vi + 1 == VAR_NAMES.len() { points } else { (vi + 1) * quarter };
+            vars.insert((*name).to_string(), state[lo..hi].to_vec());
+        }
         mgr.checkpoint(it, &vars).expect("checkpoint");
     }
     let build_secs = build_start.elapsed().as_secs_f64();
     let bytes_before = ChainView::load(&store).expect("chain view").total_bytes();
+
+    // Container-format comparison on the freshly built chain: total
+    // bytes and measured restart time with every file in v2 (as
+    // written) vs the same chain transcoded to the frozen v1 layout.
+    let comparison = compare_formats(&store, &root, iters, points);
 
     // Measured (not modeled) worst-case restart: the newest iteration
     // sits at the end of the longest delta run.
@@ -131,6 +147,7 @@ fn main() {
             bytes_after,
             restart_before,
             restart_after,
+            &comparison,
         ),
     )
     .expect("write benchmark JSON");
@@ -144,6 +161,14 @@ fn main() {
         restart_before * 1e3,
         restart_after * 1e3
     );
+    println!(
+        "format: v1 {} B -> v2 {} B ({:+.1}%) · decode {:.1} -> {:.1} Mpoints/s",
+        comparison.v1_bytes,
+        comparison.v2_bytes,
+        (comparison.v2_bytes as f64 / comparison.v1_bytes.max(1) as f64 - 1.0) * 100.0,
+        comparison.mpoints_per_sec(comparison.v1_restart_secs),
+        comparison.mpoints_per_sec(comparison.v2_restart_secs),
+    );
     println!("wrote {path}");
 }
 
@@ -154,6 +179,58 @@ fn measured_restart_secs(store: &CheckpointStore, target: u64) -> f64 {
     let result = engine.restart_at(target).expect("restart");
     assert_eq!(result.iteration, target);
     start.elapsed().as_secs_f64()
+}
+
+/// v1-vs-v2 size and decode-throughput comparison row.
+struct FormatComparison {
+    v1_bytes: u64,
+    v2_bytes: u64,
+    v1_restart_secs: f64,
+    v2_restart_secs: f64,
+    /// Points decoded by one worst-case restart (base full + every
+    /// delta on the path).
+    points_decoded: u64,
+}
+
+impl FormatComparison {
+    fn mpoints_per_sec(&self, secs: f64) -> f64 {
+        self.points_decoded as f64 / secs.max(1e-9) / 1e6
+    }
+}
+
+/// Transcode the whole chain into the frozen v1 layout in a sibling
+/// store and measure both: total stored bytes and the best-of-3
+/// worst-case restart, v2 (as written) against v1.
+fn compare_formats(
+    store: &CheckpointStore,
+    root: &std::path::Path,
+    iters: u64,
+    points: usize,
+) -> FormatComparison {
+    let v1_root = root.with_extension("v1");
+    let _ = std::fs::remove_dir_all(&v1_root);
+    std::fs::create_dir_all(&v1_root).expect("v1 store dir");
+    let v1_store = CheckpointStore::open(&v1_root).expect("open v1 store");
+    for entry in store.list().expect("list chain") {
+        let bytes = store.read_raw(entry.iteration, entry.is_full).expect("read file");
+        let file = numarck_checkpoint::CheckpointFile::from_bytes(&bytes).expect("parse file");
+        v1_store.write_raw(entry.iteration, entry.is_full, &file.to_bytes_v1()).expect("write v1");
+    }
+    let v2_bytes = ChainView::load(store).expect("chain view").total_bytes();
+    let v1_bytes = ChainView::load(&v1_store).expect("chain view").total_bytes();
+    let best = |s: &CheckpointStore| {
+        (0..3).map(|_| measured_restart_secs(s, iters - 1)).fold(f64::INFINITY, f64::min)
+    };
+    let v2_restart_secs = best(store);
+    let v1_restart_secs = best(&v1_store);
+    let _ = std::fs::remove_dir_all(&v1_root);
+    FormatComparison {
+        v1_bytes,
+        v2_bytes,
+        v1_restart_secs,
+        v2_restart_secs,
+        points_decoded: points as u64 * iters,
+    }
 }
 
 /// Hand-rolled JSON, same conventions as `serve_bench`: flat and
@@ -171,10 +248,12 @@ fn render_json(
     bytes_after: u64,
     restart_before: f64,
     restart_after: f64,
+    comparison: &FormatComparison,
 ) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"harness\": \"numarck-bench compact_bench\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"format_version\": {},", numarck_checkpoint::WRITE_VERSION);
     let _ = writeln!(s, "  \"iterations\": {iters},");
     let _ = writeln!(s, "  \"points_per_iteration\": {points},");
     let _ = writeln!(s, "  \"host\": {},", host_meta_json());
@@ -211,7 +290,20 @@ fn render_json(
         report.merge_stats.unchanged, report.merge_stats.ratio_coded, report.merge_stats.escaped
     );
     let _ = writeln!(s, "  \"restart_worst_before_secs\": {restart_before:.6},");
-    let _ = writeln!(s, "  \"restart_worst_after_secs\": {restart_after:.6}");
+    let _ = writeln!(s, "  \"restart_worst_after_secs\": {restart_after:.6},");
+    let _ = writeln!(
+        s,
+        "  \"format_comparison\": {{\"v1_bytes\": {}, \"v2_bytes\": {}, \
+         \"v2_over_v1_bytes\": {:.4}, \"v1_restart_secs\": {:.6}, \"v2_restart_secs\": {:.6}, \
+         \"v1_decode_mpoints_per_sec\": {:.2}, \"v2_decode_mpoints_per_sec\": {:.2}}}",
+        comparison.v1_bytes,
+        comparison.v2_bytes,
+        comparison.v2_bytes as f64 / comparison.v1_bytes.max(1) as f64,
+        comparison.v1_restart_secs,
+        comparison.v2_restart_secs,
+        comparison.mpoints_per_sec(comparison.v1_restart_secs),
+        comparison.mpoints_per_sec(comparison.v2_restart_secs),
+    );
     s.push_str("}\n");
     s
 }

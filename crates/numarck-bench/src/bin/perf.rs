@@ -334,6 +334,7 @@ fn render_json(
     let _ = writeln!(s, "  \"harness\": \"numarck-bench perf\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"simd_dispatch\": \"{dispatch}\",");
+    let _ = writeln!(s, "  \"format_version\": {},", numarck_checkpoint::WRITE_VERSION);
     let _ = writeln!(s, "  \"host\": {},", host_meta_json());
     if let Some(ks) = kernels {
         let _ = writeln!(s, "  \"kernels\": [");

@@ -14,6 +14,8 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::mmapio::AlignedBytes;
+
 /// The set of filesystem operations the checkpoint store needs.
 ///
 /// Implementations must be usable from `&self` (the store is cloned
@@ -39,6 +41,16 @@ pub trait StorageBackend: std::fmt::Debug + Send + Sync {
 
     /// Read the entire file at `path`.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Read the file at `path` as [`AlignedBytes`], mapping it into
+    /// memory when the backend can. The default routes through
+    /// [`Self::read`] into an aligned copy — deliberately, so wrappers
+    /// (fault injection, replication quorums) keep intercepting mapped
+    /// reads exactly like plain ones. Only backends that own a real
+    /// file (e.g. [`FsBackend`]) should override this with `mmap`.
+    fn map(&self, path: &Path) -> io::Result<AlignedBytes> {
+        self.read(path).map(AlignedBytes::from_vec)
+    }
 
     /// Delete the file at `path`.
     fn remove_file(&self, path: &Path) -> io::Result<()>;
@@ -97,6 +109,10 @@ impl StorageBackend for FsBackend {
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         fs::read(path)
+    }
+
+    fn map(&self, path: &Path) -> io::Result<AlignedBytes> {
+        AlignedBytes::map_file(path)
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
@@ -423,6 +439,28 @@ mod tests {
         assert!(b.write(&p, b"nope").is_err());
         b.write(&p, b"yes").unwrap();
         assert_eq!(b.read(&p).unwrap(), b"yes");
+    }
+
+    #[test]
+    fn map_is_real_on_fs_and_faultable_through_wrappers() {
+        let tmp = TempDir::new("backend-map");
+        let p = tmp.0.join("x");
+        FsBackend.write(&p, b"abcdefgh").unwrap();
+        let mapped = FsBackend.map(&p).unwrap();
+        assert_eq!(&*mapped, b"abcdefgh");
+        #[cfg(unix)]
+        assert!(mapped.is_mapped());
+
+        // The default map() routes through read(), so scheduled read
+        // faults hit mapped reads too — zero-copy must not become a
+        // fault-injection blind spot.
+        let b = FaultyBackend::new(
+            FaultSchedule::new().fail_read(1, ReadFault::BitRot { offset: 0, mask: 0xFF }),
+        );
+        let rotted = b.map(&p).unwrap();
+        assert!(!rotted.is_mapped());
+        assert_eq!(rotted[0], b'a' ^ 0xFF);
+        assert_eq!(&b.map(&p).unwrap()[..], b"abcdefgh");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod backend;
 pub mod fault;
 pub mod format;
 pub mod manager;
+pub mod mmapio;
 pub mod obs;
 pub mod replicated;
 pub mod restart;
@@ -44,7 +45,11 @@ pub mod scrub;
 pub mod store;
 
 pub use backend::{FaultSchedule, FaultyBackend, FsBackend, ReadFault, StorageBackend, WriteFault};
-pub use format::{CheckpointFile, CheckpointKind};
+pub use format::{
+    describe, sniff_version, AnyCodec, CheckpointFile, CheckpointKind, ContainerInfo,
+    MappedCheckpoint, SectionInfo, V2Options, VERSION_V1, VERSION_V2, WRITE_VERSION,
+};
+pub use mmapio::AlignedBytes;
 pub use manager::{
     AdaptivePolicy, CheckpointManager, CheckpointOutcome, CheckpointReport, Clock, ManagerPolicy,
     PreparedCheckpoint, RetryPolicy, RetryTotals, SystemClock,

@@ -291,6 +291,13 @@ impl CheckpointManager {
         &self.store
     }
 
+    /// How many variables the last checkpoint carried (0 before the
+    /// first). Delta replay cost scales with this, so maintenance uses
+    /// it to seed restart cost models from per-block decode timings.
+    pub fn variable_count(&self) -> usize {
+        self.previous.as_ref().map(|(_, vars)| vars.len()).unwrap_or(0)
+    }
+
     /// All checkpoints currently stored, sorted by iteration (fulls
     /// before deltas at the same iteration). Quarantined files are not
     /// listed.
@@ -413,11 +420,21 @@ impl CheckpointManager {
             (outcome, CheckpointKind::Full(vars.clone()))
         } else {
             let (_, prev_vars) = self.previous.as_ref().expect("checked above");
+            // Group-encode the iteration: the fit samples of every
+            // variable are pooled into one shared centroid table, which
+            // the v2 container then persists exactly once as the
+            // per-iteration dictionary instead of once per variable.
+            let pairs: Vec<(&[f64], &[f64])> = vars
+                .iter()
+                .map(|(name, curr)| (prev_vars[name].as_slice(), curr.as_slice()))
+                .collect();
+            let (group_blocks, group_stats) =
+                numarck::group::encode_group(&pairs, self.compressor.config())?;
             let mut stats = BTreeMap::new();
             let mut blocks = BTreeMap::new();
-            for (name, curr) in vars {
-                let prev = &prev_vars[name];
-                let (block, st) = self.compressor.compress(prev, curr)?;
+            for ((name, block), st) in
+                vars.keys().zip(group_blocks).zip(group_stats.per_variable)
+            {
                 blocks.insert(name.clone(), block);
                 stats.insert(name.clone(), st);
             }

@@ -10,9 +10,96 @@
 use numarck::decode;
 use numarck::error::NumarckError;
 
-use crate::format::CheckpointKind;
+use crate::format::{sniff_version, CheckpointFile, CheckpointKind, MappedCheckpoint, VERSION_V2};
 use crate::store::CheckpointStore;
 use crate::VariableSet;
+
+/// One file on a restart chain, in whichever shape its container
+/// version decodes best: v2 files stay as a [`MappedCheckpoint`] and
+/// decode zero-copy straight out of the mapping; v1 (and any bytes a
+/// non-mapping backend hands back) are parsed into an owned
+/// [`CheckpointFile`]. Both shapes replay through the same
+/// [`decode::reconstruct_ref`] core, so the reconstructed state is
+/// bit-identical either way.
+#[derive(Debug)]
+enum ChainFile {
+    Parsed(CheckpointFile),
+    Mapped(MappedCheckpoint),
+}
+
+impl ChainFile {
+    fn iteration(&self) -> u64 {
+        match self {
+            Self::Parsed(f) => f.iteration,
+            Self::Mapped(m) => m.iteration(),
+        }
+    }
+
+    fn is_full_payload(&self) -> bool {
+        match self {
+            Self::Parsed(f) => matches!(f.kind, CheckpointKind::Full(_)),
+            Self::Mapped(m) => m.is_full(),
+        }
+    }
+
+    fn span(&self) -> u64 {
+        match self {
+            Self::Parsed(f) => f.span(),
+            Self::Mapped(m) => m.span(),
+        }
+    }
+
+    fn into_full_variables(self) -> Result<VariableSet, NumarckError> {
+        match self {
+            Self::Parsed(f) => match f.kind {
+                CheckpointKind::Full(vars) => Ok(vars),
+                CheckpointKind::Delta(_) => unreachable!("caller checked is_full_payload"),
+            },
+            Self::Mapped(m) => m.full_variables(),
+        }
+    }
+
+    /// Apply this delta file in place to `vars`.
+    fn apply(&self, vars: &mut VariableSet) -> Result<(), NumarckError> {
+        let mismatch = || {
+            NumarckError::Corrupt(format!(
+                "delta {} variable set does not match the chain",
+                self.iteration()
+            ))
+        };
+        match self {
+            Self::Parsed(f) => {
+                let blocks = match &f.kind {
+                    CheckpointKind::Delta(blocks) => blocks,
+                    CheckpointKind::Full(_) => {
+                        unreachable!("resolve_chain collects only deltas")
+                    }
+                };
+                if blocks.len() != vars.len()
+                    || !blocks.keys().zip(vars.keys()).all(|(a, b)| a == b)
+                {
+                    return Err(mismatch());
+                }
+                for (name, block) in blocks {
+                    let prev = vars.get_mut(name).expect("key checked above");
+                    *prev = decode::reconstruct(prev, block)?;
+                }
+            }
+            Self::Mapped(m) => {
+                if m.num_variables() != vars.len()
+                    || !m.variable_names().zip(vars.keys()).all(|(a, b)| a == b.as_str())
+                {
+                    return Err(mismatch());
+                }
+                for name in m.variable_names().map(str::to_string).collect::<Vec<_>>() {
+                    let prev = vars.get_mut(&name).expect("key checked above");
+                    *prev = m.decode_variable(&name, prev)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Replays checkpoint chains out of a store.
 #[derive(Debug, Clone)]
@@ -95,23 +182,34 @@ impl RestartEngine {
     pub fn restart_at(&self, target: u64) -> Result<RestartResult, NumarckError> {
         let (path, base_iteration, mut vars) = self.resolve_chain(target)?;
         let deltas_applied = path.len() as u64;
-        for file in path.into_iter().rev() {
-            let blocks = match file.kind {
-                CheckpointKind::Delta(blocks) => blocks,
-                CheckpointKind::Full(_) => unreachable!("resolve_chain collects only deltas"),
-            };
-            if blocks.len() != vars.len() || !blocks.keys().zip(vars.keys()).all(|(a, b)| a == b) {
-                return Err(NumarckError::Corrupt(format!(
-                    "delta {} variable set does not match the chain",
-                    file.iteration
-                )));
-            }
-            for (name, block) in &blocks {
-                let prev = vars.get_mut(name).expect("key checked above");
-                *prev = decode::reconstruct(prev, block)?;
-            }
+        for file in path.iter().rev() {
+            file.apply(&mut vars)?;
         }
         Ok(RestartResult { vars, iteration: target, base_iteration, deltas_applied })
+    }
+
+    /// Open the file for `iteration` through the versioned seam: map the
+    /// bytes (a real `mmap` on plain filesystem stores), sniff the
+    /// container version, and keep v2 files mapped for zero-copy decode
+    /// while v1 files parse through the frozen codec.
+    fn read_chain_file(&self, iteration: u64, is_full: bool) -> Result<ChainFile, NumarckError> {
+        let path = self.store.path_of(iteration, is_full);
+        let bytes = self
+            .store
+            .map_raw(iteration, is_full)
+            .map_err(|e| NumarckError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let file = match sniff_version(&bytes)? {
+            VERSION_V2 => ChainFile::Mapped(MappedCheckpoint::parse(bytes)?),
+            _ => ChainFile::Parsed(CheckpointFile::from_bytes(&bytes)?),
+        };
+        if file.iteration() != iteration {
+            return Err(NumarckError::Corrupt(format!(
+                "file {} claims iteration {}, expected {iteration}",
+                path.display(),
+                file.iteration()
+            )));
+        }
+        Ok(file)
     }
 
     /// Walk backwards from `target` to the base full checkpoint,
@@ -120,7 +218,7 @@ impl RestartEngine {
     fn resolve_chain(
         &self,
         target: u64,
-    ) -> Result<(Vec<crate::format::CheckpointFile>, u64, VariableSet), NumarckError> {
+    ) -> Result<(Vec<ChainFile>, u64, VariableSet), NumarckError> {
         let entries = self
             .store
             .list()
@@ -138,45 +236,34 @@ impl RestartEngine {
         let mut cur = target;
         loop {
             if has_full.contains(&cur) {
-                let base = self.store.read(cur, true)?;
-                let vars = match base.kind {
-                    CheckpointKind::Full(vars) => vars,
-                    CheckpointKind::Delta(_) => {
-                        return Err(NumarckError::Corrupt(format!(
-                            "checkpoint {cur} has .full name but delta payload"
-                        )))
-                    }
-                };
-                return Ok((path, cur, vars));
+                let base = self.read_chain_file(cur, true)?;
+                if !base.is_full_payload() {
+                    return Err(NumarckError::Corrupt(format!(
+                        "checkpoint {cur} has .full name but delta payload"
+                    )));
+                }
+                return Ok((path, cur, base.into_full_variables()?));
             }
             if !has_delta.contains(&cur) {
                 return Err(NumarckError::Corrupt(format!(
                     "chain to {target} broken at iteration {cur}: no checkpoint file stored"
                 )));
             }
-            let file = self.store.read(cur, false)?;
-            match &file.kind {
-                CheckpointKind::Delta(_) => {
-                    let span = file.span();
-                    if span > cur {
-                        return Err(NumarckError::Corrupt(format!(
-                            "delta {cur} spans {span} iterations, past the start of the chain"
-                        )));
-                    }
-                    cur -= span;
-                    path.push(file);
-                }
-                CheckpointKind::Full(_) => {
-                    // A full payload under a delta name: inconsistent
-                    // store state. Be permissive: adopt it as the base,
-                    // as the forward walk used to.
-                    let vars = match file.kind {
-                        CheckpointKind::Full(vars) => vars,
-                        CheckpointKind::Delta(_) => unreachable!("matched Full above"),
-                    };
-                    return Ok((path, cur, vars));
-                }
+            let file = self.read_chain_file(cur, false)?;
+            if file.is_full_payload() {
+                // A full payload under a delta name: inconsistent store
+                // state. Be permissive: adopt it as the base, as the
+                // forward walk used to.
+                return Ok((path, cur, file.into_full_variables()?));
             }
+            let span = file.span();
+            if span > cur {
+                return Err(NumarckError::Corrupt(format!(
+                    "delta {cur} spans {span} iterations, past the start of the chain"
+                )));
+            }
+            cur -= span;
+            path.push(file);
         }
     }
 
@@ -330,6 +417,34 @@ mod tests {
         assert!(d.is_exact());
         // Superseded iterations are genuinely gone.
         assert!(engine.restart_at(2).is_err());
+    }
+
+    #[test]
+    fn v1_and_v2_chains_restart_bit_identically() {
+        let tmp = TempDir::new("restart-v1v2");
+        let truth = truth_sequence(8, 300);
+        // The manager writes v2; restart these chains first (this is the
+        // mapped zero-copy path on a plain filesystem store).
+        let store = build_store(&tmp, &truth, 4);
+        let engine = RestartEngine::new(store.clone());
+        let v2_states: Vec<VariableSet> =
+            (0..8).map(|t| engine.restart_at(t).unwrap().vars).collect();
+        // Rewrite every file in the frozen v1 layout and replay again:
+        // the seam must produce the same bits from either container.
+        for e in store.list().unwrap() {
+            let f = store.read(e.iteration, e.is_full).unwrap();
+            store.write_raw(e.iteration, e.is_full, &f.to_bytes_v1()).unwrap();
+        }
+        for (t, want) in v2_states.iter().enumerate() {
+            let got = engine.restart_at(t as u64).unwrap().vars;
+            for (name, w) in want {
+                let g = &got[name];
+                assert_eq!(g.len(), w.len());
+                for (a, b) in g.iter().zip(w) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "v1/v2 restart diverged at {t}/{name}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,15 @@ impl CheckpointStore {
         self.backend.read(&self.path_of(iteration, is_full))
     }
 
+    /// Read the checkpoint for `iteration` as aligned bytes, memory-
+    /// mapped when the backend supports it (plain filesystem stores do;
+    /// replicated and fault-injected backends fall back to an aligned
+    /// copy so their read semantics keep applying). No validation —
+    /// callers hand the bytes to the versioned codec seam.
+    pub fn map_raw(&self, iteration: u64, is_full: bool) -> std::io::Result<crate::AlignedBytes> {
+        self.backend.map(&self.path_of(iteration, is_full))
+    }
+
     /// Read and validate the checkpoint for `iteration`.
     pub fn read(&self, iteration: u64, is_full: bool) -> Result<CheckpointFile, NumarckError> {
         let path = self.path_of(iteration, is_full);

@@ -333,22 +333,43 @@ fn verify_store(dir: &str, replicas: usize) -> CliResult {
     }
     let mut report = String::new();
     let mut broken = 0usize;
+    // Tally container format versions alongside restartability: a chain
+    // that mixes v1 and v2 files still restarts (the codec seam sniffs
+    // per file), but it means an upgrade is half-finished — worth
+    // flagging so the operator runs compaction to completion.
+    let mut versions = std::collections::BTreeMap::<u16, usize>::new();
     for d in &diagnosis {
+        let ver = store
+            .read_raw(d.iteration, d.is_full)
+            .ok()
+            .and_then(|bytes| numarck_checkpoint::sniff_version(&bytes).ok());
+        if let Some(v) = ver {
+            *versions.entry(v).or_insert(0) += 1;
+        }
+        let ver = ver.map(|v| format!("v{v}")).unwrap_or_else(|| "v?".into());
         match &d.error {
             None => report.push_str(&format!(
-                "iteration {:3} ({}): restartable\n",
+                "iteration {:3} ({}, {ver}): restartable\n",
                 d.iteration,
                 kind_name(d.is_full)
             )),
             Some(err) => {
                 broken += 1;
                 report.push_str(&format!(
-                    "iteration {:3} ({}): BROKEN — {err}\n",
+                    "iteration {:3} ({}, {ver}): BROKEN — {err}\n",
                     d.iteration,
                     kind_name(d.is_full)
                 ));
             }
         }
+    }
+    let tally: Vec<String> = versions.iter().map(|(v, n)| format!("v{v} x{n}")).collect();
+    report.push_str(&format!("container versions: {}\n", tally.join(", ")));
+    if versions.len() > 1 {
+        report.push_str(
+            "WARNING: mixed-version chain — old files stay readable forever, but \
+             'numarck compact' rewrites merged windows in the current format\n",
+        );
     }
     if broken == 0 {
         Ok(format!("{report}PASS: all {} iteration(s) restartable", diagnosis.len()))

@@ -9,7 +9,7 @@
 //! bytes on disk, the variables inside, and the modeled restart cost.
 
 use numarck::NumarckError;
-use numarck_checkpoint::{CheckpointFile, CheckpointKind, CheckpointStore};
+use numarck_checkpoint::CheckpointStore;
 use numarck_compact::{ChainView, CompactionConfig, Compactor, CostModel};
 
 use crate::commands::{open_store, parse_args, replica_count};
@@ -126,8 +126,8 @@ pub fn chain(raw: &[String]) -> CliResult {
         view.total_bytes()
     );
     out.push_str(&format!(
-        "{:>10}  {:<12} {:>4}  {:>9}  {:>12}  variables\n",
-        "iter", "kind", "span", "bytes", "est-restart"
+        "{:>10}  {:<12} {:>4}  {:>3}  {:>9}  {:>12}  sections\n",
+        "iter", "kind", "span", "ver", "bytes", "est-restart"
     ));
     for it in view.iterations() {
         let entry = view.entry(it).expect("iterations() only yields stored entries");
@@ -149,8 +149,8 @@ pub fn chain(raw: &[String]) -> CliResult {
     Ok(out)
 }
 
-/// One layout row; variables come from parsing the file itself (`?` if
-/// the payload does not validate — `scrub` is the tool for that).
+/// One layout row; container detail comes from parsing the file itself
+/// (`?` if the payload does not validate — `scrub` is the tool for that).
 fn row(
     store: &CheckpointStore,
     iteration: u64,
@@ -160,20 +160,28 @@ fn row(
     bytes: u64,
     cost: &str,
 ) -> String {
-    let vars = variables_of(store, iteration, is_full).unwrap_or_else(|| "?".into());
+    let (ver, detail) =
+        container_of(store, iteration, is_full).unwrap_or_else(|| ("?".into(), "?".into()));
     let span = if is_full { "-".into() } else { span.max(1).to_string() };
-    format!("{iteration:>10}  {kind:<12} {span:>4}  {bytes:>9}  {cost:>12}  {vars}\n")
+    format!("{iteration:>10}  {kind:<12} {span:>4}  {ver:>3}  {bytes:>9}  {cost:>12}  {detail}\n")
 }
 
-/// Variable names inside a stored checkpoint file, comma-joined.
-fn variables_of(store: &CheckpointStore, iteration: u64, is_full: bool) -> Option<String> {
+/// Container version and section/dictionary footprint of one stored
+/// file: each variable's section size on disk, plus the shared centroid
+/// dictionary (v2 deltas only) that those sections reference.
+fn container_of(store: &CheckpointStore, iteration: u64, is_full: bool) -> Option<(String, String)> {
     let bytes = store.read_raw(iteration, is_full).ok()?;
-    let file = CheckpointFile::from_bytes(&bytes).ok()?;
-    let names: Vec<&str> = match &file.kind {
-        CheckpointKind::Full(vars) => vars.keys().map(String::as_str).collect(),
-        CheckpointKind::Delta(blocks) => blocks.keys().map(String::as_str).collect(),
-    };
-    Some(names.join(","))
+    let info = numarck_checkpoint::describe(&bytes).ok()?;
+    let sections: Vec<String> =
+        info.sections.iter().map(|s| format!("{}:{}B", s.name, s.bytes)).collect();
+    let mut detail = sections.join(",");
+    if info.dict_entries > 0 {
+        detail.push_str(&format!(
+            " (dict: {} entries, {}B)",
+            info.dict_entries, info.dict_bytes
+        ));
+    }
+    Some((format!("v{}", info.version), detail))
 }
 
 /// Render a modeled restart cost in milliseconds.
@@ -220,7 +228,9 @@ mod tests {
         assert!(out.contains("full"), "{out}");
         assert!(out.contains("delta"), "{out}");
         assert!(out.contains("worst-case modeled restart"), "{out}");
-        assert!(out.contains(" x"), "{out}");
+        assert!(out.contains(" v2 "), "every writer emits v2: {out}");
+        assert!(out.contains("x:"), "section sizes per variable: {out}");
+        assert!(out.contains("dict:"), "v2 deltas carry a shared dictionary: {out}");
 
         let out = run(&argv(&["compact", &dir, "--window", "4"])).unwrap();
         assert!(out.contains("2 merge(s) superseding 8 delta(s)"), "{out}");
@@ -237,6 +247,37 @@ mod tests {
         // A second pass has nothing left to do.
         let out = run(&argv(&["compact", &dir, "--window", "4"])).unwrap();
         assert!(out.contains("0 merge(s)"), "{out}");
+    }
+
+    #[test]
+    fn chain_and_verify_flag_a_mixed_version_store() {
+        use numarck_checkpoint::{CheckpointFile, CheckpointStore};
+        let tmp = TempDir::new("mixed-version-cli");
+        build_store(&tmp.0, 4);
+        let dir = tmp.0.display().to_string();
+
+        // Rewrite iteration 2's delta in the frozen v1 layout, as a
+        // store written by an old deployment and partially upgraded.
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let bytes = store.read_raw(2, false).unwrap();
+        let file = CheckpointFile::from_bytes(&bytes).unwrap();
+        store.write_raw(2, false, &file.to_bytes_v1()).unwrap();
+
+        let out = run(&argv(&["chain", &dir])).unwrap();
+        assert!(out.contains(" v1 "), "{out}");
+        assert!(out.contains(" v2 "), "{out}");
+
+        let out = run(&argv(&["verify", "--store", &dir])).unwrap();
+        assert!(out.contains("PASS"), "mixed chains still restart: {out}");
+        assert!(out.contains("container versions: v1 x1, v2 x3"), "{out}");
+        assert!(out.contains("WARNING: mixed-version chain"), "{out}");
+
+        // A uniform store verifies without the warning.
+        let tmp2 = TempDir::new("uniform-version-cli");
+        build_store(&tmp2.0, 3);
+        let out = run(&argv(&["verify", "--store", &tmp2.0.display().to_string()])).unwrap();
+        assert!(out.contains("container versions: v2 x3"), "{out}");
+        assert!(!out.contains("WARNING"), "{out}");
     }
 
     #[test]

@@ -130,6 +130,16 @@ fn vars(iteration: u64) -> VariableSet {
 /// *acknowledged* before dying (any error ends the run — a reply that
 /// never arrived was never promised).
 fn ingest_until_death(addr: &str, session_name: &str) -> Vec<u64> {
+    ingest_range_until_death(addr, session_name, 0..OFFERED)
+}
+
+/// Same, over an explicit iteration range (for sweeps that resume an
+/// existing session).
+fn ingest_range_until_death(
+    addr: &str,
+    session_name: &str,
+    range: std::ops::Range<u64>,
+) -> Vec<u64> {
     let mut acked = Vec::new();
     let Ok(mut client) = Client::connect(addr, TIMEOUT) else {
         return acked;
@@ -137,7 +147,7 @@ fn ingest_until_death(addr: &str, session_name: &str) -> Vec<u64> {
     let Ok(session) = client.open_session(session_name) else {
         return acked;
     };
-    for it in 0..OFFERED {
+    for it in range {
         match client.put_iteration(session, it, &vars(it)) {
             Ok(_) => acked.push(it),
             Err(_) => break,
@@ -252,6 +262,59 @@ fn kill_sweep_with_replicas_loses_no_acknowledged_iteration() {
             assert_eq!(reply.achieved, it);
         }
         report_line(k, "fail-stop-replicated", &acked);
+    }
+}
+
+/// The kill sweep over a *mixed-version* chain: the session's early
+/// iterations are rewritten in the frozen v1 container (as a store
+/// written by an old deployment and only partially upgraded), then the
+/// sweep kills the server while it extends that chain with v2 files.
+/// Recovery, restart and scrub must treat the versions as one chain —
+/// every acknowledged iteration restartable, regardless of which
+/// container layout holds it.
+#[test]
+fn mixed_version_kill_sweep_loses_no_acknowledged_iteration() {
+    const OLD: u64 = 5;
+    let points = sweep_points().min(8);
+    for k in 0..points {
+        let tmp = TempDir::new(&format!("mixed-sweep-{k}"));
+        let root = tmp.0.join("root");
+
+        // Seed the session with OLD acknowledged iterations, then hard
+        // kill: the chain on disk is complete (acked ⇒ durable).
+        let mut server = spawn_serve(&root, &[]).expect("seed server must come up");
+        let seeded = ingest_range_until_death(&server.addr, "sim", 0..OLD);
+        assert_eq!(seeded.len() as u64, OLD, "healthy server must ack the seed");
+        server.kill();
+
+        // Downgrade every seeded file to the v1 layout in place.
+        let store = numarck_checkpoint::CheckpointStore::open(root.join("sim"))
+            .expect("open session store");
+        let mut rewritten = 0;
+        for entry in store.list().expect("list seeded chain") {
+            let bytes = store.read_raw(entry.iteration, entry.is_full).expect("read");
+            let file =
+                numarck_checkpoint::CheckpointFile::from_bytes(&bytes).expect("parse seeded file");
+            store.write_raw(entry.iteration, entry.is_full, &file.to_bytes_v1()).expect("write v1");
+            rewritten += 1;
+        }
+        assert!(rewritten >= 2, "seed must leave a chain to downgrade");
+
+        // Now the sweep proper: extend the v1 chain with v2 writes and
+        // die at storage operation k+1.
+        let die = k.to_string();
+        let acked = match spawn_serve(&root, &["--die-after-ops", &die]) {
+            Some(mut server) => {
+                let acked = ingest_range_until_death(&server.addr, "sim", OLD..OFFERED);
+                server.kill();
+                acked
+            }
+            None => Vec::new(),
+        };
+
+        let all: Vec<u64> = seeded.iter().chain(&acked).copied().collect();
+        assert_survivors(&root, "sim", &all);
+        report_line(k, "fail-stop-mixed-version", &all);
     }
 }
 

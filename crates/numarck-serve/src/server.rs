@@ -39,7 +39,7 @@ use numarck_checkpoint::{
     scrub, CheckpointManager, CheckpointOutcome, CheckpointStore, FsBackend, ManagerPolicy,
     RestartEngine, RetryPolicy, SystemClock,
 };
-use numarck_compact::{CompactionConfig, Compactor};
+use numarck_compact::{CompactionConfig, Compactor, CostModel};
 use numarck_obs::{Counter, Gauge, Histogram, HistogramSummary, Level, Registry, Snapshot};
 
 use crate::journal::IntentJournal;
@@ -464,7 +464,6 @@ impl Server {
 /// session's write-ahead intent journal — to crash recovery they are
 /// indistinguishable from ingest writes. Exits when drain is triggered.
 fn maintenance_loop(shared: &Shared, compaction: CompactionConfig) {
-    let compactor = Compactor::new(compaction);
     let mut last_sweep = Instant::now();
     loop {
         if shared.draining.load(Ordering::SeqCst) {
@@ -484,6 +483,12 @@ fn maintenance_loop(shared: &Shared, compaction: CompactionConfig) {
             let mut sess = handle.lock().expect("session lock");
             let store = sess.manager.store().clone();
             let name = sess.name.clone();
+            // Re-seed the restart cost model from the decode timings the
+            // replay path has actually measured (`numarck_decode_ns`),
+            // scaled by this session's variable count — placement then
+            // chases observed latency, not the compile-time default.
+            let cost = CostModel::from_obs(sess.manager.variable_count());
+            let compactor = Compactor::new(CompactionConfig { cost, ..compaction });
             match compactor.run(&store, &mut sess.journal) {
                 Ok(report) => {
                     if report.merges > 0 || report.fulls_promoted > 0 || report.gc.removed > 0 {

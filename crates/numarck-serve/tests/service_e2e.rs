@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use numarck::{Config, DeltaChain, Strategy};
+use numarck::{Config, Strategy};
 use numarck_checkpoint::VariableSet;
 use numarck_serve::{Client, ClientError, Server, ServerConfig, WrittenKind};
 
@@ -44,10 +44,12 @@ fn truth(session: usize, iters: u64, points: usize) -> Vec<VariableSet> {
     out
 }
 
-/// The local reference the acceptance criteria call for: a [`DeltaChain`]
-/// per variable, based at the exact data of the last server-acked full
-/// checkpoint at or before `target`, replayed open-loop — exactly the
-/// manager's encode discipline and the restart engine's replay.
+/// The local reference the acceptance criteria call for: re-encode the
+/// run from the exact data of the last server-acked full checkpoint at
+/// or before `target` and replay it open-loop — exactly the manager's
+/// encode discipline (one group-encoded table per iteration, change
+/// ratios against exact previous data) and the restart engine's replay
+/// (each delta applied to the reconstructed state).
 fn expected_at(
     exact: &[VariableSet],
     kinds: &BTreeMap<u64, WrittenKind>,
@@ -60,15 +62,22 @@ fn expected_at(
         .map(|(it, _)| *it)
         .max()
         .expect("at least one full checkpoint acked");
-    let mut out = VariableSet::new();
-    for (name, base) in &exact[base_iter as usize] {
-        let mut chain = DeltaChain::new(base.clone(), config);
-        for it in base_iter + 1..=target {
-            chain.append(&exact[it as usize][name]).unwrap();
+    let names: Vec<String> = exact[base_iter as usize].keys().cloned().collect();
+    let mut state = exact[base_iter as usize].clone();
+    for it in base_iter + 1..=target {
+        let prev_exact = &exact[it as usize - 1];
+        let curr_exact = &exact[it as usize];
+        let pairs: Vec<(&[f64], &[f64])> = names
+            .iter()
+            .map(|n| (prev_exact[n].as_slice(), curr_exact[n].as_slice()))
+            .collect();
+        let (blocks, _) = numarck::group::encode_group(&pairs, &config).unwrap();
+        for (n, block) in names.iter().zip(blocks) {
+            let prev = state.get_mut(n).expect("variable sets are uniform");
+            *prev = numarck::decode::reconstruct(prev, &block).unwrap();
         }
-        out.insert(name.clone(), chain.reconstruct(chain.len()).unwrap());
     }
-    out
+    state
 }
 
 fn assert_bit_exact(got: &VariableSet, want: &VariableSet, context: &str) {
@@ -89,7 +98,7 @@ fn assert_bit_exact(got: &VariableSet, want: &VariableSet, context: &str) {
 /// The tentpole acceptance scenario: 4 concurrent clients ingest 16
 /// iterations each into separate sessions, the server is drained halfway
 /// through and restarted, and every session's restart is bit-identical
-/// to the local DeltaChain reference.
+/// to the local re-encode reference.
 #[test]
 fn concurrent_sessions_survive_drain_and_restart_bit_exact() {
     const SESSIONS: usize = 4;
@@ -286,6 +295,12 @@ fn stats_extension_and_metrics_snapshot_agree_with_traffic() {
     assert!(
         snap.gauges.iter().any(|(n, _)| n == "simd_dispatch_level"),
         "merged snapshot must report simd_dispatch_level"
+    );
+    // The ingest above serialised checkpoints, which stamps the
+    // container version those writes used.
+    assert!(
+        snap.gauges.iter().any(|(n, v)| n == "nck_format_version" && *v == 2),
+        "merged snapshot must report nck_format_version = 2"
     );
     server.shutdown();
 }

@@ -28,11 +28,67 @@ use crate::error::NumarckError;
 /// per point, and stay L1-resident while the values are rebuilt.
 const DECODE_BLOCK: usize = 1024;
 
+/// A borrowed view of one compressed block: everything the decoder
+/// needs, as plain slices.
+///
+/// [`CompressedIteration::block_ref`] produces one over the owned
+/// in-memory layout; the v2 container's mapped reader produces one whose
+/// slices point straight into the mapped file (its sections are
+/// 64-byte-aligned precisely so `bitmap`/`index_words`/`exact_values`
+/// can be reinterpreted in place), which is what makes zero-copy decode
+/// possible without a second decode implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockRef<'a> {
+    /// Index width `B` in bits.
+    pub bits: u8,
+    /// Number of data points.
+    pub num_points: usize,
+    /// Number of compressible (index-coded) points.
+    pub num_compressible: usize,
+    /// Sorted representative ratios (the centroid table).
+    pub table: &'a [f64],
+    /// Compressibility bitmap, one bit per point.
+    pub bitmap: &'a [u64],
+    /// Bit-packed `B`-bit indices of the compressible points.
+    pub index_words: &'a [u64],
+    /// Exact values of the incompressible points, point order.
+    pub exact_values: &'a [f64],
+}
+
+impl BlockRef<'_> {
+    /// Whether point `j` is index-coded.
+    #[inline]
+    pub fn is_compressible(&self, j: usize) -> bool {
+        (self.bitmap[j / 64] >> (j % 64)) & 1 == 1
+    }
+}
+
+impl CompressedIteration {
+    /// Borrow this block as the slice view the decoders run on.
+    pub fn block_ref(&self) -> BlockRef<'_> {
+        BlockRef {
+            bits: self.bits,
+            num_points: self.num_points,
+            num_compressible: self.num_compressible,
+            table: self.table.representatives(),
+            bitmap: &self.bitmap,
+            index_words: &self.index_words,
+            exact_values: &self.exact_values,
+        }
+    }
+}
+
 /// Reconstruct the current iteration from `prev` and a compressed block.
 ///
 /// `prev` may be exact data or a previous reconstruction (the restart
 /// chain case); length must equal the block's `num_points`.
 pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>, NumarckError> {
+    reconstruct_ref(prev, &block.block_ref())
+}
+
+/// [`reconstruct`] over a borrowed [`BlockRef`] — the entry point of the
+/// zero-copy path, where the slices live inside a mapped checkpoint file.
+pub fn reconstruct_ref(prev: &[f64], block: &BlockRef<'_>) -> Result<Vec<f64>, NumarckError> {
     crate::obs::decodes_total().inc();
     let _span = crate::obs::decode_ns().span();
     validate(prev, block)?;
@@ -45,14 +101,14 @@ pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>
     // to 64 points own whole bitmap words, and the block-granularity rank
     // index gives each chunk the number of compressible points before it.
     let chunk = chunk_size_aligned(n, 64);
-    let (chunk_ranks, _) = chunked_popcount_ranks(&block.bitmap, chunk / 64);
+    let (chunk_ranks, _) = chunked_popcount_ranks(block.bitmap, chunk / 64);
 
     // `1 + Δ'` per code, shared read-only across chunks. Entry 0 pairs
     // with the small-change code and is never multiplied in (those lanes
     // blend `prev` through verbatim — NaN payloads and signed zeros in
     // `prev` survive bit-exactly, which `prev * 1.0` would not promise).
     let rep1: Vec<f64> = std::iter::once(1.0)
-        .chain(block.table.representatives().iter().map(|&r| 1.0 + r))
+        .chain(block.table.iter().map(|&r| 1.0 + r))
         .collect();
 
     let mut out = vec![0.0f64; n];
@@ -74,7 +130,7 @@ pub fn reconstruct(prev: &[f64], block: &CompressedIteration) -> Result<Vec<f64>
                 // All of this block's codes in one bulk unpack.
                 let ncomp = numarck_simd::popcount::popcount_sum(words) as usize;
                 numarck_simd::unpack::unpack(
-                    &block.index_words,
+                    block.index_words,
                     block.bits,
                     comp_rank,
                     &mut codes[..ncomp],
@@ -128,10 +184,15 @@ pub fn reconstruct_seq(
     prev: &[f64],
     block: &CompressedIteration,
 ) -> Result<Vec<f64>, NumarckError> {
+    reconstruct_seq_ref(prev, &block.block_ref())
+}
+
+/// [`reconstruct_seq`] over a borrowed [`BlockRef`].
+pub fn reconstruct_seq_ref(prev: &[f64], block: &BlockRef<'_>) -> Result<Vec<f64>, NumarckError> {
     validate(prev, block)?;
     let mut out = Vec::with_capacity(block.num_points);
     let mut reader = crate::bitstream::BitReader::new(
-        &block.index_words,
+        block.index_words,
         block.num_compressible * block.bits as usize,
     );
     let mut exacts = block.exact_values.iter();
@@ -143,7 +204,7 @@ pub fn reconstruct_seq(
             if code == 0 {
                 out.push(prev[j]);
             } else {
-                out.push(prev[j] * (1.0 + block.table.representative(code as usize - 1)));
+                out.push(prev[j] * (1.0 + block.table[code as usize - 1]));
             }
         } else {
             let v = exacts
@@ -155,7 +216,7 @@ pub fn reconstruct_seq(
     Ok(out)
 }
 
-fn validate(prev: &[f64], block: &CompressedIteration) -> Result<(), NumarckError> {
+fn validate(prev: &[f64], block: &BlockRef<'_>) -> Result<(), NumarckError> {
     if prev.len() != block.num_points {
         return Err(NumarckError::LengthMismatch { prev: prev.len(), curr: block.num_points });
     }
@@ -177,7 +238,7 @@ fn validate(prev: &[f64], block: &CompressedIteration) -> Result<(), NumarckErro
     let ranges: Vec<(usize, usize)> = chunk_ranges(nc, chunk_size_for(nc)).collect();
     let max_code = ranges
         .par_iter()
-        .map(|&(s, e)| numarck_simd::unpack::max_unpacked(&block.index_words, block.bits, s, e - s))
+        .map(|&(s, e)| numarck_simd::unpack::max_unpacked(block.index_words, block.bits, s, e - s))
         .max()
         .unwrap_or(0);
     if max_code as usize > block.table.len() {

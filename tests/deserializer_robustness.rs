@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use numarck_checkpoint::CheckpointFile;
+use numarck_checkpoint::{AlignedBytes, CheckpointFile, CheckpointKind, MappedCheckpoint};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -103,6 +103,336 @@ proptest! {
         }
         if let Ok(b) = numarck::serialize::from_bytes(&bytes) {
             let _ = numarck::decode::reconstruct(&prev, &b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container v2: adversarial inputs beyond random corruption.
+//
+// Random bit flips die on the whole-file CRC; a deliberate attacker (or
+// a buggy writer) re-seals the outer checksums after lying somewhere
+// structural. These tests mutate real v2 files and then *recompute every
+// CRC*, so the only remaining defence is the layout validation itself.
+// ---------------------------------------------------------------------------
+
+/// Header/directory surgery kit for the v2 container. Offsets mirror
+/// `format/v2.rs`; the tests are allowed to know the layout — that is
+/// the point.
+mod v2lab {
+    pub use numarck::serialize::crc32;
+
+    pub fn rd_u32(b: &[u8], at: usize) -> u32 {
+        u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+    }
+    pub fn rd_u64(b: &[u8], at: usize) -> u64 {
+        u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+    }
+    pub fn wr_u32(b: &mut [u8], at: usize, v: u32) {
+        b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    pub fn wr_u64(b: &mut [u8], at: usize, v: u64) {
+        b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// One directory row plus the byte positions of its mutable fields.
+    pub struct DirRow {
+        pub off: usize,
+        pub len: usize,
+        pub off_pos: usize,
+        pub len_pos: usize,
+        pub crc_pos: usize,
+    }
+
+    /// Walk the directory rows of a sealed v2 file.
+    pub fn dir_rows(b: &[u8]) -> Vec<DirRow> {
+        let count = rd_u32(b, 16) as usize;
+        let mut p = rd_u64(b, 24) as usize;
+        let mut rows = Vec::new();
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(b[p..p + 2].try_into().unwrap()) as usize;
+            p += 2 + name_len;
+            let row = DirRow {
+                off: rd_u64(b, p) as usize,
+                len: rd_u64(b, p + 8) as usize,
+                off_pos: p,
+                len_pos: p + 8,
+                crc_pos: p + 16,
+            };
+            p += 20;
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Recompute every checksum (section CRCs in the directory, dict
+    /// CRC, dir CRC, header CRC, trailing file CRC) so a structural lie
+    /// survives all integrity checks and must be caught by validation.
+    pub fn reseal(b: &mut [u8]) {
+        let n = b.len();
+        let rows: Vec<(usize, usize, usize)> =
+            dir_rows(b).iter().map(|r| (r.off, r.len, r.crc_pos)).collect();
+        for (off, len, crc_pos) in rows {
+            if off.saturating_add(len) <= n {
+                let crc = crc32(&b[off..off + len]);
+                wr_u32(b, crc_pos, crc);
+            }
+        }
+        let dict_off = rd_u64(b, 32) as usize;
+        let dict_entries = rd_u32(b, 40) as usize;
+        if dict_off > 0 && dict_off + dict_entries * 8 <= n {
+            let crc = crc32(&b[dict_off..dict_off + dict_entries * 8]);
+            wr_u32(b, 44, crc);
+        }
+        let dir_off = rd_u64(b, 24) as usize;
+        if dir_off < n - 4 {
+            let crc = crc32(&b[dir_off..n - 4]);
+            wr_u32(b, 48, crc);
+        }
+        let crc = crc32(&b[..52]);
+        wr_u32(b, 52, crc);
+        let crc = crc32(&b[..n - 4]);
+        wr_u32(b, n - 4, crc);
+    }
+}
+
+fn v2_sample_delta() -> Vec<u8> {
+    // Two variables with *different* value shapes so their tables
+    // differ and each section carries explicit dictionary references
+    // (not the whole-dict shortcut).
+    let cfg = numarck::Config::new(8, 0.001, numarck::Strategy::Clustering).expect("valid");
+    let mut blocks = std::collections::BTreeMap::new();
+    for (name, base, step) in [("dens", 1.0f64, 1.003f64), ("temp", 40.0, 1.011)] {
+        let prev: Vec<f64> = (0..400).map(|i| base + (i % 13) as f64 * 0.5).collect();
+        let curr: Vec<f64> =
+            prev.iter().enumerate().map(|(i, v)| v * step.powi((i % 3) as i32)).collect();
+        let (block, _) = numarck::encode::encode(&prev, &curr, &cfg).expect("finite");
+        blocks.insert(name.to_string(), block);
+    }
+    CheckpointFile::new(7, CheckpointKind::Delta(blocks)).to_bytes()
+}
+
+fn v2_sample_full() -> Vec<u8> {
+    let mut vars = std::collections::BTreeMap::new();
+    vars.insert("rho".to_string(), (0..300).map(|i| 1.0 + (i % 9) as f64).collect());
+    CheckpointFile::new(3, CheckpointKind::Full(vars)).to_bytes()
+}
+
+/// Both readers must reject the mutated bytes; the mapped reader sees
+/// them through the same aligned buffer the backend hands it.
+fn assert_both_readers_reject(bytes: &[u8], what: &str) {
+    assert!(CheckpointFile::from_bytes(bytes).is_err(), "owned reader accepted {what}");
+    assert!(
+        MappedCheckpoint::parse(AlignedBytes::from_vec(bytes.to_vec())).is_err(),
+        "mapped reader accepted {what}"
+    );
+}
+
+#[test]
+fn v2_every_prefix_truncation_is_rejected() {
+    for (what, bytes) in [("full", v2_sample_full()), ("delta", v2_sample_delta())] {
+        for cut in 0..bytes.len() {
+            assert_both_readers_reject(&bytes[..cut], &format!("v2 {what} truncated to {cut}"));
+        }
+    }
+}
+
+#[test]
+fn v2_lying_directory_offsets_are_rejected() {
+    let base = v2_sample_delta();
+    let rows = v2lab::dir_rows(&base);
+    for (i, row) in rows.iter().enumerate() {
+        // Point the section elsewhere: at the header, at the next
+        // 64-byte slot, or past the end of the file.
+        for lie in [0usize, row.off + 64, base.len()] {
+            let mut b = base.clone();
+            v2lab::wr_u64(&mut b, row.off_pos, lie as u64);
+            v2lab::reseal(&mut b);
+            assert_both_readers_reject(&b, &format!("dir row {i} offset lying as {lie}"));
+        }
+    }
+}
+
+#[test]
+fn v2_lying_directory_lengths_are_rejected() {
+    let base = v2_sample_delta();
+    let rows = v2lab::dir_rows(&base);
+    for (i, row) in rows.iter().enumerate() {
+        // Off-by-one lies land inside the same 64-byte alignment slot,
+        // so the layout tiling still closes: the mapped reader is
+        // allowed to accept the directory and must instead fail when
+        // the section's internal geometry is checked at decode.
+        for lie in [0usize, row.len - 1, row.len + 1, row.len + 64, base.len()] {
+            let mut b = base.clone();
+            v2lab::wr_u64(&mut b, row.len_pos, lie as u64);
+            v2lab::reseal(&mut b);
+            assert_rejected_or_undecodable(&b, &format!("dir row {i} length lying as {lie}"));
+        }
+    }
+}
+
+#[test]
+fn v2_overlapping_sections_are_rejected() {
+    // Alias the second section onto the first: two directory rows
+    // claiming the same bytes. The exact-tiling rule (every section
+    // starts where the previous one, padded, ended) makes any overlap —
+    // even this self-consistent-looking one — unrepresentable.
+    let base = v2_sample_delta();
+    let rows = v2lab::dir_rows(&base);
+    assert!(rows.len() >= 2, "need two sections to overlap");
+    let mut b = base.clone();
+    v2lab::wr_u64(&mut b, rows[1].off_pos, rows[0].off as u64);
+    v2lab::wr_u64(&mut b, rows[1].len_pos, rows[0].len as u64);
+    v2lab::reseal(&mut b);
+    assert_both_readers_reject(&b, "aliased overlapping sections");
+}
+
+/// Bogus dictionary references live inside a section, which the mapped
+/// reader validates lazily: its `parse` may accept the layout, but the
+/// tampered section must then fail to decode.
+fn assert_rejected_or_undecodable(bytes: &[u8], what: &str) {
+    assert!(CheckpointFile::from_bytes(bytes).is_err(), "owned reader accepted {what}");
+    if let Ok(m) = MappedCheckpoint::parse(AlignedBytes::from_vec(bytes.to_vec())) {
+        let prev: Vec<f64> = (0..400).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect();
+        let names: Vec<String> = m.variable_names().map(str::to_string).collect();
+        assert!(
+            names.iter().any(|n| m.decode_variable(n, &prev).is_err()),
+            "mapped reader decoded {what} cleanly"
+        );
+    }
+}
+
+#[test]
+fn v2_bogus_dictionary_references_are_rejected() {
+    let base = v2_sample_delta();
+    let dict_entries = v2lab::rd_u32(&base, 40) as usize;
+    let rows = v2lab::dir_rows(&base);
+    // Find a section carrying explicit dictionary references.
+    let (sec_off, table_len) = rows
+        .iter()
+        .find_map(|r| {
+            let flags = base[r.off];
+            let table_len = v2lab::rd_u32(&base, r.off + 4) as usize;
+            (flags & 0x02 == 0 && table_len >= 2).then_some((r.off, table_len))
+        })
+        .expect("sample delta must have a section with explicit dict refs");
+    let refs_at = |i: usize| sec_off + 64 + 4 * i;
+
+    // Reference past the end of the dictionary.
+    let mut b = base.clone();
+    v2lab::wr_u32(&mut b, refs_at(table_len - 1), dict_entries as u32 + 5);
+    v2lab::reseal(&mut b);
+    assert_rejected_or_undecodable(&b, "dict reference past the dictionary");
+
+    // References out of order (table must stay strictly ascending).
+    let mut b = base.clone();
+    let first = v2lab::rd_u32(&b, refs_at(0));
+    let second = v2lab::rd_u32(&b, refs_at(1));
+    v2lab::wr_u32(&mut b, refs_at(0), second);
+    v2lab::wr_u32(&mut b, refs_at(1), first);
+    v2lab::reseal(&mut b);
+    assert_rejected_or_undecodable(&b, "non-ascending dict references");
+
+    // Duplicate reference (would collapse two table entries into one).
+    let mut b = base.clone();
+    let first = v2lab::rd_u32(&b, refs_at(0));
+    v2lab::wr_u32(&mut b, refs_at(1), first);
+    v2lab::reseal(&mut b);
+    assert_rejected_or_undecodable(&b, "duplicate dict references");
+}
+
+#[test]
+fn v2_resealed_unmutated_file_still_parses() {
+    // Guard on the lab itself: reseal() of an untouched file must be a
+    // no-op, proving the rejections above come from the lies, not from
+    // a miscomputed checksum in the test kit.
+    let mut b = v2_sample_delta();
+    let orig = b.clone();
+    v2lab::reseal(&mut b);
+    assert_eq!(orig, b, "reseal changed a valid file's checksums");
+    assert!(CheckpointFile::from_bytes(&b).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip over both container versions: any full checkpoint
+    /// (arbitrary finite payloads, arbitrary names) survives
+    /// serialise → parse bit-exactly, in v1 and v2, through both
+    /// readers.
+    #[test]
+    fn checkpoint_roundtrips_bit_exactly_in_both_versions(
+        entries in proptest::collection::vec(
+            (
+                0usize..6,
+                proptest::collection::vec(
+                    prop_oneof![
+                        -1e12f64..1e12,
+                        Just(0.0),
+                        Just(-0.0),
+                        Just(f64::MIN_POSITIVE),
+                    ],
+                    0..80,
+                ),
+            ),
+            0..4,
+        ),
+        iteration in 0u64..u64::MAX / 2,
+    ) {
+        const NAMES: [&str; 6] = ["dens", "ener", "p", "temp_k", "velx", "z9"];
+        let vars: std::collections::BTreeMap<String, Vec<f64>> =
+            entries.into_iter().map(|(i, data)| (NAMES[i].to_string(), data)).collect();
+        let file = CheckpointFile::new(iteration, CheckpointKind::Full(vars));
+        for bytes in [file.to_bytes(), file.to_bytes_v1()] {
+            let back = CheckpointFile::from_bytes(&bytes).expect("own bytes parse");
+            prop_assert_eq!(&back.iteration, &file.iteration);
+            let (CheckpointKind::Full(a), CheckpointKind::Full(b)) = (&file.kind, &back.kind)
+            else { panic!("kind changed") };
+            prop_assert_eq!(a.len(), b.len());
+            for ((n1, d1), (n2, d2)) in a.iter().zip(b) {
+                prop_assert_eq!(n1, n2);
+                let bits1: Vec<u64> = d1.iter().map(|v| v.to_bits()).collect();
+                let bits2: Vec<u64> = d2.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(bits1, bits2);
+            }
+        }
+        // The zero-copy reader agrees with the owned one on v2 bytes.
+        let mapped = MappedCheckpoint::parse(AlignedBytes::from_vec(file.to_bytes()))
+            .expect("own bytes parse mapped");
+        let CheckpointKind::Full(a) = &file.kind else { unreachable!() };
+        let m = mapped.full_variables().expect("full decode");
+        prop_assert_eq!(a.len(), m.len());
+        for ((n1, d1), (n2, d2)) in a.iter().zip(&m) {
+            prop_assert_eq!(n1, n2);
+            let bits1: Vec<u64> = d1.iter().map(|v| v.to_bits()).collect();
+            let bits2: Vec<u64> = d2.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bits1, bits2);
+        }
+    }
+
+    /// Bit flips against a sealed v2 delta: the readers reject or — when
+    /// a flip pair cancels — decode cleanly. Never a panic, never a lie.
+    #[test]
+    fn v2_mutated_delta_never_panics(
+        flips in proptest::collection::vec((0usize..8192, 0u8..8), 1..10)
+    ) {
+        let mut bytes = v2_sample_delta();
+        for (pos, bit) in flips {
+            let p = pos % bytes.len();
+            bytes[p] ^= 1 << bit;
+        }
+        let prev: Vec<f64> = (0..400).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect();
+        if let Ok(file) = CheckpointFile::from_bytes(&bytes) {
+            if let CheckpointKind::Delta(blocks) = &file.kind {
+                for block in blocks.values() {
+                    let _ = numarck::decode::reconstruct(&prev, block);
+                }
+            }
+        }
+        if let Ok(m) = MappedCheckpoint::parse(AlignedBytes::from_vec(bytes)) {
+            for name in m.variable_names() {
+                let _ = m.decode_variable(name, &prev);
+            }
         }
     }
 }
